@@ -1,0 +1,88 @@
+// Command datagen writes the synthetic benchmark datasets as
+// N-Triples files, one file per endpoint:
+//
+//	datagen -benchmark lubm -universities 4 -out ./data
+//	datagen -benchmark qfed -out ./data
+//	datagen -benchmark largerdf -scale 2 -out ./data
+//	datagen -benchmark bio -out ./data
+//
+// The files can then be served with cmd/endpoint and queried with
+// cmd/lusail.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lusail/internal/benchdata/bio"
+	"lusail/internal/benchdata/largerdf"
+	"lusail/internal/benchdata/lubm"
+	"lusail/internal/benchdata/qfed"
+	"lusail/internal/rdf"
+)
+
+func main() {
+	var (
+		benchmark    = flag.String("benchmark", "lubm", "lubm | qfed | largerdf | bio")
+		out          = flag.String("out", "data", "output directory")
+		universities = flag.Int("universities", 4, "LUBM: number of universities")
+		scale        = flag.Int("scale", 1, "dataset scale factor")
+		seed         = flag.Int64("seed", 42, "generation seed")
+	)
+	flag.Parse()
+
+	var graphs []rdf.Graph
+	var names []string
+	switch *benchmark {
+	case "lubm":
+		cfg := lubm.DefaultConfig(*universities)
+		cfg.Scale = *scale
+		cfg.Seed = *seed
+		graphs = lubm.Generate(cfg)
+		for i := range graphs {
+			names = append(names, fmt.Sprintf("university%d", i))
+		}
+	case "qfed":
+		cfg := qfed.DefaultConfig()
+		cfg.Drugs *= *scale
+		cfg.Seed = *seed
+		graphs = qfed.Generate(cfg)
+		names = qfed.EndpointNames
+	case "largerdf":
+		graphs = largerdf.Generate(largerdf.Config{Scale: *scale, Seed: *seed})
+		names = largerdf.EndpointNames
+	case "bio":
+		cfg := bio.DefaultConfig()
+		cfg.Genes *= *scale
+		cfg.Seed = *seed
+		graphs = bio.Generate(cfg)
+		names = bio.EndpointNames
+	default:
+		log.Fatalf("unknown benchmark %q", *benchmark)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for i, g := range graphs {
+		path := filepath.Join(*out, strings.ToLower(names[i])+".nt")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rdf.WriteNTriples(f, g); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s %8d triples\n", path, len(g))
+		total += len(g)
+	}
+	fmt.Printf("%-40s %8d triples\n", "total", total)
+}

@@ -1,0 +1,41 @@
+// Command endpoint serves an N-Triples file as a SPARQL endpoint over
+// HTTP (query via GET ?query= or POST, results as SPARQL JSON):
+//
+//	endpoint -data university0.nt -addr :8001 -name univ0
+//
+// A federation of such processes is queryable with cmd/lusail.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"lusail"
+)
+
+func main() {
+	var (
+		data = flag.String("data", "", "N-Triples file to serve (required)")
+		addr = flag.String("addr", ":8001", "listen address")
+		name = flag.String("name", "endpoint", "endpoint name")
+	)
+	flag.Parse()
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*data)
+	if err != nil {
+		log.Fatalf("open %s: %v", *data, err)
+	}
+	ep, err := lusail.LoadEndpoint(*name, f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("load %s: %v", *data, err)
+	}
+	fmt.Printf("endpoint %q: %d triples, serving SPARQL at %s\n", *name, ep.Store().Len(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, lusail.Serve(ep)))
+}

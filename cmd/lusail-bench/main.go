@@ -1,0 +1,47 @@
+// Command lusail-bench regenerates the paper's tables and figures:
+//
+//	lusail-bench -exp fig12            # one experiment
+//	lusail-bench -exp all -scale 2     # everything, bigger datasets
+//
+// Available experiments: table1, prep, fig3, fig9, fig10a, fig10bc,
+// fig11, fig12, fig13, fig14, bio, ablade, absape, all. Each prints
+// the rows/series the corresponding figure or table reports; see
+// EXPERIMENTS.md for the mapping and expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"lusail/internal/endpoint"
+	"lusail/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.RegistryNames(), ", ")+")")
+		scale   = flag.Int("scale", 1, "dataset scale factor")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-query timeout (paper: 1h)")
+		runs    = flag.Int("runs", 1, "repetitions per measurement (paper: 3)")
+		wan     = flag.Bool("wan", false, "simulate WAN latency on all experiments")
+	)
+	flag.Parse()
+
+	runner, ok := experiments.Registry[*exp]
+	if !ok {
+		log.Fatalf("unknown experiment %q; available: %s", *exp, strings.Join(experiments.RegistryNames(), ", "))
+	}
+	opts := experiments.Options{Scale: *scale, Timeout: *timeout, Runs: *runs}
+	if *wan {
+		opts.Network = endpoint.WANProfile
+	}
+	start := time.Now()
+	if err := runner(os.Stdout, opts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompleted %s in %s\n", *exp, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,71 @@
+package lusail_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"lusail"
+)
+
+// Two tiny endpoints: people live at epA, city data at epB, so the
+// join variable ?city is global — answering requires the interlink.
+const exampleA = `<http://ex/alice> <http://ex/livesIn> <http://ex/paris> .
+<http://ex/bob> <http://ex/livesIn> <http://ex/berlin> .
+`
+
+const exampleB = `<http://ex/paris> <http://ex/country> "FR" .
+<http://ex/berlin> <http://ex/country> "DE" .
+`
+
+func ExampleNew() {
+	epA, _ := lusail.LoadEndpoint("people", strings.NewReader(exampleA))
+	epB, _ := lusail.LoadEndpoint("cities", strings.NewReader(exampleB))
+	fed := lusail.New([]lusail.Endpoint{epA, epB})
+
+	res, err := fed.Query(context.Background(), `
+		SELECT ?p ?c WHERE {
+			?p <http://ex/livesIn> ?city .
+			?city <http://ex/country> ?c .
+		} ORDER BY ?p`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row["p"].Value, row["c"].Value)
+	}
+	// Output:
+	// http://ex/alice FR
+	// http://ex/bob DE
+}
+
+func ExampleFederation_Explain() {
+	epA, _ := lusail.LoadEndpoint("people", strings.NewReader(exampleA))
+	epB, _ := lusail.LoadEndpoint("cities", strings.NewReader(exampleB))
+	fed := lusail.New([]lusail.Endpoint{epA, epB})
+
+	plan, err := fed.Explain(context.Background(), `
+		SELECT ?p ?c WHERE {
+			?p <http://ex/livesIn> ?city .
+			?city <http://ex/country> ?c .
+		}`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("global join variables:", len(plan.GJVs))
+	fmt.Println("subqueries:", len(plan.Subqueries))
+	// Output:
+	// global join variables: 1
+	// subqueries: 2
+}
+
+func ExampleFederation_Query_ask() {
+	epA, _ := lusail.LoadEndpoint("people", strings.NewReader(exampleA))
+	fed := lusail.New([]lusail.Endpoint{epA})
+	res, _ := fed.Query(context.Background(), `ASK { <http://ex/alice> <http://ex/livesIn> ?c }`)
+	fmt.Println(res.Ask)
+	// Output:
+	// true
+}

@@ -1,0 +1,72 @@
+// Explain: inspect Lusail's execution plan for the paper's Qa without
+// running it, then run an overlapping workload as a batch with
+// multi-query optimization.
+//
+//	go run ./examples/explain
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"lusail"
+)
+
+const uni1 = `<http://ex/Lee> <http://ex/advisor> <http://ex/Ben> .
+<http://ex/Lee> <http://ex/takesCourse> <http://ex/OS> .
+<http://ex/Ben> <http://ex/teacherOf> <http://ex/OS> .
+<http://ex/Ben> <http://ex/PhDDegreeFrom> <http://ex/MIT> .
+<http://ex/MIT> <http://ex/address> "XXX" .
+`
+
+const uni2 = `<http://ex/Kim> <http://ex/advisor> <http://ex/Tim> .
+<http://ex/Kim> <http://ex/takesCourse> <http://ex/DB> .
+<http://ex/Tim> <http://ex/teacherOf> <http://ex/DB> .
+<http://ex/Tim> <http://ex/PhDDegreeFrom> <http://ex/MIT> .
+<http://ex/CMU> <http://ex/address> "CCCC" .
+`
+
+const qa = `SELECT ?S ?P ?U ?A WHERE {
+	?S <http://ex/advisor> ?P .
+	?S <http://ex/takesCourse> ?C .
+	?P <http://ex/teacherOf> ?C .
+	?P <http://ex/PhDDegreeFrom> ?U .
+	?U <http://ex/address> ?A .
+}`
+
+func main() {
+	ep1, err := lusail.LoadEndpoint("EP1", strings.NewReader(uni1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ep2, err := lusail.LoadEndpoint("EP2", strings.NewReader(uni2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fed := lusail.New([]lusail.Endpoint{ep1, ep2})
+	ctx := context.Background()
+
+	fmt.Println("=== execution plan for Qa (no data moved yet) ===")
+	plan, err := fed.Explain(ctx, qa)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan.String())
+
+	fmt.Println("\n=== batched workload with multi-query optimization ===")
+	workload := []string{qa, qa, `SELECT ?S ?P WHERE {
+		?S <http://ex/advisor> ?P .
+		?S <http://ex/takesCourse> ?C .
+		?P <http://ex/teacherOf> ?C .
+	}`}
+	for i, br := range fed.QueryBatch(ctx, workload) {
+		if br.Err != nil {
+			log.Fatalf("query %d: %v", i, br.Err)
+		}
+		fmt.Printf("query %d: %d rows\n", i, br.Results.Len())
+	}
+	fmt.Printf("subquery executions shared across the batch: %d\n",
+		fed.Metrics().SharedSubqueries)
+}

@@ -1,0 +1,83 @@
+// Lifescience: the QFed federation (DrugBank, Diseasome, DailyMed,
+// Sider) queried for asthma medications — the Drug query of the
+// paper's §II — comparing Lusail against the FedX baseline on response
+// time and remote requests.
+//
+//	go run ./examples/lifescience
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"lusail"
+	"lusail/internal/benchdata/qfed"
+	"lusail/internal/endpoint"
+	"lusail/internal/store"
+)
+
+func main() {
+	graphs := qfed.Generate(qfed.DefaultConfig())
+	var eps []lusail.Endpoint
+	for i, g := range graphs {
+		eps = append(eps, endpoint.NewLocal(qfed.EndpointNames[i], store.FromGraph(g)))
+	}
+	ctx := context.Background()
+	query := qfed.Queries["Drug"]
+	fmt.Println("Drug query: medicines for asthma, with optional drug descriptions")
+
+	// Lusail.
+	fed := lusail.New(eps)
+	if _, err := fed.Query(ctx, query); err != nil { // warm caches
+		log.Fatal(err)
+	}
+	endpoint.ResetAll(eps)
+	start := time.Now()
+	res, err := fed.Query(ctx, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lusailTime := time.Since(start)
+	lusailReqs := endpoint.TotalStats(eps).Requests
+	fmt.Printf("\nlusail: %d medicines in %s, %d remote requests\n", res.Len(), lusailTime, lusailReqs)
+	for i, row := range res.Rows {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", res.Len()-5)
+			break
+		}
+		fmt.Printf("  %s (drug %s)\n", row["med"].Value, row["drug"].Value)
+	}
+
+	// FedX baseline.
+	fedx, err := lusail.NewBaseline("fedx", eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fedx.Execute(ctx, query); err != nil {
+		log.Fatal(err)
+	}
+	endpoint.ResetAll(eps)
+	start = time.Now()
+	res2, err := fedx.Execute(ctx, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fedxTime := time.Since(start)
+	fedxReqs := endpoint.TotalStats(eps).Requests
+	fmt.Printf("\nfedx:   %d medicines in %s, %d remote requests\n", res2.Len(), fedxTime, fedxReqs)
+
+	if res.Len() != res2.Len() {
+		log.Fatalf("result mismatch: lusail %d vs fedx %d", res.Len(), res2.Len())
+	}
+	fmt.Printf("\nboth engines agree on %d results; lusail used %.1fx fewer requests\n",
+		res.Len(), float64(fedxReqs)/float64(max64(lusailReqs, 1)))
+}
+
+func max64(a int64, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,143 @@
+package lusail_test
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCLIEndToEnd builds the command-line tools, generates a LUBM
+// federation on disk, serves one university over HTTP, loads the other
+// in-process, and runs a federated query through the CLI — the full
+// user workflow from the README.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI integration test in -short mode")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	datagen := build("datagen")
+	endpointBin := build("endpoint")
+	lusailBin := build("lusail")
+
+	// Generate two universities.
+	dataDir := filepath.Join(dir, "data")
+	out, err := exec.Command(datagen, "-benchmark", "lubm", "-universities", "2", "-out", dataDir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("datagen: %v\n%s", err, out)
+	}
+	u0 := filepath.Join(dataDir, "university0.nt")
+	u1 := filepath.Join(dataDir, "university1.nt")
+	if _, err := os.Stat(u0); err != nil {
+		t.Fatalf("datagen output missing: %v", err)
+	}
+
+	// Serve university0 over HTTP on a free port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	srv := exec.Command(endpointBin, "-data", u0, "-addr", addr, "-name", "univ0")
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	// Wait for the server to accept connections.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("endpoint server did not come up")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Federated query: one HTTP endpoint + one local file, through the
+	// Lusail engine with -profile.
+	query := `PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT ?x ?y WHERE { ?x ub:advisor ?y . ?x ub:takesCourse ?c . ?y ub:teacherOf ?c . }`
+	qf := filepath.Join(dir, "q.rq")
+	if err := os.WriteFile(qf, []byte(query), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(lusailBin,
+		"-endpoint", "http://"+addr,
+		"-endpoint", u1,
+		"-query-file", qf,
+		"-profile",
+	)
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("lusail CLI: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "?x\t?y") {
+		t.Errorf("missing header in output:\n%s", text)
+	}
+	if !strings.Contains(text, "GraduateStudent") {
+		t.Errorf("no result rows in output:\n%s", text)
+	}
+	if !strings.Contains(text, "subqueries") {
+		t.Errorf("missing profile output:\n%s", text)
+	}
+
+	// The explain path over the same federation.
+	cmd = exec.Command(lusailBin,
+		"-endpoint", "http://"+addr,
+		"-endpoint", u1,
+		"-query-file", qf,
+		"-explain",
+	)
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("lusail -explain: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "subquery 0") {
+		t.Errorf("explain output unexpected:\n%s", out)
+	}
+
+	// A baseline engine over the same endpoints agrees on row count.
+	runCount := func(engine string) int {
+		cmd := exec.Command(lusailBin,
+			"-endpoint", "http://"+addr, "-endpoint", u1,
+			"-query-file", qf, "-engine", engine)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("lusail -engine %s: %v\n%s", engine, err, out)
+		}
+		lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+		n := 0
+		for _, l := range lines[1:] { // skip header
+			if strings.HasPrefix(l, "<") {
+				n++
+			}
+		}
+		return n
+	}
+	if a, b := runCount("lusail"), runCount("fedx"); a != b || a == 0 {
+		t.Errorf("row counts differ: lusail=%d fedx=%d", a, b)
+	}
+	fmt.Println("CLI end-to-end ok")
+}

@@ -1,0 +1,143 @@
+// Package bio generates a Bio2RDF-shaped federation for the paper's
+// "real endpoints" experiment (§VI-D): five life-science datasets —
+// DrugBank, HGNC, MGI, PharmGKB, and OMIM — linked through gene
+// identifiers, plus the three representative workload queries R1
+// (DrugBank+HGNC+MGI), R2 (PharmGKB+OMIM), and R3 (DrugBank+OMIM).
+// The paper used live Bio2RDF endpoints, which are not reachable in
+// an offline reproduction; the synthetic federation preserves the
+// cross-endpoint gene-reference structure those queries traverse.
+package bio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lusail/internal/rdf"
+)
+
+// Dataset namespaces.
+const (
+	NSDrugBank = "http://bio2rdf.ex/drugbank/"
+	NSHGNC     = "http://bio2rdf.ex/hgnc/"
+	NSMGI      = "http://bio2rdf.ex/mgi/"
+	NSPharmGKB = "http://bio2rdf.ex/pharmgkb/"
+	NSOMIM     = "http://bio2rdf.ex/omim/"
+)
+
+// EndpointNames in generation order.
+var EndpointNames = []string{"DrugBank", "HGNC", "MGI", "PharmGKB", "OMIM"}
+
+// Config parameterizes the generator.
+type Config struct {
+	Genes int
+	Seed  int64
+}
+
+// DefaultConfig is the harness default.
+func DefaultConfig() Config { return Config{Genes: 120, Seed: 3} }
+
+func hgncGene(i int) rdf.Term { return rdf.IRI(fmt.Sprintf("%sgene/%04d", NSHGNC, i)) }
+
+// Generate returns the five graphs in EndpointNames order.
+func Generate(cfg Config) []rdf.Graph {
+	if cfg.Genes <= 0 {
+		cfg.Genes = 120
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	typ := rdf.IRI(rdf.RDFType)
+	graphs := make([]rdf.Graph, 5)
+
+	// HGNC: human gene nomenclature, the hub.
+	{
+		g := &graphs[1]
+		for i := 0; i < cfg.Genes; i++ {
+			gene := hgncGene(i)
+			g.Add(gene, typ, rdf.IRI(NSHGNC+"Gene"))
+			g.Add(gene, rdf.IRI(NSHGNC+"symbol"), rdf.Literal(fmt.Sprintf("HG%03d", i)))
+			g.Add(gene, rdf.IRI(NSHGNC+"chromosome"), rdf.Literal(fmt.Sprintf("%d", i%22+1)))
+		}
+	}
+	// MGI: mouse genes with human orthologs (interlink -> HGNC).
+	{
+		g := &graphs[2]
+		for i := 0; i < cfg.Genes*3/4; i++ {
+			m := rdf.IRI(fmt.Sprintf("%sgene/%04d", NSMGI, i))
+			g.Add(m, typ, rdf.IRI(NSMGI+"Gene"))
+			g.Add(m, rdf.IRI(NSMGI+"symbol"), rdf.Literal(fmt.Sprintf("Mg%03d", i)))
+			g.Add(m, rdf.IRI(NSMGI+"humanOrtholog"), hgncGene(i)) // interlink
+		}
+	}
+	// DrugBank: drugs targeting HGNC genes (interlink -> HGNC).
+	{
+		g := &graphs[0]
+		for i := 0; i < cfg.Genes/2; i++ {
+			d := rdf.IRI(fmt.Sprintf("%sdrug/%04d", NSDrugBank, i))
+			g.Add(d, typ, rdf.IRI(NSDrugBank+"Drug"))
+			g.Add(d, rdf.IRI(NSDrugBank+"name"), rdf.Literal(fmt.Sprintf("BioDrug-%04d", i)))
+			for k := 0; k < 1+r.Intn(2); k++ {
+				g.Add(d, rdf.IRI(NSDrugBank+"target"), hgncGene(r.Intn(cfg.Genes)))
+			}
+		}
+	}
+	// OMIM: phenotypes associated with genes (interlink -> HGNC).
+	omimPheno := func(i int) rdf.Term { return rdf.IRI(fmt.Sprintf("%sphenotype/%04d", NSOMIM, i)) }
+	{
+		g := &graphs[4]
+		for i := 0; i < cfg.Genes; i++ {
+			p := omimPheno(i)
+			g.Add(p, typ, rdf.IRI(NSOMIM+"Phenotype"))
+			g.Add(p, rdf.IRI(NSOMIM+"title"), rdf.Literal(fmt.Sprintf("Phenotype-%04d", i)))
+			g.Add(p, rdf.IRI(NSOMIM+"gene"), hgncGene(i%cfg.Genes)) // interlink
+		}
+	}
+	// PharmGKB: drug-gene-phenotype associations (interlinks -> HGNC,
+	// OMIM).
+	{
+		g := &graphs[3]
+		for i := 0; i < cfg.Genes; i++ {
+			a := rdf.IRI(fmt.Sprintf("%sassoc/%04d", NSPharmGKB, i))
+			g.Add(a, typ, rdf.IRI(NSPharmGKB+"Association"))
+			g.Add(a, rdf.IRI(NSPharmGKB+"gene"), hgncGene(i))
+			g.Add(a, rdf.IRI(NSPharmGKB+"phenotype"), omimPheno(r.Intn(cfg.Genes)))
+			g.Add(a, rdf.IRI(NSPharmGKB+"evidence"), rdf.Literal([]string{"clinical", "preclinical", "literature"}[i%3]))
+		}
+	}
+	return graphs
+}
+
+const prefixes = `PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX db: <` + NSDrugBank + `>
+PREFIX hgnc: <` + NSHGNC + `>
+PREFIX mgi: <` + NSMGI + `>
+PREFIX pgkb: <` + NSPharmGKB + `>
+PREFIX omim: <` + NSOMIM + `>
+`
+
+// Queries R1-R3 mirror the Bio2RDF query-log shapes of §VI-D.
+var Queries = map[string]string{
+	// R1: drugs targeting human genes with mouse orthologs
+	// (DrugBank + HGNC + MGI).
+	"R1": prefixes + `SELECT ?drug ?sym ?mouse WHERE {
+	?drug db:target ?gene .
+	?gene hgnc:symbol ?sym .
+	?mouse mgi:humanOrtholog ?gene .
+}`,
+	// R2: PharmGKB associations with OMIM phenotype titles
+	// (PharmGKB + OMIM).
+	"R2": prefixes + `SELECT ?assoc ?title WHERE {
+	?assoc pgkb:phenotype ?ph .
+	?assoc pgkb:evidence "clinical" .
+	?ph omim:title ?title .
+}`,
+	// R3: drugs whose targets have OMIM phenotypes
+	// (DrugBank + OMIM via HGNC gene IRIs).
+	"R3": prefixes + `SELECT ?drug ?name ?title WHERE {
+	?drug db:target ?gene .
+	?drug db:name ?name .
+	?ph omim:gene ?gene .
+	?ph omim:title ?title .
+}`,
+}
+
+// QueryOrder is the reporting order.
+var QueryOrder = []string{"R1", "R2", "R3"}

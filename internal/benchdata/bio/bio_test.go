@@ -1,0 +1,82 @@
+package bio
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"lusail/internal/core"
+	"lusail/internal/endpoint"
+	"lusail/internal/engine"
+	"lusail/internal/sparql"
+	"lusail/internal/store"
+	"lusail/internal/testfed"
+)
+
+func federation(t *testing.T) ([]endpoint.Endpoint, []*endpoint.Local) {
+	t.Helper()
+	graphs := Generate(DefaultConfig())
+	eps := make([]endpoint.Endpoint, len(graphs))
+	locals := make([]*endpoint.Local, len(graphs))
+	for i, g := range graphs {
+		l := endpoint.NewLocal(EndpointNames[i], store.FromGraph(g))
+		eps[i], locals[i] = l, l
+	}
+	return eps, locals
+}
+
+func TestGenerate(t *testing.T) {
+	graphs := Generate(DefaultConfig())
+	if len(graphs) != 5 {
+		t.Fatalf("graphs = %d, want 5", len(graphs))
+	}
+	for i, g := range graphs {
+		if len(g) == 0 {
+			t.Errorf("%s is empty", EndpointNames[i])
+		}
+	}
+	if !reflect.DeepEqual(graphs, Generate(DefaultConfig())) {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestQueriesParseAndReturnResults(t *testing.T) {
+	_, locals := federation(t)
+	oracle := engine.New(testfed.UnionStore(locals...))
+	for name, q := range Queries {
+		parsed, err := sparql.Parse(q)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		res, err := oracle.Eval(parsed)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.Len() == 0 {
+			t.Errorf("%s returns no results", name)
+		}
+	}
+}
+
+func TestLusailMatchesOracle(t *testing.T) {
+	eps, locals := federation(t)
+	oracle := engine.New(testfed.UnionStore(locals...))
+	l := core.New(eps, core.Config{})
+	for _, name := range QueryOrder {
+		q := Queries[name]
+		want, err := oracle.Eval(sparql.MustParse(q))
+		if err != nil {
+			t.Fatalf("%s oracle: %v", name, err)
+		}
+		got, err := l.Execute(context.Background(), q)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !reflect.DeepEqual(testfed.Canon(got), testfed.Canon(want)) {
+			t.Errorf("%s: lusail %d rows, oracle %d rows", name, got.Len(), want.Len())
+		}
+	}
+}

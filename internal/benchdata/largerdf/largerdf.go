@@ -1,0 +1,285 @@
+// Package largerdf generates a scaled-down synthetic analogue of
+// LargeRDFBench (Saleem et al.): 13 datasets across the life-science
+// and cross-domain clouds, with the interlink structure the benchmark
+// queries traverse — DrugBank→KEGG→ChEBI, Affymetrix↔KEGG,
+// TCGA↔Affymetrix (gene symbols), NYTimes→DBPedia→GeoNames,
+// LinkedMDB→DBPedia, Jamendo→GeoNames, SWDF→DBPedia — plus the S
+// (simple), C (complex), and B (large) query sets evaluated in the
+// Lusail paper (Figs. 9, 10a, 13, 14). The three queries the paper
+// excludes (C5, B5, B6: disjoint subgraphs joined by a filter) are
+// excluded here too.
+package largerdf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lusail/internal/rdf"
+)
+
+// Dataset namespaces.
+const (
+	NSTCGAM     = "http://tcga-m.ex/"
+	NSTCGAE     = "http://tcga-e.ex/"
+	NSTCGAA     = "http://tcga-a.ex/"
+	NSChEBI     = "http://chebi.ex/"
+	NSDBP       = "http://dbpedia.ex/"
+	NSDrugB     = "http://drugbank.ex/"
+	NSGeo       = "http://geonames.ex/"
+	NSJam       = "http://jamendo.ex/"
+	NSKEGG      = "http://kegg.ex/"
+	NSMDB       = "http://linkedmdb.ex/"
+	NSNYT       = "http://nytimes.ex/"
+	NSSWDF      = "http://swdf.ex/"
+	NSAffy      = "http://affymetrix.ex/"
+	NSTCGAVocab = "http://tcga.ex/vocab/"
+)
+
+// EndpointNames lists the 13 datasets in Table I order.
+var EndpointNames = []string{
+	"LinkedTCGA-M", "LinkedTCGA-E", "LinkedTCGA-A",
+	"ChEBI", "DBPedia-Subset", "DrugBank", "GeoNames", "Jamendo",
+	"KEGG", "LinkedMDB", "NewYorkTimes", "SWDF", "Affymetrix",
+}
+
+// Endpoint indexes into the Generate result.
+const (
+	TCGAM = iota
+	TCGAE
+	TCGAA
+	ChEBI
+	DBPedia
+	DrugBank
+	GeoNames
+	Jamendo
+	KEGG
+	LinkedMDB
+	NYTimes
+	SWDF
+	Affymetrix
+)
+
+// Config parameterizes the generator. Scale multiplies all entity
+// counts; TCGA endpoints stay the largest, SWDF the smallest,
+// mirroring Table I's proportions.
+type Config struct {
+	Scale int
+	Seed  int64
+}
+
+// DefaultConfig is the size used by tests and the experiment harness.
+func DefaultConfig() Config { return Config{Scale: 1, Seed: 11} }
+
+// Gene symbols shared between TCGA, Affymetrix, and KEGG enzymes: the
+// literal join keys of the life-science queries.
+func geneSymbol(i int) rdf.Term { return rdf.Literal(fmt.Sprintf("GENE%03d", i)) }
+
+// Countries used by GeoNames and the cross-domain queries.
+var countries = []string{"US", "DE", "FR", "GB", "IT", "ES", "JP"}
+
+// Generate produces the 13 graphs in EndpointNames order.
+func Generate(cfg Config) []rdf.Graph {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	s := cfg.Scale
+	r := rand.New(rand.NewSource(cfg.Seed))
+	typ := rdf.IRI(rdf.RDFType)
+	label := rdf.IRI(rdf.RDFSLabel)
+	sameAs := rdf.IRI(rdf.OWLSameAs)
+
+	nGenes := 60 * s
+	nPatients := 40 * s
+	nCompounds := 50 * s // KEGG & ChEBI
+	nDrugs := 40 * s
+	nPlaces := 80 * s
+	nPeople := 50 * s // DBPedia persons
+	nFilms := 40 * s
+	nArtists := 25 * s
+	nPapers := 15 * s
+
+	graphs := make([]rdf.Graph, 13)
+
+	// --- GeoNames: places with names, countries, populations.
+	geoFeature := func(i int) rdf.Term { return rdf.IRI(fmt.Sprintf("%sfeature/%04d", NSGeo, i)) }
+	{
+		g := &graphs[GeoNames]
+		for i := 0; i < nPlaces; i++ {
+			f := geoFeature(i)
+			g.Add(f, typ, rdf.IRI(NSGeo+"Feature"))
+			g.Add(f, rdf.IRI(NSGeo+"name"), rdf.Literal(fmt.Sprintf("Place-%04d", i)))
+			g.Add(f, rdf.IRI(NSGeo+"countryCode"), rdf.Literal(countries[i%len(countries)]))
+			g.Add(f, rdf.IRI(NSGeo+"population"), rdf.Integer(int64(1000*((i*37)%500)+i)))
+		}
+	}
+
+	// --- DBPedia: persons, films, places; sameAs links to GeoNames.
+	dbpPerson := func(i int) rdf.Term { return rdf.IRI(fmt.Sprintf("%sperson/%04d", NSDBP, i)) }
+	dbpFilm := func(i int) rdf.Term { return rdf.IRI(fmt.Sprintf("%sfilm/%04d", NSDBP, i)) }
+	dbpPlace := func(i int) rdf.Term { return rdf.IRI(fmt.Sprintf("%splace/%04d", NSDBP, i)) }
+	{
+		g := &graphs[DBPedia]
+		nDbpPlaces := nPlaces / 2
+		for i := 0; i < nDbpPlaces; i++ {
+			p := dbpPlace(i)
+			g.Add(p, typ, rdf.IRI(NSDBP+"Place"))
+			g.Add(p, label, rdf.Literal(fmt.Sprintf("Place-%04d", i)))
+			g.Add(p, sameAs, geoFeature(i)) // interlink -> GeoNames
+		}
+		for i := 0; i < nPeople; i++ {
+			p := dbpPerson(i)
+			g.Add(p, typ, rdf.IRI(NSDBP+"Person"))
+			g.Add(p, label, rdf.Literal(fmt.Sprintf("Person-%04d", i)))
+			g.Add(p, rdf.IRI(NSDBP+"birthPlace"), dbpPlace(i%nDbpPlaces))
+		}
+		for i := 0; i < nFilms; i++ {
+			f := dbpFilm(i)
+			g.Add(f, typ, rdf.IRI(NSDBP+"Film"))
+			g.Add(f, label, rdf.Literal(fmt.Sprintf("Film-%04d", i)))
+			g.Add(f, rdf.IRI(NSDBP+"director"), dbpPerson(i%nPeople))
+			g.Add(f, rdf.IRI(NSDBP+"starring"), dbpPerson((i*3+1)%nPeople))
+		}
+	}
+
+	// --- NYTimes: concepts sameAs DBPedia persons/places.
+	{
+		g := &graphs[NYTimes]
+		for i := 0; i < nPeople/2; i++ {
+			c := rdf.IRI(fmt.Sprintf("%sconcept/p%04d", NSNYT, i))
+			g.Add(c, typ, rdf.IRI(NSNYT+"Concept"))
+			g.Add(c, rdf.IRI(NSNYT+"prefLabel"), rdf.Literal(fmt.Sprintf("Person-%04d", i)))
+			g.Add(c, sameAs, dbpPerson(i)) // interlink -> DBPedia
+			g.Add(c, rdf.IRI(NSNYT+"articleCount"), rdf.Integer(int64(r.Intn(200))))
+			g.Add(c, rdf.IRI(NSNYT+"topicPage"), rdf.IRI(fmt.Sprintf("http://nytimes.ex/topic/%04d", i)))
+		}
+	}
+
+	// --- LinkedMDB: films sameAs DBPedia films, local directors/actors.
+	{
+		g := &graphs[LinkedMDB]
+		for i := 0; i < nFilms; i++ {
+			f := rdf.IRI(fmt.Sprintf("%sfilm/%04d", NSMDB, i))
+			g.Add(f, typ, rdf.IRI(NSMDB+"Film"))
+			g.Add(f, rdf.IRI(NSMDB+"title"), rdf.Literal(fmt.Sprintf("Film-%04d", i)))
+			g.Add(f, sameAs, dbpFilm(i)) // interlink -> DBPedia
+			actor := rdf.IRI(fmt.Sprintf("%sactor/%04d", NSMDB, i%20))
+			g.Add(f, rdf.IRI(NSMDB+"actor"), actor)
+			g.Add(actor, rdf.IRI(NSMDB+"actorName"), rdf.Literal(fmt.Sprintf("Actor-%04d", i%20)))
+			g.Add(f, rdf.IRI(NSMDB+"genre"), rdf.Literal([]string{"drama", "comedy", "thriller"}[i%3]))
+		}
+	}
+
+	// --- Jamendo: artists near GeoNames features, with records.
+	{
+		g := &graphs[Jamendo]
+		for i := 0; i < nArtists; i++ {
+			a := rdf.IRI(fmt.Sprintf("%sartist/%04d", NSJam, i))
+			g.Add(a, typ, rdf.IRI(NSJam+"MusicArtist"))
+			g.Add(a, rdf.IRI(NSJam+"name"), rdf.Literal(fmt.Sprintf("Artist-%04d", i)))
+			g.Add(a, rdf.IRI(NSJam+"basedNear"), geoFeature(i*2%nPlaces)) // interlink -> GeoNames
+			for k := 0; k < 2; k++ {
+				rec := rdf.IRI(fmt.Sprintf("%srecord/%04d-%d", NSJam, i, k))
+				g.Add(rec, typ, rdf.IRI(NSJam+"Record"))
+				g.Add(rec, rdf.IRI(NSJam+"maker"), a)
+				g.Add(rec, rdf.IRI(NSJam+"title"), rdf.Literal(fmt.Sprintf("Record-%04d-%d", i, k)))
+			}
+		}
+	}
+
+	// --- SWDF: papers with authors; authors sameAs DBPedia persons.
+	{
+		g := &graphs[SWDF]
+		for i := 0; i < nPapers; i++ {
+			p := rdf.IRI(fmt.Sprintf("%spaper/%04d", NSSWDF, i))
+			g.Add(p, typ, rdf.IRI(NSSWDF+"InProceedings"))
+			g.Add(p, rdf.IRI(NSSWDF+"title"), rdf.Literal(fmt.Sprintf("Paper-%04d", i)))
+			g.Add(p, rdf.IRI(NSSWDF+"year"), rdf.Integer(int64(2005+i%10)))
+			author := rdf.IRI(fmt.Sprintf("%sperson/%04d", NSSWDF, i%10))
+			g.Add(p, rdf.IRI(NSSWDF+"creator"), author)
+			g.Add(author, rdf.IRI(NSSWDF+"name"), rdf.Literal(fmt.Sprintf("Author-%04d", i%10)))
+			if i%10 < 5 {
+				g.Add(author, sameAs, dbpPerson(i%10)) // interlink -> DBPedia
+			}
+		}
+	}
+
+	// --- ChEBI: compounds.
+	chebiCompound := func(i int) rdf.Term { return rdf.IRI(fmt.Sprintf("%scompound/%04d", NSChEBI, i)) }
+	{
+		g := &graphs[ChEBI]
+		for i := 0; i < nCompounds; i++ {
+			c := chebiCompound(i)
+			g.Add(c, typ, rdf.IRI(NSChEBI+"Compound"))
+			g.Add(c, rdf.IRI(NSChEBI+"name"), rdf.Literal(fmt.Sprintf("Compound-%04d", i)))
+			g.Add(c, rdf.IRI(NSChEBI+"formula"), rdf.Literal(fmt.Sprintf("C%dH%dO%d", i%20+1, i%30+2, i%8)))
+			g.Add(c, rdf.IRI(NSChEBI+"mass"), rdf.TypedLiteral(fmt.Sprintf("%d.%02d", 50+(i*13)%400, i%100), rdf.XSDDouble))
+		}
+	}
+
+	// --- KEGG: compounds linked to ChEBI; enzymes linked to genes.
+	keggCompound := func(i int) rdf.Term { return rdf.IRI(fmt.Sprintf("%scompound/%04d", NSKEGG, i)) }
+	{
+		g := &graphs[KEGG]
+		for i := 0; i < nCompounds; i++ {
+			c := keggCompound(i)
+			g.Add(c, typ, rdf.IRI(NSKEGG+"Compound"))
+			g.Add(c, rdf.IRI(NSKEGG+"name"), rdf.Literal(fmt.Sprintf("Compound-%04d", i)))
+			g.Add(c, rdf.IRI(NSKEGG+"chebiId"), chebiCompound(i)) // interlink -> ChEBI
+			g.Add(c, rdf.IRI(NSKEGG+"mass"), rdf.TypedLiteral(fmt.Sprintf("%d.%02d", 50+(i*13)%400, i%100), rdf.XSDDouble))
+		}
+		for i := 0; i < nGenes/2; i++ {
+			e := rdf.IRI(fmt.Sprintf("%senzyme/%04d", NSKEGG, i))
+			g.Add(e, typ, rdf.IRI(NSKEGG+"Enzyme"))
+			g.Add(e, rdf.IRI(NSKEGG+"geneSymbol"), geneSymbol(i))
+			g.Add(e, rdf.IRI(NSKEGG+"substrate"), keggCompound(i%nCompounds))
+		}
+	}
+
+	// --- DrugBank: drugs linked to KEGG compounds.
+	{
+		g := &graphs[DrugBank]
+		for i := 0; i < nDrugs; i++ {
+			d := rdf.IRI(fmt.Sprintf("%sdrug/%04d", NSDrugB, i))
+			g.Add(d, typ, rdf.IRI(NSDrugB+"Drug"))
+			g.Add(d, rdf.IRI(NSDrugB+"name"), rdf.Literal(fmt.Sprintf("Drug-%04d", i)))
+			g.Add(d, rdf.IRI(NSDrugB+"keggCompoundId"), keggCompound(i%nCompounds)) // interlink -> KEGG
+			g.Add(d, rdf.IRI(NSDrugB+"description"), rdf.Literal(fmt.Sprintf("description of drug %04d with pharmacology notes", i)))
+		}
+	}
+
+	// --- Affymetrix: probesets carrying gene symbols and chromosomes.
+	{
+		g := &graphs[Affymetrix]
+		for i := 0; i < nGenes; i++ {
+			p := rdf.IRI(fmt.Sprintf("%sprobeset/%04d", NSAffy, i))
+			g.Add(p, typ, rdf.IRI(NSAffy+"Probeset"))
+			g.Add(p, rdf.IRI(NSAffy+"symbol"), geneSymbol(i)) // literal join key
+			g.Add(p, rdf.IRI(NSAffy+"chromosome"), rdf.Literal(fmt.Sprintf("chr%d", i%22+1)))
+		}
+	}
+
+	// --- LinkedTCGA-M/E/A: the largest endpoints. Patients with
+	// barcodes; result nodes with gene symbols and values. M holds
+	// methylation, E expression, A clinical annotation; patients
+	// overlap across the three (the B-query joins).
+	tcga := func(ns string, gi *rdf.Graph, kind string, resultsPerPatient int) {
+		for p := 0; p < nPatients; p++ {
+			pat := rdf.IRI(fmt.Sprintf("%spatient/%04d", ns, p))
+			gi.Add(pat, typ, rdf.IRI(NSTCGAVocab+"Patient"))
+			gi.Add(pat, rdf.IRI(NSTCGAVocab+"barcode"), rdf.Literal(fmt.Sprintf("TCGA-%04d", p)))
+			for k := 0; k < resultsPerPatient; k++ {
+				res := rdf.IRI(fmt.Sprintf("%sresult/%04d-%d", ns, p, k))
+				gi.Add(res, typ, rdf.IRI(NSTCGAVocab+kind))
+				gi.Add(res, rdf.IRI(NSTCGAVocab+"patient"), pat)
+				gi.Add(res, rdf.IRI(NSTCGAVocab+"geneSymbol"), geneSymbol((p*7+k)%nGenes))
+				gi.Add(res, rdf.IRI(NSTCGAVocab+"value"), rdf.TypedLiteral(fmt.Sprintf("%d.%02d", (k*7+p)%60, (p+k)%100), rdf.XSDDouble))
+				gi.Add(res, rdf.IRI(NSTCGAVocab+"chromosome"), rdf.Literal(fmt.Sprintf("chr%d", (p+k)%22+1)))
+			}
+		}
+	}
+	tcga(NSTCGAM, &graphs[TCGAM], "MethylationResult", 10)
+	tcga(NSTCGAE, &graphs[TCGAE], "ExpressionResult", 9)
+	tcga(NSTCGAA, &graphs[TCGAA], "ClinicalResult", 2)
+
+	return graphs
+}

@@ -1,0 +1,251 @@
+package largerdf
+
+// The S/C/B query sets. Shapes follow LargeRDFBench's categories:
+// S (simple) — 2-4 triple patterns over 1-2 datasets, small results;
+// C (complex) — 5+ patterns, several datasets, OPTIONAL / FILTER /
+// UNION / DISTINCT / LIMIT; B (large) — queries over the biggest
+// endpoints with large intermediate and final results. C5, B5, and B6
+// (disjoint subgraphs joined by a filter variable) are excluded, as in
+// the paper's evaluation.
+
+const queryPrefixes = `PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX owl: <http://www.w3.org/2002/07/owl#>
+PREFIX tcga: <` + NSTCGAVocab + `>
+PREFIX chebi: <` + NSChEBI + `>
+PREFIX dbo: <` + NSDBP + `>
+PREFIX db: <` + NSDrugB + `>
+PREFIX gn: <` + NSGeo + `>
+PREFIX jam: <` + NSJam + `>
+PREFIX kegg: <` + NSKEGG + `>
+PREFIX movie: <` + NSMDB + `>
+PREFIX nyt: <` + NSNYT + `>
+PREFIX swdf: <` + NSSWDF + `>
+PREFIX affy: <` + NSAffy + `>
+`
+
+// SimpleQueries is the S category (FedBench-style, 14 queries).
+var SimpleQueries = map[string]string{
+	"S1": queryPrefixes + `SELECT ?c ?l ?b WHERE {
+	?c nyt:prefLabel ?l .
+	?c owl:sameAs ?p .
+	?p dbo:birthPlace ?b .
+}`,
+	"S2": queryPrefixes + `SELECT ?p ?pl ?geo WHERE {
+	?p rdf:type dbo:Person .
+	?p dbo:birthPlace ?pl .
+	?pl owl:sameAs ?geo .
+}`,
+	"S3": queryPrefixes + `SELECT ?f ?t ?d WHERE {
+	?f movie:title ?t .
+	?f owl:sameAs ?dbf .
+	?dbf dbo:director ?d .
+}`,
+	"S4": queryPrefixes + `SELECT ?d ?c ?n WHERE {
+	?d db:name "Drug-0005" .
+	?d db:keggCompoundId ?c .
+	?c kegg:name ?n .
+}`,
+	"S5": queryPrefixes + `SELECT ?c ?f ?m WHERE {
+	?c kegg:chebiId ?ch .
+	?ch chebi:formula ?f .
+	?c kegg:mass ?m .
+	FILTER (?m > 100)
+}`,
+	"S6": queryPrefixes + `SELECT ?a ?n ?fn WHERE {
+	?a jam:basedNear ?f .
+	?f gn:countryCode "DE" .
+	?f gn:name ?fn .
+	?a jam:name ?n .
+}`,
+	"S7": queryPrefixes + `SELECT ?paper ?n ?y WHERE {
+	?paper swdf:creator ?au .
+	?au swdf:name ?n .
+	?paper swdf:year ?y .
+	FILTER (?y >= 2010)
+}`,
+	"S8": queryPrefixes + `SELECT ?f ?p WHERE {
+	?f dbo:starring ?p .
+	?p rdfs:label ?l .
+	FILTER (?l = "Person-0001")
+}`,
+	"S9": queryPrefixes + `SELECT ?x ?pop WHERE {
+	?x gn:countryCode "US" .
+	?x gn:population ?pop .
+	FILTER (?pop > 100000)
+}`,
+	"S10": queryPrefixes + `SELECT ?ps ?g ?r WHERE {
+	?ps affy:symbol ?g .
+	?r tcga:geneSymbol ?g .
+	?r tcga:chromosome "chr5" .
+}`,
+	"S11": queryPrefixes + `SELECT ?c ?tp ?n WHERE {
+	?c nyt:topicPage ?tp .
+	?c nyt:articleCount ?n .
+	FILTER (?n > 100)
+}`,
+	"S12": queryPrefixes + `SELECT ?d ?n ?desc WHERE {
+	?d db:name ?n .
+	?d db:description ?desc .
+	FILTER (CONTAINS(?n, "001"))
+}`,
+	"S13": queryPrefixes + `SELECT ?p ?geo ?pop WHERE {
+	?p owl:sameAs ?geo .
+	?geo gn:population ?pop .
+}`,
+	"S14": queryPrefixes + `SELECT ?f ?dbf ?l WHERE {
+	?f owl:sameAs ?dbf .
+	?dbf rdfs:label ?l .
+}`,
+}
+
+// ComplexQueries is the C category (9 queries; C5 excluded as in the
+// paper).
+var ComplexQueries = map[string]string{
+	"C1": queryPrefixes + `SELECT ?drug ?mass ?g ?chr WHERE {
+	?drug db:keggCompoundId ?kc .
+	?kc kegg:chebiId ?ch .
+	?ch chebi:mass ?mass .
+	?enz kegg:substrate ?kc .
+	?enz kegg:geneSymbol ?g .
+	?ps affy:symbol ?g .
+	?ps affy:chromosome ?chr .
+}`,
+	"C2": queryPrefixes + `SELECT ?drug ?kn ?f WHERE {
+	?drug db:name "Drug-0002" .
+	?drug db:keggCompoundId ?kc .
+	?kc kegg:name ?kn .
+	?kc kegg:chebiId ?ch .
+	?ch chebi:formula ?f .
+}`,
+	"C3": queryPrefixes + `SELECT DISTINCT ?t ?an ?dl WHERE {
+	?mf movie:title ?t .
+	?mf movie:actor ?a .
+	?a movie:actorName ?an .
+	?mf owl:sameAs ?dbf .
+	?dbf dbo:director ?d .
+	?d rdfs:label ?dl .
+}`,
+	"C4": queryPrefixes + `SELECT ?t ?dl ?sl WHERE {
+	?mf movie:title ?t .
+	?mf owl:sameAs ?dbf .
+	?dbf dbo:director ?d .
+	?d rdfs:label ?dl .
+	?dbf dbo:starring ?s .
+	?s rdfs:label ?sl .
+} LIMIT 50`,
+	"C6": queryPrefixes + `SELECT ?a ?fn ?rt WHERE {
+	?a jam:basedNear ?f .
+	?f gn:countryCode ?cc .
+	?f gn:name ?fn .
+	?rec jam:maker ?a .
+	?rec jam:title ?rt .
+	FILTER (?cc = "FR" || ?cc = "DE")
+}`,
+	"C7": queryPrefixes + `SELECT ?cl ?pop ?n WHERE {
+	?c owl:sameAs ?p .
+	?c nyt:prefLabel ?cl .
+	?p dbo:birthPlace ?pl .
+	?pl owl:sameAs ?geo .
+	?geo gn:population ?pop .
+	OPTIONAL { ?c nyt:articleCount ?n . }
+}`,
+	"C8": queryPrefixes + `SELECT ?t ?fl WHERE {
+	?paper swdf:creator ?au .
+	?paper swdf:title ?t .
+	?au owl:sameAs ?p .
+	{ ?f dbo:director ?p } UNION { ?f dbo:starring ?p }
+	?f rdfs:label ?fl .
+}`,
+	"C9": queryPrefixes + `SELECT ?g ?v ?chr WHERE {
+	?r tcga:geneSymbol ?g .
+	?r tcga:value ?v .
+	?ps affy:symbol ?g .
+	?ps affy:chromosome ?chr .
+	?enz kegg:geneSymbol ?g .
+	FILTER (?v > 10)
+}`,
+	"C10": queryPrefixes + `SELECT ?bc ?v WHERE {
+	?r tcga:patient ?pat .
+	?pat tcga:barcode ?bc .
+	{ ?r rdf:type tcga:MethylationResult } UNION { ?r rdf:type tcga:ExpressionResult }
+	?r tcga:value ?v .
+	FILTER (?v > 25)
+}`,
+}
+
+// LargeQueries is the B category (6 queries; B5 and B6 excluded as in
+// the paper).
+var LargeQueries = map[string]string{
+	"B1": queryPrefixes + `SELECT ?bc ?g WHERE {
+	?r tcga:patient ?pat .
+	?pat tcga:barcode ?bc .
+	?r tcga:geneSymbol ?g .
+	{ ?r rdf:type tcga:MethylationResult } UNION { ?r rdf:type tcga:ExpressionResult }
+}`,
+	"B2": queryPrefixes + `SELECT ?g ?v ?bc WHERE {
+	?r tcga:chromosome "chr7" .
+	?r tcga:geneSymbol ?g .
+	?r tcga:value ?v .
+	?r tcga:patient ?pat .
+	?pat tcga:barcode ?bc .
+}`,
+	"B3": queryPrefixes + `SELECT ?g ?v ?ps WHERE {
+	VALUES ?g { "GENE001" "GENE002" "GENE003" "GENE004" }
+	?r tcga:geneSymbol ?g .
+	?r tcga:value ?v .
+	?ps affy:symbol ?g .
+}`,
+	"B4": queryPrefixes + `SELECT ?x ?n ?pop WHERE {
+	?x owl:sameAs ?y .
+	?y gn:name ?n .
+	?y gn:population ?pop .
+}`,
+	"B7": queryPrefixes + `SELECT ?kc ?m1 ?m2 WHERE {
+	?kc kegg:chebiId ?ch .
+	?kc kegg:mass ?m1 .
+	?ch chebi:mass ?m2 .
+	FILTER (?m1 >= ?m2)
+}`,
+	// B8 correlates one patient's methylation (TCGA-M) and expression
+	// (TCGA-E) data. The patient is named by a constant barcode: two
+	// clusters connected only through a replicated literal variable
+	// would be the C5/B5/B6 query class both the paper and this
+	// reproduction exclude.
+	"B8": queryPrefixes + `SELECT ?v1 ?g WHERE {
+	?r1 rdf:type tcga:MethylationResult .
+	?r1 tcga:patient ?p1 .
+	?p1 tcga:barcode "TCGA-0007" .
+	?r1 tcga:value ?v1 .
+	?r2 rdf:type tcga:ExpressionResult .
+	?r2 tcga:patient ?p2 .
+	?p2 tcga:barcode "TCGA-0007" .
+	?r2 tcga:geneSymbol ?g .
+	FILTER (?v1 > 20)
+}`,
+}
+
+// Categories maps category labels to their query sets, in the paper's
+// reporting order.
+var Categories = map[string]map[string]string{
+	"S": SimpleQueries,
+	"C": ComplexQueries,
+	"B": LargeQueries,
+}
+
+// CategoryOrder is the reporting order.
+var CategoryOrder = []string{"S", "C", "B"}
+
+// QueryNames returns the sorted query names of a category.
+func QueryNames(category string) []string {
+	switch category {
+	case "S":
+		return []string{"S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "S12", "S13", "S14"}
+	case "C":
+		return []string{"C1", "C2", "C3", "C4", "C6", "C7", "C8", "C9", "C10"}
+	case "B":
+		return []string{"B1", "B2", "B3", "B4", "B7", "B8"}
+	default:
+		return nil
+	}
+}

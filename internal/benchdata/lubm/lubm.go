@@ -1,0 +1,245 @@
+// Package lubm generates LUBM-style university datasets (Guo, Pan &
+// Heflin 2005) adapted to the decentralized setting of the Lusail
+// paper: one dataset (endpoint) per university, with interlinks
+// between universities through the degrees of professors. Following
+// the paper's LUBM experiments, undergraduate degrees stay local
+// (making Q1/Q2 disjoint) while doctoral and masters degrees may point
+// at remote universities (exercised by Q4).
+package lubm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lusail/internal/rdf"
+)
+
+// NS is the univ-bench vocabulary namespace.
+const NS = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+
+// Class and predicate IRIs.
+var (
+	ClassUniversity           = rdf.IRI(NS + "University")
+	ClassDepartment           = rdf.IRI(NS + "Department")
+	ClassFullProfessor        = rdf.IRI(NS + "FullProfessor")
+	ClassGraduateStudent      = rdf.IRI(NS + "GraduateStudent")
+	ClassUndergraduateStudent = rdf.IRI(NS + "UndergraduateStudent")
+	ClassCourse               = rdf.IRI(NS + "Course")
+	ClassPublication          = rdf.IRI(NS + "Publication")
+
+	PredName              = rdf.IRI(NS + "name")
+	PredEmail             = rdf.IRI(NS + "emailAddress")
+	PredSubOrganizationOf = rdf.IRI(NS + "subOrganizationOf")
+	PredWorksFor          = rdf.IRI(NS + "worksFor")
+	PredMemberOf          = rdf.IRI(NS + "memberOf")
+	PredAdvisor           = rdf.IRI(NS + "advisor")
+	PredTeacherOf         = rdf.IRI(NS + "teacherOf")
+	PredTakesCourse       = rdf.IRI(NS + "takesCourse")
+	PredUndergradFrom     = rdf.IRI(NS + "undergraduateDegreeFrom")
+	PredMastersFrom       = rdf.IRI(NS + "mastersDegreeFrom")
+	PredDoctoralFrom      = rdf.IRI(NS + "doctoralDegreeFrom")
+	PredPublicationAuthor = rdf.IRI(NS + "publicationAuthor")
+)
+
+// Config parameterizes the generator.
+type Config struct {
+	// Universities is the number of endpoints to generate.
+	Universities int
+	// Scale multiplies entity counts per university (1 = small).
+	Scale int
+	// Seed makes generation deterministic.
+	Seed int64
+	// RemoteDegreeProb is the probability that a professor's doctoral
+	// or masters degree points at another university (the interlink).
+	RemoteDegreeProb float64
+}
+
+// DefaultConfig returns the configuration used by the experiment
+// harness at the given federation size.
+func DefaultConfig(universities int) Config {
+	return Config{Universities: universities, Scale: 1, Seed: 42, RemoteDegreeProb: 0.3}
+}
+
+// UniversityIRI returns the IRI of university u.
+func UniversityIRI(u int) rdf.Term {
+	return rdf.IRI(fmt.Sprintf("http://www.University%d.edu", u))
+}
+
+// Generate produces one graph per university.
+func Generate(cfg Config) []rdf.Graph {
+	if cfg.Universities <= 0 {
+		return nil
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	graphs := make([]rdf.Graph, cfg.Universities)
+	for u := 0; u < cfg.Universities; u++ {
+		graphs[u] = generateUniversity(cfg, u)
+	}
+	return graphs
+}
+
+func generateUniversity(cfg Config, u int) rdf.Graph {
+	r := rand.New(rand.NewSource(cfg.Seed + int64(u)*7919))
+	var g rdf.Graph
+	typ := rdf.IRI(rdf.RDFType)
+	univ := UniversityIRI(u)
+	g.Add(univ, typ, ClassUniversity)
+	g.Add(univ, PredName, rdf.Literal(fmt.Sprintf("University%d", u)))
+
+	// Universities referenced by remote degrees are also declared
+	// locally with their type, as LUBM's generator does; the paper's
+	// check queries rely on this to narrow instance sets.
+	declared := map[int]bool{u: true}
+	declare := func(k int) rdf.Term {
+		if !declared[k] {
+			declared[k] = true
+			g.Add(UniversityIRI(k), typ, ClassUniversity)
+		}
+		return UniversityIRI(k)
+	}
+	remoteUniv := func() rdf.Term {
+		if cfg.Universities > 1 && r.Float64() < cfg.RemoteDegreeProb {
+			k := r.Intn(cfg.Universities)
+			for k == u {
+				k = r.Intn(cfg.Universities)
+			}
+			return declare(k)
+		}
+		return univ
+	}
+
+	ent := func(kind string, d, i int) rdf.Term {
+		return rdf.IRI(fmt.Sprintf("http://www.University%d.edu/dept%d/%s%d", u, d, kind, i))
+	}
+
+	depts := 3 * cfg.Scale
+	for d := 0; d < depts; d++ {
+		dept := rdf.IRI(fmt.Sprintf("http://www.University%d.edu/dept%d", u, d))
+		g.Add(dept, typ, ClassDepartment)
+		g.Add(dept, PredSubOrganizationOf, univ)
+		g.Add(dept, PredName, rdf.Literal(fmt.Sprintf("Department%d", d)))
+
+		nProfs := 3
+		nCourses := nProfs * 2
+		courses := make([]rdf.Term, nCourses)
+		for c := 0; c < nCourses; c++ {
+			courses[c] = ent("Course", d, c)
+			g.Add(courses[c], typ, ClassCourse)
+			g.Add(courses[c], PredName, rdf.Literal(fmt.Sprintf("Course%d-%d", d, c)))
+		}
+		profs := make([]rdf.Term, nProfs)
+		for p := 0; p < nProfs; p++ {
+			prof := ent("FullProfessor", d, p)
+			profs[p] = prof
+			g.Add(prof, typ, ClassFullProfessor)
+			g.Add(prof, PredWorksFor, dept)
+			g.Add(prof, PredName, rdf.Literal(fmt.Sprintf("FullProfessor%d-%d", d, p)))
+			g.Add(prof, PredEmail, rdf.Literal(fmt.Sprintf("prof%d.%d@u%d.edu", d, p, u)))
+			// Undergraduate degrees are local; doctoral and masters may
+			// cross endpoints (the interlinks).
+			g.Add(prof, PredUndergradFrom, univ)
+			g.Add(prof, PredMastersFrom, remoteUniv())
+			g.Add(prof, PredDoctoralFrom, remoteUniv())
+			// Every professor teaches two courses, so the advisor
+			// triangle (Q2) stays endpoint-local.
+			g.Add(prof, PredTeacherOf, courses[2*p])
+			g.Add(prof, PredTeacherOf, courses[2*p+1])
+		}
+
+		nGrads := 8 * cfg.Scale
+		for s := 0; s < nGrads; s++ {
+			stu := ent("GraduateStudent", d, s)
+			g.Add(stu, typ, ClassGraduateStudent)
+			g.Add(stu, PredMemberOf, dept)
+			g.Add(stu, PredName, rdf.Literal(fmt.Sprintf("GraduateStudent%d-%d", d, s)))
+			g.Add(stu, PredUndergradFrom, univ) // local: keeps Q1 disjoint
+			advisor := profs[r.Intn(nProfs)]
+			g.Add(stu, PredAdvisor, advisor)
+			// Half the students take a course taught by their advisor.
+			if s%2 == 0 {
+				g.Add(stu, PredTakesCourse, courses[2*indexOf(profs, advisor)])
+			}
+			g.Add(stu, PredTakesCourse, courses[r.Intn(nCourses)])
+		}
+
+		nUnder := 12 * cfg.Scale
+		for s := 0; s < nUnder; s++ {
+			stu := ent("UndergraduateStudent", d, s)
+			g.Add(stu, typ, ClassUndergraduateStudent)
+			g.Add(stu, PredMemberOf, dept)
+			// The first enrollment round-robins so every course has at
+			// least one student; otherwise an untaken course would make
+			// ?z a (false-positive) GJV and Q2 non-disjoint.
+			g.Add(stu, PredTakesCourse, courses[s%nCourses])
+			g.Add(stu, PredTakesCourse, courses[r.Intn(nCourses)])
+		}
+
+		nPubs := 4 * cfg.Scale
+		for pb := 0; pb < nPubs; pb++ {
+			pub := ent("Publication", d, pb)
+			g.Add(pub, typ, ClassPublication)
+			g.Add(pub, PredPublicationAuthor, profs[r.Intn(nProfs)])
+			g.Add(pub, PredName, rdf.Literal(fmt.Sprintf("Publication%d-%d", d, pb)))
+		}
+	}
+	return g
+}
+
+func indexOf(profs []rdf.Term, p rdf.Term) int {
+	for i, x := range profs {
+		if x == p {
+			return i
+		}
+	}
+	return 0
+}
+
+const prefix = "PREFIX ub: <" + NS + ">\nPREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+
+// Q1 is the paper's Q1 (LUBM Q2): graduate students whose
+// undergraduate university hosts their department — disjoint under
+// Lusail's locality analysis.
+const Q1 = prefix + `SELECT ?x ?y ?z WHERE {
+	?x rdf:type ub:GraduateStudent .
+	?y rdf:type ub:University .
+	?z rdf:type ub:Department .
+	?x ub:memberOf ?z .
+	?z ub:subOrganizationOf ?y .
+	?x ub:undergraduateDegreeFrom ?y .
+}`
+
+// Q2 is the paper's Q2 (LUBM Q9): students taking a course taught by
+// their advisor — also disjoint.
+const Q2 = prefix + `SELECT ?x ?y ?z WHERE {
+	?x rdf:type ub:GraduateStudent .
+	?y rdf:type ub:FullProfessor .
+	?z rdf:type ub:Course .
+	?x ub:advisor ?y .
+	?y ub:teacherOf ?z .
+	?x ub:takesCourse ?z .
+}`
+
+// Q3 is the paper's Q3 (LUBM Q13 flavor): graduate students with an
+// undergraduate degree from University0 — one selective subquery plus
+// a generic delayed one.
+const Q3 = prefix + `SELECT ?x WHERE {
+	?x rdf:type ub:GraduateStudent .
+	?x ub:undergraduateDegreeFrom <http://www.University0.edu> .
+}`
+
+// Q4 is the paper's Q4 (a Q9 variation): the advisor triangle plus the
+// advisor's doctoral university and its name, which requires the
+// cross-university interlink.
+const Q4 = prefix + `SELECT ?x ?y ?u ?n WHERE {
+	?x rdf:type ub:GraduateStudent .
+	?x ub:advisor ?y .
+	?y ub:teacherOf ?z .
+	?x ub:takesCourse ?z .
+	?y ub:doctoralDegreeFrom ?u .
+	?u ub:name ?n .
+}`
+
+// Queries maps the paper's query names to SPARQL text.
+var Queries = map[string]string{"Q1": Q1, "Q2": Q2, "Q3": Q3, "Q4": Q4}

@@ -1,0 +1,212 @@
+// Package qfed generates a QFed-style federated benchmark
+// (Rakhmawati et al., iiWAS 2014): four life-science datasets —
+// DrugBank, Diseasome, DailyMed, and Sider — with interlinks between
+// them, plus the C2P2* query family and the Drug query the Lusail
+// paper evaluates (Fig. 11, §II). The defining traits reproduced here:
+// cross-dataset object links (possibleDrug, genericDrug, sider drug
+// references), highly selective FILTER variants, and big-literal drug
+// descriptions that inflate communication cost for the B variants.
+package qfed
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"lusail/internal/rdf"
+)
+
+// Namespaces of the four datasets.
+const (
+	NSDrugBank  = "http://drugbank.ex/"
+	NSDiseasome = "http://diseasome.ex/"
+	NSDailyMed  = "http://dailymed.ex/"
+	NSSider     = "http://sider.ex/"
+)
+
+// Vocabulary.
+var (
+	ClassDrug       = rdf.IRI(NSDrugBank + "Drug")
+	ClassDisease    = rdf.IRI(NSDiseasome + "Disease")
+	ClassMedicine   = rdf.IRI(NSDailyMed + "Medicine")
+	ClassSideEffect = rdf.IRI(NSSider + "SideEffect")
+
+	PredDrugName     = rdf.IRI(NSDrugBank + "name")
+	PredDescription  = rdf.IRI(NSDrugBank + "description") // big literal
+	PredTarget       = rdf.IRI(NSDrugBank + "target")
+	PredCasNumber    = rdf.IRI(NSDrugBank + "casNumber")
+	PredDiseaseName  = rdf.IRI(NSDiseasome + "name")
+	PredPossibleDrug = rdf.IRI(NSDiseasome + "possibleDrug") // interlink -> DrugBank
+	PredGene         = rdf.IRI(NSDiseasome + "associatedGene")
+	PredMedName      = rdf.IRI(NSDailyMed + "name")
+	PredGenericDrug  = rdf.IRI(NSDailyMed + "genericDrug") // interlink -> DrugBank
+	PredIndication   = rdf.IRI(NSDailyMed + "indication")
+	PredSiderDrug    = rdf.IRI(NSSider + "drug") // interlink -> DrugBank
+	PredEffectName   = rdf.IRI(NSSider + "effectName")
+)
+
+// Config parameterizes the generator.
+type Config struct {
+	// Drugs is the number of DrugBank drugs (other entity counts
+	// scale from it).
+	Drugs int
+	// BigLiteralBytes sizes each drug description.
+	BigLiteralBytes int
+	Seed            int64
+}
+
+// DefaultConfig mirrors the relative dataset sizes of QFed (DrugBank
+// largest, Diseasome smallest).
+func DefaultConfig() Config {
+	return Config{Drugs: 400, BigLiteralBytes: 2048, Seed: 7}
+}
+
+// EndpointNames lists the four datasets in generation order.
+var EndpointNames = []string{"DrugBank", "Diseasome", "DailyMed", "Sider"}
+
+// DiseaseNames seeds selective filters; "Asthma" is the paper's
+// running example.
+var DiseaseNames = []string{
+	"Asthma", "Diabetes", "Hypertension", "Migraine", "Anemia",
+	"Arthritis", "Epilepsy", "Glaucoma", "Hepatitis", "Influenza",
+}
+
+// DrugIRI returns the DrugBank IRI of drug i.
+func DrugIRI(i int) rdf.Term { return rdf.IRI(fmt.Sprintf("%sdrug/%04d", NSDrugBank, i)) }
+
+// Generate produces the four graphs: DrugBank, Diseasome, DailyMed,
+// Sider.
+func Generate(cfg Config) []rdf.Graph {
+	if cfg.Drugs <= 0 {
+		cfg.Drugs = 400
+	}
+	if cfg.BigLiteralBytes <= 0 {
+		cfg.BigLiteralBytes = 2048
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	typ := rdf.IRI(rdf.RDFType)
+
+	var drugbank rdf.Graph
+	for i := 0; i < cfg.Drugs; i++ {
+		d := DrugIRI(i)
+		drugbank.Add(d, typ, ClassDrug)
+		drugbank.Add(d, PredDrugName, rdf.Literal(fmt.Sprintf("Drug-%04d", i)))
+		drugbank.Add(d, PredCasNumber, rdf.Literal(fmt.Sprintf("%03d-%02d-%d", i%900+100, i%90+10, i%9)))
+		drugbank.Add(d, PredTarget, rdf.Literal(fmt.Sprintf("GENE%d", i%97)))
+		drugbank.Add(d, PredDescription, rdf.Literal(bigLiteral(i, cfg.BigLiteralBytes)))
+	}
+
+	nDiseases := cfg.Drugs / 4
+	var diseasome rdf.Graph
+	for i := 0; i < nDiseases; i++ {
+		dis := rdf.IRI(fmt.Sprintf("%sdisease/%04d", NSDiseasome, i))
+		diseasome.Add(dis, typ, ClassDisease)
+		// Names cycle, so every disease family ("Asthma", ...) grows
+		// with the dataset; filter queries select ~1/len(DiseaseNames)
+		// of the data, and the Drug query's result size scales.
+		diseasome.Add(dis, PredDiseaseName, rdf.Literal(DiseaseNames[i%len(DiseaseNames)]))
+		diseasome.Add(dis, PredGene, rdf.Literal(fmt.Sprintf("GENE%d", i%97)))
+		for k := 0; k < 1+r.Intn(3); k++ {
+			diseasome.Add(dis, PredPossibleDrug, DrugIRI(r.Intn(cfg.Drugs)))
+		}
+	}
+
+	nMeds := cfg.Drugs * 6 / 5
+	var dailymed rdf.Graph
+	for i := 0; i < nMeds; i++ {
+		med := rdf.IRI(fmt.Sprintf("%smed/%04d", NSDailyMed, i))
+		dailymed.Add(med, typ, ClassMedicine)
+		dailymed.Add(med, PredMedName, rdf.Literal(fmt.Sprintf("Medicine-%04d", i)))
+		dailymed.Add(med, PredGenericDrug, DrugIRI(i%cfg.Drugs))
+		dailymed.Add(med, PredIndication, rdf.Literal(fmt.Sprintf("treats %s", DiseaseNames[i%len(DiseaseNames)])))
+	}
+
+	nEffects := cfg.Drugs / 2
+	var sider rdf.Graph
+	for i := 0; i < nEffects; i++ {
+		se := rdf.IRI(fmt.Sprintf("%seffect/%04d", NSSider, i))
+		sider.Add(se, typ, ClassSideEffect)
+		sider.Add(se, PredSiderDrug, DrugIRI(r.Intn(cfg.Drugs)))
+		sider.Add(se, PredEffectName, rdf.Literal(fmt.Sprintf("effect-%d", i%40)))
+	}
+
+	return []rdf.Graph{drugbank, diseasome, dailymed, sider}
+}
+
+func bigLiteral(i, size int) string {
+	var b strings.Builder
+	b.Grow(size + 64)
+	for b.Len() < size {
+		fmt.Fprintf(&b, "Drug %04d is a small molecule with pharmacological profile %d; ", i, b.Len())
+	}
+	return b.String()
+}
+
+const prefixes = `PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX db: <` + NSDrugBank + `>
+PREFIX dis: <` + NSDiseasome + `>
+PREFIX dm: <` + NSDailyMed + `>
+PREFIX sider: <` + NSSider + `>
+`
+
+// base is the C2P2 skeleton: two classes (Disease, Drug) and two
+// cross-dataset predicates (possibleDrug, genericDrug).
+const base = `	?disease rdf:type dis:Disease .
+	?disease dis:name ?dn .
+	?disease dis:possibleDrug ?drug .
+	?drug rdf:type db:Drug .
+	?med dm:genericDrug ?drug .
+`
+
+// Queries is the paper's QFed workload (Fig. 11): the C2P2 family with
+// F(ilter), B(ig literal), and O(ptional) decorations, plus the Drug
+// query of §II.
+var Queries = map[string]string{
+	"C2P2": prefixes + `SELECT ?disease ?drug ?med WHERE {
+` + base + `}`,
+
+	"C2P2F": prefixes + `SELECT ?disease ?drug ?med WHERE {
+` + base + `	FILTER (?dn = "Asthma")
+}`,
+
+	"C2P2B": prefixes + `SELECT ?disease ?drug ?med ?desc WHERE {
+` + base + `	?drug db:description ?desc .
+}`,
+
+	"C2P2BF": prefixes + `SELECT ?disease ?drug ?med ?desc WHERE {
+` + base + `	?drug db:description ?desc .
+	FILTER (?dn = "Asthma")
+}`,
+
+	"C2P2O": prefixes + `SELECT ?disease ?drug ?med ?ename WHERE {
+` + base + `	OPTIONAL { ?se sider:drug ?drug . ?se sider:effectName ?ename . }
+}`,
+
+	"C2P2OF": prefixes + `SELECT ?disease ?drug ?med ?ename WHERE {
+` + base + `	OPTIONAL { ?se sider:drug ?drug . ?se sider:effectName ?ename . }
+	FILTER (?dn = "Asthma")
+}`,
+
+	"C2P2BO": prefixes + `SELECT ?disease ?drug ?med ?desc ?ename WHERE {
+` + base + `	?drug db:description ?desc .
+	OPTIONAL { ?se sider:drug ?drug . ?se sider:effectName ?ename . }
+}`,
+
+	"C2P2BOF": prefixes + `SELECT ?disease ?drug ?med ?desc ?ename WHERE {
+` + base + `	?drug db:description ?desc .
+	OPTIONAL { ?se sider:drug ?drug . ?se sider:effectName ?ename . }
+	FILTER (?dn = "Asthma")
+}`,
+
+	"Drug": prefixes + `SELECT ?med ?drug ?desc WHERE {
+	?disease dis:name "Asthma" .
+	?disease dis:possibleDrug ?drug .
+	?med dm:genericDrug ?drug .
+	OPTIONAL { ?drug db:description ?desc . }
+}`,
+}
+
+// QueryOrder lists the queries in the order Fig. 11 reports them.
+var QueryOrder = []string{
+	"C2P2", "C2P2B", "C2P2BF", "C2P2BO", "C2P2BOF", "C2P2F", "C2P2O", "C2P2OF", "Drug",
+}

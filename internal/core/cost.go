@@ -1,0 +1,363 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+
+	"lusail/internal/endpoint"
+	"lusail/internal/federation"
+	"lusail/internal/sparql"
+)
+
+// DelayPolicy selects the threshold above which a subquery is delayed
+// (Fig. 9 sweeps these policies; the paper adopts MuSigma).
+type DelayPolicy int
+
+const (
+	// DelayMuSigma delays subqueries above mean + one stddev (the
+	// paper's default).
+	DelayMuSigma DelayPolicy = iota
+	// DelayMu delays subqueries above the mean.
+	DelayMu
+	// DelayMu2Sigma delays subqueries above mean + two stddevs.
+	DelayMu2Sigma
+	// DelayOutliersOnly delays only Chauvenet-rejected outliers.
+	DelayOutliersOnly
+	// DelayNone disables delaying entirely (SAPE ablation: fully
+	// concurrent execution).
+	DelayNone
+	// DelayAll delays every subquery but the most selective one (SAPE
+	// ablation: fully sequential bound execution).
+	DelayAll
+)
+
+// String names the policy for reports.
+func (p DelayPolicy) String() string {
+	switch p {
+	case DelayMu:
+		return "mu"
+	case DelayMuSigma:
+		return "mu+sigma"
+	case DelayMu2Sigma:
+		return "mu+2sigma"
+	case DelayOutliersOnly:
+		return "outliers"
+	case DelayNone:
+		return "none"
+	case DelayAll:
+		return "all"
+	default:
+		return "unknown"
+	}
+}
+
+// CountCache caches per-endpoint triple-pattern cardinalities across
+// queries, mirroring the statistics RDF engines keep (§V-A).
+type CountCache struct {
+	mu sync.RWMutex
+	m  map[string]float64
+}
+
+// NewCountCache returns an empty cache.
+func NewCountCache() *CountCache { return &CountCache{m: map[string]float64{}} }
+
+// Get looks up a cached count.
+func (c *CountCache) Get(key string) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// Put stores a count.
+func (c *CountCache) Put(key string, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = v
+}
+
+// CostModel estimates subquery cardinalities from lightweight COUNT
+// statistics queries (§V-A).
+type CostModel struct {
+	Endpoints []endpoint.Endpoint
+	Handler   *federation.Handler
+	Cache     *CountCache
+}
+
+// NewCostModel builds a cost model over the endpoints.
+func NewCostModel(eps []endpoint.Endpoint, cache *CountCache) *CostModel {
+	return &CostModel{Endpoints: eps, Handler: federation.NewHandler(len(eps)), Cache: cache}
+}
+
+// CountQuery renders the statistics query for one pattern, pushing any
+// filters that mention only the pattern's variables.
+func CountQuery(tp sparql.TriplePattern, filters []sparql.Expr) string {
+	q := sparql.NewSelect()
+	q.Count = true
+	q.CountVar = "c"
+	q.Where = &sparql.GroupGraphPattern{Patterns: []sparql.TriplePattern{tp}}
+	for _, f := range filters {
+		ok := true
+		for _, v := range f.Vars() {
+			if !tp.HasVar(v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if _, isExists := f.(*sparql.ExistsExpr); !isExists {
+				q.Where.Filters = append(q.Where.Filters, f)
+			}
+		}
+	}
+	return q.String()
+}
+
+// EstimateCards fills EstCard on every subquery:
+//
+//	C(sq, v, ep) = min over patterns containing v of C(TP, ep)
+//	C(sq, v)     = sum over relevant ep of C(sq, v, ep)
+//	C(sq)        = max over projected v of C(sq, v)
+//
+// It returns the number of COUNT requests sent (cache misses).
+func (cm *CostModel) EstimateCards(ctx context.Context, sqs []*Subquery) (int, error) {
+	// Gather the distinct (pattern, endpoint) COUNT probes.
+	type probeKey struct {
+		query string
+		ep    int
+	}
+	counts := map[probeKey]float64{}
+	var tasks []federation.Task
+	var order []probeKey
+	for _, sq := range sqs {
+		for _, tp := range sq.Patterns {
+			cq := CountQuery(tp, sq.Filters)
+			for _, ei := range sq.Sources {
+				key := probeKey{cq, ei}
+				if _, seen := counts[key]; seen {
+					continue
+				}
+				cacheKey := cm.Endpoints[ei].Name() + "\x00" + cq
+				if v, ok := cm.Cache.Get(cacheKey); ok {
+					counts[key] = v
+					continue
+				}
+				counts[key] = -1 // placeholder: needs a remote probe
+				tasks = append(tasks, federation.Task{EP: cm.Endpoints[ei], Query: cq})
+				order = append(order, key)
+			}
+		}
+	}
+	sent := len(tasks)
+	results := cm.Handler.Run(ctx, tasks)
+	for i, tr := range results {
+		if tr.Err != nil {
+			return sent, fmt.Errorf("count query: %w", tr.Err)
+		}
+		v, err := countValue(tr.Res)
+		if err != nil {
+			return sent, err
+		}
+		counts[order[i]] = v
+		cm.Cache.Put(cm.Endpoints[order[i].ep].Name()+"\x00"+order[i].query, v)
+	}
+
+	for _, sq := range sqs {
+		sq.EstCard = cm.subqueryCard(sq, func(tp sparql.TriplePattern, ei int) float64 {
+			return counts[probeKey{CountQuery(tp, sq.Filters), ei}]
+		})
+	}
+	return sent, nil
+}
+
+func countValue(res *sparql.Results) (float64, error) {
+	if res.Len() != 1 {
+		return 0, fmt.Errorf("count query returned %d rows", res.Len())
+	}
+	for _, t := range res.Rows[0] {
+		v, err := strconv.ParseFloat(t.Value, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad count literal %q", t.Value)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("count query returned an empty row")
+}
+
+func (cm *CostModel) subqueryCard(sq *Subquery, count func(sparql.TriplePattern, int) float64) float64 {
+	if len(sq.Patterns) == 0 || len(sq.Sources) == 0 {
+		return 0
+	}
+	vars := sq.ProjVars
+	if len(vars) == 0 {
+		vars = sq.Vars()
+	}
+	best := 0.0
+	for _, v := range vars {
+		var total float64
+		for _, ei := range sq.Sources {
+			perEP := math.Inf(1)
+			saw := false
+			for _, tp := range sq.Patterns {
+				if !tp.HasVar(v) {
+					continue
+				}
+				saw = true
+				if c := count(tp, ei); c < perEP {
+					perEP = c
+				}
+			}
+			if saw {
+				total += perEP
+			}
+		}
+		if total > best {
+			best = total
+		}
+	}
+	return best
+}
+
+// Chauvenet applies Chauvenet's criterion once: a point is rejected
+// when the expected number of samples as extreme as it is falls below
+// 1/2. It returns the kept values and the rejected indexes.
+func Chauvenet(xs []float64) (kept []float64, rejected []int) {
+	n := float64(len(xs))
+	if len(xs) < 3 {
+		return append([]float64(nil), xs...), nil
+	}
+	mu, sigma := meanStd(xs)
+	if sigma == 0 {
+		return append([]float64(nil), xs...), nil
+	}
+	for i, x := range xs {
+		p := math.Erfc(math.Abs(x-mu) / (sigma * math.Sqrt2))
+		if n*p < 0.5 {
+			rejected = append(rejected, i)
+		} else {
+			kept = append(kept, x)
+		}
+	}
+	return kept, rejected
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func meanStd(xs []float64) (mu, sigma float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mu += x
+	}
+	mu /= float64(len(xs))
+	for _, x := range xs {
+		sigma += (x - mu) * (x - mu)
+	}
+	sigma = math.Sqrt(sigma / float64(len(xs)))
+	return mu, sigma
+}
+
+// MarkDelayed sets Delayed on each subquery according to the policy:
+// Chauvenet-filtered mean/stddev thresholds over both estimated
+// cardinality and number of relevant endpoints (§V-A). OPTIONAL
+// subqueries are always delayed (they are the paper's third class of
+// delay candidates). At least one subquery always stays non-delayed.
+func MarkDelayed(sqs []*Subquery, policy DelayPolicy) {
+	// OPTIONAL subqueries are always delayed; the statistics below are
+	// computed over the required subqueries only so that optionals do
+	// not skew the thresholds.
+	var req []*Subquery
+	for _, sq := range sqs {
+		sq.Delayed = sq.Optional
+		if !sq.Optional {
+			req = append(req, sq)
+		}
+	}
+	if len(req) <= 1 {
+		return
+	}
+	cards := make([]float64, len(req))
+	srcs := make([]float64, len(req))
+	for i, sq := range req {
+		cards[i] = sq.EstCard
+		srcs[i] = float64(len(sq.Sources))
+	}
+
+	switch policy {
+	case DelayNone:
+		return
+	case DelayAll:
+		minIdx := 0
+		for i, sq := range req {
+			if sq.EstCard < req[minIdx].EstCard {
+				minIdx = i
+			}
+		}
+		for i, sq := range req {
+			sq.Delayed = i != minIdx
+		}
+		return
+	case DelayOutliersOnly:
+		_, rejC := Chauvenet(cards)
+		_, rejE := Chauvenet(srcs)
+		for _, i := range rejC {
+			req[i].Delayed = true
+		}
+		for _, i := range rejE {
+			req[i].Delayed = true
+		}
+	default:
+		k := 1.0
+		if policy == DelayMu {
+			k = 0
+		} else if policy == DelayMu2Sigma {
+			k = 2
+		}
+		keptC, _ := Chauvenet(cards)
+		keptE, _ := Chauvenet(srcs)
+		muC, sigC := meanStd(keptC)
+		muE, sigE := meanStd(keptE)
+		// The comparison is >= with a strict >min guard: with only two
+		// subqueries mu+sigma equals the maximum, so a strict > could
+		// never delay anything (e.g. LUBM Q3's generic type subquery,
+		// which the paper delays); the >min guard keeps uniform
+		// workloads fully concurrent.
+		minC, minE := minOf(cards), minOf(srcs)
+		for i, sq := range req {
+			sq.Delayed = (cards[i] >= muC+k*sigC && cards[i] > minC) ||
+				(srcs[i] >= muE+k*sigE && srcs[i] > minE)
+		}
+	}
+	// Guarantee progress: at least one required subquery stays live to
+	// supply the first bindings.
+	for _, sq := range req {
+		if !sq.Delayed {
+			return
+		}
+	}
+	minIdx := 0
+	for i, sq := range req {
+		if sq.EstCard < req[minIdx].EstCard {
+			minIdx = i
+		}
+	}
+	req[minIdx].Delayed = false
+}

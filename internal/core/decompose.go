@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sort"
+
+	"lusail/internal/sparql"
+)
+
+// Decompose implements Algorithm 2: it partitions a conjunctive
+// pattern list into subqueries such that every subquery (i) is
+// connected through shared variables, (ii) has one list of relevant
+// sources, and (iii) contains no pattern pair that made a variable
+// global. The paper's branching+merging traversal is realized as a
+// fixpoint of pairwise merges, which yields one of the valid
+// decompositions (the decomposition is not unique; see §IV-C).
+func Decompose(patterns []sparql.TriplePattern, sources [][]int, rep *GJVReport) []*Subquery {
+	type group struct {
+		idxs []int
+		src  []int
+	}
+	groups := make([]*group, len(patterns))
+	for i := range patterns {
+		groups[i] = &group{idxs: []int{i}, src: sources[i]}
+	}
+
+	shareVar := func(a, b *group) bool {
+		for _, i := range a.idxs {
+			for _, j := range b.idxs {
+				for _, v := range patterns[i].Vars() {
+					if patterns[j].HasVar(v) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	conflict := func(a, b *group) bool {
+		for _, i := range a.idxs {
+			for _, j := range b.idxs {
+				if rep.Conflicts[mkPair(i, j)] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for ai := 0; ai < len(groups); ai++ {
+			for bi := ai + 1; bi < len(groups); bi++ {
+				a, b := groups[ai], groups[bi]
+				if !sameIntSlice(a.src, b.src) || !shareVar(a, b) || conflict(a, b) {
+					continue
+				}
+				a.idxs = append(a.idxs, b.idxs...)
+				groups = append(groups[:bi], groups[bi+1:]...)
+				changed = true
+				bi--
+			}
+		}
+	}
+
+	// Deterministic output: order groups by their smallest pattern
+	// index, patterns inside a group by index.
+	for _, g := range groups {
+		sort.Ints(g.idxs)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].idxs[0] < groups[j].idxs[0] })
+
+	out := make([]*Subquery, 0, len(groups))
+	for gi, g := range groups {
+		sq := &Subquery{ID: gi, Sources: g.src, OptionalGroup: -1}
+		for _, i := range g.idxs {
+			sq.Patterns = append(sq.Patterns, patterns[i])
+		}
+		out = append(out, sq)
+	}
+	return out
+}
+
+// PushFilters assigns each filter to every subquery that binds all of
+// the filter's variables (single-variable filters in particular are
+// handled by the endpoints, §IV-C "Generic SPARQL Queries"); filters
+// that fit no subquery are returned for evaluation during the global
+// join.
+func PushFilters(subqueries []*Subquery, filters []sparql.Expr) (global []sparql.Expr) {
+	for _, f := range filters {
+		if _, isExists := f.(*sparql.ExistsExpr); isExists {
+			// EXISTS filters reference graph data; their group may span
+			// endpoints, so they are never pushed.
+			global = append(global, f)
+			continue
+		}
+		vars := f.Vars()
+		pushed := false
+		for _, sq := range subqueries {
+			all := true
+			for _, v := range vars {
+				if !sq.HasVar(v) {
+					all = false
+					break
+				}
+			}
+			if all && len(vars) > 0 {
+				sq.Filters = append(sq.Filters, f)
+				pushed = true
+			}
+		}
+		if !pushed {
+			global = append(global, f)
+		}
+	}
+	return global
+}
+
+// ComputeProjections sets each subquery's projection: the variables it
+// shares with any other subquery (join variables), plus variables the
+// caller needs downstream (final projection, global filters, order
+// keys). needed lists those downstream variables.
+func ComputeProjections(subqueries []*Subquery, needed []sparql.Var) {
+	need := map[sparql.Var]bool{}
+	for _, v := range needed {
+		need[v] = true
+	}
+	for i, sq := range subqueries {
+		proj := map[sparql.Var]bool{}
+		for _, v := range sq.Vars() {
+			if need[v] {
+				proj[v] = true
+				continue
+			}
+			for j, other := range subqueries {
+				if i != j && other.HasVar(v) {
+					proj[v] = true
+					break
+				}
+			}
+		}
+		sq.ProjVars = sq.ProjVars[:0]
+		for v := range proj {
+			sq.ProjVars = append(sq.ProjVars, v)
+		}
+		sortVars(sq.ProjVars)
+		// A subquery must project at least one variable to be
+		// executable; fall back to all its variables.
+		if len(sq.ProjVars) == 0 {
+			sq.ProjVars = sortVars(sq.Vars())
+		}
+	}
+}

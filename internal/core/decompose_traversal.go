@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sort"
+
+	"lusail/internal/sparql"
+)
+
+// DecomposeTraversal is the literal Algorithm 2 of the paper: a
+// branching phase that builds query trees rooted at the global join
+// variables and assigns each traversed edge (triple pattern) to a
+// subquery, followed by a merging phase that coalesces subqueries with
+// common variables, identical sources, and no GJV conflicts.
+//
+// Decompose (the default) reaches an equivalent fixpoint directly; the
+// two can produce different — equally valid — decompositions, since
+// the paper notes the result depends on the traversal order (§IV-C).
+// Both satisfy the same invariants: every pattern lands in exactly one
+// subquery, no subquery contains a conflicting pair, and all patterns
+// of a subquery share one source list.
+func DecomposeTraversal(patterns []sparql.TriplePattern, sources [][]int, rep *GJVReport) []*Subquery {
+	if len(patterns) == 0 {
+		return nil
+	}
+
+	// The query graph: nodes are variables (constants act as anonymous
+	// leaf nodes and are never traversed through); edges are pattern
+	// indexes incident to a node.
+	incident := map[sparql.Var][]int{}
+	for i, tp := range patterns {
+		for _, v := range tp.Vars() {
+			incident[v] = append(incident[v], i)
+		}
+	}
+
+	type subquery struct {
+		idxs []int
+		src  []int
+	}
+	var subqueries []*subquery
+	visited := make([]bool, len(patterns))
+	visitedCount := 0
+
+	patternOf := func(sq *subquery, v sparql.Var) bool {
+		for _, i := range sq.idxs {
+			if patterns[i].HasVar(v) {
+				return true
+			}
+		}
+		return false
+	}
+	// getParentSubquery (Algorithm 2 line 19): the subquery already
+	// holding a pattern incident to the node.
+	parentOf := func(v sparql.Var) *subquery {
+		for _, sq := range subqueries {
+			if patternOf(sq, v) {
+				return sq
+			}
+		}
+		return nil
+	}
+	// canBeAddedToSubQ (line 22): same relevant sources and no pattern
+	// pair that made a variable global.
+	canAdd := func(sq *subquery, edge int) bool {
+		if !sameIntSlice(sq.src, sources[edge]) {
+			return false
+		}
+		for _, i := range sq.idxs {
+			if rep.Conflicts[mkPair(i, edge)] {
+				return false
+			}
+		}
+		return true
+	}
+
+	destNodes := func(edge int, from sparql.Var) []sparql.Var {
+		var out []sparql.Var
+		for _, v := range patterns[edge].Vars() {
+			if v != from {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+
+	traverse := func(root sparql.Var) {
+		stack := []sparql.Var{root}
+		for len(stack) > 0 {
+			vrtx := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if len(subqueries) == 0 {
+				// Root expansion (lines 11-18): one subquery per edge.
+				for _, edge := range incident[vrtx] {
+					if visited[edge] {
+						continue
+					}
+					subqueries = append(subqueries, &subquery{idxs: []int{edge}, src: sources[edge]})
+					visited[edge] = true
+					visitedCount++
+					stack = append(stack, destNodes(edge, vrtx)...)
+				}
+				continue
+			}
+			parent := parentOf(vrtx)
+			for _, edge := range incident[vrtx] {
+				if visited[edge] {
+					continue
+				}
+				if parent != nil && canAdd(parent, edge) {
+					parent.idxs = append(parent.idxs, edge)
+				} else {
+					nsq := &subquery{idxs: []int{edge}, src: sources[edge]}
+					subqueries = append(subqueries, nsq)
+				}
+				visited[edge] = true
+				visitedCount++
+				stack = append(stack, destNodes(edge, vrtx)...)
+			}
+		}
+	}
+
+	// Branching: one query tree per GJV (line 6), in deterministic
+	// order.
+	var gjvs []sparql.Var
+	for v := range rep.GJVs {
+		gjvs = append(gjvs, v)
+	}
+	sort.Slice(gjvs, func(i, j int) bool { return gjvs[i] < gjvs[j] })
+	for _, v := range gjvs {
+		if visitedCount == len(patterns) {
+			break
+		}
+		traverse(v)
+	}
+	// Components untouched by any GJV (including the no-GJV case, line
+	// 2): traverse from each remaining pattern's first variable.
+	for i := range patterns {
+		if visited[i] {
+			continue
+		}
+		vars := patterns[i].Vars()
+		if len(vars) == 0 {
+			// Fully constant pattern: its own subquery.
+			subqueries = append(subqueries, &subquery{idxs: []int{i}, src: sources[i]})
+			visited[i] = true
+			visitedCount++
+			continue
+		}
+		traverse(vars[0])
+	}
+
+	// Merging phase (line 30): coalesce subqueries sharing a variable
+	// with identical sources and no cross conflicts, to a fixpoint.
+	shareVar := func(a, b *subquery) bool {
+		for _, i := range a.idxs {
+			for _, j := range b.idxs {
+				for _, v := range patterns[i].Vars() {
+					if patterns[j].HasVar(v) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	conflict := func(a, b *subquery) bool {
+		for _, i := range a.idxs {
+			for _, j := range b.idxs {
+				if rep.Conflicts[mkPair(i, j)] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for ai := 0; ai < len(subqueries); ai++ {
+			for bi := ai + 1; bi < len(subqueries); bi++ {
+				a, b := subqueries[ai], subqueries[bi]
+				if !sameIntSlice(a.src, b.src) || !shareVar(a, b) || conflict(a, b) {
+					continue
+				}
+				a.idxs = append(a.idxs, b.idxs...)
+				subqueries = append(subqueries[:bi], subqueries[bi+1:]...)
+				changed = true
+				bi--
+			}
+		}
+	}
+
+	for _, sq := range subqueries {
+		sort.Ints(sq.idxs)
+	}
+	sort.Slice(subqueries, func(i, j int) bool { return subqueries[i].idxs[0] < subqueries[j].idxs[0] })
+	out := make([]*Subquery, 0, len(subqueries))
+	for gi, sq := range subqueries {
+		res := &Subquery{ID: gi, Sources: sq.src, OptionalGroup: -1}
+		for _, i := range sq.idxs {
+			res.Patterns = append(res.Patterns, patterns[i])
+		}
+		out = append(out, res)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"lusail/internal/testfed"
+)
+
+func TestExplainQa(t *testing.T) {
+	l, _ := newUniLusail(Config{})
+	plan, err := l.Explain(context.Background(), testfed.Qa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.GJVs) < 2 {
+		t.Errorf("GJVs = %v, want ?P and ?U", plan.GJVs)
+	}
+	if len(plan.Subqueries) != 4 {
+		t.Errorf("subqueries = %d, want 4", len(plan.Subqueries))
+	}
+	for _, sq := range plan.Subqueries {
+		if sq.EstCard <= 0 {
+			t.Errorf("subquery %d has no cardinality estimate", sq.ID)
+		}
+		if len(sq.ProjVars) == 0 {
+			t.Errorf("subquery %d has no projection", sq.ID)
+		}
+	}
+	text := plan.String()
+	for _, want := range []string{"?P", "?U", "EP1", "EP2", "subquery", "advisor"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("plan text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExplainDisjoint(t *testing.T) {
+	l, _ := newUniLusail(Config{})
+	plan, err := l.Explain(context.Background(), `SELECT * WHERE {
+		?s <http://ex/advisor> ?p .
+		?s <http://ex/takesCourse> ?c .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.GJVs) != 0 || len(plan.Subqueries) != 1 {
+		t.Errorf("disjoint plan = %v / %d subqueries", plan.GJVs, len(plan.Subqueries))
+	}
+	if !strings.Contains(plan.String(), "disjoint") {
+		t.Errorf("plan text should note the disjoint case:\n%s", plan.String())
+	}
+}
+
+func TestExplainWithOptionalAndDelay(t *testing.T) {
+	l, _ := newUniLusail(Config{})
+	plan, err := l.Explain(context.Background(), `SELECT ?S ?P ?C WHERE {
+		?S <http://ex/advisor> ?P .
+		OPTIONAL { ?P <http://ex/teacherOf> ?C }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundOptional := false
+	for _, sq := range plan.Subqueries {
+		if sq.Optional {
+			foundOptional = true
+			if !sq.Delayed {
+				t.Error("optional subquery should be marked delayed")
+			}
+		}
+	}
+	if !foundOptional {
+		t.Error("plan missing the optional subquery")
+	}
+	if !strings.Contains(plan.String(), "optional") || !strings.Contains(plan.String(), "delayed") {
+		t.Errorf("plan text missing optional/delayed markers:\n%s", plan.String())
+	}
+}
+
+func TestExplainDoesNotExecute(t *testing.T) {
+	l, locals := newUniLusail(Config{})
+	if _, err := l.Explain(context.Background(), testfed.Qa); err != nil {
+		t.Fatal(err)
+	}
+	// Only analysis probes (ASK/check/COUNT) hit the endpoints — every
+	// probe is either an ASK or carries LIMIT 1 / COUNT, so no request
+	// may ship more than one row.
+	for _, ep := range locals {
+		st := ep.Stats()
+		if st.Requests == 0 {
+			t.Errorf("%s saw no analysis probes", ep.Name())
+		}
+		if st.Rows > st.Requests {
+			t.Errorf("%s shipped %d rows over %d requests; Explain must not fetch data",
+				ep.Name(), st.Rows, st.Requests)
+		}
+	}
+}
+
+func TestExplainBadQuery(t *testing.T) {
+	l, _ := newUniLusail(Config{})
+	if _, err := l.Explain(context.Background(), "junk"); err == nil {
+		t.Error("bad query accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"lusail/internal/endpoint"
+	"lusail/internal/testfed"
+)
+
+// Failure-injection tests: a federated engine must surface endpoint
+// failures as errors, never as silently incomplete results.
+
+func TestLusailSurfacesSourceSelectionFailure(t *testing.T) {
+	ep1, ep2 := testfed.Universities()
+	flaky := &testfed.Flaky{Inner: ep2, FailFirst: 1}
+	l := New([]endpoint.Endpoint{ep1, flaky}, Config{})
+	_, err := l.Execute(context.Background(), testfed.QaChain)
+	if err == nil {
+		t.Fatal("failure during source selection went unnoticed")
+	}
+	if !strings.Contains(err.Error(), "injected failure") {
+		t.Errorf("error does not carry the cause: %v", err)
+	}
+}
+
+func TestLusailSurfacesExecutionFailure(t *testing.T) {
+	ep1, ep2 := testfed.Universities()
+	// ASK/check/count queries pass; only the address data subquery
+	// (projection "SELECT ?A ?U") fails.
+	flaky := &testfed.Flaky{Inner: ep2, FailOn: "SELECT ?A ?U"}
+	l := New([]endpoint.Endpoint{ep1, flaky}, Config{})
+	_, err := l.Execute(context.Background(), testfed.QaChain)
+	if err == nil {
+		t.Fatal("failure during execution went unnoticed")
+	}
+}
+
+func TestLusailRecoversAfterTransientFailure(t *testing.T) {
+	ep1, ep2 := testfed.Universities()
+	flaky := &testfed.Flaky{Inner: ep2, FailFirst: 1}
+	l := New([]endpoint.Endpoint{ep1, flaky}, Config{})
+	ctx := context.Background()
+	if _, err := l.Execute(ctx, testfed.QaChain); err == nil {
+		t.Fatal("first run should fail")
+	}
+	// The transient fault is gone; with caches partially warm the
+	// query must now succeed and be correct.
+	res, err := l.Execute(ctx, testfed.QaChain)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if res.Len() == 0 {
+		t.Error("recovered run returned no rows")
+	}
+}
+
+func TestBatchIsolatesPerQueryFailures(t *testing.T) {
+	ep1, ep2 := testfed.Universities()
+	eps := []endpoint.Endpoint{ep1, ep2}
+	l := New(eps, Config{})
+	batch := l.ExecuteBatch(context.Background(), []string{
+		testfed.QaChain,
+		`SELECT * WHERE { ?s <http://ex/advisor> ?p FILTER NOT EXISTS { ?x <http://ex/a> ?y } FILTER NOT EXISTS { ?q <http://ex/b> ?z } }`,
+	})
+	if batch[0].Err != nil {
+		t.Errorf("healthy query failed: %v", batch[0].Err)
+	}
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"lusail/internal/endpoint"
+	"lusail/internal/engine"
+	"lusail/internal/federation"
+	"lusail/internal/sparql"
+)
+
+// Config tunes Lusail.
+type Config struct {
+	// DelayPolicy selects the delayed-subquery threshold; the paper's
+	// default is mu+sigma (Fig. 9).
+	DelayPolicy DelayPolicy
+	// BindBlockSize is the VALUES block size for bound subqueries.
+	BindBlockSize int
+	// Workers bounds join parallelism (0 = GOMAXPROCS).
+	Workers int
+	// DisableCache turns off the ASK / check-query / COUNT caches.
+	DisableCache bool
+	// AssumeAllGlobal disables locality check queries, treating every
+	// shared variable as global (LADE ablation: pure schema-based
+	// decomposition, one pattern at a time when schemas overlap).
+	AssumeAllGlobal bool
+	// TraversalDecomposer switches to the paper's literal Algorithm 2
+	// (query-tree branching + merging) instead of the default fixpoint
+	// merger; both produce valid decompositions (§IV-C notes the
+	// result is traversal-order dependent).
+	TraversalDecomposer bool
+}
+
+// Metrics profiles one query execution through Lusail's three phases
+// (Fig. 10) and its remote traffic.
+type Metrics struct {
+	SourceSelection time.Duration
+	Analysis        time.Duration
+	Execution       time.Duration
+
+	AskRequests    int // source selection probes sent
+	CheckQueries   int // LADE locality probes sent
+	CountQueries   int // SAPE statistics probes sent
+	Phase1Requests int // non-delayed subquery evaluations
+	Phase2Requests int // bound (delayed) subquery evaluations
+	RefineRequests int
+	BoundBlocks    int
+
+	Subqueries int
+	Delayed    int
+	GJVs       int
+	// SharedSubqueries counts subquery executions saved by the
+	// multi-query optimization cache (ExecuteBatch only).
+	SharedSubqueries int
+}
+
+// Total returns the total response time.
+func (m Metrics) Total() time.Duration {
+	return m.SourceSelection + m.Analysis + m.Execution
+}
+
+// RemoteRequests totals every request Lusail sent for the query.
+func (m Metrics) RemoteRequests() int {
+	return m.AskRequests + m.CheckQueries + m.CountQueries +
+		m.Phase1Requests + m.Phase2Requests + m.RefineRequests
+}
+
+// Lusail is the federated query engine of the paper: locality-aware
+// decomposition at compile time, selectivity-aware parallel execution
+// at run time.
+type Lusail struct {
+	eps []endpoint.Endpoint
+	cfg Config
+
+	askCache   *federation.AskCache
+	checkCache *federation.AskCache
+	countCache *CountCache
+
+	selector   *federation.Selector
+	decomposer *Decomposer
+	cost       *CostModel
+	executor   *Executor
+
+	mu   sync.Mutex
+	last Metrics
+}
+
+// New builds a Lusail engine over the endpoints.
+func New(eps []endpoint.Endpoint, cfg Config) *Lusail {
+	if cfg.BindBlockSize == 0 {
+		cfg.BindBlockSize = 100
+	}
+	l := &Lusail{
+		eps:        eps,
+		cfg:        cfg,
+		askCache:   federation.NewAskCache(),
+		checkCache: federation.NewAskCache(),
+		countCache: NewCountCache(),
+	}
+	l.selector = federation.NewSelector(eps, l.askCache)
+	l.decomposer = NewDecomposer(eps, l.checkCache)
+	l.decomposer.AssumeAllGlobal = cfg.AssumeAllGlobal
+	l.cost = NewCostModel(eps, l.countCache)
+	l.executor = NewExecutor(eps)
+	l.executor.BindBlockSize = cfg.BindBlockSize
+	l.executor.Workers = cfg.Workers
+	return l
+}
+
+// Name implements federation.Engine.
+func (l *Lusail) Name() string { return "lusail" }
+
+// ClearCaches drops the ASK, check-query, and COUNT caches (used by
+// the cache-effect experiment, Fig. 10).
+func (l *Lusail) ClearCaches() {
+	l.askCache.Clear()
+	l.checkCache.Clear()
+	l.countCache.mu.Lock()
+	l.countCache.m = map[string]float64{}
+	l.countCache.mu.Unlock()
+}
+
+// LastMetrics returns the metrics of the most recent Execute call.
+func (l *Lusail) LastMetrics() Metrics {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+// Execute runs a federated SPARQL query.
+func (l *Lusail) Execute(ctx context.Context, query string) (*sparql.Results, error) {
+	return l.executeCached(ctx, query, nil)
+}
+
+// executeCached is Execute with an optional shared subquery-result
+// cache (multi-query optimization).
+func (l *Lusail) executeCached(ctx context.Context, query string, sqCache *SubqueryCache) (*sparql.Results, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	var m Metrics
+	if l.cfg.DisableCache {
+		l.ClearCaches()
+	}
+
+	needed := q.ProjectedVars()
+	for _, k := range q.OrderBy {
+		needed = append(needed, k.Var)
+	}
+	if q.Count && q.CountArg != "" {
+		needed = append(needed, q.CountArg)
+	}
+
+	rows, _, err := l.evalGroup(ctx, q.Where, needed, &m, sqCache)
+	if err != nil {
+		return nil, err
+	}
+
+	t := time.Now()
+	res := engine.Finalize(q, rows)
+	if q.Form == sparql.AskForm {
+		res = sparql.NewAskResult(len(rows) > 0)
+	}
+	m.Execution += time.Since(t)
+
+	l.mu.Lock()
+	l.last = m
+	l.mu.Unlock()
+	return res, nil
+}
+
+// evalGroup runs the full Lusail pipeline for one group graph pattern
+// and returns its solution rows and their header variables.
+func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, needed []sparql.Var, m *Metrics, sqCache *SubqueryCache) ([]sparql.Binding, []sparql.Var, error) {
+	// ---- Phase: source selection --------------------------------
+	t := time.Now()
+	sel, err := l.selector.SelectPatterns(ctx, g.Patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.AskRequests += sel.AskRequests
+	m.SourceSelection += time.Since(t)
+
+	// A required pattern with no relevant source empties the group.
+	for i := range g.Patterns {
+		if len(sel.Sources[i]) == 0 {
+			return nil, g.AllVars(), nil
+		}
+	}
+
+	// ---- Phase: query analysis (LADE + cost model) ---------------
+	t = time.Now()
+	typeOf := TypeConstraints(g.Patterns)
+	rep, err := l.decomposer.DetectGJVs(ctx, g.Patterns, sel.Sources, typeOf)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.CheckQueries += rep.CheckQueries
+	m.GJVs += len(rep.GJVs)
+
+	required := l.decompose(g.Patterns, sel.Sources, rep)
+	globalFilters := PushFilters(required, g.Filters)
+	for _, f := range globalFilters {
+		if _, isExists := f.(*sparql.ExistsExpr); isExists {
+			return nil, nil, fmt.Errorf("lusail: FILTER EXISTS spanning multiple subqueries is not supported")
+		}
+	}
+
+	// OPTIONAL groups: decompose each with its own locality analysis;
+	// subqueries are marked optional (and therefore delayed).
+	optFilters := map[int][]sparql.Expr{}
+	var optional []*Subquery
+	var optionalRels []*Relation
+	for ogID, og := range g.Optionals {
+		if len(og.Optionals) > 0 || len(og.Unions) > 0 || len(og.Values) > 0 {
+			// Nested structure inside OPTIONAL: evaluate the group
+			// recursively as its own federated plan and left-join the
+			// materialized relation. Filters referencing outer
+			// variables stay residual for the left join.
+			inner := og.Clone()
+			inner.Filters = nil
+			// Only variables the group's patterns can bind count as
+			// local; a filter variable bound outside the OPTIONAL
+			// (e.g. FILTER(?outer != x)) must evaluate at the left
+			// join, where the outer binding is visible.
+			ogVars := map[sparql.Var]bool{}
+			for _, v := range inner.AllVars() {
+				ogVars[v] = true
+			}
+			var residual []sparql.Expr
+			for _, f := range og.Filters {
+				local := true
+				for _, v := range f.Vars() {
+					if !ogVars[v] {
+						local = false
+						break
+					}
+				}
+				if _, isExists := f.(*sparql.ExistsExpr); isExists {
+					local = false
+				}
+				if local {
+					inner.Filters = append(inner.Filters, f)
+				} else {
+					residual = append(residual, f)
+				}
+			}
+			rows, vars, err := l.evalGroup(ctx, inner, inner.AllVars(), m, sqCache)
+			if err != nil {
+				return nil, nil, err
+			}
+			optFilters[ogID] = residual
+			optionalRels = append(optionalRels, &Relation{
+				Vars: vars, Rows: rows, Partitions: 1,
+				Optional: true, OptionalGroup: ogID,
+			})
+			continue
+		}
+		tOpt := time.Now()
+		oSel, err := l.selector.SelectPatterns(ctx, og.Patterns)
+		if err != nil {
+			return nil, nil, err
+		}
+		m.AskRequests += oSel.AskRequests
+		m.SourceSelection += time.Since(tOpt)
+		empty := false
+		for i := range og.Patterns {
+			if len(oSel.Sources[i]) == 0 {
+				empty = true
+				break
+			}
+		}
+		if empty {
+			continue // the optional part can never match
+		}
+		oRep, err := l.decomposer.DetectGJVs(ctx, og.Patterns, oSel.Sources, TypeConstraints(og.Patterns))
+		if err != nil {
+			return nil, nil, err
+		}
+		m.CheckQueries += oRep.CheckQueries
+		m.GJVs += len(oRep.GJVs)
+		oSqs := l.decompose(og.Patterns, oSel.Sources, oRep)
+		residual := PushFilters(oSqs, og.Filters)
+		for _, f := range residual {
+			if _, isExists := f.(*sparql.ExistsExpr); isExists {
+				return nil, nil, fmt.Errorf("lusail: FILTER EXISTS in OPTIONAL is not supported")
+			}
+		}
+		optFilters[ogID] = residual
+		for _, sq := range oSqs {
+			sq.Optional = true
+			sq.OptionalGroup = ogID
+			optional = append(optional, sq)
+		}
+	}
+
+	all := append(append([]*Subquery(nil), required...), optional...)
+	for i, sq := range all {
+		sq.ID = i
+	}
+	// Projections: join vars + whatever the caller needs downstream.
+	downstream := append([]sparql.Var(nil), needed...)
+	for _, f := range globalFilters {
+		downstream = append(downstream, f.Vars()...)
+	}
+	for _, fs := range optFilters {
+		for _, f := range fs {
+			downstream = append(downstream, f.Vars()...)
+		}
+	}
+	// UNION alternatives join on shared vars too.
+	for _, u := range g.Unions {
+		for _, alt := range u.Alternatives {
+			downstream = append(downstream, alt.AllVars()...)
+		}
+	}
+	for _, vb := range g.Values {
+		downstream = append(downstream, vb.Vars...)
+	}
+	ComputeProjections(all, downstream)
+
+	nCount, err := l.cost.EstimateCards(ctx, all)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.CountQueries += nCount
+	MarkDelayed(all, l.cfg.DelayPolicy)
+	m.Subqueries += len(all)
+	for _, sq := range all {
+		if sq.Delayed {
+			m.Delayed++
+		}
+	}
+	m.Analysis += time.Since(t)
+
+	// ---- Extra relations: UNION blocks and VALUES ----------------
+	var extra []*Relation
+	for _, u := range g.Unions {
+		rel := &Relation{Partitions: 1}
+		for _, alt := range u.Alternatives {
+			altRows, altVars, err := l.evalGroup(ctx, alt, alt.AllVars(), m, sqCache)
+			if err != nil {
+				return nil, nil, err
+			}
+			rel.Vars = mergeVarsUnique(rel.Vars, altVars)
+			rel.Rows = append(rel.Rows, altRows...)
+		}
+		extra = append(extra, rel)
+	}
+	for _, vb := range g.Values {
+		rel := &Relation{Vars: append([]sparql.Var(nil), vb.Vars...), Partitions: 1}
+		for _, row := range vb.Rows {
+			b := make(sparql.Binding, len(vb.Vars))
+			for i, v := range vb.Vars {
+				if i < len(row) && !row[i].IsZero() {
+					b[v] = row[i]
+				}
+			}
+			rel.Rows = append(rel.Rows, b)
+		}
+		extra = append(extra, rel)
+	}
+
+	// ---- Phase: execution (SAPE) ---------------------------------
+	extra = append(extra, optionalRels...)
+	t = time.Now()
+	result, stats, err := l.executor.RunCached(ctx, all, extra, globalFilters, optFilters, sqCache)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.Phase1Requests += stats.Phase1Requests
+	m.Phase2Requests += stats.Phase2Requests
+	m.RefineRequests += stats.RefineRequests
+	m.BoundBlocks += stats.BoundBlocks
+	m.Execution += time.Since(t)
+	return result.Rows, result.Vars, nil
+}
+
+// decompose picks the configured decomposition algorithm.
+func (l *Lusail) decompose(patterns []sparql.TriplePattern, sources [][]int, rep *GJVReport) []*Subquery {
+	if l.cfg.TraversalDecomposer {
+		return DecomposeTraversal(patterns, sources, rep)
+	}
+	return Decompose(patterns, sources, rep)
+}
+
+// Decomposition exposes LADE's analysis for a query without executing
+// it: the detected GJVs and the required subqueries. Used by tests,
+// tools, and the ablation experiments.
+func (l *Lusail) Decomposition(ctx context.Context, query string) (*GJVReport, []*Subquery, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, err := l.selector.SelectPatterns(ctx, q.Where.Patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := l.decomposer.DetectGJVs(ctx, q.Where.Patterns, sel.Sources, TypeConstraints(q.Where.Patterns))
+	if err != nil {
+		return nil, nil, err
+	}
+	sqs := Decompose(q.Where.Patterns, sel.Sources, rep)
+	return rep, sqs, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"lusail/internal/sparql"
+)
+
+// SubqueryCache shares materialized subquery results across the
+// queries of one batch — the multi-query optimization the paper lists
+// among Lusail's supported features (§V). Two queries that decompose
+// to the same subquery over the same sources execute it once; the
+// cache is single-flight, so concurrent batch queries wait for an
+// in-flight execution instead of duplicating it.
+type SubqueryCache struct {
+	mu   sync.Mutex
+	m    map[string]*cacheEntry
+	hits int
+}
+
+type cacheEntry struct {
+	ready chan struct{}
+	rel   *Relation
+	err   error
+}
+
+// NewSubqueryCache returns an empty cache.
+func NewSubqueryCache() *SubqueryCache {
+	return &SubqueryCache{m: map[string]*cacheEntry{}}
+}
+
+// Key identifies a subquery execution: its SPARQL text plus the
+// relevant source set.
+func (c *SubqueryCache) Key(sq *Subquery) string {
+	srcs := make([]string, len(sq.Sources))
+	for i, s := range sq.Sources {
+		srcs[i] = fmt.Sprint(s)
+	}
+	sort.Strings(srcs)
+	return sq.Query().String() + "@" + strings.Join(srcs, ",")
+}
+
+// Do returns the cached relation for key, or runs compute exactly once
+// while concurrent callers for the same key wait. Failed computations
+// are not cached, so a later caller retries.
+func (c *SubqueryCache) Do(key string, compute func() (*Relation, error)) (*Relation, error) {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.rel, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.m[key] = e
+	c.mu.Unlock()
+
+	e.rel, e.err = compute()
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.m, key)
+		c.mu.Unlock()
+	}
+	return e.rel, e.err
+}
+
+// Hits reports how many subquery executions the cache saved.
+func (c *SubqueryCache) Hits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Len reports the number of cached subquery results.
+func (c *SubqueryCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// BatchResult pairs one batch query with its outcome.
+type BatchResult struct {
+	Query   string
+	Results *sparql.Results
+	Err     error
+}
+
+// ExecuteBatch runs a workload of queries with multi-query
+// optimization: all queries share the ASK/check/COUNT caches and a
+// subquery-result cache, and run concurrently up to the federation's
+// parallelism. Results are returned in input order.
+func (l *Lusail) ExecuteBatch(ctx context.Context, queries []string) []BatchResult {
+	cache := NewSubqueryCache()
+	out := make([]BatchResult, len(queries))
+	sem := make(chan struct{}, len(l.eps)+2)
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, q string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := l.executeCached(ctx, q, cache)
+			out[i] = BatchResult{Query: q, Results: res, Err: err}
+		}(i, q)
+	}
+	wg.Wait()
+	l.mu.Lock()
+	l.last.SharedSubqueries = cache.Hits()
+	l.mu.Unlock()
+	return out
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"lusail/internal/endpoint"
+	"lusail/internal/sparql"
+	"lusail/internal/testfed"
+)
+
+func TestSubqueryCacheSingleFlight(t *testing.T) {
+	c := NewSubqueryCache()
+	sq := &Subquery{
+		Patterns: sparql.MustParse(`SELECT * WHERE { ?s <http://ex/p> ?o }`).Where.Patterns,
+		Sources:  []int{1, 0},
+		ProjVars: []sparql.Var{"o", "s"},
+	}
+	key := c.Key(sq)
+	computes := 0
+	rel := relOf([]sparql.Var{"s", "o"}, b("s", "1", "o", "2"))
+	compute := func() (*Relation, error) { computes++; return rel, nil }
+	got, err := c.Do(key, compute)
+	if err != nil || len(got.Rows) != 1 {
+		t.Fatalf("first Do = %v %v", got, err)
+	}
+	got, err = c.Do(key, compute)
+	if err != nil || got != rel {
+		t.Fatalf("second Do = %v %v", got, err)
+	}
+	if computes != 1 {
+		t.Errorf("computes = %d, want 1", computes)
+	}
+	if c.Hits() != 1 || c.Len() != 1 {
+		t.Errorf("hits = %d len = %d", c.Hits(), c.Len())
+	}
+}
+
+func TestSubqueryCacheErrorNotCached(t *testing.T) {
+	c := NewSubqueryCache()
+	calls := 0
+	fail := func() (*Relation, error) { calls++; return nil, context.Canceled }
+	if _, err := c.Do("k", fail); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if _, err := c.Do("k", fail); err == nil {
+		t.Fatal("error swallowed on retry")
+	}
+	if calls != 2 {
+		t.Errorf("failed computation cached: calls = %d", calls)
+	}
+}
+
+func TestSubqueryCacheKeyDistinguishesSources(t *testing.T) {
+	c := NewSubqueryCache()
+	patterns := sparql.MustParse(`SELECT * WHERE { ?s <http://ex/p> ?o }`).Where.Patterns
+	a := &Subquery{Patterns: patterns, Sources: []int{0}, ProjVars: []sparql.Var{"s"}}
+	bq := &Subquery{Patterns: patterns, Sources: []int{0, 1}, ProjVars: []sparql.Var{"s"}}
+	if c.Key(a) == c.Key(bq) {
+		t.Error("different source sets must not share cache keys")
+	}
+}
+
+func TestExecuteBatchSharesSubqueries(t *testing.T) {
+	ep1, ep2 := testfed.Universities()
+	eps := []endpoint.Endpoint{ep1, ep2}
+	l := New(eps, Config{})
+
+	// Three queries sharing the advisor/takesCourse subquery.
+	queries := []string{
+		testfed.QaChain,
+		`SELECT ?S ?P WHERE {
+			?S <http://ex/advisor> ?P .
+			?S <http://ex/takesCourse> ?C .
+			?P <http://ex/PhDDegreeFrom> ?U .
+		}`,
+		testfed.QaChain,
+	}
+	// Sequential ground truth.
+	var want [][]string
+	for _, q := range queries {
+		res, err := l.Execute(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, testfed.Canon(res))
+	}
+
+	endpoint.ResetAll(eps)
+	batch := l.ExecuteBatch(context.Background(), queries)
+	if len(batch) != 3 {
+		t.Fatalf("batch results = %d", len(batch))
+	}
+	for i, br := range batch {
+		if br.Err != nil {
+			t.Fatalf("batch query %d: %v", i, br.Err)
+		}
+		if !reflect.DeepEqual(testfed.Canon(br.Results), want[i]) {
+			t.Errorf("batch query %d differs from sequential execution", i)
+		}
+	}
+	if l.LastMetrics().SharedSubqueries == 0 {
+		t.Error("expected shared subquery executions in the batch")
+	}
+}
+
+func TestExecuteBatchFewerRequestsThanSequential(t *testing.T) {
+	run := func(batch bool) int64 {
+		ep1, ep2 := testfed.Universities()
+		eps := []endpoint.Endpoint{ep1, ep2}
+		l := New(eps, Config{})
+		queries := []string{testfed.QaChain, testfed.QaChain, testfed.QaChain}
+		if batch {
+			for _, br := range l.ExecuteBatch(context.Background(), queries) {
+				if br.Err != nil {
+					t.Fatal(br.Err)
+				}
+			}
+		} else {
+			// Fresh engine per query: no shared caches at all.
+			for _, q := range queries {
+				lq := New(eps, Config{})
+				if _, err := lq.Execute(context.Background(), q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return endpoint.TotalStats(eps).Requests
+	}
+	seq := run(false)
+	bat := run(true)
+	if bat >= seq {
+		t.Errorf("batch used %d requests, sequential %d — MQO should save work", bat, seq)
+	}
+}
+
+func TestExecuteBatchPropagatesErrors(t *testing.T) {
+	ep1, ep2 := testfed.Universities()
+	l := New([]endpoint.Endpoint{ep1, ep2}, Config{})
+	batch := l.ExecuteBatch(context.Background(), []string{testfed.QaChain, "NOT SPARQL"})
+	if batch[0].Err != nil {
+		t.Errorf("valid query failed: %v", batch[0].Err)
+	}
+	if batch[1].Err == nil {
+		t.Error("invalid query succeeded")
+	}
+}

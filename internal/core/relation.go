@@ -1,0 +1,361 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"lusail/internal/sparql"
+)
+
+// Relation is a materialized subquery result at the federator: a set
+// of solution rows plus the number of endpoint partitions that
+// produced it (the paper's per-thread partitioning, used by the join
+// cost model).
+type Relation struct {
+	Vars       []sparql.Var
+	Rows       []sparql.Binding
+	Partitions int
+	// Optional relations are left-joined rather than joined.
+	Optional      bool
+	OptionalGroup int
+}
+
+// Card returns the true cardinality.
+func (r *Relation) Card() float64 { return float64(len(r.Rows)) }
+
+// HasVar reports whether the relation binds v (in its header).
+func (r *Relation) HasVar(v sparql.Var) bool {
+	for _, x := range r.Vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// SharedVars returns the header variables shared with other.
+func (r *Relation) SharedVars(other *Relation) []sparql.Var {
+	var out []sparql.Var
+	for _, v := range r.Vars {
+		if other.HasVar(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// mergeVarsUnique unions two variable lists.
+func mergeVarsUnique(a, b []sparql.Var) []sparql.Var {
+	seen := map[sparql.Var]bool{}
+	var out []sparql.Var
+	for _, v := range a {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range b {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// JoinCost is the paper's cost for joining subplan S with relation R
+// on variable v: hashing the smaller relation S across its partitions
+// plus probing with R across its partitions (§V-B).
+func JoinCost(s, r *Relation, estProbe float64) float64 {
+	st := float64(s.Partitions)
+	if st < 1 {
+		st = 1
+	}
+	rt := float64(r.Partitions)
+	if rt < 1 {
+		rt = 1
+	}
+	return s.Card()/st + estProbe/rt
+}
+
+// HashJoin joins two relations in parallel: the smaller side is
+// hashed, the larger side's probe is partitioned across workers
+// (inter-operator parallelism in the paper's join evaluation).
+func HashJoin(a, b *Relation, workers int) *Relation {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	// Build on the smaller side.
+	build, probe := a, b
+	if len(b.Rows) < len(a.Rows) {
+		build, probe = b, a
+	}
+	key := build.SharedVars(probe)
+	out := &Relation{
+		Vars:       mergeVarsUnique(a.Vars, b.Vars),
+		Partitions: workers,
+	}
+	if len(a.Rows) == 0 || len(b.Rows) == 0 {
+		return out
+	}
+	idx := make(map[string][]sparql.Binding, len(build.Rows))
+	for _, row := range build.Rows {
+		k := row.Key(key)
+		idx[k] = append(idx[k], row)
+	}
+	// Partition the probe side across workers.
+	if len(probe.Rows) < 1024 {
+		workers = 1
+	}
+	chunk := (len(probe.Rows) + workers - 1) / workers
+	results := make([][]sparql.Binding, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(probe.Rows) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(probe.Rows) {
+			hi = len(probe.Rows)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var local []sparql.Binding
+			for _, pr := range probe.Rows[lo:hi] {
+				for _, br := range idx[pr.Key(key)] {
+					if pr.Compatible(br) {
+						local = append(local, pr.Merge(br))
+					}
+				}
+			}
+			results[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, part := range results {
+		out.Rows = append(out.Rows, part...)
+	}
+	return out
+}
+
+// LeftJoin left-joins left with right: left rows always survive;
+// residual filters are evaluated over merged rows (OPTIONAL
+// semantics). filterOK reports whether a merged row passes the
+// OPTIONAL group's residual filters.
+func LeftJoin(left, right *Relation, filterOK func(sparql.Binding) bool) *Relation {
+	out := &Relation{
+		Vars:       mergeVarsUnique(left.Vars, right.Vars),
+		Partitions: left.Partitions,
+	}
+	key := left.SharedVars(right)
+	idx := make(map[string][]sparql.Binding, len(right.Rows))
+	for _, row := range right.Rows {
+		idx[row.Key(key)] = append(idx[row.Key(key)], row)
+	}
+	for _, l := range left.Rows {
+		matched := false
+		for _, r := range idx[l.Key(key)] {
+			if !l.Compatible(r) {
+				continue
+			}
+			m := l.Merge(r)
+			if filterOK != nil && !filterOK(m) {
+				continue
+			}
+			matched = true
+			out.Rows = append(out.Rows, m)
+		}
+		if !matched {
+			out.Rows = append(out.Rows, l)
+		}
+	}
+	return out
+}
+
+// JoinOrder picks a bushy join order for the relations with dynamic
+// programming over subsets (the Moerkotte/Neumann DPsize flavor the
+// paper cites), minimizing accumulated JoinCost and preferring joins
+// that keep intermediate cardinalities small. It returns the order as
+// a binary tree encoded in join steps.
+type joinPlan struct {
+	rel  *Relation // leaf
+	left *joinPlan
+	rght *joinPlan
+	cost float64
+	card float64
+	part int
+	vars []sparql.Var
+}
+
+func leafPlan(r *Relation) *joinPlan {
+	p := r.Partitions
+	if p < 1 {
+		p = 1
+	}
+	return &joinPlan{rel: r, card: r.Card(), part: p, vars: r.Vars}
+}
+
+func sharesVar(a, b *joinPlan) bool {
+	set := map[sparql.Var]bool{}
+	for _, v := range a.vars {
+		set[v] = true
+	}
+	for _, v := range b.vars {
+		if set[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func combine(a, b *joinPlan) *joinPlan {
+	// Estimated output cardinality: bounded by the smaller side for
+	// key-ish joins; cross products multiply.
+	var card float64
+	if sharesVar(a, b) {
+		card = a.card
+		if b.card < card {
+			card = b.card
+		}
+	} else {
+		card = a.card * b.card
+	}
+	sa, sb := a, b
+	if sb.card < sa.card {
+		sa, sb = sb, sa
+	}
+	cost := a.cost + b.cost + sa.card/float64(sa.part) + sb.card/float64(sb.part)
+	if !sharesVar(a, b) {
+		cost += card // penalize cross products
+	}
+	part := a.part
+	if b.part > part {
+		part = b.part
+	}
+	return &joinPlan{
+		left: a, rght: b,
+		cost: cost, card: card, part: part,
+		vars: mergeVarsUnique(a.vars, b.vars),
+	}
+}
+
+// OptimizeJoinOrder returns the relations' indexes in the order they
+// should be folded left-to-right. For <= 1 relation it is trivial; up
+// to dpLimit relations it uses subset DP; beyond that it falls back to
+// a greedy smallest-first order.
+func OptimizeJoinOrder(rels []*Relation) []int {
+	n := len(rels)
+	if n <= 1 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	const dpLimit = 12
+	if n > dpLimit {
+		return greedyOrder(rels)
+	}
+	// DP over subsets; plans[mask] is the best plan joining exactly
+	// the relations in mask.
+	plans := make([]*joinPlan, 1<<n)
+	for i := 0; i < n; i++ {
+		plans[1<<i] = leafPlan(rels[i])
+	}
+	for mask := 1; mask < 1<<n; mask++ {
+		if plans[mask] != nil {
+			continue
+		}
+		// Enumerate proper subset splits.
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			other := mask &^ sub
+			if plans[sub] == nil || plans[other] == nil {
+				continue
+			}
+			cand := combine(plans[sub], plans[other])
+			if plans[mask] == nil || cand.cost < plans[mask].cost {
+				plans[mask] = cand
+			}
+		}
+	}
+	best := plans[(1<<n)-1]
+	var order []int
+	var walk func(p *joinPlan)
+	walk = func(p *joinPlan) {
+		if p == nil {
+			return
+		}
+		if p.rel != nil {
+			for i, r := range rels {
+				if r == p.rel && !contains(order, i) {
+					order = append(order, i)
+					return
+				}
+			}
+			return
+		}
+		walk(p.left)
+		walk(p.rght)
+	}
+	walk(best)
+	return order
+}
+
+func contains(a []int, x int) bool {
+	for _, v := range a {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// greedyOrder starts from the smallest relation and repeatedly joins
+// the connected relation with the smallest cardinality.
+func greedyOrder(rels []*Relation) []int {
+	n := len(rels)
+	used := make([]bool, n)
+	order := make([]int, 0, n)
+	// Start with the smallest.
+	best := 0
+	for i := 1; i < n; i++ {
+		if len(rels[i].Rows) < len(rels[best].Rows) {
+			best = i
+		}
+	}
+	order = append(order, best)
+	used[best] = true
+	vars := map[sparql.Var]bool{}
+	for _, v := range rels[best].Vars {
+		vars[v] = true
+	}
+	for len(order) < n {
+		cand := -1
+		candConn := false
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			conn := false
+			for _, v := range rels[i].Vars {
+				if vars[v] {
+					conn = true
+					break
+				}
+			}
+			if cand < 0 ||
+				(conn && !candConn) ||
+				(conn == candConn && len(rels[i].Rows) < len(rels[cand].Rows)) {
+				cand, candConn = i, conn
+			}
+		}
+		order = append(order, cand)
+		used[cand] = true
+		for _, v := range rels[cand].Vars {
+			vars[v] = true
+		}
+	}
+	return order
+}

@@ -1,0 +1,546 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"lusail/internal/endpoint"
+	"lusail/internal/federation"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+)
+
+// foundBindings is SAPE's hashmap of the values observed for each
+// variable across the required relations evaluated so far; delayed
+// subqueries are bound against it (§V-B).
+type foundBindings struct {
+	sets map[sparql.Var]map[rdf.Term]struct{}
+}
+
+func newFoundBindings() *foundBindings {
+	return &foundBindings{sets: map[sparql.Var]map[rdf.Term]struct{}{}}
+}
+
+// update intersects each of rel's variables' candidate sets with the
+// values the relation actually contains; a final answer's value for v
+// must occur in every required relation that binds v. Variables left
+// unbound in any row (possible for UNION relations) are skipped: such
+// a row is join-compatible with any value of v, so the relation
+// constrains nothing.
+func (fb *foundBindings) update(rel *Relation) {
+	for _, v := range rel.Vars {
+		observed := map[rdf.Term]struct{}{}
+		certain := true
+		for _, row := range rel.Rows {
+			if t, ok := row[v]; ok {
+				observed[t] = struct{}{}
+			} else {
+				certain = false
+				break
+			}
+		}
+		if !certain {
+			continue
+		}
+		if prev, ok := fb.sets[v]; ok {
+			for t := range prev {
+				if _, keep := observed[t]; !keep {
+					delete(prev, t)
+				}
+			}
+		} else {
+			fb.sets[v] = observed
+		}
+	}
+}
+
+// covered reports whether bindings exist for v.
+func (fb *foundBindings) covered(v sparql.Var) bool {
+	_, ok := fb.sets[v]
+	return ok
+}
+
+// valuesFor returns the candidate values of v in deterministic order.
+func (fb *foundBindings) valuesFor(v sparql.Var) []rdf.Term {
+	set := fb.sets[v]
+	out := make([]rdf.Term, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// ExecStats reports what one SAPE execution did.
+type ExecStats struct {
+	Phase1Requests int
+	Phase2Requests int
+	RefineRequests int
+	BoundBlocks    int
+}
+
+// Executor runs SAPE (Algorithm 3): concurrent evaluation of
+// non-delayed subqueries, bound evaluation of delayed ones, and the
+// cost-ordered parallel hash join of all results.
+type Executor struct {
+	Endpoints []endpoint.Endpoint
+	Handler   *federation.Handler
+	// BindBlockSize is the number of VALUES per bound-subquery block.
+	BindBlockSize int
+	// Workers bounds the parallel join workers.
+	Workers int
+}
+
+// NewExecutor builds an executor over the endpoints.
+func NewExecutor(eps []endpoint.Endpoint) *Executor {
+	return &Executor{
+		Endpoints:     eps,
+		Handler:       federation.NewHandler(len(eps)),
+		BindBlockSize: 100,
+	}
+}
+
+// Run evaluates the decomposed plan: required and optional subqueries
+// plus pre-materialized extra relations (UNION blocks, VALUES blocks).
+// optFilters maps an OptionalGroup id to the residual filters applied
+// during its left join. It returns the joined relation before final
+// solution modifiers.
+func (ex *Executor) Run(ctx context.Context, sqs []*Subquery, extra []*Relation, globalFilters []sparql.Expr, optFilters map[int][]sparql.Expr) (*Relation, *ExecStats, error) {
+	return ex.RunCached(ctx, sqs, extra, globalFilters, optFilters, nil)
+}
+
+// RunCached is Run with an optional shared subquery-result cache
+// (multi-query optimization): non-delayed subquery results are reused
+// across the queries of one batch. Bound (delayed) executions depend
+// on per-query bindings and are never cached.
+func (ex *Executor) RunCached(ctx context.Context, sqs []*Subquery, extra []*Relation, globalFilters []sparql.Expr, optFilters map[int][]sparql.Expr, sqCache *SubqueryCache) (*Relation, *ExecStats, error) {
+	stats := &ExecStats{}
+	fb := newFoundBindings()
+
+	var required []*Relation
+	var optionalRels []*Relation
+
+	addRel := func(sq *Subquery, rel *Relation) {
+		if sq.Optional {
+			rel.Optional = true
+			rel.OptionalGroup = sq.OptionalGroup
+			optionalRels = append(optionalRels, rel)
+			return
+		}
+		required = append(required, rel)
+		fb.update(rel)
+	}
+
+	// Pre-materialized relations: UNION/VALUES blocks are
+	// required-side; recursively evaluated OPTIONAL groups left-join.
+	for _, rel := range extra {
+		if rel.Optional {
+			optionalRels = append(optionalRels, rel)
+			continue
+		}
+		required = append(required, rel)
+		fb.update(rel)
+	}
+
+	// Phase 1: evaluate non-delayed subqueries concurrently. Each
+	// subquery is broadcast to all of its relevant endpoints; results
+	// are concatenated (each endpoint's result is one partition).
+	var phase1 []*Subquery
+	var delayed []*Subquery
+	for _, sq := range sqs {
+		if sq.Delayed {
+			delayed = append(delayed, sq)
+		} else {
+			phase1 = append(phase1, sq)
+		}
+	}
+	rels, err := ex.runPhase1(ctx, phase1, stats, sqCache)
+	if err != nil {
+		return nil, stats, err
+	}
+	for _, sq := range phase1 {
+		addRel(sq, rels[sq])
+	}
+
+	// Short-circuit: an empty required relation empties the join.
+	if emptyRequired(required) {
+		return &Relation{Vars: allVars(required, optionalRels, delayed)}, stats, nil
+	}
+
+	// Phase 2: delayed subqueries, most selective first, bound to the
+	// found bindings via VALUES blocks (Algorithm 3 lines 10-18).
+	for len(delayed) > 0 {
+		idx := ex.pickMostSelective(delayed, fb)
+		sq := delayed[idx]
+		delayed = append(delayed[:idx], delayed[idx+1:]...)
+		rel, err := ex.runBound(ctx, sq, fb, stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		addRel(sq, rel)
+		if !sq.Optional && len(rel.Rows) == 0 {
+			return &Relation{Vars: allVars(required, optionalRels, delayed)}, stats, nil
+		}
+	}
+
+	// Join evaluation: cost-ordered parallel hash join of required
+	// relations, then OPTIONAL left joins, then the group's residual
+	// filters (SPARQL applies group filters after all joins, so they
+	// may reference optionally-bound variables, e.g. !BOUND).
+	result := ex.joinAll(required)
+	result = ex.leftJoinOptionals(result, optionalRels, optFilters)
+	if len(globalFilters) > 0 {
+		result = filterRelation(result, globalFilters)
+	}
+	return result, stats, nil
+}
+
+// runPhase1 evaluates the non-delayed subqueries concurrently. With a
+// multi-query cache, each subquery goes through single-flight
+// get-or-compute so concurrent batch queries share executions; without
+// one, all broadcasts go out as a single task batch.
+func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *ExecStats, sqCache *SubqueryCache) (map[*Subquery]*Relation, error) {
+	rels := make(map[*Subquery]*Relation, len(phase1))
+	if sqCache == nil {
+		var tasks []federation.Task
+		var taskSq []*Subquery
+		for _, sq := range phase1 {
+			rels[sq] = &Relation{Vars: append([]sparql.Var(nil), sq.ProjVars...), Partitions: len(sq.Sources)}
+			text := sq.Query().String()
+			for _, ei := range sq.Sources {
+				tasks = append(tasks, federation.Task{EP: ex.Endpoints[ei], Query: text})
+				taskSq = append(taskSq, sq)
+			}
+		}
+		stats.Phase1Requests = len(tasks)
+		for i, tr := range ex.Handler.Run(ctx, tasks) {
+			if tr.Err != nil {
+				return nil, fmt.Errorf("sape phase 1: %w", tr.Err)
+			}
+			rels[taskSq[i]].Rows = append(rels[taskSq[i]].Rows, tr.Res.Rows...)
+		}
+		for _, sq := range phase1 {
+			dedupFullProjection(sq, rels[sq])
+		}
+		return rels, nil
+	}
+
+	type outcome struct {
+		sq  *Subquery
+		rel *Relation
+		n   int
+		err error
+	}
+	ch := make(chan outcome, len(phase1))
+	for _, sq := range phase1 {
+		go func(sq *Subquery) {
+			computed := false
+			rel, err := sqCache.Do(sqCache.Key(sq), func() (*Relation, error) {
+				computed = true
+				return ex.evalSubqueryUnbound(ctx, sq)
+			})
+			n := 0
+			if err == nil && computed {
+				n = len(sq.Sources)
+			}
+			ch <- outcome{sq: sq, rel: rel, n: n, err: err}
+		}(sq)
+	}
+	for range phase1 {
+		o := <-ch
+		if o.err != nil {
+			return nil, fmt.Errorf("sape phase 1: %w", o.err)
+		}
+		// Shallow-copy: concurrent queries share cached rows, but the
+		// per-query Optional marking must not leak across.
+		rels[o.sq] = &Relation{Vars: o.rel.Vars, Rows: o.rel.Rows, Partitions: o.rel.Partitions}
+		stats.Phase1Requests += o.n
+	}
+	return rels, nil
+}
+
+// evalSubqueryUnbound broadcasts one subquery to its sources and
+// concatenates the per-endpoint results.
+func (ex *Executor) evalSubqueryUnbound(ctx context.Context, sq *Subquery) (*Relation, error) {
+	rel := &Relation{Vars: append([]sparql.Var(nil), sq.ProjVars...), Partitions: len(sq.Sources)}
+	text := sq.Query().String()
+	var tasks []federation.Task
+	for _, ei := range sq.Sources {
+		tasks = append(tasks, federation.Task{EP: ex.Endpoints[ei], Query: text})
+	}
+	for _, tr := range ex.Handler.Run(ctx, tasks) {
+		if tr.Err != nil {
+			return nil, tr.Err
+		}
+		rel.Rows = append(rel.Rows, tr.Res.Rows...)
+	}
+	dedupFullProjection(sq, rel)
+	return rel, nil
+}
+
+func emptyRequired(rels []*Relation) bool {
+	for _, r := range rels {
+		if len(r.Rows) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func allVars(required, optional []*Relation, pending []*Subquery) []sparql.Var {
+	var out []sparql.Var
+	for _, r := range required {
+		out = mergeVarsUnique(out, r.Vars)
+	}
+	for _, r := range optional {
+		out = mergeVarsUnique(out, r.Vars)
+	}
+	for _, sq := range pending {
+		out = mergeVarsUnique(out, sq.ProjVars)
+	}
+	return out
+}
+
+// pickMostSelective returns the index of the delayed subquery with the
+// smallest refined cardinality: min(estimate, tightest found-binding
+// set among its variables).
+func (ex *Executor) pickMostSelective(delayed []*Subquery, fb *foundBindings) int {
+	best, bestCard := 0, refinedCard(delayed[0], fb)
+	for i := 1; i < len(delayed); i++ {
+		if c := refinedCard(delayed[i], fb); c < bestCard {
+			best, bestCard = i, c
+		}
+	}
+	return best
+}
+
+func refinedCard(sq *Subquery, fb *foundBindings) float64 {
+	c := sq.EstCard
+	for _, v := range sq.Vars() {
+		if fb.covered(v) {
+			if n := float64(len(fb.sets[v])); n < c {
+				c = n
+			}
+		}
+	}
+	return c
+}
+
+// runBound evaluates one delayed subquery with VALUES blocks appended
+// for its most selective bound variable; unbound evaluation is the
+// fallback when no variable is covered yet.
+func (ex *Executor) runBound(ctx context.Context, sq *Subquery, fb *foundBindings, stats *ExecStats) (*Relation, error) {
+	rel := &Relation{Vars: append([]sparql.Var(nil), sq.ProjVars...), Partitions: len(sq.Sources)}
+	if len(sq.Sources) == 0 {
+		return rel, nil
+	}
+
+	// Choose the bound variable with the fewest candidate values.
+	var bindVar sparql.Var
+	bindN := -1
+	for _, v := range sq.Vars() {
+		if !fb.covered(v) {
+			continue
+		}
+		if n := len(fb.sets[v]); bindN < 0 || n < bindN {
+			bindVar, bindN = v, n
+		}
+	}
+
+	var queries []string
+	switch {
+	case bindN < 0:
+		queries = []string{sq.Query().String()}
+	case bindN == 0:
+		// No candidate values: a required subquery would make the join
+		// empty; an optional one contributes nothing.
+		return rel, nil
+	default:
+		values := fb.valuesFor(bindVar)
+		block := ex.BindBlockSize
+		if block <= 0 {
+			block = 100
+		}
+		for lo := 0; lo < len(values); lo += block {
+			hi := lo + block
+			if hi > len(values) {
+				hi = len(values)
+			}
+			q := sq.Query()
+			q.Where.Values = append(q.Where.Values, &sparql.ValuesBlock{
+				Vars: []sparql.Var{bindVar},
+				Rows: termRows(values[lo:hi]),
+			})
+			queries = append(queries, q.String())
+			stats.BoundBlocks++
+		}
+	}
+
+	sources := sq.Sources
+	// Source refinement (Algorithm 3 line 13): subqueries with fully
+	// generic patterns are relevant everywhere; re-ask with bindings
+	// to drop irrelevant endpoints before shipping all blocks.
+	if bindN > 0 && hasGenericPattern(sq) {
+		refined, nRefine := ex.refineSources(ctx, sq, bindVar, fb)
+		stats.RefineRequests += nRefine
+		sources = refined
+	}
+
+	var tasks []federation.Task
+	for _, text := range queries {
+		for _, ei := range sources {
+			tasks = append(tasks, federation.Task{EP: ex.Endpoints[ei], Query: text})
+		}
+	}
+	stats.Phase2Requests += len(tasks)
+	for _, tr := range ex.Handler.Run(ctx, tasks) {
+		if tr.Err != nil {
+			return nil, fmt.Errorf("sape phase 2 (%s): %w", sq, tr.Err)
+		}
+		rel.Rows = append(rel.Rows, tr.Res.Rows...)
+	}
+	dedupFullProjection(sq, rel)
+	rel.Partitions = len(sources)
+	if rel.Partitions < 1 {
+		rel.Partitions = 1
+	}
+	return rel, nil
+}
+
+// dedupFullProjection removes duplicate rows collected from multiple
+// endpoints when the subquery projects every variable it binds: its
+// per-endpoint results are then sets, so global deduplication
+// reproduces exact RDF-merge semantics for triples replicated at
+// several sources (e.g. shared class declarations). Projected
+// subqueries keep their multiset semantics untouched.
+func dedupFullProjection(sq *Subquery, rel *Relation) {
+	if len(sq.Sources) <= 1 || len(sq.ProjVars) != len(sq.Vars()) {
+		return
+	}
+	rel.Rows = federation.DedupRows(rel.Rows, rel.Vars)
+}
+
+func termRows(terms []rdf.Term) [][]rdf.Term {
+	out := make([][]rdf.Term, len(terms))
+	for i, t := range terms {
+		out[i] = []rdf.Term{t}
+	}
+	return out
+}
+
+// hasGenericPattern reports whether the subquery contains a pattern
+// with a variable predicate (e.g. ?s ?p ?o), which source selection
+// deems relevant to every endpoint.
+func hasGenericPattern(sq *Subquery) bool {
+	for _, tp := range sq.Patterns {
+		if tp.P.IsVar() {
+			return true
+		}
+	}
+	return false
+}
+
+// refineSources re-checks relevance of each source with an ASK query
+// carrying a sample of the found bindings.
+func (ex *Executor) refineSources(ctx context.Context, sq *Subquery, bindVar sparql.Var, fb *foundBindings) ([]int, int) {
+	values := fb.valuesFor(bindVar)
+	sample := values
+	if len(sample) > 50 {
+		sample = sample[:50]
+	}
+	ask := sparql.NewAsk()
+	ask.Where = &sparql.GroupGraphPattern{
+		Patterns: append([]sparql.TriplePattern(nil), sq.Patterns...),
+		Values: []*sparql.ValuesBlock{{
+			Vars: []sparql.Var{bindVar},
+			Rows: termRows(sample),
+		}},
+	}
+	text := ask.String()
+	var tasks []federation.Task
+	for _, ei := range sq.Sources {
+		tasks = append(tasks, federation.Task{EP: ex.Endpoints[ei], Query: text})
+	}
+	results := ex.Handler.Run(ctx, tasks)
+	var refined []int
+	for i, tr := range results {
+		// On error or a positive answer, keep the endpoint (errors
+		// must not drop results; refinement is only an optimization).
+		if tr.Err != nil || tr.Res.Ask {
+			refined = append(refined, sq.Sources[i])
+		}
+	}
+	return refined, len(tasks)
+}
+
+// joinAll folds the relations in cost-based order with the parallel
+// hash join.
+func (ex *Executor) joinAll(rels []*Relation) *Relation {
+	if len(rels) == 0 {
+		// The join identity: one empty row (SPARQL's empty group),
+		// so OPTIONAL-only groups still left-join correctly.
+		return &Relation{Rows: []sparql.Binding{{}}, Partitions: 1}
+	}
+	order := OptimizeJoinOrder(rels)
+	acc := rels[order[0]]
+	for _, i := range order[1:] {
+		acc = HashJoin(acc, rels[i], ex.Workers)
+	}
+	return acc
+}
+
+// filterRelation applies global (multi-subquery) filters.
+func filterRelation(rel *Relation, filters []sparql.Expr) *Relation {
+	out := &Relation{Vars: rel.Vars, Partitions: rel.Partitions}
+	for _, row := range rel.Rows {
+		keep := true
+		for _, f := range filters {
+			ok, err := sparql.EvalBool(f, row, nil)
+			if err != nil || !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// leftJoinOptionals groups the optional relations by OPTIONAL group,
+// joins within each group, and left-joins each group onto the result
+// with its residual filters.
+func (ex *Executor) leftJoinOptionals(result *Relation, optional []*Relation, optFilters map[int][]sparql.Expr) *Relation {
+	if len(optional) == 0 {
+		return result
+	}
+	groups := map[int][]*Relation{}
+	var order []int
+	for _, rel := range optional {
+		if _, ok := groups[rel.OptionalGroup]; !ok {
+			order = append(order, rel.OptionalGroup)
+		}
+		groups[rel.OptionalGroup] = append(groups[rel.OptionalGroup], rel)
+	}
+	sort.Ints(order)
+	for _, gid := range order {
+		grp := ex.joinAll(groups[gid])
+		filters := optFilters[gid]
+		var check func(sparql.Binding) bool
+		if len(filters) > 0 {
+			check = func(b sparql.Binding) bool {
+				for _, f := range filters {
+					ok, err := sparql.EvalBool(f, b, nil)
+					if err != nil || !ok {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		result = LeftJoin(result, grp, check)
+	}
+	return result
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+	"lusail/internal/testfed"
+)
+
+func TestFoundBindingsIntersect(t *testing.T) {
+	fb := newFoundBindings()
+	fb.update(relOf([]sparql.Var{"x"},
+		b("x", "1"), b("x", "2"), b("x", "3")))
+	if !fb.covered("x") || fb.covered("y") {
+		t.Error("covered wrong")
+	}
+	if got := len(fb.valuesFor("x")); got != 3 {
+		t.Fatalf("values = %d", got)
+	}
+	// A second relation narrows the candidate set.
+	fb.update(relOf([]sparql.Var{"x", "y"},
+		b("x", "2", "y", "a"), b("x", "3", "y", "b"), b("x", "9", "y", "c")))
+	vals := fb.valuesFor("x")
+	if len(vals) != 2 {
+		t.Fatalf("intersected values = %v", vals)
+	}
+	if vals[0] != rdf.IRI("http://ex/2") || vals[1] != rdf.IRI("http://ex/3") {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestFoundBindingsSkipsPartiallyBoundVars(t *testing.T) {
+	fb := newFoundBindings()
+	fb.update(relOf([]sparql.Var{"x"}, b("x", "1"), b("x", "2")))
+	// A UNION relation where some rows leave x unbound must not
+	// constrain x.
+	fb.update(&Relation{
+		Vars: []sparql.Var{"x", "y"},
+		Rows: []sparql.Binding{b("y", "only")},
+	})
+	if got := len(fb.valuesFor("x")); got != 2 {
+		t.Errorf("values after partial relation = %d, want 2 (unchanged)", got)
+	}
+}
+
+func TestFoundBindingsValuesDeterministic(t *testing.T) {
+	fb := newFoundBindings()
+	fb.update(relOf([]sparql.Var{"x"}, b("x", "c"), b("x", "a"), b("x", "b")))
+	v1 := fb.valuesFor("x")
+	v2 := fb.valuesFor("x")
+	if !reflect.DeepEqual(v1, v2) {
+		t.Error("valuesFor not deterministic")
+	}
+	if v1[0].Compare(v1[1]) >= 0 {
+		t.Error("valuesFor not sorted")
+	}
+}
+
+func TestRefinedCard(t *testing.T) {
+	sq := &Subquery{
+		Patterns: sparql.MustParse(`SELECT * WHERE { ?x <http://ex/p> ?y }`).Where.Patterns,
+		EstCard:  1000,
+	}
+	fb := newFoundBindings()
+	if got := refinedCard(sq, fb); got != 1000 {
+		t.Errorf("unrefined card = %v", got)
+	}
+	fb.update(relOf([]sparql.Var{"x"}, b("x", "1"), b("x", "2")))
+	if got := refinedCard(sq, fb); got != 2 {
+		t.Errorf("refined card = %v, want 2", got)
+	}
+}
+
+func TestPickMostSelective(t *testing.T) {
+	ex := NewExecutor(nil)
+	fb := newFoundBindings()
+	sqs := []*Subquery{
+		{EstCard: 500, Patterns: sparql.MustParse(`SELECT * WHERE { ?a <http://ex/p> ?b }`).Where.Patterns},
+		{EstCard: 100, Patterns: sparql.MustParse(`SELECT * WHERE { ?c <http://ex/q> ?d }`).Where.Patterns},
+		{EstCard: 300, Patterns: sparql.MustParse(`SELECT * WHERE { ?e <http://ex/r> ?f }`).Where.Patterns},
+	}
+	if got := ex.pickMostSelective(sqs, fb); got != 1 {
+		t.Errorf("pick = %d, want 1", got)
+	}
+	// Bindings can make another subquery the most selective.
+	fb.update(relOf([]sparql.Var{"a"}, b("a", "1")))
+	if got := ex.pickMostSelective(sqs, fb); got != 0 {
+		t.Errorf("pick with bindings = %d, want 0", got)
+	}
+}
+
+func TestHasGenericPattern(t *testing.T) {
+	sq := &Subquery{Patterns: sparql.MustParse(`SELECT * WHERE { ?s ?p ?o }`).Where.Patterns}
+	if !hasGenericPattern(sq) {
+		t.Error("variable predicate not detected")
+	}
+	sq2 := &Subquery{Patterns: sparql.MustParse(`SELECT * WHERE { ?s <http://ex/p> ?o }`).Where.Patterns}
+	if hasGenericPattern(sq2) {
+		t.Error("constant predicate misdetected")
+	}
+}
+
+func TestExecutorSingleSubqueryConcatenates(t *testing.T) {
+	// The disjoint case (Algorithm 3 lines 2-4): one subquery, results
+	// concatenated across endpoints, no join.
+	eps := uniEndpoints()
+	ex := NewExecutor(eps)
+	q := sparql.MustParse(`SELECT ?s ?p WHERE { ?s <http://ex/advisor> ?p }`)
+	sq := &Subquery{
+		Patterns: q.Where.Patterns, Sources: []int{0, 1},
+		ProjVars: []sparql.Var{"p", "s"}, OptionalGroup: -1,
+	}
+	rel, stats, err := ex.Run(context.Background(), []*Subquery{sq}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 4 {
+		t.Errorf("rows = %d, want 4 (2 per endpoint)", len(rel.Rows))
+	}
+	if stats.Phase1Requests != 2 || stats.Phase2Requests != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestExecutorDelayedBoundExecution(t *testing.T) {
+	eps := uniEndpoints()
+	ex := NewExecutor(eps)
+	ex.BindBlockSize = 2
+	qa := sparql.MustParse(testfed.QaChain)
+	sq1 := &Subquery{ // advisor+takesCourse: selective seed
+		Patterns: qa.Where.Patterns[0:2], Sources: []int{0, 1},
+		ProjVars: []sparql.Var{"P", "S"}, OptionalGroup: -1, EstCard: 4,
+	}
+	sq2 := &Subquery{ // PhDDegreeFrom: delayed, bound on ?P
+		Patterns: qa.Where.Patterns[2:3], Sources: []int{0, 1},
+		ProjVars: []sparql.Var{"P", "U"}, OptionalGroup: -1, EstCard: 100, Delayed: true,
+	}
+	rel, stats, err := ex.Run(context.Background(), []*Subquery{sq1, sq2}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BoundBlocks == 0 {
+		t.Error("expected VALUES blocks for the delayed subquery")
+	}
+	if stats.Phase2Requests == 0 {
+		t.Error("expected phase-2 requests")
+	}
+	// Joined result: every advisor pair with a degree.
+	if len(rel.Rows) == 0 {
+		t.Error("empty join result")
+	}
+	for _, row := range rel.Rows {
+		if _, ok := row["U"]; !ok {
+			t.Errorf("row missing joined var: %v", row)
+		}
+	}
+}
+
+func TestExecutorEmptyRequiredShortCircuits(t *testing.T) {
+	eps := uniEndpoints()
+	ex := NewExecutor(eps)
+	q := sparql.MustParse(`SELECT * WHERE { ?s <http://ex/advisor> ?p . ?s <http://ex/nothing> ?x }`)
+	sq1 := &Subquery{Patterns: q.Where.Patterns[0:1], Sources: []int{0, 1}, ProjVars: []sparql.Var{"p", "s"}, OptionalGroup: -1}
+	sq2 := &Subquery{Patterns: q.Where.Patterns[1:2], Sources: nil, ProjVars: []sparql.Var{"s", "x"}, OptionalGroup: -1, Delayed: true}
+	rel, _, err := ex.Run(context.Background(), []*Subquery{sq1, sq2}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 0 {
+		t.Errorf("rows = %d, want 0", len(rel.Rows))
+	}
+}
+
+func TestExecutorOptionalLeftJoin(t *testing.T) {
+	eps := uniEndpoints()
+	ex := NewExecutor(eps)
+	req := &Subquery{
+		Patterns: sparql.MustParse(`SELECT * WHERE { ?s <http://ex/advisor> ?P }`).Where.Patterns,
+		Sources:  []int{0, 1}, ProjVars: []sparql.Var{"P", "s"}, OptionalGroup: -1,
+	}
+	opt := &Subquery{
+		Patterns: sparql.MustParse(`SELECT * WHERE { ?P <http://ex/teacherOf> ?c }`).Where.Patterns,
+		Sources:  []int{0, 1}, ProjVars: []sparql.Var{"P", "c"},
+		Optional: true, OptionalGroup: 0, Delayed: true,
+	}
+	rel, _, err := ex.Run(context.Background(), []*Subquery{req, opt}, nil, nil, map[int][]sparql.Expr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 advisor rows; Tim and Ann teach nothing, so their rows lack ?c.
+	if len(rel.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4: %v", len(rel.Rows), rel.Rows)
+	}
+	unbound := 0
+	for _, row := range rel.Rows {
+		if _, ok := row["c"]; !ok {
+			unbound++
+		}
+	}
+	if unbound != 2 {
+		t.Errorf("unbound optional rows = %d, want 2", unbound)
+	}
+}
+
+func TestExecutorEmptyPlanYieldsIdentity(t *testing.T) {
+	ex := NewExecutor(nil)
+	rel, _, err := ex.Run(context.Background(), nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 1 || len(rel.Rows[0]) != 0 {
+		t.Errorf("identity relation = %v", rel.Rows)
+	}
+}

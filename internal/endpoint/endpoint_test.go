@@ -1,0 +1,210 @@
+package endpoint
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"lusail/internal/sparql"
+
+	"lusail/internal/rdf"
+	"lusail/internal/store"
+)
+
+func iri(s string) rdf.Term { return rdf.IRI("http://ex/" + s) }
+
+func testStore() *store.Store {
+	st := store.New()
+	st.Add(rdf.T(iri("s1"), iri("p"), iri("o1")))
+	st.Add(rdf.T(iri("s2"), iri("p"), iri("o2")))
+	st.Add(rdf.T(iri("s1"), iri("q"), rdf.Literal("v")))
+	return st
+}
+
+func TestLocalQuery(t *testing.T) {
+	ep := NewLocal("ep1", testStore())
+	res, err := ep.Query(context.Background(), `SELECT ?s WHERE { ?s <http://ex/p> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("rows = %d", res.Len())
+	}
+	if ep.Name() != "ep1" {
+		t.Errorf("name = %q", ep.Name())
+	}
+}
+
+func TestLocalQueryErrors(t *testing.T) {
+	ep := NewLocal("ep1", testStore())
+	if _, err := ep.Query(context.Background(), `NOT SPARQL`); err == nil {
+		t.Error("bad query accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ep.Query(ctx, `SELECT * WHERE { ?s ?p ?o }`); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}
+
+func TestLocalStats(t *testing.T) {
+	ep := NewLocal("ep1", testStore())
+	ctx := context.Background()
+	ep.Query(ctx, `SELECT * WHERE { ?s <http://ex/p> ?o }`)
+	ep.Query(ctx, `ASK { ?s <http://ex/q> ?o }`)
+	st := ep.Stats()
+	if st.Requests != 2 {
+		t.Errorf("requests = %d", st.Requests)
+	}
+	if st.Rows != 2 {
+		t.Errorf("rows = %d", st.Rows)
+	}
+	if st.Bytes <= 0 {
+		t.Errorf("bytes = %d", st.Bytes)
+	}
+	ep.ResetStats()
+	if s := ep.Stats(); s.Requests != 0 || s.Rows != 0 || s.Bytes != 0 {
+		t.Errorf("reset failed: %+v", s)
+	}
+}
+
+func TestNetworkDelayCharged(t *testing.T) {
+	ep := NewLocal("ep1", testStore()).WithNetwork(NetworkProfile{RTT: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := ep.Query(context.Background(), `ASK { ?s ?p ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Errorf("elapsed %v, want >= ~30ms RTT", el)
+	}
+}
+
+func TestNetworkDelayCancellable(t *testing.T) {
+	ep := NewLocal("ep1", testStore()).WithNetwork(NetworkProfile{RTT: 5 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ep.Query(ctx, `ASK { ?s ?p ?o }`)
+	if err == nil {
+		t.Error("expected cancellation error")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancellation did not interrupt the simulated delay")
+	}
+}
+
+func TestNetworkProfileDelay(t *testing.T) {
+	np := NetworkProfile{RTT: 10 * time.Millisecond, BytesPerSecond: 1000}
+	if d := np.Delay(500); d != 510*time.Millisecond {
+		t.Errorf("delay = %v, want 510ms", d)
+	}
+	var zero NetworkProfile
+	if zero.Delay(1_000_000) != 0 {
+		t.Error("zero profile should not delay")
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	a := NewLocal("a", testStore())
+	b := NewLocal("b", testStore())
+	eps := []Endpoint{a, b}
+	ctx := context.Background()
+	a.Query(ctx, `ASK { ?s ?p ?o }`)
+	b.Query(ctx, `ASK { ?s ?p ?o }`)
+	b.Query(ctx, `ASK { ?s ?p ?o }`)
+	if total := TotalStats(eps); total.Requests != 3 {
+		t.Errorf("total requests = %d", total.Requests)
+	}
+	ResetAll(eps)
+	if total := TotalStats(eps); total.Requests != 0 {
+		t.Errorf("requests after reset = %d", total.Requests)
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	local := NewLocal("server", testStore())
+	srv := httptest.NewServer(Handler(local))
+	defer srv.Close()
+
+	client := NewHTTP("client", srv.URL)
+	res, err := client.Query(context.Background(), `SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("rows = %d", res.Len())
+	}
+	// ASK over HTTP.
+	res, err = client.Query(context.Background(), `ASK { <http://ex/s1> <http://ex/q> "v" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AskForm || !res.Ask {
+		t.Errorf("ask = %+v", res)
+	}
+	if client.Stats().Requests != 2 {
+		t.Errorf("client requests = %d", client.Stats().Requests)
+	}
+	if local.Stats().Requests != 2 {
+		t.Errorf("server requests = %d", local.Stats().Requests)
+	}
+}
+
+func TestHTTPGet(t *testing.T) {
+	local := NewLocal("server", testStore())
+	srv := httptest.NewServer(Handler(local))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "?query=" + strings.ReplaceAll(`ASK {?s ?p ?o}`, " ", "%20"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPBadQuery(t *testing.T) {
+	local := NewLocal("server", testStore())
+	srv := httptest.NewServer(Handler(local))
+	defer srv.Close()
+	client := NewHTTP("client", srv.URL)
+	if _, err := client.Query(context.Background(), `BOGUS`); err == nil {
+		t.Error("bad query accepted over HTTP")
+	}
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("missing query => status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPContentNegotiationXML(t *testing.T) {
+	local := NewLocal("server", testStore())
+	srv := httptest.NewServer(Handler(local))
+	defer srv.Close()
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"?query="+url.QueryEscape(`SELECT ?s WHERE { ?s <http://ex/p> ?o }`), nil)
+	req.Header.Set("Accept", "application/sparql-results+xml")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/sparql-results+xml" {
+		t.Errorf("content-type = %q", ct)
+	}
+	res, err := sparql.DecodeXML(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("rows = %d", res.Len())
+	}
+}

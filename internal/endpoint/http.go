@@ -1,0 +1,143 @@
+package endpoint
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"lusail/internal/sparql"
+)
+
+// Handler serves the SPARQL protocol over HTTP for one local
+// endpoint: GET with ?query= or POST with either an
+// application/sparql-query body or form-encoded query parameter.
+// Results use the SPARQL 1.1 JSON format.
+func Handler(l *Local) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		query, err := extractQuery(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := l.Query(r.Context(), query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Content negotiation between the two standard result formats;
+		// JSON is the default.
+		if strings.Contains(r.Header.Get("Accept"), "application/sparql-results+xml") {
+			w.Header().Set("Content-Type", "application/sparql-results+xml")
+			_ = res.EncodeXML(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		if err := res.EncodeJSON(w); err != nil {
+			// Headers already sent; nothing more to do.
+			return
+		}
+	})
+}
+
+func extractQuery(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			return "", fmt.Errorf("missing query parameter")
+		}
+		return q, nil
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if strings.HasPrefix(ct, "application/sparql-query") {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				return "", err
+			}
+			return string(body), nil
+		}
+		if err := r.ParseForm(); err != nil {
+			return "", err
+		}
+		q := r.PostForm.Get("query")
+		if q == "" {
+			return "", fmt.Errorf("missing query parameter")
+		}
+		return q, nil
+	default:
+		return "", fmt.Errorf("method %s not allowed", r.Method)
+	}
+}
+
+// HTTPEndpoint is a client-side Endpoint that talks to a remote SPARQL
+// endpoint over HTTP.
+type HTTPEndpoint struct {
+	name   string
+	url    string
+	client *http.Client
+
+	requests atomic.Int64
+	rows     atomic.Int64
+	bytes    atomic.Int64
+}
+
+// NewHTTP returns an endpoint speaking the SPARQL protocol at url.
+func NewHTTP(name, endpointURL string) *HTTPEndpoint {
+	return &HTTPEndpoint{
+		name:   name,
+		url:    endpointURL,
+		client: &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// Name returns the endpoint name.
+func (h *HTTPEndpoint) Name() string { return h.name }
+
+// URL returns the endpoint URL.
+func (h *HTTPEndpoint) URL() string { return h.url }
+
+// Query posts the query and decodes the JSON results.
+func (h *HTTPEndpoint) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	h.requests.Add(1)
+	form := url.Values{"query": {query}}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.url,
+		strings.NewReader(form.Encode()))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("Accept", "application/sparql-results+json")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint %s: %w", h.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("endpoint %s: HTTP %d: %s", h.name, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	res, err := sparql.DecodeJSON(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint %s: %w", h.name, err)
+	}
+	h.rows.Add(int64(res.Len()))
+	h.bytes.Add(res.ApproxWireBytes())
+	return res, nil
+}
+
+// Stats returns the client-side counters.
+func (h *HTTPEndpoint) Stats() Stats {
+	return Stats{Requests: h.requests.Load(), Rows: h.rows.Load(), Bytes: h.bytes.Load()}
+}
+
+// ResetStats zeroes the counters.
+func (h *HTTPEndpoint) ResetStats() {
+	h.requests.Store(0)
+	h.rows.Store(0)
+	h.bytes.Store(0)
+}

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+	"lusail/internal/store"
+)
+
+// Metamorphic properties of the evaluator: relations between the
+// results of related queries that must hold on any data.
+
+func randomStore(r *rand.Rand) *store.Store {
+	st := store.New()
+	for i := 0; i < 20+r.Intn(40); i++ {
+		st.Add(rdf.T(
+			iri(fmt.Sprintf("s%d", r.Intn(8))),
+			iri(fmt.Sprintf("p%d", r.Intn(3))),
+			iri(fmt.Sprintf("s%d", r.Intn(8))), // objects double as subjects
+		))
+	}
+	return st
+}
+
+func canonRows(res *sparql.Results) []string {
+	vars := append([]sparql.Var(nil), res.Vars...)
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	out := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		out = append(out, row.Key(vars))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Property: OPTIONAL never loses left rows — every solution of the
+// base query extends to at least one solution of base+OPTIONAL, and
+// the OPTIONAL result restricted to base vars equals the base result's
+// support.
+func TestQuickOptionalPreservesLeftRows(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := New(randomStore(r))
+		base := `SELECT ?a ?b WHERE { ?a <http://ex/p0> ?b }`
+		withOpt := `SELECT ?a ?b ?c WHERE { ?a <http://ex/p0> ?b . OPTIONAL { ?b <http://ex/p1> ?c } }`
+		rb, err := e.Eval(sparql.MustParse(base))
+		if err != nil {
+			return false
+		}
+		ro, err := e.Eval(sparql.MustParse(withOpt))
+		if err != nil {
+			return false
+		}
+		// Distinct (a,b) pairs must coincide.
+		proj := ro.Project([]sparql.Var{"a", "b"})
+		set := func(res *sparql.Results) map[string]bool {
+			m := map[string]bool{}
+			for _, row := range res.Rows {
+				m[row.Key([]sparql.Var{"a", "b"})] = true
+			}
+			return m
+		}
+		return reflect.DeepEqual(set(rb), set(proj))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UNION equals the bag concatenation of its alternatives.
+func TestQuickUnionIsConcatenation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := New(randomStore(r))
+		union := `SELECT ?x ?y WHERE { { ?x <http://ex/p0> ?y } UNION { ?x <http://ex/p1> ?y } }`
+		a := `SELECT ?x ?y WHERE { ?x <http://ex/p0> ?y }`
+		b := `SELECT ?x ?y WHERE { ?x <http://ex/p1> ?y }`
+		ru, err := e.Eval(sparql.MustParse(union))
+		if err != nil {
+			return false
+		}
+		ra, _ := e.Eval(sparql.MustParse(a))
+		rb, _ := e.Eval(sparql.MustParse(b))
+		merged := &sparql.Results{Vars: ru.Vars, Rows: append(append([]sparql.Binding{}, ra.Rows...), rb.Rows...)}
+		return reflect.DeepEqual(canonRows(ru), canonRows(merged))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FILTER commutes with evaluation — evaluating with a filter
+// equals evaluating without and filtering rows afterwards.
+func TestQuickFilterIsPostRestriction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := New(randomStore(r))
+		withF := `SELECT ?x ?y WHERE { ?x <http://ex/p0> ?y . FILTER (?x != ?y) }`
+		without := `SELECT ?x ?y WHERE { ?x <http://ex/p0> ?y }`
+		rf, err := e.Eval(sparql.MustParse(withF))
+		if err != nil {
+			return false
+		}
+		rw, _ := e.Eval(sparql.MustParse(without))
+		var kept []sparql.Binding
+		for _, row := range rw.Rows {
+			if row["x"] != row["y"] {
+				kept = append(kept, row)
+			}
+		}
+		manual := &sparql.Results{Vars: rw.Vars, Rows: kept}
+		return reflect.DeepEqual(canonRows(rf), canonRows(manual))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DISTINCT is idempotent and never increases cardinality;
+// LIMIT k returns min(k, n) rows that are a subset of the full result.
+func TestQuickDistinctAndLimit(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := New(randomStore(r))
+		full := `SELECT ?x WHERE { ?x <http://ex/p0> ?y }`
+		distinct := `SELECT DISTINCT ?x WHERE { ?x <http://ex/p0> ?y }`
+		rFull, err := e.Eval(sparql.MustParse(full))
+		if err != nil {
+			return false
+		}
+		rDist, _ := e.Eval(sparql.MustParse(distinct))
+		if rDist.Len() > rFull.Len() {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, row := range rDist.Rows {
+			k := row.Key([]sparql.Var{"x"})
+			if seen[k] {
+				return false // DISTINCT produced a duplicate
+			}
+			seen[k] = true
+		}
+		k := 1 + r.Intn(5)
+		rLim, _ := e.Eval(sparql.MustParse(fmt.Sprintf("%s LIMIT %d", full, k)))
+		want := k
+		if rFull.Len() < k {
+			want = rFull.Len()
+		}
+		if rLim.Len() != want {
+			return false
+		}
+		// Every limited row appears in the full result.
+		fullSet := map[string]int{}
+		for _, row := range rFull.Rows {
+			fullSet[row.Key([]sparql.Var{"x"})]++
+		}
+		for _, row := range rLim.Rows {
+			if fullSet[row.Key([]sparql.Var{"x"})] == 0 {
+				return false
+			}
+			fullSet[row.Key([]sparql.Var{"x"})]--
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: COUNT(*) equals the row count of the unaggregated query.
+func TestQuickCountMatchesRows(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := New(randomStore(r))
+		q := `SELECT ?x ?y ?z WHERE { ?x <http://ex/p0> ?y . ?y <http://ex/p1> ?z }`
+		cq := `SELECT (COUNT(*) AS ?c) WHERE { ?x <http://ex/p0> ?y . ?y <http://ex/p1> ?z }`
+		rows, err := e.Eval(sparql.MustParse(q))
+		if err != nil {
+			return false
+		}
+		cnt, _ := e.Eval(sparql.MustParse(cq))
+		return cnt.Rows[0]["c"] == rdf.Integer(int64(rows.Len()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ASK is true iff the SELECT result is non-empty.
+func TestQuickAskMatchesSelect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := New(randomStore(r))
+		pattern := fmt.Sprintf(`{ ?x <http://ex/p%d> <http://ex/s%d> }`, r.Intn(3), r.Intn(8))
+		sel, err := e.Eval(sparql.MustParse("SELECT * WHERE " + pattern))
+		if err != nil {
+			return false
+		}
+		ask, _ := e.Eval(sparql.MustParse("ASK " + pattern))
+		return ask.Ask == (sel.Len() > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package federation
+
+import (
+	"sort"
+
+	"lusail/internal/sparql"
+)
+
+// CertainVars returns the variables bound in every row of the set.
+func CertainVars(rows []sparql.Binding) map[sparql.Var]bool {
+	out := map[sparql.Var]bool{}
+	if len(rows) == 0 {
+		return out
+	}
+	for v := range rows[0] {
+		out[v] = true
+	}
+	for _, row := range rows[1:] {
+		for v := range out {
+			if _, ok := row[v]; !ok {
+				delete(out, v)
+			}
+		}
+		if len(out) == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// SharedCertainVars returns the sorted variables certainly bound on
+// both sides — the hash-join key.
+func SharedCertainVars(left, right []sparql.Binding) []sparql.Var {
+	lv, rv := CertainVars(left), CertainVars(right)
+	var out []sparql.Var
+	for v := range lv {
+		if rv[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// JoinBindings hash-joins two solution multisets at the mediator.
+func JoinBindings(left, right []sparql.Binding) []sparql.Binding {
+	if len(left) == 0 || len(right) == 0 {
+		return nil
+	}
+	key := SharedCertainVars(left, right)
+	idx := make(map[string][]sparql.Binding, len(right))
+	for _, r := range right {
+		idx[r.Key(key)] = append(idx[r.Key(key)], r)
+	}
+	var out []sparql.Binding
+	for _, l := range left {
+		for _, r := range idx[l.Key(key)] {
+			if l.Compatible(r) {
+				out = append(out, l.Merge(r))
+			}
+		}
+	}
+	return out
+}
+
+// LeftJoinBindings left-joins right onto left with OPTIONAL semantics:
+// filters are evaluated over the merged rows, and left rows with no
+// surviving match are kept.
+func LeftJoinBindings(left, right []sparql.Binding, filters []sparql.Expr) []sparql.Binding {
+	key := SharedCertainVars(left, right)
+	idx := make(map[string][]sparql.Binding, len(right))
+	for _, r := range right {
+		idx[r.Key(key)] = append(idx[r.Key(key)], r)
+	}
+	var out []sparql.Binding
+	for _, l := range left {
+		matched := false
+		for _, r := range idx[l.Key(key)] {
+			if !l.Compatible(r) {
+				continue
+			}
+			m := l.Merge(r)
+			ok := true
+			for _, fl := range filters {
+				v, err := sparql.EvalBool(fl, m, nil)
+				if err != nil || !v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				matched = true
+				out = append(out, m)
+			}
+		}
+		if !matched {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// DedupRows removes duplicate rows over vars. Engines apply it to
+// rows concatenated from multiple endpoints when every pattern
+// variable is projected: per-endpoint BGP solutions are then sets, so
+// deduplication reproduces exact RDF-merge semantics for triples that
+// occur at several endpoints (e.g. shared class declarations).
+func DedupRows(rows []sparql.Binding, vars []sparql.Var) []sparql.Binding {
+	seen := make(map[string]struct{}, len(rows))
+	out := rows[:0]
+	for _, row := range rows {
+		k := row.Key(vars)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, row)
+	}
+	return out
+}
+
+// ValuesRows converts a VALUES block into solution rows (UNDEF leaves
+// the variable unbound).
+func ValuesRows(vb *sparql.ValuesBlock) []sparql.Binding {
+	out := make([]sparql.Binding, 0, len(vb.Rows))
+	for _, row := range vb.Rows {
+		b := sparql.Binding{}
+		for i, v := range vb.Vars {
+			if i < len(row) && !row[i].IsZero() {
+				b[v] = row[i]
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}

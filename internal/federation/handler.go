@@ -1,0 +1,90 @@
+package federation
+
+import (
+	"context"
+	"sync"
+
+	"lusail/internal/endpoint"
+	"lusail/internal/sparql"
+)
+
+// Task is one (endpoint, query) unit of remote work.
+type Task struct {
+	EP    endpoint.Endpoint
+	Query string
+}
+
+// TaskResult pairs a task with its outcome.
+type TaskResult struct {
+	Task Task
+	Res  *sparql.Results
+	Err  error
+}
+
+// Handler is the elastic request handler of the paper's architecture
+// (Fig. 4): it fans tasks out with one worker per endpoint, so
+// requests to distinct endpoints proceed in parallel while requests to
+// the same endpoint are serialized, matching the paper's
+// thread-per-endpoint model.
+type Handler struct {
+	// PerEndpoint limits concurrent requests per endpoint (default 1).
+	PerEndpoint int
+}
+
+// NewHandler returns a handler sized for n endpoints. n is advisory;
+// the handler adapts to whatever task list it receives.
+func NewHandler(n int) *Handler { return &Handler{PerEndpoint: 1} }
+
+// Run executes all tasks and returns results in task order.
+func (h *Handler) Run(ctx context.Context, tasks []Task) []TaskResult {
+	out := make([]TaskResult, len(tasks))
+	if len(tasks) == 0 {
+		return out
+	}
+	per := h.PerEndpoint
+	if per <= 0 {
+		per = 1
+	}
+	// Group task indexes by endpoint.
+	groups := make(map[endpoint.Endpoint][]int)
+	var order []endpoint.Endpoint
+	for i, t := range tasks {
+		if _, ok := groups[t.EP]; !ok {
+			order = append(order, t.EP)
+		}
+		groups[t.EP] = append(groups[t.EP], i)
+	}
+	var wg sync.WaitGroup
+	for _, ep := range order {
+		idxs := groups[ep]
+		sem := make(chan struct{}, per)
+		wg.Add(1)
+		go func(ep endpoint.Endpoint, idxs []int) {
+			defer wg.Done()
+			var inner sync.WaitGroup
+			for _, i := range idxs {
+				sem <- struct{}{}
+				inner.Add(1)
+				go func(i int) {
+					defer inner.Done()
+					defer func() { <-sem }()
+					res, err := tasks[i].EP.Query(ctx, tasks[i].Query)
+					out[i] = TaskResult{Task: tasks[i], Res: res, Err: err}
+				}(i)
+			}
+			inner.Wait()
+		}(ep, idxs)
+	}
+	wg.Wait()
+	return out
+}
+
+// Broadcast sends one query to each endpoint and returns per-endpoint
+// results in endpoint order.
+func (h *Handler) Broadcast(ctx context.Context, eps []endpoint.Endpoint, query string) []TaskResult {
+	tasks := make([]Task, len(eps))
+	for i, ep := range eps {
+		tasks[i] = Task{EP: ep, Query: query}
+	}
+	return h.Run(ctx, tasks)
+}

@@ -1,0 +1,112 @@
+package federation
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lusail/internal/sparql"
+)
+
+// gaugeEndpoint tracks concurrent in-flight requests.
+type gaugeEndpoint struct {
+	name     string
+	delay    time.Duration
+	inFlight atomic.Int32
+	maxSeen  atomic.Int32
+
+	mu      sync.Mutex
+	queries []string
+}
+
+func (g *gaugeEndpoint) Name() string { return g.name }
+
+func (g *gaugeEndpoint) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	n := g.inFlight.Add(1)
+	for {
+		max := g.maxSeen.Load()
+		if n <= max || g.maxSeen.CompareAndSwap(max, n) {
+			break
+		}
+	}
+	g.mu.Lock()
+	g.queries = append(g.queries, query)
+	g.mu.Unlock()
+	time.Sleep(g.delay)
+	g.inFlight.Add(-1)
+	return sparql.NewAskResult(true), nil
+}
+
+func TestHandlerSerializesPerEndpoint(t *testing.T) {
+	ep := &gaugeEndpoint{name: "a", delay: time.Millisecond}
+	h := NewHandler(1)
+	var tasks []Task
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, Task{EP: ep, Query: "ASK { ?s ?p ?o }"})
+	}
+	h.Run(context.Background(), tasks)
+	if got := ep.maxSeen.Load(); got != 1 {
+		t.Errorf("max in-flight at one endpoint = %d, want 1 (thread-per-endpoint model)", got)
+	}
+	if len(ep.queries) != 8 {
+		t.Errorf("queries received = %d", len(ep.queries))
+	}
+}
+
+func TestHandlerParallelAcrossEndpoints(t *testing.T) {
+	const n = 6
+	const delay = 20 * time.Millisecond
+	var eps []*gaugeEndpoint
+	var tasks []Task
+	for i := 0; i < n; i++ {
+		ep := &gaugeEndpoint{name: string(rune('a' + i)), delay: delay}
+		eps = append(eps, ep)
+		tasks = append(tasks, Task{EP: ep, Query: "ASK { ?s ?p ?o }"})
+	}
+	h := NewHandler(n)
+	start := time.Now()
+	h.Run(context.Background(), tasks)
+	elapsed := time.Since(start)
+	// Serial execution would take n*delay; parallel should be well
+	// under half of that.
+	if elapsed > time.Duration(n)*delay/2 {
+		t.Errorf("elapsed %v suggests serialized endpoints (serial would be %v)", elapsed, time.Duration(n)*delay)
+	}
+}
+
+func TestHandlerPerEndpointOverride(t *testing.T) {
+	ep := &gaugeEndpoint{name: "a", delay: 5 * time.Millisecond}
+	h := &Handler{PerEndpoint: 4}
+	var tasks []Task
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, Task{EP: ep, Query: "ASK { ?s ?p ?o }"})
+	}
+	h.Run(context.Background(), tasks)
+	if got := ep.maxSeen.Load(); got < 2 {
+		t.Errorf("max in-flight = %d, want > 1 with PerEndpoint=4", got)
+	}
+}
+
+func TestHandlerEmptyTaskList(t *testing.T) {
+	h := NewHandler(0)
+	if out := h.Run(context.Background(), nil); len(out) != 0 {
+		t.Errorf("results = %v", out)
+	}
+}
+
+func TestHandlerResultsAlignWithTasks(t *testing.T) {
+	a := &gaugeEndpoint{name: "a"}
+	b := &gaugeEndpoint{name: "b"}
+	h := NewHandler(2)
+	tasks := []Task{
+		{EP: a, Query: "q0"}, {EP: b, Query: "q1"}, {EP: a, Query: "q2"},
+	}
+	out := h.Run(context.Background(), tasks)
+	for i := range tasks {
+		if out[i].Task.Query != tasks[i].Query {
+			t.Errorf("result %d aligned to %q, want %q", i, out[i].Task.Query, tasks[i].Query)
+		}
+	}
+}

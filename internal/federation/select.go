@@ -1,0 +1,210 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"lusail/internal/endpoint"
+	"lusail/internal/sparql"
+)
+
+// PatternSig is the cache key for a triple pattern's source-selection
+// result: constants verbatim, variables normalized, so that two
+// queries sharing a pattern shape share cache entries (FedX-style).
+func PatternSig(tp sparql.TriplePattern) string {
+	el := func(e sparql.Elem) string {
+		if e.IsVar() {
+			return "?"
+		}
+		return e.Term.String()
+	}
+	return el(tp.S) + " " + el(tp.P) + " " + el(tp.O)
+}
+
+// AskCache caches per-endpoint ASK results keyed by pattern signature.
+// It is shared across queries, mirroring the caches the paper enables
+// for all systems in §VI-B.
+type AskCache struct {
+	mu sync.RWMutex
+	m  map[string]bool
+}
+
+// NewAskCache returns an empty cache.
+func NewAskCache() *AskCache { return &AskCache{m: make(map[string]bool)} }
+
+func (c *AskCache) key(ep string, sig string) string { return ep + "\x00" + sig }
+
+// Get looks up a cached ASK result.
+func (c *AskCache) Get(ep, sig string) (val, ok bool) {
+	if c == nil {
+		return false, false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	val, ok = c.m[c.key(ep, sig)]
+	return val, ok
+}
+
+// Put stores an ASK result.
+func (c *AskCache) Put(ep, sig string, val bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[c.key(ep, sig)] = val
+}
+
+// Len reports the number of cached entries.
+func (c *AskCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Clear removes all entries.
+func (c *AskCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[string]bool)
+}
+
+// AskQueryFor builds the ASK query that tests whether tp has any
+// solution, with variables canonicalized.
+func AskQueryFor(tp sparql.TriplePattern) string {
+	names := []string{"s", "p", "o"}
+	el := func(e sparql.Elem, i int) string {
+		if e.IsVar() {
+			return "?" + names[i]
+		}
+		return e.Term.String()
+	}
+	// Repeated variables must stay identical in the ASK.
+	seen := map[sparql.Var]string{}
+	idx := 0
+	elv := func(e sparql.Elem) string {
+		if !e.IsVar() {
+			return e.Term.String()
+		}
+		if n, ok := seen[e.Var]; ok {
+			return n
+		}
+		n := "?" + names[idx]
+		idx++
+		seen[e.Var] = n
+		return n
+	}
+	_ = el
+	return fmt.Sprintf("ASK { %s %s %s }", elv(tp.S), elv(tp.P), elv(tp.O))
+}
+
+// Selection maps each triple pattern (by index into the pattern list)
+// to the endpoints that can answer it.
+type Selection struct {
+	Patterns []sparql.TriplePattern
+	// Sources[i] lists indexes into Endpoints for pattern i.
+	Sources   [][]int
+	Endpoints []endpoint.Endpoint
+	// AskRequests counts the ASK queries actually sent (cache misses).
+	AskRequests int
+}
+
+// SourceSet returns the endpoint-index set for pattern i.
+func (s *Selection) SourceSet(i int) map[int]bool {
+	out := make(map[int]bool, len(s.Sources[i]))
+	for _, e := range s.Sources[i] {
+		out[e] = true
+	}
+	return out
+}
+
+// SameSources reports whether patterns i and j have identical source
+// lists.
+func (s *Selection) SameSources(i, j int) bool {
+	a, b := s.Sources[i], s.Sources[j]
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Selector performs ASK-based source selection over a fixed endpoint
+// list with a shared cache.
+type Selector struct {
+	Endpoints []endpoint.Endpoint
+	Cache     *AskCache
+	Handler   *Handler
+}
+
+// NewSelector builds a selector. cache may be nil to disable caching.
+func NewSelector(eps []endpoint.Endpoint, cache *AskCache) *Selector {
+	return &Selector{Endpoints: eps, Cache: cache, Handler: NewHandler(len(eps))}
+}
+
+// Select determines the relevant endpoints for every pattern of the
+// query by sending ASK queries (one per pattern per endpoint, cache
+// permitting).
+func (s *Selector) Select(ctx context.Context, q *sparql.Query) (*Selection, error) {
+	return s.SelectPatterns(ctx, PatternsOf(q.Where))
+}
+
+// SelectPatterns runs source selection for an explicit pattern list.
+func (s *Selector) SelectPatterns(ctx context.Context, patterns []sparql.TriplePattern) (*Selection, error) {
+	sel := &Selection{
+		Patterns:  patterns,
+		Sources:   make([][]int, len(patterns)),
+		Endpoints: s.Endpoints,
+	}
+
+	type probe struct {
+		pattern int
+		ep      int
+	}
+	var tasks []Task
+	var probes []probe
+	for pi, tp := range patterns {
+		sig := PatternSig(tp)
+		for ei, ep := range s.Endpoints {
+			if val, ok := s.Cache.Get(ep.Name(), sig); ok {
+				if val {
+					sel.Sources[pi] = append(sel.Sources[pi], ei)
+				}
+				continue
+			}
+			tasks = append(tasks, Task{EP: ep, Query: AskQueryFor(tp)})
+			probes = append(probes, probe{pattern: pi, ep: ei})
+		}
+	}
+	sel.AskRequests = len(tasks)
+	results := s.Handler.Run(ctx, tasks)
+	for i, tr := range results {
+		if tr.Err != nil {
+			return nil, fmt.Errorf("source selection at %s: %w", tr.Task.EP.Name(), tr.Err)
+		}
+		pr := probes[i]
+		val := tr.Res.Ask
+		s.Cache.Put(s.Endpoints[pr.ep].Name(), PatternSig(patterns[pr.pattern]), val)
+		if val {
+			sel.Sources[pr.pattern] = append(sel.Sources[pr.pattern], pr.ep)
+		}
+	}
+	// Keep source lists sorted for deterministic SameSources checks.
+	for i := range sel.Sources {
+		sortInts(sel.Sources[i])
+	}
+	return sel, nil
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

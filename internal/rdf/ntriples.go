@@ -1,0 +1,226 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseNTriples reads an N-Triples document from r and returns its
+// triples. Lines that are empty or start with '#' are skipped.
+func ParseNTriples(r io.Reader) (Graph, error) {
+	var g Graph
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseTripleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("ntriples line %d: %w", lineNo, err)
+		}
+		g = append(g, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseTripleLine parses one N-Triples statement, e.g.
+//
+//	<http://a> <http://p> "lit"@en .
+func ParseTripleLine(line string) (Triple, error) {
+	p := &ntParser{in: line}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("subject: %w", err)
+	}
+	pr, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("predicate: %w", err)
+	}
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("object: %w", err)
+	}
+	p.skipWS()
+	if p.pos >= len(p.in) || p.in[p.pos] != '.' {
+		return Triple{}, fmt.Errorf("missing terminating '.'")
+	}
+	return Triple{S: s, P: pr, O: o}, nil
+}
+
+// ParseTerm parses a single term in N-Triples syntax.
+func ParseTerm(s string) (Term, error) {
+	p := &ntParser{in: s}
+	t, err := p.term()
+	if err != nil {
+		return Term{}, err
+	}
+	p.skipWS()
+	if p.pos != len(p.in) {
+		return Term{}, fmt.Errorf("trailing input %q", p.in[p.pos:])
+	}
+	return t, nil
+}
+
+type ntParser struct {
+	in  string
+	pos int
+}
+
+func (p *ntParser) skipWS() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *ntParser) term() (Term, error) {
+	p.skipWS()
+	if p.pos >= len(p.in) {
+		return Term{}, fmt.Errorf("unexpected end of input")
+	}
+	switch p.in[p.pos] {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	default:
+		return Term{}, fmt.Errorf("unexpected character %q", p.in[p.pos])
+	}
+}
+
+func (p *ntParser) iri() (Term, error) {
+	end := strings.IndexByte(p.in[p.pos:], '>')
+	if end < 0 {
+		return Term{}, fmt.Errorf("unterminated IRI")
+	}
+	iri := p.in[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	return IRI(iri), nil
+}
+
+func (p *ntParser) blank() (Term, error) {
+	if p.pos+1 >= len(p.in) || p.in[p.pos+1] != ':' {
+		return Term{}, fmt.Errorf("malformed blank node")
+	}
+	start := p.pos + 2
+	i := start
+	for i < len(p.in) && !isNTDelim(p.in[i]) {
+		i++
+	}
+	if i == start {
+		return Term{}, fmt.Errorf("empty blank node label")
+	}
+	label := p.in[start:i]
+	p.pos = i
+	return Blank(label), nil
+}
+
+func isNTDelim(c byte) bool {
+	return c == ' ' || c == '\t' || c == '.' || c == '<' || c == '"'
+}
+
+func (p *ntParser) literal() (Term, error) {
+	var b strings.Builder
+	i := p.pos + 1
+	for i < len(p.in) {
+		c := p.in[i]
+		if c == '\\' {
+			if i+1 >= len(p.in) {
+				return Term{}, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch p.in[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'u':
+				if i+4 >= len(p.in) {
+					return Term{}, fmt.Errorf("truncated \\u escape")
+				}
+				var r rune
+				if _, err := fmt.Sscanf(p.in[i+1:i+5], "%04X", &r); err != nil {
+					return Term{}, fmt.Errorf("bad \\u escape: %w", err)
+				}
+				b.WriteRune(r)
+				i += 4
+			default:
+				return Term{}, fmt.Errorf("unknown escape \\%c", p.in[i])
+			}
+			i++
+			continue
+		}
+		if c == '"' {
+			break
+		}
+		b.WriteByte(c)
+		i++
+	}
+	if i >= len(p.in) {
+		return Term{}, fmt.Errorf("unterminated literal")
+	}
+	i++ // consume closing quote
+	lex := b.String()
+	// Optional @lang or ^^<datatype>.
+	if i < len(p.in) && p.in[i] == '@' {
+		start := i + 1
+		j := start
+		for j < len(p.in) && (isAlnum(p.in[j]) || p.in[j] == '-') {
+			j++
+		}
+		if j == start {
+			return Term{}, fmt.Errorf("empty language tag")
+		}
+		p.pos = j
+		return LangLiteral(lex, p.in[start:j]), nil
+	}
+	if i+1 < len(p.in) && p.in[i] == '^' && p.in[i+1] == '^' {
+		i += 2
+		if i >= len(p.in) || p.in[i] != '<' {
+			return Term{}, fmt.Errorf("datatype must be an IRI")
+		}
+		end := strings.IndexByte(p.in[i:], '>')
+		if end < 0 {
+			return Term{}, fmt.Errorf("unterminated datatype IRI")
+		}
+		dt := p.in[i+1 : i+end]
+		p.pos = i + end + 1
+		return TypedLiteral(lex, dt), nil
+	}
+	p.pos = i
+	return Literal(lex), nil
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// WriteNTriples serializes g to w in N-Triples format.
+func WriteNTriples(w io.Writer, g Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,227 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNTriplesBasic(t *testing.T) {
+	doc := `
+# a comment
+<http://ex/s> <http://ex/p> <http://ex/o> .
+<http://ex/s> <http://ex/p> "plain" .
+<http://ex/s> <http://ex/p> "typed"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/s> <http://ex/p> "tagged"@en-US .
+_:b1 <http://ex/p> _:b2 .
+`
+	g, err := ParseNTriples(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 5 {
+		t.Fatalf("parsed %d triples, want 5", len(g))
+	}
+	if g[0].O != IRI("http://ex/o") {
+		t.Errorf("triple 0 object = %v", g[0].O)
+	}
+	if g[1].O != Literal("plain") {
+		t.Errorf("triple 1 object = %v", g[1].O)
+	}
+	if g[2].O != TypedLiteral("typed", XSDInteger) {
+		t.Errorf("triple 2 object = %v", g[2].O)
+	}
+	if g[3].O != LangLiteral("tagged", "en-us") {
+		t.Errorf("triple 3 object = %v", g[3].O)
+	}
+	if g[4].S != Blank("b1") || g[4].O != Blank("b2") {
+		t.Errorf("triple 4 = %v", g[4])
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	tr, err := ParseTripleLine(`<http://s> <http://p> "a\"b\\c\nd\teA" .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\"b\\c\nd\teA"
+	if tr.O.Value != want {
+		t.Errorf("object = %q, want %q", tr.O.Value, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<http://s> <http://p> <http://o>`,    // missing dot
+		`<http://s <http://p> <http://o> .`,   // unterminated IRI
+		`<http://s> <http://p> "unclosed .`,   // unterminated literal
+		`<http://s> <http://p> "x"@ .`,        // empty lang tag
+		`<http://s> <http://p> "x"^^bad .`,    // datatype not IRI
+		`<http://s> <http://p> .`,             // missing object
+		`_: <http://p> <http://o> .`,          // empty blank label
+		`bare <http://p> <http://o> .`,        // junk subject
+		`<http://s> <http://p> "x\q" .`,       // unknown escape
+		`<http://s> <http://p> "x\u00" .`,     // truncated \u
+		`<http://s> <http://p> "x"^^<nodot .`, // unterminated datatype
+	}
+	for _, line := range bad {
+		if _, err := ParseTripleLine(line); err == nil {
+			t.Errorf("ParseTripleLine(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestParseTerm(t *testing.T) {
+	tm, err := ParseTerm(`"hello"@fr`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm != LangLiteral("hello", "fr") {
+		t.Errorf("got %v", tm)
+	}
+	if _, err := ParseTerm(`<http://a> junk`); err == nil {
+		t.Error("trailing input accepted")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	g := Graph{
+		T(IRI("http://ex/s"), IRI("http://ex/p"), Literal("line1\nline2\t\"q\" \\")),
+		T(Blank("node0"), IRI("http://ex/p"), LangLiteral("bonjour", "fr")),
+		T(IRI("http://ex/s"), RDFTypeTerm(), IRI("http://ex/C")),
+		T(IRI("http://ex/s"), IRI("http://ex/n"), Integer(123)),
+	}
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, back) {
+		t.Errorf("round trip mismatch:\n in: %v\nout: %v", g, back)
+	}
+}
+
+// RDFTypeTerm is a helper for tests.
+func RDFTypeTerm() Term { return IRI(RDFType) }
+
+// genTerm produces a random valid data term (no zero terms, no blank
+// labels with delimiters).
+func genTerm(r *rand.Rand) Term {
+	alpha := "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	word := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alpha[r.Intn(len(alpha))])
+		}
+		return b.String()
+	}
+	switch r.Intn(5) {
+	case 0:
+		return IRI("http://ex.org/" + word(1+r.Intn(10)))
+	case 1:
+		return Blank(word(1 + r.Intn(8)))
+	case 2:
+		// Literal with characters that need escaping.
+		chars := []string{"a", "b", `"`, `\`, "\n", "\t", "\r", "é", " "}
+		var b strings.Builder
+		for i := 0; i < r.Intn(12); i++ {
+			b.WriteString(chars[r.Intn(len(chars))])
+		}
+		return Literal(b.String())
+	case 3:
+		return LangLiteral(word(1+r.Intn(6)), "en")
+	default:
+		return TypedLiteral(word(1+r.Intn(6)), "http://ex.org/dt/"+word(3))
+	}
+}
+
+// TestQuickTermRoundTrip property-tests that every generated term
+// serializes to N-Triples syntax and parses back identically.
+func TestQuickTermRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tm := genTerm(r)
+		back, err := ParseTerm(tm.String())
+		if err != nil {
+			t.Logf("term %v: parse error %v", tm, err)
+			return false
+		}
+		return back == tm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTripleRoundTrip property-tests graph round-trips through the
+// serializer.
+func TestQuickTripleRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		g := make(Graph, 0, n)
+		for i := 0; i < n; i++ {
+			// Subjects/predicates must be IRIs or blanks per RDF.
+			s := genTerm(r)
+			for s.IsLiteral() {
+				s = genTerm(r)
+			}
+			p := IRI("http://ex.org/p/" + string(rune('a'+r.Intn(26))))
+			g = append(g, T(s, p, genTerm(r)))
+		}
+		var buf bytes.Buffer
+		if err := WriteNTriples(&buf, g); err != nil {
+			return false
+		}
+		back, err := ParseNTriples(&buf)
+		if err != nil {
+			t.Logf("parse error: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(g, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareConsistentWithEquality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genTerm(r), genTerm(r)
+		if (a == b) != (a.Compare(b) == 0) {
+			return false
+		}
+		// Antisymmetry.
+		return a.Compare(b) == -b.Compare(a) || (a.Compare(b) > 0) == (b.Compare(a) < 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > 4 {
+		return 0, errShortWrite
+	}
+	return len(p), nil
+}
+
+var errShortWrite = fmt.Errorf("injected write failure")
+
+func TestWriteNTriplesPropagatesWriteErrors(t *testing.T) {
+	g := Graph{T(IRI("http://ex/s"), IRI("http://ex/p"), Literal("o"))}
+	if err := WriteNTriples(&failingWriter{}, g); err == nil {
+		t.Error("write failure swallowed")
+	}
+}

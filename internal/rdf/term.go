@@ -1,0 +1,185 @@
+// Package rdf implements the RDF data model used throughout Lusail:
+// terms (IRIs, literals, blank nodes), triples, and N-Triples I/O.
+//
+// The representation is deliberately value-based and comparable so that
+// terms can be used directly as map keys in join hash tables and
+// dictionaries.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of RDF terms plus the absent
+// term used in patterns.
+type TermKind uint8
+
+const (
+	// KindUndef marks the zero Term; it never appears in stored data.
+	KindUndef TermKind = iota
+	// KindIRI is an IRI reference such as <http://example.org/a>.
+	KindIRI
+	// KindLiteral is a literal, optionally tagged with a datatype IRI
+	// or a language tag.
+	KindLiteral
+	// KindBlank is a blank node with a document-scoped label.
+	KindBlank
+)
+
+// Well-known vocabulary IRIs.
+const (
+	RDFType     = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	XSDString   = "http://www.w3.org/2001/XMLSchema#string"
+	XSDInteger  = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDecimal  = "http://www.w3.org/2001/XMLSchema#decimal"
+	XSDDouble   = "http://www.w3.org/2001/XMLSchema#double"
+	XSDBoolean  = "http://www.w3.org/2001/XMLSchema#boolean"
+	RDFSLabel   = "http://www.w3.org/2000/01/rdf-schema#label"
+	RDFSSeeAlso = "http://www.w3.org/2000/01/rdf-schema#seeAlso"
+	OWLSameAs   = "http://www.w3.org/2002/07/owl#sameAs"
+)
+
+// Term is one RDF term. The zero value is the undefined term.
+//
+// For IRIs, Value holds the IRI string. For blank nodes, Value holds
+// the label (without the "_:" prefix). For literals, Value holds the
+// lexical form, Datatype the datatype IRI (empty means xsd:string),
+// and Lang the language tag (mutually exclusive with Datatype).
+type Term struct {
+	Kind     TermKind
+	Value    string
+	Datatype string
+	Lang     string
+}
+
+// IRI returns an IRI term.
+func IRI(iri string) Term { return Term{Kind: KindIRI, Value: iri} }
+
+// Blank returns a blank-node term with the given label.
+func Blank(label string) Term { return Term{Kind: KindBlank, Value: label} }
+
+// Literal returns a plain string literal term.
+func Literal(lex string) Term { return Term{Kind: KindLiteral, Value: lex} }
+
+// TypedLiteral returns a literal with an explicit datatype IRI.
+func TypedLiteral(lex, datatype string) Term {
+	if datatype == XSDString {
+		datatype = ""
+	}
+	return Term{Kind: KindLiteral, Value: lex, Datatype: datatype}
+}
+
+// LangLiteral returns a language-tagged literal.
+func LangLiteral(lex, lang string) Term {
+	return Term{Kind: KindLiteral, Value: lex, Lang: strings.ToLower(lang)}
+}
+
+// Integer returns an xsd:integer literal.
+func Integer(v int64) Term {
+	return Term{Kind: KindLiteral, Value: fmt.Sprintf("%d", v), Datatype: XSDInteger}
+}
+
+// Bool returns an xsd:boolean literal.
+func Bool(v bool) Term {
+	if v {
+		return Term{Kind: KindLiteral, Value: "true", Datatype: XSDBoolean}
+	}
+	return Term{Kind: KindLiteral, Value: "false", Datatype: XSDBoolean}
+}
+
+// IsIRI reports whether t is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == KindIRI }
+
+// IsLiteral reports whether t is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == KindLiteral }
+
+// IsBlank reports whether t is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == KindBlank }
+
+// IsZero reports whether t is the undefined term.
+func (t Term) IsZero() bool { return t.Kind == KindUndef }
+
+// Authority returns the scheme+authority prefix of an IRI term, e.g.
+// "http://example.org" for <http://example.org/a/b>. It is the key used
+// by HiBISCuS-style source summaries. Non-IRI terms return "".
+func (t Term) Authority() string {
+	if t.Kind != KindIRI {
+		return ""
+	}
+	s := t.Value
+	i := strings.Index(s, "://")
+	if i < 0 {
+		// URN-like IRIs: authority is everything up to the last ':'.
+		if j := strings.LastIndexByte(s, ':'); j >= 0 {
+			return s[:j]
+		}
+		return s
+	}
+	rest := s[i+3:]
+	if j := strings.IndexByte(rest, '/'); j >= 0 {
+		return s[:i+3+j]
+	}
+	return s
+}
+
+// Compare orders terms: kind first (IRI < literal < blank), then value,
+// datatype, language. It provides the deterministic ordering used by
+// ORDER BY and by tests.
+func (t Term) Compare(o Term) int {
+	if t.Kind != o.Kind {
+		return int(t.Kind) - int(o.Kind)
+	}
+	if c := strings.Compare(t.Value, o.Value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(t.Datatype, o.Datatype); c != 0 {
+		return c
+	}
+	return strings.Compare(t.Lang, o.Lang)
+}
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case KindIRI:
+		return "<" + t.Value + ">"
+	case KindBlank:
+		return "_:" + t.Value
+	case KindLiteral:
+		var b strings.Builder
+		b.WriteByte('"')
+		escapeLiteral(&b, t.Value)
+		b.WriteByte('"')
+		if t.Lang != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		} else if t.Datatype != "" {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+		return b.String()
+	default:
+		return "UNDEF"
+	}
+}
+
+func escapeLiteral(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package rdf
+
+import (
+	"testing"
+)
+
+func TestTermConstructors(t *testing.T) {
+	cases := []struct {
+		name string
+		term Term
+		kind TermKind
+		str  string
+	}{
+		{"iri", IRI("http://ex.org/a"), KindIRI, "<http://ex.org/a>"},
+		{"blank", Blank("b1"), KindBlank, "_:b1"},
+		{"plain literal", Literal("hi"), KindLiteral, `"hi"`},
+		{"typed literal", TypedLiteral("5", XSDInteger), KindLiteral, `"5"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{"lang literal", LangLiteral("hi", "EN"), KindLiteral, `"hi"@en`},
+		{"integer", Integer(-42), KindLiteral, `"-42"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{"bool true", Bool(true), KindLiteral, `"true"^^<http://www.w3.org/2001/XMLSchema#boolean>`},
+		{"bool false", Bool(false), KindLiteral, `"false"^^<http://www.w3.org/2001/XMLSchema#boolean>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.term.Kind != c.kind {
+				t.Errorf("kind = %v, want %v", c.term.Kind, c.kind)
+			}
+			if got := c.term.String(); got != c.str {
+				t.Errorf("String() = %q, want %q", got, c.str)
+			}
+		})
+	}
+}
+
+func TestXSDStringDatatypeNormalized(t *testing.T) {
+	// xsd:string-typed literals are normalized to plain literals so
+	// that equality joins treat "a" and "a"^^xsd:string as identical.
+	a := TypedLiteral("a", XSDString)
+	b := Literal("a")
+	if a != b {
+		t.Fatalf("TypedLiteral(a, xsd:string) = %v, want %v", a, b)
+	}
+}
+
+func TestTermPredicates(t *testing.T) {
+	if !IRI("x").IsIRI() || IRI("x").IsLiteral() || IRI("x").IsBlank() {
+		t.Error("IRI kind predicates wrong")
+	}
+	if !Literal("x").IsLiteral() || Literal("x").IsIRI() {
+		t.Error("Literal kind predicates wrong")
+	}
+	if !Blank("x").IsBlank() {
+		t.Error("Blank kind predicates wrong")
+	}
+	var zero Term
+	if !zero.IsZero() || IRI("x").IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestAuthority(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{IRI("http://example.org/a/b"), "http://example.org"},
+		{IRI("http://example.org"), "http://example.org"},
+		{IRI("https://x.y/z#f"), "https://x.y"},
+		{IRI("urn:uuid:1234"), "urn:uuid"},
+		{Literal("http://example.org/a"), ""},
+		{Blank("b"), ""},
+	}
+	for _, c := range cases {
+		if got := c.term.Authority(); got != c.want {
+			t.Errorf("Authority(%v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestTermCompare(t *testing.T) {
+	ordered := []Term{
+		IRI("http://a"),
+		IRI("http://b"),
+		Literal("a"),
+		LangLiteral("a", "en"),
+		TypedLiteral("a", XSDInteger),
+		Literal("b"),
+		Blank("x"),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			switch {
+			case i < j && got >= 0:
+				t.Errorf("Compare(%v,%v) = %d, want <0", ordered[i], ordered[j], got)
+			case i == j && got != 0:
+				t.Errorf("Compare(%v,%v) = %d, want 0", ordered[i], ordered[j], got)
+			case i > j && got <= 0:
+				t.Errorf("Compare(%v,%v) = %d, want >0", ordered[i], ordered[j], got)
+			}
+		}
+	}
+}
+
+func TestLiteralEscaping(t *testing.T) {
+	l := Literal("a\"b\\c\nd\te\rf")
+	want := `"a\"b\\c\nd\te\rf"`
+	if got := l.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := T(IRI("http://s"), IRI("http://p"), Literal("o"))
+	want := `<http://s> <http://p> "o" .`
+	if got := tr.String(); got != want {
+		t.Errorf("Triple.String() = %q, want %q", got, want)
+	}
+}
+
+func TestTripleCompare(t *testing.T) {
+	a := T(IRI("a"), IRI("p"), IRI("x"))
+	b := T(IRI("a"), IRI("p"), IRI("y"))
+	c := T(IRI("a"), IRI("q"), IRI("x"))
+	d := T(IRI("b"), IRI("p"), IRI("x"))
+	if a.Compare(b) >= 0 || b.Compare(c) >= 0 || c.Compare(d) >= 0 {
+		t.Error("triple ordering violated")
+	}
+	if a.Compare(a) != 0 {
+		t.Error("triple not equal to itself")
+	}
+}
+
+func TestGraphAdd(t *testing.T) {
+	var g Graph
+	g.Add(IRI("s"), IRI("p"), IRI("o"))
+	g.Add(IRI("s2"), IRI("p2"), Literal("l"))
+	if len(g) != 2 {
+		t.Fatalf("len = %d, want 2", len(g))
+	}
+	if g[0].S != IRI("s") || g[1].O != Literal("l") {
+		t.Error("graph contents wrong")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	var g Graph
+	g.Add(IRI("http://s"), IRI("http://p"), Literal("o"))
+	g.Add(IRI("http://s2"), IRI("http://p"), IRI("http://o2"))
+	got := g.String()
+	want := "<http://s> <http://p> \"o\" .\n<http://s2> <http://p> <http://o2> .\n"
+	if got != want {
+		t.Errorf("Graph.String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,52 @@
+package rdf
+
+import "strings"
+
+// Triple is one RDF statement.
+type Triple struct {
+	S, P, O Term
+}
+
+// T constructs a triple.
+func T(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// String renders the triple as one N-Triples line (without newline).
+func (t Triple) String() string {
+	var b strings.Builder
+	b.WriteString(t.S.String())
+	b.WriteByte(' ')
+	b.WriteString(t.P.String())
+	b.WriteByte(' ')
+	b.WriteString(t.O.String())
+	b.WriteString(" .")
+	return b.String()
+}
+
+// Compare orders triples lexicographically by subject, predicate,
+// object.
+func (t Triple) Compare(o Triple) int {
+	if c := t.S.Compare(o.S); c != 0 {
+		return c
+	}
+	if c := t.P.Compare(o.P); c != 0 {
+		return c
+	}
+	return t.O.Compare(o.O)
+}
+
+// Graph is a simple list of triples, used as the interchange
+// representation produced by data generators and consumed by stores.
+type Graph []Triple
+
+// Add appends a triple.
+func (g *Graph) Add(s, p, o Term) { *g = append(*g, Triple{s, p, o}) }
+
+// String renders the graph as N-Triples.
+func (g Graph) String() string {
+	var b strings.Builder
+	for _, t := range g {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

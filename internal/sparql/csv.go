@@ -1,0 +1,85 @@
+package sparql
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"lusail/internal/rdf"
+)
+
+// EncodeCSV writes r in the SPARQL 1.1 Query Results CSV Format: plain
+// values, IRIs bare, literals unquoted lexical forms (the lossy,
+// spreadsheet-friendly format).
+func (r *Results) EncodeCSV(w io.Writer) error {
+	if r.AskForm {
+		_, err := fmt.Fprintf(w, "ask\r\n%t\r\n", r.Ask)
+		return err
+	}
+	cw := csv.NewWriter(w)
+	cw.UseCRLF = true
+	header := make([]string, len(r.Vars))
+	for i, v := range r.Vars {
+		header[i] = string(v)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := make([]string, len(r.Vars))
+		for i, v := range r.Vars {
+			if t, ok := row[v]; ok {
+				rec[i] = t.Value
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// EncodeTSV writes r in the SPARQL 1.1 Query Results TSV Format:
+// terms in full Turtle/N-Triples syntax, tab separated — lossless,
+// unlike CSV.
+func (r *Results) EncodeTSV(w io.Writer) error {
+	if r.AskForm {
+		_, err := fmt.Fprintf(w, "?ask\n%t\n", r.Ask)
+		return err
+	}
+	var b strings.Builder
+	for i, v := range r.Vars {
+		if i > 0 {
+			b.WriteByte('\t')
+		}
+		b.WriteByte('?')
+		b.WriteString(string(v))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		for i, v := range r.Vars {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			if t, ok := row[v]; ok {
+				b.WriteString(tsvTerm(t))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// tsvTerm renders a term for TSV: N-Triples syntax with tabs and
+// newlines escaped inside literals (they would break the framing).
+func tsvTerm(t rdf.Term) string {
+	s := t.String()
+	if t.Kind == rdf.KindLiteral {
+		// Term.String already escapes \n, \r, \t inside literals.
+		return s
+	}
+	return s
+}

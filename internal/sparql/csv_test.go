@@ -1,0 +1,87 @@
+package sparql
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lusail/internal/rdf"
+)
+
+func csvFixture() *Results {
+	return &Results{
+		Vars: []Var{"s", "o"},
+		Rows: []Binding{
+			{"s": rdf.IRI("http://ex/1"), "o": rdf.Literal(`va"l,ue`)},
+			{"s": rdf.IRI("http://ex/2")}, // o unbound
+			{"s": rdf.Blank("b0"), "o": rdf.Integer(7)},
+		},
+	}
+}
+
+func TestEncodeCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := csvFixture().EncodeCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\r\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	if lines[0] != "s,o" {
+		t.Errorf("header = %q", lines[0])
+	}
+	// The comma-and-quote literal must be CSV-quoted.
+	if !strings.Contains(lines[1], `"va""l,ue"`) {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "http://ex/2," {
+		t.Errorf("unbound cell = %q", lines[2])
+	}
+}
+
+func TestEncodeCSVAsk(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewAskResult(true).EncodeCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "true") {
+		t.Errorf("ask csv = %q", buf.String())
+	}
+}
+
+func TestEncodeTSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := csvFixture().EncodeTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "?s\t?o" {
+		t.Errorf("header = %q", lines[0])
+	}
+	// TSV is lossless: IRIs bracketed, literals quoted.
+	if !strings.HasPrefix(lines[1], "<http://ex/1>\t") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "_:b0") || !strings.Contains(lines[3], "XMLSchema#integer") {
+		t.Errorf("row 3 = %q", lines[3])
+	}
+}
+
+func TestEncodeTSVEscapesControlChars(t *testing.T) {
+	r := &Results{
+		Vars: []Var{"x"},
+		Rows: []Binding{{"x": rdf.Literal("a\tb\nc")}},
+	}
+	var buf bytes.Buffer
+	if err := r.EncodeTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("control chars broke TSV framing: %q", buf.String())
+	}
+	if !strings.Contains(lines[1], `\t`) || !strings.Contains(lines[1], `\n`) {
+		t.Errorf("row = %q", lines[1])
+	}
+}

@@ -1,0 +1,513 @@
+package sparql
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"lusail/internal/rdf"
+)
+
+// Expr is a SPARQL filter expression node.
+type Expr interface {
+	// Vars returns the variables referenced by the expression
+	// (excluding those only inside EXISTS groups, which are reported
+	// too — callers use Vars for filter placement).
+	Vars() []Var
+	// String renders the expression in SPARQL syntax.
+	String() string
+}
+
+// VarExpr references a variable.
+type VarExpr struct{ Name Var }
+
+// TermExpr is a constant term.
+type TermExpr struct{ Term rdf.Term }
+
+// BinaryExpr applies Op to Left and Right. Op is one of
+// "||", "&&", "=", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/".
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+// UnaryExpr applies Op ("!" or "-") to X.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// CallExpr is a builtin function call: BOUND, STR, LANG, DATATYPE,
+// REGEX, CONTAINS, STRSTARTS, STRENDS, ISIRI, ISLITERAL, ISBLANK, LCASE, UCASE, STRLEN.
+type CallExpr struct {
+	Func string // upper-cased
+	Args []Expr
+}
+
+// ExistsExpr is FILTER [NOT] EXISTS { group }.
+type ExistsExpr struct {
+	Not   bool
+	Group *GroupGraphPattern
+}
+
+// Vars implementations.
+
+// Vars returns the referenced variable.
+func (e *VarExpr) Vars() []Var { return []Var{e.Name} }
+
+// Vars returns nil: constants reference no variables.
+func (e *TermExpr) Vars() []Var { return nil }
+
+// Vars returns the union of both operand variable sets.
+func (e *BinaryExpr) Vars() []Var { return mergeVars(e.Left.Vars(), e.Right.Vars()) }
+
+// Vars returns the operand's variables.
+func (e *UnaryExpr) Vars() []Var { return e.X.Vars() }
+
+// Vars returns the union of all argument variable sets.
+func (e *CallExpr) Vars() []Var {
+	var out []Var
+	for _, a := range e.Args {
+		out = mergeVars(out, a.Vars())
+	}
+	return out
+}
+
+// Vars returns the variables of the embedded group.
+func (e *ExistsExpr) Vars() []Var { return e.Group.AllVars() }
+
+func mergeVars(a, b []Var) []Var {
+	seen := make(map[Var]bool, len(a))
+	out := append([]Var(nil), a...)
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String implementations.
+
+func (e *VarExpr) String() string  { return "?" + string(e.Name) }
+func (e *TermExpr) String() string { return e.Term.String() }
+func (e *BinaryExpr) String() string {
+	return "(" + e.Left.String() + " " + e.Op + " " + e.Right.String() + ")"
+}
+func (e *UnaryExpr) String() string { return e.Op + "(" + e.X.String() + ")" }
+func (e *CallExpr) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Func + "(" + strings.Join(args, ", ") + ")"
+}
+func (e *ExistsExpr) String() string {
+	kw := "EXISTS"
+	if e.Not {
+		kw = "NOT EXISTS"
+	}
+	return kw + " " + serializeGroup(e.Group, 1)
+}
+
+// ErrExprType signals a SPARQL expression type error; per the SPARQL
+// spec, a type error in a FILTER makes the filter reject the row.
+var ErrExprType = fmt.Errorf("sparql: expression type error")
+
+// ExistsEvaluator evaluates an EXISTS group under a binding; the
+// engine supplies it since expression evaluation cannot see data.
+type ExistsEvaluator func(g *GroupGraphPattern, b Binding) (bool, error)
+
+// Eval evaluates the expression under the binding. exists may be nil
+// when the expression contains no EXISTS. Unbound variables and type
+// mismatches return ErrExprType, matching SPARQL error semantics.
+func Eval(e Expr, b Binding, exists ExistsEvaluator) (rdf.Term, error) {
+	switch e := e.(type) {
+	case *VarExpr:
+		t, ok := b[e.Name]
+		if !ok {
+			return rdf.Term{}, ErrExprType
+		}
+		return t, nil
+	case *TermExpr:
+		return e.Term, nil
+	case *UnaryExpr:
+		return evalUnary(e, b, exists)
+	case *BinaryExpr:
+		return evalBinary(e, b, exists)
+	case *CallExpr:
+		return evalCall(e, b, exists)
+	case *ExistsExpr:
+		if exists == nil {
+			return rdf.Term{}, fmt.Errorf("sparql: EXISTS not supported in this context")
+		}
+		ok, err := exists(e.Group, b)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if e.Not {
+			ok = !ok
+		}
+		return rdf.Bool(ok), nil
+	default:
+		return rdf.Term{}, fmt.Errorf("sparql: unknown expression %T", e)
+	}
+}
+
+// EffectiveBool computes the SPARQL effective boolean value of a term.
+func EffectiveBool(t rdf.Term) (bool, error) {
+	if t.Kind != rdf.KindLiteral {
+		return false, ErrExprType
+	}
+	switch t.Datatype {
+	case rdf.XSDBoolean:
+		return t.Value == "true" || t.Value == "1", nil
+	case rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble:
+		f, err := strconv.ParseFloat(t.Value, 64)
+		if err != nil {
+			return false, ErrExprType
+		}
+		return f != 0, nil
+	case "":
+		return t.Value != "", nil
+	default:
+		return false, ErrExprType
+	}
+}
+
+// EvalBool evaluates e and coerces the result to a boolean. A type
+// error yields (false, ErrExprType); FILTER treats that as false.
+func EvalBool(e Expr, b Binding, exists ExistsEvaluator) (bool, error) {
+	t, err := Eval(e, b, exists)
+	if err != nil {
+		return false, err
+	}
+	return EffectiveBool(t)
+}
+
+func evalUnary(e *UnaryExpr, b Binding, exists ExistsEvaluator) (rdf.Term, error) {
+	v, err := Eval(e.X, b, exists)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	switch e.Op {
+	case "!":
+		bv, err := EffectiveBool(v)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.Bool(!bv), nil
+	case "-":
+		f, ok := numericValue(v)
+		if !ok {
+			return rdf.Term{}, ErrExprType
+		}
+		return numericTerm(-f, v), nil
+	default:
+		return rdf.Term{}, fmt.Errorf("sparql: unknown unary op %q", e.Op)
+	}
+}
+
+func evalBinary(e *BinaryExpr, b Binding, exists ExistsEvaluator) (rdf.Term, error) {
+	// Logical operators have special error semantics but we use the
+	// simple strict form: evaluate both sides lazily.
+	switch e.Op {
+	case "||":
+		lv, lerr := EvalBool(e.Left, b, exists)
+		if lerr == nil && lv {
+			return rdf.Bool(true), nil
+		}
+		rv, rerr := EvalBool(e.Right, b, exists)
+		if rerr == nil && rv {
+			return rdf.Bool(true), nil
+		}
+		if lerr != nil {
+			return rdf.Term{}, lerr
+		}
+		if rerr != nil {
+			return rdf.Term{}, rerr
+		}
+		return rdf.Bool(false), nil
+	case "&&":
+		lv, lerr := EvalBool(e.Left, b, exists)
+		if lerr == nil && !lv {
+			return rdf.Bool(false), nil
+		}
+		rv, rerr := EvalBool(e.Right, b, exists)
+		if rerr == nil && !rv {
+			return rdf.Bool(false), nil
+		}
+		if lerr != nil {
+			return rdf.Term{}, lerr
+		}
+		if rerr != nil {
+			return rdf.Term{}, rerr
+		}
+		return rdf.Bool(true), nil
+	}
+
+	l, err := Eval(e.Left, b, exists)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	r, err := Eval(e.Right, b, exists)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	switch e.Op {
+	case "=":
+		eq, err := termsEqual(l, r)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.Bool(eq), nil
+	case "!=":
+		eq, err := termsEqual(l, r)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.Bool(!eq), nil
+	case "<", "<=", ">", ">=":
+		c, err := compareTerms(l, r)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		var res bool
+		switch e.Op {
+		case "<":
+			res = c < 0
+		case "<=":
+			res = c <= 0
+		case ">":
+			res = c > 0
+		case ">=":
+			res = c >= 0
+		}
+		return rdf.Bool(res), nil
+	case "+", "-", "*", "/":
+		lf, lok := numericValue(l)
+		rf, rok := numericValue(r)
+		if !lok || !rok {
+			return rdf.Term{}, ErrExprType
+		}
+		var f float64
+		switch e.Op {
+		case "+":
+			f = lf + rf
+		case "-":
+			f = lf - rf
+		case "*":
+			f = lf * rf
+		case "/":
+			if rf == 0 {
+				return rdf.Term{}, ErrExprType
+			}
+			f = lf / rf
+		}
+		if isIntegerTerm(l) && isIntegerTerm(r) && e.Op != "/" {
+			return rdf.Integer(int64(f)), nil
+		}
+		return rdf.TypedLiteral(strconv.FormatFloat(f, 'g', -1, 64), rdf.XSDDouble), nil
+	default:
+		return rdf.Term{}, fmt.Errorf("sparql: unknown binary op %q", e.Op)
+	}
+}
+
+func evalCall(e *CallExpr, b Binding, exists ExistsEvaluator) (rdf.Term, error) {
+	if e.Func == "BOUND" {
+		if len(e.Args) != 1 {
+			return rdf.Term{}, fmt.Errorf("sparql: BOUND takes one variable")
+		}
+		ve, ok := e.Args[0].(*VarExpr)
+		if !ok {
+			return rdf.Term{}, fmt.Errorf("sparql: BOUND argument must be a variable")
+		}
+		_, bound := b[ve.Name]
+		return rdf.Bool(bound), nil
+	}
+	args := make([]rdf.Term, len(e.Args))
+	for i, a := range e.Args {
+		v, err := Eval(a, b, exists)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		args[i] = v
+	}
+	str := func(i int) (string, error) {
+		t := args[i]
+		if t.Kind == rdf.KindLiteral || t.Kind == rdf.KindIRI {
+			return t.Value, nil
+		}
+		return "", ErrExprType
+	}
+	switch e.Func {
+	case "STR":
+		s, err := str(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.Literal(s), nil
+	case "LANG":
+		if args[0].Kind != rdf.KindLiteral {
+			return rdf.Term{}, ErrExprType
+		}
+		return rdf.Literal(args[0].Lang), nil
+	case "DATATYPE":
+		if args[0].Kind != rdf.KindLiteral {
+			return rdf.Term{}, ErrExprType
+		}
+		dt := args[0].Datatype
+		if dt == "" {
+			dt = rdf.XSDString
+		}
+		return rdf.IRI(dt), nil
+	case "ISIRI", "ISURI":
+		return rdf.Bool(args[0].Kind == rdf.KindIRI), nil
+	case "ISLITERAL":
+		return rdf.Bool(args[0].Kind == rdf.KindLiteral), nil
+	case "ISBLANK":
+		return rdf.Bool(args[0].Kind == rdf.KindBlank), nil
+	case "CONTAINS":
+		a, err := str(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		p, err := str(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.Bool(strings.Contains(a, p)), nil
+	case "STRSTARTS":
+		a, err := str(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		p, err := str(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.Bool(strings.HasPrefix(a, p)), nil
+	case "STRENDS":
+		a, err := str(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		p, err := str(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.Bool(strings.HasSuffix(a, p)), nil
+	case "STRLEN":
+		a, err := str(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.Integer(int64(len([]rune(a)))), nil
+	case "LCASE":
+		a, err := str(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.Literal(strings.ToLower(a)), nil
+	case "UCASE":
+		a, err := str(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.Literal(strings.ToUpper(a)), nil
+	case "REGEX":
+		if len(args) < 2 {
+			return rdf.Term{}, fmt.Errorf("sparql: REGEX takes 2 or 3 arguments")
+		}
+		a, err := str(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		pat, err := str(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if len(args) == 3 && strings.Contains(args[2].Value, "i") {
+			pat = "(?i)" + pat
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return rdf.Term{}, fmt.Errorf("sparql: bad REGEX pattern: %w", err)
+		}
+		return rdf.Bool(re.MatchString(a)), nil
+	default:
+		return rdf.Term{}, fmt.Errorf("sparql: unknown function %q", e.Func)
+	}
+}
+
+// numericTerm builds a numeric literal preserving the integer datatype
+// when the source term was an integer.
+func numericTerm(f float64, src rdf.Term) rdf.Term {
+	if isIntegerTerm(src) {
+		return rdf.Integer(int64(f))
+	}
+	return rdf.TypedLiteral(strconv.FormatFloat(f, 'g', -1, 64), rdf.XSDDouble)
+}
+
+func numericValue(t rdf.Term) (float64, bool) {
+	if t.Kind != rdf.KindLiteral {
+		return 0, false
+	}
+	switch t.Datatype {
+	case rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble:
+		f, err := strconv.ParseFloat(t.Value, 64)
+		return f, err == nil
+	case "":
+		// Plain literals that look numeric are allowed in comparisons;
+		// reject here to stay close to the spec.
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+func isIntegerTerm(t rdf.Term) bool {
+	return t.Kind == rdf.KindLiteral && t.Datatype == rdf.XSDInteger
+}
+
+// termsEqual implements SPARQL '=' semantics: numeric comparison for
+// numeric literals, otherwise RDF term equality (with a type error for
+// incomparable literal pairs we treat as plain inequality).
+func termsEqual(l, r rdf.Term) (bool, error) {
+	if lf, lok := numericValue(l); lok {
+		if rf, rok := numericValue(r); rok {
+			return lf == rf, nil
+		}
+	}
+	return l == r, nil
+}
+
+// compareTerms implements <,> comparisons: numeric when both numeric,
+// string comparison when both are plain/string literals; otherwise a
+// type error.
+func compareTerms(l, r rdf.Term) (int, error) {
+	if lf, lok := numericValue(l); lok {
+		if rf, rok := numericValue(r); rok {
+			switch {
+			case lf < rf:
+				return -1, nil
+			case lf > rf:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+		return 0, ErrExprType
+	}
+	if l.Kind == rdf.KindLiteral && r.Kind == rdf.KindLiteral &&
+		(l.Datatype == "" || l.Datatype == rdf.XSDString) &&
+		(r.Datatype == "" || r.Datatype == rdf.XSDString) {
+		return strings.Compare(l.Value, r.Value), nil
+	}
+	return 0, ErrExprType
+}

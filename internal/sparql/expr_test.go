@@ -1,0 +1,202 @@
+package sparql
+
+import (
+	"errors"
+	"testing"
+
+	"lusail/internal/rdf"
+)
+
+// evalFilter parses a FILTER constraint expression and evaluates it
+// under b.
+func evalFilter(t *testing.T, src string, b Binding) (bool, error) {
+	t.Helper()
+	q, err := Parse(`SELECT * WHERE { ?dummy <http://ex/p> ?dummy2 . FILTER (` + src + `) }`)
+	if err != nil {
+		t.Fatalf("parse filter %q: %v", src, err)
+	}
+	return EvalBool(q.Where.Filters[0], b, nil)
+}
+
+func TestEvalComparisons(t *testing.T) {
+	b := Binding{
+		"i": rdf.Integer(10),
+		"j": rdf.Integer(3),
+		"s": rdf.Literal("abc"),
+		"t": rdf.Literal("abd"),
+		"u": rdf.IRI("http://ex/x"),
+	}
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"?i > ?j", true},
+		{"?i < ?j", false},
+		{"?i >= 10", true},
+		{"?i <= 9", false},
+		{"?i = 10", true},
+		{"?i != 10", false},
+		{"?i = 10.0", true}, // numeric comparison across types
+		{"?s < ?t", true},
+		{"?s = \"abc\"", true},
+		{"?u = <http://ex/x>", true},
+		{"?u != <http://ex/y>", true},
+		{"?i + ?j = 13", true},
+		{"?i - ?j = 7", true},
+		{"?i * ?j = 30", true},
+		{"?i / 4 = 2.5", true},
+		{"-?j = -3", true},
+		{"!(?i = 10)", false},
+		{"?i > 5 && ?j > 1", true},
+		{"?i > 100 || ?j > 1", true},
+		{"?i > 100 && ?j > 1", false},
+	}
+	for _, c := range cases {
+		got, err := evalFilter(t, c.expr, b)
+		if err != nil {
+			t.Errorf("%s: error %v", c.expr, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestEvalTypeErrors(t *testing.T) {
+	b := Binding{"u": rdf.IRI("http://ex/x"), "s": rdf.Literal("a")}
+	for _, expr := range []string{
+		"?unbound > 1",    // unbound variable
+		"?u > 1",          // IRI in numeric comparison
+		"?s + 1 = 2",      // string arithmetic
+		"?s / 0 = 1",      // (string / int)
+		"1 / 0 = 1",       // division by zero
+		"LANG(?u) = \"\"", // LANG of IRI
+	} {
+		_, err := evalFilter(t, expr, b)
+		if err == nil {
+			t.Errorf("%s: want type error", expr)
+		} else if !errors.Is(err, ErrExprType) {
+			t.Errorf("%s: error %v, want ErrExprType", expr, err)
+		}
+	}
+}
+
+func TestEvalLogicalErrorAbsorption(t *testing.T) {
+	// SPARQL: TRUE || error = TRUE; FALSE && error = FALSE.
+	b := Binding{"i": rdf.Integer(1)}
+	got, err := evalFilter(t, "?i = 1 || ?unbound > 2", b)
+	if err != nil || !got {
+		t.Errorf("TRUE || error = (%v, %v), want (true, nil)", got, err)
+	}
+	got, err = evalFilter(t, "?i = 2 && ?unbound > 2", b)
+	if err != nil || got {
+		t.Errorf("FALSE && error = (%v, %v), want (false, nil)", got, err)
+	}
+	if _, err = evalFilter(t, "?i = 2 || ?unbound > 2", b); err == nil {
+		t.Error("FALSE || error should propagate the error")
+	}
+}
+
+func TestEvalStringFunctions(t *testing.T) {
+	b := Binding{
+		"s":  rdf.Literal("Hello World"),
+		"fr": rdf.LangLiteral("bonjour", "fr"),
+		"u":  rdf.IRI("http://example.org/thing"),
+		"n":  rdf.Integer(5),
+	}
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{`CONTAINS(?s, "World")`, true},
+		{`CONTAINS(?s, "world")`, false},
+		{`STRSTARTS(?s, "Hello")`, true},
+		{`STRENDS(?s, "World")`, true},
+		{`STRLEN(?s) = 11`, true},
+		{`LCASE(?s) = "hello world"`, true},
+		{`UCASE(?s) = "HELLO WORLD"`, true},
+		{`STR(?u) = "http://example.org/thing"`, true},
+		{`STRSTARTS(STR(?u), "http://example.org")`, true},
+		{`LANG(?fr) = "fr"`, true},
+		{`LANG(?s) = ""`, true},
+		{`DATATYPE(?n) = <http://www.w3.org/2001/XMLSchema#integer>`, true},
+		{`DATATYPE(?s) = <http://www.w3.org/2001/XMLSchema#string>`, true},
+		{`ISIRI(?u)`, true},
+		{`ISIRI(?s)`, false},
+		{`ISLITERAL(?s)`, true},
+		{`ISBLANK(?u)`, false},
+		{`REGEX(?s, "^hello", "i")`, true},
+		{`REGEX(?s, "^hello")`, false},
+		{`REGEX(STR(?u), "example\\.org")`, true},
+		{`BOUND(?s)`, true},
+		{`BOUND(?nope)`, false},
+	}
+	for _, c := range cases {
+		got, err := evalFilter(t, c.expr, b)
+		if err != nil {
+			t.Errorf("%s: error %v", c.expr, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestEffectiveBool(t *testing.T) {
+	cases := []struct {
+		t       rdf.Term
+		want    bool
+		wantErr bool
+	}{
+		{rdf.Bool(true), true, false},
+		{rdf.Bool(false), false, false},
+		{rdf.Integer(0), false, false},
+		{rdf.Integer(-1), true, false},
+		{rdf.Literal(""), false, false},
+		{rdf.Literal("x"), true, false},
+		{rdf.TypedLiteral("2.5", rdf.XSDDouble), true, false},
+		{rdf.IRI("http://x"), false, true},
+		{rdf.TypedLiteral("z", "http://ex/custom"), false, true},
+	}
+	for _, c := range cases {
+		got, err := EffectiveBool(c.t)
+		if (err != nil) != c.wantErr {
+			t.Errorf("EffectiveBool(%v) err = %v, wantErr %v", c.t, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("EffectiveBool(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestExistsRequiresEvaluator(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s ?p ?o . FILTER NOT EXISTS { ?s <http://ex/q> ?z } }`)
+	_, err := EvalBool(q.Where.Filters[0], Binding{}, nil)
+	if err == nil {
+		t.Error("EXISTS without evaluator should fail")
+	}
+	// With an evaluator.
+	got, err := EvalBool(q.Where.Filters[0], Binding{}, func(g *GroupGraphPattern, b Binding) (bool, error) {
+		return false, nil
+	})
+	if err != nil || !got {
+		t.Errorf("NOT EXISTS(false) = (%v, %v), want (true, nil)", got, err)
+	}
+}
+
+func TestExprVars(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s ?p ?o . FILTER (?a > 1 && REGEX(?b, "x") || !BOUND(?c)) }`)
+	vars := q.Where.Filters[0].Vars()
+	want := map[Var]bool{"a": true, "b": true, "c": true}
+	if len(vars) != 3 {
+		t.Fatalf("vars = %v", vars)
+	}
+	for _, v := range vars {
+		if !want[v] {
+			t.Errorf("unexpected var %v", v)
+		}
+	}
+}

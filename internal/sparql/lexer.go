@@ -1,0 +1,290 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokKeyword
+	tokVar     // ?x or $x (value without sigil)
+	tokIRI     // <...> (value without brackets)
+	tokPName   // prefixed name like ub:advisor or the 'a' keyword handled as keyword
+	tokLiteral // "..." with optional @lang / ^^<dt>, held as a parsed term via lexer.lit
+	tokNumber
+	tokPunct // {, }, (, ), ., ;, ,, operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keyword upper-cased; punct verbatim
+	// literal parts
+	litVal  string
+	litLang string
+	litDT   string
+	pos     int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "ASK": true, "WHERE": true, "FILTER": true,
+	"OPTIONAL": true, "UNION": true, "LIMIT": true, "OFFSET": true,
+	"DISTINCT": true, "ORDER": true, "BY": true, "ASC": true, "DESC": true,
+	"PREFIX": true, "VALUES": true, "NOT": true, "EXISTS": true,
+	"COUNT": true, "AS": true, "UNDEF": true, "TRUE": true, "FALSE": true,
+	"BOUND": true, "REGEX": true, "STR": true, "LANG": true, "DATATYPE": true,
+	"CONTAINS": true, "STRSTARTS": true, "STRENDS": true, "STRLEN": true,
+	"LCASE": true, "UCASE": true, "ISIRI": true, "ISURI": true,
+	"ISLITERAL": true, "ISBLANK": true, "A": true, "BASE": true,
+}
+
+type lexer struct {
+	in   string
+	pos  int
+	toks []token
+}
+
+func lex(input string) ([]token, error) {
+	l := &lexer{in: input}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.in) {
+			l.emit(token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		if err := l.next(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '#' {
+			for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: lex error at offset %d: %s", l.pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() error {
+	start := l.pos
+	c := l.in[l.pos]
+	switch {
+	case c == '?' || c == '$':
+		l.pos++
+		s := l.pos
+		for l.pos < len(l.in) && isNameChar(l.in[l.pos]) {
+			l.pos++
+		}
+		if l.pos == s {
+			return l.errf("empty variable name")
+		}
+		l.emit(token{kind: tokVar, text: l.in[s:l.pos], pos: start})
+		return nil
+	case c == '<':
+		// IRI if a '>' appears before any whitespace; otherwise the
+		// '<' / '<=' comparison operator.
+		rest := l.in[l.pos+1:]
+		end := strings.IndexByte(rest, '>')
+		sp := strings.IndexAny(rest, " \t\n\r")
+		if end >= 0 && (sp < 0 || end < sp) {
+			l.emit(token{kind: tokIRI, text: rest[:end], pos: start})
+			l.pos += end + 2
+			return nil
+		}
+		if strings.HasPrefix(rest, "=") {
+			l.emit(token{kind: tokPunct, text: "<=", pos: start})
+			l.pos += 2
+			return nil
+		}
+		l.emit(token{kind: tokPunct, text: "<", pos: start})
+		l.pos++
+		return nil
+	case c == '"' || c == '\'':
+		return l.literal(c)
+	case c >= '0' && c <= '9' || (c == '-' || c == '+') && l.pos+1 < len(l.in) && l.in[l.pos+1] >= '0' && l.in[l.pos+1] <= '9':
+		s := l.pos
+		l.pos++
+		seenDot := false
+		for l.pos < len(l.in) {
+			d := l.in[l.pos]
+			if d >= '0' && d <= '9' {
+				l.pos++
+				continue
+			}
+			if d == '.' && !seenDot && l.pos+1 < len(l.in) && l.in[l.pos+1] >= '0' && l.in[l.pos+1] <= '9' {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			break
+		}
+		l.emit(token{kind: tokNumber, text: l.in[s:l.pos], pos: start})
+		return nil
+	case c == '_' && l.pos+1 < len(l.in) && l.in[l.pos+1] == ':':
+		// Blank node label; treated as a pname with empty prefix "_".
+		l.pos += 2
+		s := l.pos
+		for l.pos < len(l.in) && isNameChar(l.in[l.pos]) {
+			l.pos++
+		}
+		if l.pos == s {
+			return l.errf("empty blank node label")
+		}
+		l.emit(token{kind: tokPName, text: "_:" + l.in[s:l.pos], pos: start})
+		return nil
+	case isNameStart(c):
+		s := l.pos
+		for l.pos < len(l.in) && (isNameChar(l.in[l.pos])) {
+			l.pos++
+		}
+		word := l.in[s:l.pos]
+		// Prefixed name: word ':' localname (no space allowed).
+		if l.pos < len(l.in) && l.in[l.pos] == ':' {
+			l.pos++
+			ls := l.pos
+			for l.pos < len(l.in) && (isNameChar(l.in[l.pos]) || l.in[l.pos] == '.' && l.pos+1 < len(l.in) && isNameChar(l.in[l.pos+1])) {
+				l.pos++
+			}
+			l.emit(token{kind: tokPName, text: word + ":" + l.in[ls:l.pos], pos: start})
+			return nil
+		}
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			l.emit(token{kind: tokKeyword, text: up, pos: start})
+			return nil
+		}
+		return l.errf("unexpected identifier %q", word)
+	case c == ':':
+		// Prefixed name with the empty prefix.
+		l.pos++
+		ls := l.pos
+		for l.pos < len(l.in) && isNameChar(l.in[l.pos]) {
+			l.pos++
+		}
+		l.emit(token{kind: tokPName, text: ":" + l.in[ls:l.pos], pos: start})
+		return nil
+	default:
+		for _, op := range []string{"&&", "||", "!=", ">=", "<=", "^^"} {
+			if strings.HasPrefix(l.in[l.pos:], op) {
+				l.emit(token{kind: tokPunct, text: op, pos: start})
+				l.pos += 2
+				return nil
+			}
+		}
+		switch c {
+		case '{', '}', '(', ')', '.', ';', ',', '=', '>', '!', '+', '-', '*', '/', '@':
+			l.emit(token{kind: tokPunct, text: string(c), pos: start})
+			l.pos++
+			return nil
+		}
+		return l.errf("unexpected character %q", c)
+	}
+}
+
+func (l *lexer) literal(quote byte) error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == '\\' {
+			if l.pos+1 >= len(l.in) {
+				return l.errf("dangling escape in literal")
+			}
+			l.pos++
+			switch l.in[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\'':
+				b.WriteByte('\'')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return l.errf("unknown escape \\%c", l.in[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		if c == quote {
+			break
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	if l.pos >= len(l.in) {
+		return l.errf("unterminated literal")
+	}
+	l.pos++
+	tok := token{kind: tokLiteral, litVal: b.String(), pos: start}
+	// Language tag.
+	if l.pos < len(l.in) && l.in[l.pos] == '@' {
+		l.pos++
+		s := l.pos
+		for l.pos < len(l.in) && (isAlnumByte(l.in[l.pos]) || l.in[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos == s {
+			return l.errf("empty language tag")
+		}
+		tok.litLang = l.in[s:l.pos]
+	} else if strings.HasPrefix(l.in[l.pos:], "^^") {
+		l.pos += 2
+		if l.pos >= len(l.in) || l.in[l.pos] != '<' {
+			// Allow prefixed-name datatypes by scanning a pname.
+			s := l.pos
+			for l.pos < len(l.in) && (isNameChar(l.in[l.pos]) || l.in[l.pos] == ':') {
+				l.pos++
+			}
+			if l.pos == s {
+				return l.errf("missing datatype after ^^")
+			}
+			tok.litDT = "pname:" + l.in[s:l.pos]
+		} else {
+			end := strings.IndexByte(l.in[l.pos:], '>')
+			if end < 0 {
+				return l.errf("unterminated datatype IRI")
+			}
+			tok.litDT = l.in[l.pos+1 : l.pos+end]
+			l.pos += end + 1
+		}
+	}
+	l.emit(tok)
+	return nil
+}
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c >= 0x80
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '-'
+}
+
+func isAlnumByte(c byte) bool {
+	return unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}

@@ -1,0 +1,139 @@
+package sparql
+
+import (
+	"testing"
+)
+
+func lexKinds(t *testing.T, input string) []token {
+	t.Helper()
+	toks, err := lex(input)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", input, err)
+	}
+	return toks
+}
+
+func TestLexIRIVersusLessThan(t *testing.T) {
+	// '<' opens an IRI only when a '>' follows before whitespace.
+	toks := lexKinds(t, `?x < 5`)
+	if toks[1].kind != tokPunct || toks[1].text != "<" {
+		t.Errorf("comparison lexed as %v %q", toks[1].kind, toks[1].text)
+	}
+	toks = lexKinds(t, `?x <= 5`)
+	if toks[1].kind != tokPunct || toks[1].text != "<=" {
+		t.Errorf("<= lexed as %v %q", toks[1].kind, toks[1].text)
+	}
+	toks = lexKinds(t, `<http://ex/a>`)
+	if toks[0].kind != tokIRI || toks[0].text != "http://ex/a" {
+		t.Errorf("IRI lexed as %v %q", toks[0].kind, toks[0].text)
+	}
+	// An unclosed angle with a space is the operator, so this is an
+	// IRI comparison: ?x < ?y.
+	toks = lexKinds(t, `?x < ?y`)
+	if toks[1].kind != tokPunct {
+		t.Errorf("spaced < lexed as %v", toks[1].kind)
+	}
+}
+
+func TestLexVariables(t *testing.T) {
+	toks := lexKinds(t, `?abc $def`)
+	if toks[0].kind != tokVar || toks[0].text != "abc" {
+		t.Errorf("?abc -> %v %q", toks[0].kind, toks[0].text)
+	}
+	if toks[1].kind != tokVar || toks[1].text != "def" {
+		t.Errorf("$def -> %v %q", toks[1].kind, toks[1].text)
+	}
+	if _, err := lex(`? broken`); err == nil {
+		t.Error("empty variable name accepted")
+	}
+}
+
+func TestLexLiterals(t *testing.T) {
+	toks := lexKinds(t, `"a\"b" 'c' "x"@en-US "5"^^<http://dt> "6"^^xsd:integer`)
+	if toks[0].litVal != `a"b` {
+		t.Errorf("escape: %q", toks[0].litVal)
+	}
+	if toks[1].litVal != "c" {
+		t.Errorf("single-quoted: %q", toks[1].litVal)
+	}
+	if toks[2].litLang != "en-US" {
+		t.Errorf("lang: %q", toks[2].litLang)
+	}
+	if toks[3].litDT != "http://dt" {
+		t.Errorf("datatype: %q", toks[3].litDT)
+	}
+	if toks[4].litDT != "pname:xsd:integer" {
+		t.Errorf("pname datatype: %q", toks[4].litDT)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks := lexKinds(t, `42 -7 3.14 +1`)
+	for i, want := range []string{"42", "-7", "3.14", "+1"} {
+		if toks[i].kind != tokNumber || toks[i].text != want {
+			t.Errorf("token %d = %v %q, want number %q", i, toks[i].kind, toks[i].text, want)
+		}
+	}
+	// "1." stops the number at the dot (dot is punctuation).
+	toks = lexKinds(t, `1.`)
+	if toks[0].text != "1" || toks[1].text != "." {
+		t.Errorf("number before bare dot = %q %q", toks[0].text, toks[1].text)
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks := lexKinds(t, `select Select SELECT sElEcT`)
+	for i := 0; i < 4; i++ {
+		if toks[i].kind != tokKeyword || toks[i].text != "SELECT" {
+			t.Errorf("token %d = %v %q", i, toks[i].kind, toks[i].text)
+		}
+	}
+}
+
+func TestLexPrefixedNames(t *testing.T) {
+	toks := lexKinds(t, `ub:advisor rdf:type :bare`)
+	if toks[0].kind != tokPName || toks[0].text != "ub:advisor" {
+		t.Errorf("pname = %v %q", toks[0].kind, toks[0].text)
+	}
+	if toks[2].kind != tokPName || toks[2].text != ":bare" {
+		t.Errorf("empty-prefix pname = %v %q", toks[2].kind, toks[2].text)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lexKinds(t, `&& || != >= ! = { } ( ) . ; , * /`)
+	wants := []string{"&&", "||", "!=", ">=", "!", "=", "{", "}", "(", ")", ".", ";", ",", "*", "/"}
+	for i, want := range wants {
+		if toks[i].kind != tokPunct || toks[i].text != want {
+			t.Errorf("token %d = %q, want %q", i, toks[i].text, want)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexKinds(t, "SELECT # comment with { } \" tokens\n?x")
+	if len(toks) != 3 { // SELECT, ?x, EOF
+		t.Errorf("tokens = %d, want 3", len(toks))
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{
+		`"unterminated`,
+		`"bad\escape"`,
+		`"x"@`,
+		"\"x\"^^",
+		`bareword`,
+	} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexKinds(t, `SELECT ?x`)
+	if toks[0].pos != 0 || toks[1].pos != 7 {
+		t.Errorf("positions = %d %d", toks[0].pos, toks[1].pos)
+	}
+}

@@ -1,0 +1,741 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"lusail/internal/rdf"
+)
+
+// Parse parses a SPARQL query in the supported fragment.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: map[string]string{}}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	return q, nil
+}
+
+// MustParse parses or panics; intended for tests and embedded
+// benchmark query constants.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(fmt.Sprintf("sparql.MustParse(%q): %v", input, err))
+	}
+	return q
+}
+
+type parser struct {
+	toks     []token
+	pos      int
+	prefixes map[string]string
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return token{kind: tokEOF}
+}
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: parse error near offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.cur().kind == tokPunct && p.cur().text == s {
+		p.advance()
+		return nil
+	}
+	return p.errf("expected %q, found %q", s, p.cur().text)
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) query() (*Query, error) {
+	for p.isKeyword("PREFIX") || p.isKeyword("BASE") {
+		if p.acceptKeyword("BASE") {
+			if p.cur().kind != tokIRI {
+				return nil, p.errf("BASE requires an IRI")
+			}
+			p.advance()
+			continue
+		}
+		p.advance()
+		if p.cur().kind != tokPName {
+			return nil, p.errf("PREFIX requires a prefixed name declaration")
+		}
+		pn := p.advance().text
+		name := strings.TrimSuffix(pn, ":")
+		if i := strings.IndexByte(pn, ':'); i >= 0 {
+			name = pn[:i]
+		}
+		if p.cur().kind != tokIRI {
+			return nil, p.errf("PREFIX %s: requires an IRI", name)
+		}
+		p.prefixes[name] = p.advance().text
+	}
+
+	switch {
+	case p.isKeyword("SELECT"):
+		return p.selectQuery()
+	case p.isKeyword("ASK"):
+		p.advance()
+		q := NewAsk()
+		q.Prefixes = p.prefixes
+		g, err := p.whereClause()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = g
+		return q, nil
+	default:
+		return nil, p.errf("expected SELECT or ASK, found %q", p.cur().text)
+	}
+}
+
+func (p *parser) selectQuery() (*Query, error) {
+	p.advance() // SELECT
+	q := NewSelect()
+	q.Prefixes = p.prefixes
+	if p.acceptKeyword("DISTINCT") {
+		q.Distinct = true
+	}
+	switch {
+	case p.cur().kind == tokPunct && p.cur().text == "*":
+		p.advance()
+	case p.cur().kind == tokPunct && p.cur().text == "(":
+		// (COUNT(*) AS ?c) or (COUNT(DISTINCT ?x) AS ?c)
+		p.advance()
+		if !p.acceptKeyword("COUNT") {
+			return nil, p.errf("only COUNT is supported in projection expressions")
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		q.Count = true
+		if p.cur().kind == tokPunct && p.cur().text == "*" {
+			p.advance()
+		} else {
+			if p.acceptKeyword("DISTINCT") {
+				q.CountDistinct = true
+			}
+			if p.cur().kind != tokVar {
+				return nil, p.errf("COUNT requires * or a variable")
+			}
+			q.CountArg = Var(p.advance().text)
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if !p.acceptKeyword("AS") {
+			return nil, p.errf("COUNT projection requires AS ?var")
+		}
+		if p.cur().kind != tokVar {
+			return nil, p.errf("AS requires a variable")
+		}
+		q.CountVar = Var(p.advance().text)
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	default:
+		for p.cur().kind == tokVar {
+			q.Vars = append(q.Vars, Var(p.advance().text))
+		}
+		if len(q.Vars) == 0 {
+			return nil, p.errf("SELECT requires *, variables, or a COUNT expression")
+		}
+	}
+	g, err := p.whereClause()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = g
+	// Solution modifiers.
+	for {
+		switch {
+		case p.acceptKeyword("ORDER"):
+			if !p.acceptKeyword("BY") {
+				return nil, p.errf("ORDER must be followed by BY")
+			}
+			n0 := len(q.OrderBy)
+			for more := true; more; {
+				switch {
+				case p.cur().kind == tokVar:
+					q.OrderBy = append(q.OrderBy, OrderKey{Var: Var(p.advance().text)})
+				case p.isKeyword("ASC") || p.isKeyword("DESC"):
+					desc := p.cur().text == "DESC"
+					p.advance()
+					if err := p.expectPunct("("); err != nil {
+						return nil, err
+					}
+					if p.cur().kind != tokVar {
+						return nil, p.errf("ORDER BY ASC/DESC requires a variable")
+					}
+					q.OrderBy = append(q.OrderBy, OrderKey{Var: Var(p.advance().text), Desc: desc})
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+				default:
+					if len(q.OrderBy) == n0 {
+						return nil, p.errf("ORDER BY requires at least one key")
+					}
+					more = false
+				}
+			}
+		case p.acceptKeyword("LIMIT"):
+			if p.cur().kind != tokNumber {
+				return nil, p.errf("LIMIT requires an integer")
+			}
+			n, err := parseInt(p.advance().text)
+			if err != nil {
+				return nil, p.errf("bad LIMIT: %v", err)
+			}
+			q.Limit = n
+		case p.acceptKeyword("OFFSET"):
+			if p.cur().kind != tokNumber {
+				return nil, p.errf("OFFSET requires an integer")
+			}
+			n, err := parseInt(p.advance().text)
+			if err != nil {
+				return nil, p.errf("bad OFFSET: %v", err)
+			}
+			q.Offset = n
+		default:
+			return q, nil
+		}
+	}
+}
+
+func parseInt(s string) (int, error) {
+	var n int
+	_, err := fmt.Sscanf(s, "%d", &n)
+	return n, err
+}
+
+func (p *parser) whereClause() (*GroupGraphPattern, error) {
+	p.acceptKeyword("WHERE")
+	return p.group()
+}
+
+func (p *parser) group() (*GroupGraphPattern, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	g := &GroupGraphPattern{}
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokPunct && t.text == "}":
+			p.advance()
+			return g, nil
+		case t.kind == tokKeyword && t.text == "FILTER":
+			p.advance()
+			e, err := p.constraint()
+			if err != nil {
+				return nil, err
+			}
+			g.Filters = append(g.Filters, e)
+		case t.kind == tokKeyword && t.text == "OPTIONAL":
+			p.advance()
+			og, err := p.group()
+			if err != nil {
+				return nil, err
+			}
+			g.Optionals = append(g.Optionals, og)
+		case t.kind == tokKeyword && t.text == "VALUES":
+			p.advance()
+			vb, err := p.valuesBlock()
+			if err != nil {
+				return nil, err
+			}
+			g.Values = append(g.Values, vb)
+		case t.kind == tokPunct && t.text == "{":
+			// Nested group, possibly a UNION chain or a sub-SELECT.
+			ub := &UnionBlock{}
+			for {
+				alt, err := p.groupOrSubSelect()
+				if err != nil {
+					return nil, err
+				}
+				ub.Alternatives = append(ub.Alternatives, alt)
+				if !p.acceptKeyword("UNION") {
+					break
+				}
+			}
+			g.Unions = append(g.Unions, ub)
+		case t.kind == tokPunct && t.text == ".":
+			p.advance()
+		default:
+			if err := p.triplesBlock(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// groupOrSubSelect parses either a plain group or a sub-SELECT in
+// braces. Sub-SELECT projection/modifiers are accepted but flattened:
+// only the WHERE pattern is retained, which is sound for the EXISTS
+// and join contexts the federated engines generate.
+func (p *parser) groupOrSubSelect() (*GroupGraphPattern, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("SELECT") {
+		sub, err := p.selectQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		return sub.Where, nil
+	}
+	// Re-enter group parsing: rewind one token so group() sees '{'.
+	p.pos--
+	return p.group()
+}
+
+func (p *parser) triplesBlock(g *GroupGraphPattern) error {
+	s, err := p.elem(false)
+	if err != nil {
+		return err
+	}
+	for {
+		pe, err := p.elem(true)
+		if err != nil {
+			return err
+		}
+		for {
+			o, err := p.elem(false)
+			if err != nil {
+				return err
+			}
+			g.Patterns = append(g.Patterns, TriplePattern{S: s, P: pe, O: o})
+			if p.cur().kind == tokPunct && p.cur().text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if p.cur().kind == tokPunct && p.cur().text == ";" {
+			p.advance()
+			// Allow trailing ';' before '.' or '}'.
+			if p.cur().kind == tokPunct && (p.cur().text == "." || p.cur().text == "}") {
+				break
+			}
+			continue
+		}
+		break
+	}
+	if p.cur().kind == tokPunct && p.cur().text == "." {
+		p.advance()
+	}
+	return nil
+}
+
+// elem parses one triple-pattern element. predicate selects whether
+// the 'a' keyword is allowed.
+func (p *parser) elem(predicate bool) (Elem, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVar:
+		p.advance()
+		return V(t.text), nil
+	case tokIRI:
+		p.advance()
+		return C(rdf.IRI(t.text)), nil
+	case tokPName:
+		p.advance()
+		term, err := p.resolvePName(t.text)
+		if err != nil {
+			return Elem{}, err
+		}
+		return C(term), nil
+	case tokLiteral:
+		p.advance()
+		term, err := p.literalTerm(t)
+		if err != nil {
+			return Elem{}, err
+		}
+		return C(term), nil
+	case tokNumber:
+		p.advance()
+		return C(numberTerm(t.text)), nil
+	case tokKeyword:
+		switch t.text {
+		case "A":
+			if !predicate {
+				return Elem{}, p.errf("'a' is only valid in predicate position")
+			}
+			p.advance()
+			return C(rdf.IRI(rdf.RDFType)), nil
+		case "TRUE":
+			p.advance()
+			return C(rdf.Bool(true)), nil
+		case "FALSE":
+			p.advance()
+			return C(rdf.Bool(false)), nil
+		}
+	}
+	return Elem{}, p.errf("expected a triple-pattern element, found %q", t.text)
+}
+
+func (p *parser) resolvePName(pname string) (rdf.Term, error) {
+	if strings.HasPrefix(pname, "_:") {
+		// Blank node in a pattern: treated as a fresh variable per
+		// SPARQL semantics; we give it a reserved variable name.
+		return rdf.Term{}, fmt.Errorf("sparql: blank nodes in query patterns are not supported; use a variable")
+	}
+	i := strings.IndexByte(pname, ':')
+	prefix, local := pname[:i], pname[i+1:]
+	base, ok := p.prefixes[prefix]
+	if !ok {
+		return rdf.Term{}, fmt.Errorf("sparql: undeclared prefix %q", prefix)
+	}
+	return rdf.IRI(base + local), nil
+}
+
+func (p *parser) literalTerm(t token) (rdf.Term, error) {
+	switch {
+	case t.litLang != "":
+		return rdf.LangLiteral(t.litVal, t.litLang), nil
+	case strings.HasPrefix(t.litDT, "pname:"):
+		term, err := p.resolvePName(strings.TrimPrefix(t.litDT, "pname:"))
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.TypedLiteral(t.litVal, term.Value), nil
+	case t.litDT != "":
+		return rdf.TypedLiteral(t.litVal, t.litDT), nil
+	default:
+		return rdf.Literal(t.litVal), nil
+	}
+}
+
+func numberTerm(s string) rdf.Term {
+	if strings.ContainsAny(s, ".eE") {
+		return rdf.TypedLiteral(s, rdf.XSDDecimal)
+	}
+	return rdf.TypedLiteral(s, rdf.XSDInteger)
+}
+
+func (p *parser) valuesBlock() (*ValuesBlock, error) {
+	vb := &ValuesBlock{}
+	multi := false
+	if p.cur().kind == tokPunct && p.cur().text == "(" {
+		multi = true
+		p.advance()
+		for p.cur().kind == tokVar {
+			vb.Vars = append(vb.Vars, Var(p.advance().text))
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	} else if p.cur().kind == tokVar {
+		vb.Vars = append(vb.Vars, Var(p.advance().text))
+	} else {
+		return nil, p.errf("VALUES requires a variable or a variable list")
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for {
+		if p.cur().kind == tokPunct && p.cur().text == "}" {
+			p.advance()
+			return vb, nil
+		}
+		if multi {
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			row := make([]rdf.Term, 0, len(vb.Vars))
+			for len(row) < len(vb.Vars) {
+				t, err := p.valuesTerm()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, t)
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			vb.Rows = append(vb.Rows, row)
+		} else {
+			t, err := p.valuesTerm()
+			if err != nil {
+				return nil, err
+			}
+			vb.Rows = append(vb.Rows, []rdf.Term{t})
+		}
+	}
+}
+
+func (p *parser) valuesTerm() (rdf.Term, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIRI:
+		p.advance()
+		return rdf.IRI(t.text), nil
+	case tokPName:
+		p.advance()
+		return p.resolvePName(t.text)
+	case tokLiteral:
+		p.advance()
+		return p.literalTerm(t)
+	case tokNumber:
+		p.advance()
+		return numberTerm(t.text), nil
+	case tokKeyword:
+		switch t.text {
+		case "UNDEF":
+			p.advance()
+			return rdf.Term{}, nil
+		case "TRUE":
+			p.advance()
+			return rdf.Bool(true), nil
+		case "FALSE":
+			p.advance()
+			return rdf.Bool(false), nil
+		}
+	}
+	return rdf.Term{}, p.errf("expected a VALUES term, found %q", t.text)
+}
+
+// constraint parses a FILTER constraint.
+func (p *parser) constraint() (Expr, error) {
+	if p.isKeyword("NOT") || p.isKeyword("EXISTS") {
+		return p.existsExpr()
+	}
+	if p.cur().kind == tokPunct && p.cur().text == "(" {
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	// Bare builtin call, e.g. FILTER regex(?x, "a").
+	return p.primary()
+}
+
+func (p *parser) existsExpr() (Expr, error) {
+	not := p.acceptKeyword("NOT")
+	if !p.acceptKeyword("EXISTS") {
+		return nil, p.errf("expected EXISTS")
+	}
+	g, err := p.groupOrSubSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &ExistsExpr{Not: not, Group: g}, nil
+}
+
+// Expression grammar with precedence: || < && < relational < additive
+// < multiplicative < unary < primary.
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && p.cur().text == "||" {
+		p.advance()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "||", Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.relExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && p.cur().text == "&&" {
+		p.advance()
+		r, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "&&", Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokPunct {
+		switch p.cur().text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			op := p.advance().text
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, Left: l, Right: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.advance().text
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && (p.cur().text == "*" || p.cur().text == "/") {
+		op := p.advance().text
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.cur().kind == tokPunct && (p.cur().text == "!" || p.cur().text == "-") {
+		op := p.advance().text
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokPunct:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokVar:
+		p.advance()
+		return &VarExpr{Name: Var(t.text)}, nil
+	case tokIRI:
+		p.advance()
+		return &TermExpr{Term: rdf.IRI(t.text)}, nil
+	case tokPName:
+		p.advance()
+		term, err := p.resolvePName(t.text)
+		if err != nil {
+			return nil, err
+		}
+		return &TermExpr{Term: term}, nil
+	case tokLiteral:
+		p.advance()
+		term, err := p.literalTerm(t)
+		if err != nil {
+			return nil, err
+		}
+		return &TermExpr{Term: term}, nil
+	case tokNumber:
+		p.advance()
+		return &TermExpr{Term: numberTerm(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			p.advance()
+			return &TermExpr{Term: rdf.Bool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return &TermExpr{Term: rdf.Bool(false)}, nil
+		case "NOT", "EXISTS":
+			return p.existsExpr()
+		case "BOUND", "REGEX", "STR", "LANG", "DATATYPE", "CONTAINS",
+			"STRSTARTS", "STRENDS", "STRLEN", "LCASE", "UCASE",
+			"ISIRI", "ISURI", "ISLITERAL", "ISBLANK":
+			p.advance()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			call := &CallExpr{Func: t.text}
+			if !(p.cur().kind == tokPunct && p.cur().text == ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.cur().kind == tokPunct && p.cur().text == "," {
+						p.advance()
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+	}
+	return nil, p.errf("expected an expression, found %q", t.text)
+}

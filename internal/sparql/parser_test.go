@@ -1,0 +1,351 @@
+package sparql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"lusail/internal/rdf"
+)
+
+func TestParseBasicSelect(t *testing.T) {
+	q, err := Parse(`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Form != SelectForm {
+		t.Error("form not SELECT")
+	}
+	if !reflect.DeepEqual(q.Vars, []Var{"s", "o"}) {
+		t.Errorf("vars = %v", q.Vars)
+	}
+	if len(q.Where.Patterns) != 1 {
+		t.Fatalf("patterns = %d", len(q.Where.Patterns))
+	}
+	tp := q.Where.Patterns[0]
+	if !tp.S.IsVar() || tp.S.Var != "s" {
+		t.Errorf("subject = %v", tp.S)
+	}
+	if tp.P.IsVar() || tp.P.Term != rdf.IRI("http://ex/p") {
+		t.Errorf("predicate = %v", tp.P)
+	}
+}
+
+func TestParsePrefixes(t *testing.T) {
+	q, err := Parse(`
+PREFIX ub: <http://lubm.org/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?x WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:advisor ?p }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where.Patterns[0].P.Term != rdf.IRI(rdf.RDFType) {
+		t.Errorf("rdf:type not expanded: %v", q.Where.Patterns[0].P)
+	}
+	if q.Where.Patterns[0].O.Term != rdf.IRI("http://lubm.org/GraduateStudent") {
+		t.Errorf("ub: not expanded: %v", q.Where.Patterns[0].O)
+	}
+}
+
+func TestParseAKeyword(t *testing.T) {
+	q := MustParse(`SELECT ?x WHERE { ?x a <http://ex/C> }`)
+	if q.Where.Patterns[0].P.Term != rdf.IRI(rdf.RDFType) {
+		t.Errorf("'a' not expanded to rdf:type")
+	}
+	if _, err := Parse(`SELECT ?x WHERE { a <http://ex/p> ?x }`); err == nil {
+		t.Error("'a' accepted in subject position")
+	}
+}
+
+func TestParsePredicateObjectLists(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?x <http://ex/p> ?a ; <http://ex/q> ?b , ?c . }`)
+	if len(q.Where.Patterns) != 3 {
+		t.Fatalf("patterns = %d, want 3", len(q.Where.Patterns))
+	}
+	for _, tp := range q.Where.Patterns {
+		if !tp.S.IsVar() || tp.S.Var != "x" {
+			t.Errorf("shared subject lost: %v", tp)
+		}
+	}
+	if q.Where.Patterns[2].O.Var != "c" {
+		t.Errorf("object list wrong: %v", q.Where.Patterns[2])
+	}
+}
+
+func TestParseFilterExpressions(t *testing.T) {
+	q := MustParse(`SELECT ?x WHERE {
+		?x <http://ex/age> ?age .
+		FILTER (?age >= 18 && ?age < 65 || ?x = <http://ex/boss>)
+		FILTER regex(?name, "^smith", "i")
+		FILTER (!BOUND(?y))
+	}`)
+	if len(q.Where.Filters) != 3 {
+		t.Fatalf("filters = %d, want 3", len(q.Where.Filters))
+	}
+	or, ok := q.Where.Filters[0].(*BinaryExpr)
+	if !ok || or.Op != "||" {
+		t.Fatalf("top of filter 0 = %v, want ||", q.Where.Filters[0])
+	}
+	and, ok := or.Left.(*BinaryExpr)
+	if !ok || and.Op != "&&" {
+		t.Fatalf("precedence wrong: left of || is %v", or.Left)
+	}
+	call, ok := q.Where.Filters[1].(*CallExpr)
+	if !ok || call.Func != "REGEX" || len(call.Args) != 3 {
+		t.Fatalf("filter 1 = %v", q.Where.Filters[1])
+	}
+}
+
+func TestParseFilterNotExists(t *testing.T) {
+	// The shape of Lusail's check queries (Fig. 6 in the paper).
+	q := MustParse(`SELECT ?P WHERE {
+		?S <http://ex/advisor> ?P .
+		FILTER NOT EXISTS { ?P <http://ex/teacherOf> ?C . }
+	} LIMIT 1`)
+	if q.Limit != 1 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+	ex, ok := q.Where.Filters[0].(*ExistsExpr)
+	if !ok || !ex.Not {
+		t.Fatalf("filter = %#v", q.Where.Filters[0])
+	}
+	if len(ex.Group.Patterns) != 1 {
+		t.Errorf("group patterns = %d", len(ex.Group.Patterns))
+	}
+}
+
+func TestParseFilterNotExistsSubSelect(t *testing.T) {
+	// The paper's literal check-query form with an embedded SELECT.
+	q := MustParse(`SELECT ?P WHERE {
+		?S <http://ex/advisor> ?P .
+		FILTER NOT EXISTS { SELECT ?P WHERE { ?P <http://ex/teacherOf> ?C . } }
+	} LIMIT 1`)
+	ex, ok := q.Where.Filters[0].(*ExistsExpr)
+	if !ok || !ex.Not {
+		t.Fatalf("filter = %#v", q.Where.Filters[0])
+	}
+	if len(ex.Group.Patterns) != 1 {
+		t.Errorf("sub-select group not flattened: %d patterns", len(ex.Group.Patterns))
+	}
+}
+
+func TestParseOptionalUnionValues(t *testing.T) {
+	q := MustParse(`SELECT * WHERE {
+		?s <http://ex/p> ?o .
+		OPTIONAL { ?s <http://ex/label> ?l . FILTER (STRLEN(?l) > 2) }
+		{ ?s <http://ex/a> ?x } UNION { ?s <http://ex/b> ?x } UNION { ?s <http://ex/c> ?x }
+		VALUES ?s { <http://ex/1> <http://ex/2> }
+		VALUES (?a ?b) { (<http://ex/3> "v") (UNDEF 4) }
+	}`)
+	if len(q.Where.Optionals) != 1 {
+		t.Fatalf("optionals = %d", len(q.Where.Optionals))
+	}
+	if len(q.Where.Optionals[0].Filters) != 1 {
+		t.Error("optional filter lost")
+	}
+	if len(q.Where.Unions) != 1 || len(q.Where.Unions[0].Alternatives) != 3 {
+		t.Fatalf("unions = %+v", q.Where.Unions)
+	}
+	if len(q.Where.Values) != 2 {
+		t.Fatalf("values = %d", len(q.Where.Values))
+	}
+	vb := q.Where.Values[1]
+	if !reflect.DeepEqual(vb.Vars, []Var{"a", "b"}) {
+		t.Errorf("values vars = %v", vb.Vars)
+	}
+	if !vb.Rows[1][0].IsZero() {
+		t.Error("UNDEF not parsed as zero term")
+	}
+	if vb.Rows[1][1] != rdf.TypedLiteral("4", rdf.XSDInteger) {
+		t.Errorf("numeric values term = %v", vb.Rows[1][1])
+	}
+}
+
+func TestParseCount(t *testing.T) {
+	q := MustParse(`SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o }`)
+	if !q.Count || q.CountVar != "c" || q.CountArg != "" {
+		t.Errorf("count = %v %v %v", q.Count, q.CountVar, q.CountArg)
+	}
+	q2 := MustParse(`SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s ?p ?o }`)
+	if !q2.Count || !q2.CountDistinct || q2.CountArg != "s" {
+		t.Errorf("count distinct parse wrong: %+v", q2)
+	}
+}
+
+func TestParseAsk(t *testing.T) {
+	q := MustParse(`ASK { ?s <http://ex/p> "v"@en }`)
+	if q.Form != AskForm {
+		t.Error("form != ASK")
+	}
+	if q.Where.Patterns[0].O.Term != rdf.LangLiteral("v", "en") {
+		t.Errorf("object = %v", q.Where.Patterns[0].O)
+	}
+}
+
+func TestParseModifiers(t *testing.T) {
+	q := MustParse(`SELECT DISTINCT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) ?p LIMIT 10 OFFSET 5`)
+	if !q.Distinct || q.Limit != 10 || q.Offset != 5 {
+		t.Errorf("modifiers: %+v", q)
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Var != "p" {
+		t.Errorf("order by = %+v", q.OrderBy)
+	}
+}
+
+func TestParseLiteralForms(t *testing.T) {
+	q := MustParse(`PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT * WHERE {
+	?s <http://ex/a> "plain" .
+	?s <http://ex/b> "typed"^^xsd:integer .
+	?s <http://ex/c> "iri-typed"^^<http://ex/dt> .
+	?s <http://ex/d> 'single' .
+	?s <http://ex/e> 3.14 .
+	?s <http://ex/f> -7 .
+	?s <http://ex/g> true .
+}`)
+	pats := q.Where.Patterns
+	want := []rdf.Term{
+		rdf.Literal("plain"),
+		rdf.TypedLiteral("typed", rdf.XSDInteger),
+		rdf.TypedLiteral("iri-typed", "http://ex/dt"),
+		rdf.Literal("single"),
+		rdf.TypedLiteral("3.14", rdf.XSDDecimal),
+		rdf.TypedLiteral("-7", rdf.XSDInteger),
+		rdf.Bool(true),
+	}
+	for i, w := range want {
+		if pats[i].O.Term != w {
+			t.Errorf("pattern %d object = %v, want %v", i, pats[i].O.Term, w)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT WHERE { ?s ?p ?o }`,
+		`SELECT ?s { ?s ?p }`,                       // incomplete triple
+		`SELECT ?s WHERE { ?s ub:x ?o }`,            // undeclared prefix
+		`SELECT ?s WHERE { ?s ?p ?o `,               // unclosed group
+		`SELECT ?s WHERE { ?s ?p ?o } LIMIT x`,      // bad limit
+		`SELECT ?s WHERE { FILTER () }`,             // empty filter
+		`SELECT (COUNT(*) AS c) WHERE { ?s ?p ?o }`, // AS needs variable
+		`CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }`, // unsupported form
+		`SELECT ?s WHERE { ?s ?p ?o } ORDER BY`,     // empty order by
+		`SELECT ?s WHERE { VALUES { <a> } }`,        // VALUES needs var
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q := MustParse(`# leading comment
+SELECT ?s # trailing
+WHERE { ?s ?p ?o } # end`)
+	if len(q.Where.Patterns) != 1 {
+		t.Error("comment handling broke parse")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	queries := []string{
+		`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o . }`,
+		`ASK { ?s <http://ex/p> <http://ex/o> . }`,
+		`SELECT DISTINCT * WHERE { ?s ?p ?o . FILTER (?o > 5) } ORDER BY ?s LIMIT 3 OFFSET 1`,
+		`SELECT (COUNT(*) AS ?c) WHERE { ?s <http://ex/p> ?o . }`,
+		`SELECT ?s WHERE { { ?s <http://ex/a> ?x } UNION { ?s <http://ex/b> ?x } }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o . OPTIONAL { ?o <http://ex/q> ?z } }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o . FILTER NOT EXISTS { ?o <http://ex/q> ?z } } LIMIT 1`,
+		`SELECT ?s WHERE { VALUES (?s ?o) { (<http://ex/1> "a") (UNDEF "b"@en) } ?s <http://ex/p> ?o }`,
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o . FILTER (STRSTARTS(STR(?o), "http")) }`,
+	}
+	for _, src := range queries {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		text := q1.String()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Errorf("reparse of serialization failed.\nsrc: %s\nout: %s\nerr: %v", src, text, err)
+			continue
+		}
+		q1.Prefixes, q2.Prefixes = nil, nil
+		if !reflect.DeepEqual(q1, q2) {
+			t.Errorf("round trip mismatch for %q:\nserialized: %s\n q1=%#v\n q2=%#v", src, text, q1, q2)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := MustParse(`SELECT ?s WHERE { ?s <http://ex/p> ?o . OPTIONAL { ?o <http://ex/q> ?z } FILTER (?o > 1) }`)
+	cp := q.Clone()
+	cp.Where.Patterns[0].S = C(rdf.IRI("http://ex/mutated"))
+	cp.Where.Optionals[0].Patterns[0].O = V("w")
+	if q.Where.Patterns[0].S.Var != "s" {
+		t.Error("clone shares pattern storage")
+	}
+	if q.Where.Optionals[0].Patterns[0].O.Var != "z" {
+		t.Error("clone shares optional storage")
+	}
+}
+
+func TestProjectedVars(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s ?p ?o . OPTIONAL { ?o <http://ex/q> ?z } }`)
+	got := q.ProjectedVars()
+	want := []Var{"s", "p", "o", "z"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ProjectedVars = %v, want %v", got, want)
+	}
+}
+
+func TestBindingOps(t *testing.T) {
+	b1 := Binding{"x": rdf.IRI("a"), "y": rdf.IRI("b")}
+	b2 := Binding{"y": rdf.IRI("b"), "z": rdf.IRI("c")}
+	b3 := Binding{"y": rdf.IRI("DIFFERENT")}
+	if !b1.Compatible(b2) {
+		t.Error("compatible bindings reported incompatible")
+	}
+	if b1.Compatible(b3) {
+		t.Error("incompatible bindings reported compatible")
+	}
+	m := b1.Merge(b2)
+	if len(m) != 3 || m["z"] != rdf.IRI("c") {
+		t.Errorf("merge = %v", m)
+	}
+	if b1.Key([]Var{"x", "missing"}) == b1.Key([]Var{"x", "y"}) {
+		t.Error("keys should differ")
+	}
+	c := b1.Clone()
+	c["x"] = rdf.IRI("other")
+	if b1["x"] != rdf.IRI("a") {
+		t.Error("clone aliases map")
+	}
+}
+
+func TestVarsHelpers(t *testing.T) {
+	tp := TriplePattern{S: V("x"), P: V("x"), O: V("y")}
+	if got := tp.Vars(); !reflect.DeepEqual(got, []Var{"x", "y"}) {
+		t.Errorf("Vars = %v", got)
+	}
+	if !tp.HasVar("y") || tp.HasVar("z") {
+		t.Error("HasVar wrong")
+	}
+	q := MustParse(`SELECT * WHERE { ?a <http://ex/p> ?b . FILTER (?c > 1) OPTIONAL { ?b <http://ex/q> ?d } VALUES ?e { 1 } }`)
+	got := q.Where.AllVars()
+	if !reflect.DeepEqual(got, []Var{"a", "b", "c", "d", "e"}) {
+		t.Errorf("AllVars = %v", got)
+	}
+}
+
+func TestSerializedContainsNoPrefixes(t *testing.T) {
+	q := MustParse(`PREFIX ub: <http://lubm.org/> SELECT ?x WHERE { ?x ub:advisor ?p }`)
+	s := q.String()
+	if strings.Contains(s, "ub:") || !strings.Contains(s, "<http://lubm.org/advisor>") {
+		t.Errorf("serialization should expand prefixes: %s", s)
+	}
+}

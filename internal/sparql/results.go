@@ -1,0 +1,180 @@
+package sparql
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"lusail/internal/rdf"
+)
+
+// Results holds the outcome of evaluating a query: a boolean for ASK
+// queries, or a solution sequence for SELECT queries.
+type Results struct {
+	// Ask is meaningful when the query form was ASK.
+	Ask bool
+	// AskForm marks the result as an ASK result.
+	AskForm bool
+	// Vars is the header (projection order).
+	Vars []Var
+	// Rows are the solutions.
+	Rows []Binding
+}
+
+// NewAskResult builds an ASK result.
+func NewAskResult(v bool) *Results { return &Results{AskForm: true, Ask: v} }
+
+// Len returns the number of solution rows.
+func (r *Results) Len() int { return len(r.Rows) }
+
+// Sort orders rows deterministically by the rendered values of Vars;
+// used by tests and stable output.
+func (r *Results) Sort() {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		return r.Rows[i].Key(r.Vars) < r.Rows[j].Key(r.Vars)
+	})
+}
+
+// Project returns a copy of the results restricted to vars.
+func (r *Results) Project(vars []Var) *Results {
+	out := &Results{Vars: append([]Var(nil), vars...)}
+	out.Rows = make([]Binding, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		nb := make(Binding, len(vars))
+		for _, v := range vars {
+			if t, ok := row[v]; ok {
+				nb[v] = t
+			}
+		}
+		out.Rows = append(out.Rows, nb)
+	}
+	return out
+}
+
+// jsonResults mirrors the SPARQL 1.1 Query Results JSON Format.
+type jsonResults struct {
+	Head    jsonHead     `json:"head"`
+	Boolean *bool        `json:"boolean,omitempty"`
+	Results *jsonBindSet `json:"results,omitempty"`
+}
+
+type jsonHead struct {
+	Vars []string `json:"vars"`
+}
+
+type jsonBindSet struct {
+	Bindings []map[string]jsonTerm `json:"bindings"`
+}
+
+type jsonTerm struct {
+	Type     string `json:"type"` // "uri", "literal", "bnode"
+	Value    string `json:"value"`
+	Datatype string `json:"datatype,omitempty"`
+	Lang     string `json:"xml:lang,omitempty"`
+}
+
+// EncodeJSON writes r in the SPARQL 1.1 JSON results format.
+func (r *Results) EncodeJSON(w io.Writer) error {
+	jr := jsonResults{}
+	if r.AskForm {
+		b := r.Ask
+		jr.Boolean = &b
+	} else {
+		jr.Head.Vars = make([]string, len(r.Vars))
+		for i, v := range r.Vars {
+			jr.Head.Vars[i] = string(v)
+		}
+		set := &jsonBindSet{Bindings: make([]map[string]jsonTerm, 0, len(r.Rows))}
+		for _, row := range r.Rows {
+			m := make(map[string]jsonTerm, len(row))
+			for v, t := range row {
+				m[string(v)] = termToJSON(t)
+			}
+			set.Bindings = append(set.Bindings, m)
+		}
+		jr.Results = set
+	}
+	return json.NewEncoder(w).Encode(jr)
+}
+
+// DecodeJSON reads the SPARQL 1.1 JSON results format.
+func DecodeJSON(r io.Reader) (*Results, error) {
+	var jr jsonResults
+	if err := json.NewDecoder(r).Decode(&jr); err != nil {
+		return nil, fmt.Errorf("sparql: decoding results: %w", err)
+	}
+	if jr.Boolean != nil {
+		return NewAskResult(*jr.Boolean), nil
+	}
+	out := &Results{}
+	for _, v := range jr.Head.Vars {
+		out.Vars = append(out.Vars, Var(v))
+	}
+	if jr.Results == nil {
+		return out, nil
+	}
+	out.Rows = make([]Binding, 0, len(jr.Results.Bindings))
+	for _, m := range jr.Results.Bindings {
+		b := make(Binding, len(m))
+		for v, jt := range m {
+			t, err := termFromJSON(jt)
+			if err != nil {
+				return nil, err
+			}
+			b[Var(v)] = t
+		}
+		out.Rows = append(out.Rows, b)
+	}
+	return out, nil
+}
+
+func termToJSON(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.KindIRI:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.KindBlank:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		return jsonTerm{Type: "literal", Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
+	}
+}
+
+func termFromJSON(jt jsonTerm) (rdf.Term, error) {
+	switch jt.Type {
+	case "uri":
+		return rdf.IRI(jt.Value), nil
+	case "bnode":
+		return rdf.Blank(jt.Value), nil
+	case "literal", "typed-literal":
+		switch {
+		case jt.Lang != "":
+			return rdf.LangLiteral(jt.Value, jt.Lang), nil
+		case jt.Datatype != "":
+			return rdf.TypedLiteral(jt.Value, jt.Datatype), nil
+		default:
+			return rdf.Literal(jt.Value), nil
+		}
+	default:
+		return rdf.Term{}, fmt.Errorf("sparql: unknown JSON term type %q", jt.Type)
+	}
+}
+
+// ApproxWireBytes estimates the serialized size of the results in
+// bytes; the endpoint latency simulator charges bandwidth cost with
+// it without paying for a real serialization.
+func (r *Results) ApproxWireBytes() int64 {
+	if r.AskForm {
+		return 64
+	}
+	var n int64 = 64
+	for _, v := range r.Vars {
+		n += int64(len(v)) + 8
+	}
+	for _, row := range r.Rows {
+		for v, t := range row {
+			n += int64(len(v)) + int64(len(t.Value)) + int64(len(t.Datatype)) + int64(len(t.Lang)) + 32
+		}
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+package sparql
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"lusail/internal/rdf"
+)
+
+func TestResultsJSONRoundTrip(t *testing.T) {
+	r := &Results{
+		Vars: []Var{"s", "o"},
+		Rows: []Binding{
+			{"s": rdf.IRI("http://ex/1"), "o": rdf.Literal("plain")},
+			{"s": rdf.IRI("http://ex/2"), "o": rdf.LangLiteral("salut", "fr")},
+			{"s": rdf.Blank("b0"), "o": rdf.Integer(42)},
+			{"s": rdf.IRI("http://ex/3")}, // o unbound
+		},
+	}
+	var buf bytes.Buffer
+	if err := r.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Vars, back.Vars) {
+		t.Errorf("vars = %v, want %v", back.Vars, r.Vars)
+	}
+	if len(back.Rows) != len(r.Rows) {
+		t.Fatalf("rows = %d, want %d", len(back.Rows), len(r.Rows))
+	}
+	for i := range r.Rows {
+		if !reflect.DeepEqual(r.Rows[i], back.Rows[i]) {
+			t.Errorf("row %d = %v, want %v", i, back.Rows[i], r.Rows[i])
+		}
+	}
+}
+
+func TestAskJSONRoundTrip(t *testing.T) {
+	for _, v := range []bool{true, false} {
+		var buf bytes.Buffer
+		if err := NewAskResult(v).EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.AskForm || back.Ask != v {
+			t.Errorf("ask round trip = %+v, want Ask=%v", back, v)
+		}
+	}
+}
+
+func TestDecodeJSONErrors(t *testing.T) {
+	if _, err := DecodeJSON(bytes.NewBufferString(`{bad json`)); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := DecodeJSON(bytes.NewBufferString(`{"head":{"vars":["x"]},"results":{"bindings":[{"x":{"type":"martian","value":"v"}}]}}`)); err == nil {
+		t.Error("unknown term type accepted")
+	}
+}
+
+func TestDecodeVirtuosoTypedLiteral(t *testing.T) {
+	// Some engines emit "typed-literal"; accept it.
+	in := `{"head":{"vars":["x"]},"results":{"bindings":[{"x":{"type":"typed-literal","datatype":"http://www.w3.org/2001/XMLSchema#integer","value":"5"}}]}}`
+	r, err := DecodeJSON(bytes.NewBufferString(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0]["x"] != rdf.Integer(5) {
+		t.Errorf("term = %v", r.Rows[0]["x"])
+	}
+}
+
+func TestResultsSortAndProject(t *testing.T) {
+	r := &Results{
+		Vars: []Var{"a", "b"},
+		Rows: []Binding{
+			{"a": rdf.IRI("http://z"), "b": rdf.IRI("http://1")},
+			{"a": rdf.IRI("http://a"), "b": rdf.IRI("http://2")},
+		},
+	}
+	r.Sort()
+	if r.Rows[0]["a"] != rdf.IRI("http://a") {
+		t.Error("sort did not order rows")
+	}
+	p := r.Project([]Var{"b"})
+	if len(p.Vars) != 1 || len(p.Rows) != 2 {
+		t.Fatalf("project shape wrong: %+v", p)
+	}
+	if _, ok := p.Rows[0]["a"]; ok {
+		t.Error("projection kept dropped variable")
+	}
+}
+
+func TestApproxWireBytes(t *testing.T) {
+	small := &Results{Vars: []Var{"x"}, Rows: []Binding{{"x": rdf.Literal("a")}}}
+	big := &Results{Vars: []Var{"x"}}
+	for i := 0; i < 1000; i++ {
+		big.Rows = append(big.Rows, Binding{"x": rdf.Literal("some longer literal value")})
+	}
+	if small.ApproxWireBytes() >= big.ApproxWireBytes() {
+		t.Error("wire size estimate not monotone in data size")
+	}
+	if NewAskResult(true).ApproxWireBytes() <= 0 {
+		t.Error("ask results should have positive wire size")
+	}
+}

@@ -1,0 +1,154 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the query as SPARQL text that Parse accepts again.
+// Prefixes are not emitted: all terms are already expanded to full
+// IRIs, which is what the federated engines ship to endpoints.
+func (q *Query) String() string {
+	var b strings.Builder
+	switch q.Form {
+	case AskForm:
+		b.WriteString("ASK ")
+	default:
+		b.WriteString("SELECT ")
+		if q.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		switch {
+		case q.Count:
+			b.WriteString("(COUNT(")
+			if q.CountArg != "" {
+				if q.CountDistinct {
+					b.WriteString("DISTINCT ")
+				}
+				b.WriteString("?" + string(q.CountArg))
+			} else {
+				b.WriteString("*")
+			}
+			b.WriteString(") AS ?" + string(q.CountVar) + ") ")
+		case len(q.Vars) == 0:
+			b.WriteString("* ")
+		default:
+			for _, v := range q.Vars {
+				b.WriteString("?" + string(v) + " ")
+			}
+		}
+	}
+	b.WriteString("WHERE ")
+	b.WriteString(serializeGroup(q.Where, 0))
+	for i, k := range q.OrderBy {
+		if i == 0 {
+			b.WriteString("\nORDER BY")
+		}
+		if k.Desc {
+			b.WriteString(" DESC(?" + string(k.Var) + ")")
+		} else {
+			b.WriteString(" ?" + string(k.Var))
+		}
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, "\nLIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, "\nOFFSET %d", q.Offset)
+	}
+	return b.String()
+}
+
+func serializeGroup(g *GroupGraphPattern, depth int) string {
+	ind := strings.Repeat("  ", depth)
+	inner := strings.Repeat("  ", depth+1)
+	var b strings.Builder
+	b.WriteString("{\n")
+	if g != nil {
+		for _, tp := range g.Patterns {
+			b.WriteString(inner)
+			b.WriteString(tp.String())
+			b.WriteString(" .\n")
+		}
+		for _, u := range g.Unions {
+			b.WriteString(inner)
+			for i, alt := range u.Alternatives {
+				if i > 0 {
+					b.WriteString(" UNION ")
+				}
+				b.WriteString(serializeGroup(alt, depth+1))
+			}
+			b.WriteString("\n")
+		}
+		for _, vb := range g.Values {
+			b.WriteString(inner)
+			b.WriteString(serializeValues(vb))
+			b.WriteString("\n")
+		}
+		for _, o := range g.Optionals {
+			b.WriteString(inner)
+			b.WriteString("OPTIONAL ")
+			b.WriteString(serializeGroup(o, depth+1))
+			b.WriteString("\n")
+		}
+		for _, f := range g.Filters {
+			b.WriteString(inner)
+			if ex, ok := f.(*ExistsExpr); ok {
+				kw := "FILTER EXISTS "
+				if ex.Not {
+					kw = "FILTER NOT EXISTS "
+				}
+				b.WriteString(kw)
+				b.WriteString(serializeGroup(ex.Group, depth+1))
+			} else {
+				b.WriteString("FILTER (")
+				b.WriteString(f.String())
+				b.WriteString(")")
+			}
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString(ind)
+	b.WriteString("}")
+	return b.String()
+}
+
+func serializeValues(vb *ValuesBlock) string {
+	var b strings.Builder
+	b.WriteString("VALUES ")
+	multi := len(vb.Vars) != 1
+	if multi {
+		b.WriteString("(")
+		for i, v := range vb.Vars {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			b.WriteString("?" + string(v))
+		}
+		b.WriteString(")")
+	} else {
+		b.WriteString("?" + string(vb.Vars[0]))
+	}
+	b.WriteString(" { ")
+	for _, row := range vb.Rows {
+		if multi {
+			b.WriteString("(")
+		}
+		for i, t := range row {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			if t.IsZero() {
+				b.WriteString("UNDEF")
+			} else {
+				b.WriteString(t.String())
+			}
+		}
+		if multi {
+			b.WriteString(")")
+		}
+		b.WriteString(" ")
+	}
+	b.WriteString("}")
+	return b.String()
+}

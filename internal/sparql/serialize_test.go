@@ -1,0 +1,152 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"lusail/internal/rdf"
+)
+
+// genExpr builds a random expression AST of bounded depth.
+func genExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return &VarExpr{Name: Var([]string{"a", "b", "c"}[r.Intn(3)])}
+		case 1:
+			return &TermExpr{Term: rdf.Integer(int64(r.Intn(100)))}
+		case 2:
+			return &TermExpr{Term: rdf.Literal(fmt.Sprintf("lit%d", r.Intn(10)))}
+		default:
+			return &TermExpr{Term: rdf.IRI(fmt.Sprintf("http://ex/t%d", r.Intn(10)))}
+		}
+	}
+	switch r.Intn(7) {
+	case 0, 1:
+		ops := []string{"&&", "||"}
+		return &BinaryExpr{Op: ops[r.Intn(2)], Left: genExpr(r, depth-1), Right: genExpr(r, depth-1)}
+	case 2, 3:
+		ops := []string{"=", "!=", "<", "<=", ">", ">="}
+		return &BinaryExpr{Op: ops[r.Intn(len(ops))], Left: genExpr(r, depth-1), Right: genExpr(r, depth-1)}
+	case 4:
+		ops := []string{"+", "-", "*", "/"}
+		return &BinaryExpr{Op: ops[r.Intn(len(ops))], Left: genExpr(r, depth-1), Right: genExpr(r, depth-1)}
+	case 5:
+		return &UnaryExpr{Op: "!", X: genExpr(r, depth-1)}
+	default:
+		fns := []string{"STR", "LCASE", "UCASE", "STRLEN", "ISIRI", "ISLITERAL"}
+		return &CallExpr{Func: fns[r.Intn(len(fns))], Args: []Expr{genExpr(r, depth-1)}}
+	}
+}
+
+// TestQuickExprSerializeRoundTrip: any expression serialized into a
+// FILTER and reparsed yields a structurally identical AST — operator
+// precedence and parenthesization survive.
+func TestQuickExprSerializeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := genExpr(r, 4)
+		src := "SELECT * WHERE { ?a <http://ex/p> ?b . FILTER (" + e.String() + ") }"
+		q, err := Parse(src)
+		if err != nil {
+			t.Logf("seed %d: %v\nexpr: %s", seed, err, e.String())
+			return false
+		}
+		if len(q.Where.Filters) != 1 {
+			return false
+		}
+		back := q.Where.Filters[0]
+		if !reflect.DeepEqual(e, back) {
+			t.Logf("seed %d AST mismatch:\n in: %#v\nout: %#v\ntext: %s", seed, e, back, e.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genGroup builds a random group graph pattern (patterns + filters +
+// optional + union + values) for whole-query round-trips.
+func genGroup(r *rand.Rand, depth int) *GroupGraphPattern {
+	g := &GroupGraphPattern{}
+	vars := []string{"a", "b", "c", "d"}
+	elem := func() Elem {
+		if r.Intn(2) == 0 {
+			return V(vars[r.Intn(len(vars))])
+		}
+		return C(rdf.IRI(fmt.Sprintf("http://ex/t%d", r.Intn(6))))
+	}
+	for i := 0; i < 1+r.Intn(3); i++ {
+		g.Patterns = append(g.Patterns, TriplePattern{
+			S: V(vars[r.Intn(len(vars))]),
+			P: C(rdf.IRI(fmt.Sprintf("http://ex/p%d", r.Intn(4)))),
+			O: elem(),
+		})
+	}
+	if r.Intn(3) == 0 {
+		g.Filters = append(g.Filters, genExpr(r, 2))
+	}
+	if depth > 0 && r.Intn(3) == 0 {
+		g.Optionals = append(g.Optionals, genGroup(r, depth-1))
+	}
+	if depth > 0 && r.Intn(4) == 0 {
+		g.Unions = append(g.Unions, &UnionBlock{Alternatives: []*GroupGraphPattern{
+			genGroup(r, 0), genGroup(r, 0),
+		}})
+	}
+	if r.Intn(4) == 0 {
+		vb := &ValuesBlock{Vars: []Var{"a"}}
+		for i := 0; i < 1+r.Intn(3); i++ {
+			if r.Intn(4) == 0 {
+				vb.Rows = append(vb.Rows, []rdf.Term{{}}) // UNDEF
+			} else {
+				vb.Rows = append(vb.Rows, []rdf.Term{rdf.IRI(fmt.Sprintf("http://ex/v%d", i))})
+			}
+		}
+		g.Values = append(g.Values, vb)
+	}
+	return g
+}
+
+// TestQuickQuerySerializeRoundTrip: whole random queries survive
+// serialize -> parse structurally.
+func TestQuickQuerySerializeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := NewSelect()
+		q.Where = genGroup(r, 2)
+		if r.Intn(2) == 0 {
+			q.Distinct = true
+		}
+		if r.Intn(3) == 0 {
+			q.Limit = r.Intn(100)
+		}
+		if r.Intn(4) == 0 {
+			q.Offset = 1 + r.Intn(10)
+		}
+		if r.Intn(3) == 0 {
+			q.OrderBy = []OrderKey{{Var: "a", Desc: r.Intn(2) == 0}}
+		}
+		text := q.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, text)
+			return false
+		}
+		back.Prefixes = nil
+		q.Prefixes = nil
+		if !reflect.DeepEqual(q, back) {
+			t.Logf("seed %d round-trip mismatch:\n%s", seed, text)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

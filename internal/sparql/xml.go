@@ -1,0 +1,164 @@
+package sparql
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"lusail/internal/rdf"
+)
+
+// The SPARQL Query Results XML Format
+// (https://www.w3.org/TR/rdf-sparql-XMLres/), the second standard wire
+// format next to JSON; real-world endpoints negotiate between the two.
+
+type xmlSparql struct {
+	XMLName xml.Name    `xml:"http://www.w3.org/2005/sparql-results# sparql"`
+	Head    xmlHead     `xml:"head"`
+	Boolean *bool       `xml:"boolean,omitempty"`
+	Results *xmlResults `xml:"results,omitempty"`
+}
+
+type xmlHead struct {
+	Variables []xmlVariable `xml:"variable"`
+}
+
+type xmlVariable struct {
+	Name string `xml:"name,attr"`
+}
+
+type xmlResults struct {
+	Results []xmlResult `xml:"result"`
+}
+
+type xmlResult struct {
+	Bindings []xmlBinding `xml:"binding"`
+}
+
+type xmlBinding struct {
+	Name    string      `xml:"name,attr"`
+	URI     *string     `xml:"uri,omitempty"`
+	BNode   *string     `xml:"bnode,omitempty"`
+	Literal *xmlLiteral `xml:"literal,omitempty"`
+}
+
+type xmlLiteral struct {
+	Datatype string `xml:"datatype,attr,omitempty"`
+	Lang     string `xml:"http://www.w3.org/XML/1998/namespace lang,attr,omitempty"`
+	Value    string `xml:",chardata"`
+}
+
+// EncodeXML writes r in the SPARQL Query Results XML Format.
+func (r *Results) EncodeXML(w io.Writer) error {
+	doc := xmlSparql{}
+	if r.AskForm {
+		b := r.Ask
+		doc.Boolean = &b
+	} else {
+		for _, v := range r.Vars {
+			doc.Head.Variables = append(doc.Head.Variables, xmlVariable{Name: string(v)})
+		}
+		doc.Results = &xmlResults{}
+		for _, row := range r.Rows {
+			var res xmlResult
+			// Emit bindings in header order for determinism.
+			for _, v := range r.Vars {
+				t, ok := row[v]
+				if !ok {
+					continue
+				}
+				res.Bindings = append(res.Bindings, termToXML(string(v), t))
+			}
+			// Variables outside the header (SELECT * edge cases).
+			for v, t := range row {
+				if !containsVar(r.Vars, v) {
+					res.Bindings = append(res.Bindings, termToXML(string(v), t))
+				}
+			}
+			doc.Results.Results = append(doc.Results.Results, res)
+		}
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+func containsVar(vars []Var, v Var) bool {
+	for _, x := range vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func termToXML(name string, t rdf.Term) xmlBinding {
+	b := xmlBinding{Name: name}
+	switch t.Kind {
+	case rdf.KindIRI:
+		v := t.Value
+		b.URI = &v
+	case rdf.KindBlank:
+		v := t.Value
+		b.BNode = &v
+	default:
+		b.Literal = &xmlLiteral{Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
+	}
+	return b
+}
+
+// DecodeXML reads the SPARQL Query Results XML Format.
+func DecodeXML(r io.Reader) (*Results, error) {
+	var doc xmlSparql
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("sparql: decoding XML results: %w", err)
+	}
+	if doc.Boolean != nil {
+		return NewAskResult(*doc.Boolean), nil
+	}
+	out := &Results{}
+	for _, v := range doc.Head.Variables {
+		out.Vars = append(out.Vars, Var(v.Name))
+	}
+	if doc.Results == nil {
+		return out, nil
+	}
+	for _, res := range doc.Results.Results {
+		row := Binding{}
+		for _, b := range res.Bindings {
+			t, err := termFromXML(b)
+			if err != nil {
+				return nil, err
+			}
+			row[Var(b.Name)] = t
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func termFromXML(b xmlBinding) (rdf.Term, error) {
+	switch {
+	case b.URI != nil:
+		return rdf.IRI(*b.URI), nil
+	case b.BNode != nil:
+		return rdf.Blank(*b.BNode), nil
+	case b.Literal != nil:
+		switch {
+		case b.Literal.Lang != "":
+			return rdf.LangLiteral(b.Literal.Value, b.Literal.Lang), nil
+		case b.Literal.Datatype != "":
+			return rdf.TypedLiteral(b.Literal.Value, b.Literal.Datatype), nil
+		default:
+			return rdf.Literal(b.Literal.Value), nil
+		}
+	default:
+		return rdf.Term{}, fmt.Errorf("sparql: XML binding %q has no term", b.Name)
+	}
+}

@@ -1,0 +1,70 @@
+package sparql
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lusail/internal/rdf"
+)
+
+func TestXMLRoundTrip(t *testing.T) {
+	r := &Results{
+		Vars: []Var{"s", "o"},
+		Rows: []Binding{
+			{"s": rdf.IRI("http://ex/1"), "o": rdf.Literal("plain & <escaped>")},
+			{"s": rdf.IRI("http://ex/2"), "o": rdf.LangLiteral("salut", "fr")},
+			{"s": rdf.Blank("b0"), "o": rdf.Integer(42)},
+			{"s": rdf.IRI("http://ex/3")}, // o unbound
+		},
+	}
+	var buf bytes.Buffer
+	if err := r.EncodeXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sparql-results#") {
+		t.Errorf("missing namespace: %s", buf.String())
+	}
+	back, err := DecodeXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Vars, back.Vars) {
+		t.Errorf("vars = %v", back.Vars)
+	}
+	if len(back.Rows) != len(r.Rows) {
+		t.Fatalf("rows = %d, want %d", len(back.Rows), len(r.Rows))
+	}
+	for i := range r.Rows {
+		if !reflect.DeepEqual(r.Rows[i], back.Rows[i]) {
+			t.Errorf("row %d = %v, want %v", i, back.Rows[i], r.Rows[i])
+		}
+	}
+}
+
+func TestXMLAskRoundTrip(t *testing.T) {
+	for _, v := range []bool{true, false} {
+		var buf bytes.Buffer
+		if err := NewAskResult(v).EncodeXML(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeXML(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.AskForm || back.Ask != v {
+			t.Errorf("ask round trip = %+v, want %v", back, v)
+		}
+	}
+}
+
+func TestXMLDecodeErrors(t *testing.T) {
+	if _, err := DecodeXML(strings.NewReader("<not-xml")); err == nil {
+		t.Error("bad XML accepted")
+	}
+	empty := `<?xml version="1.0"?><sparql xmlns="http://www.w3.org/2005/sparql-results#"><head/><results><result><binding name="x"/></result></results></sparql>`
+	if _, err := DecodeXML(strings.NewReader(empty)); err == nil {
+		t.Error("term-less binding accepted")
+	}
+}

@@ -1,0 +1,160 @@
+// Package testfed builds small federations used by tests across the
+// repository, including the paper's running example (Figure 1): two
+// university endpoints with an interlink (Tim at EP2 got his PhD from
+// MIT, whose address lives at EP1).
+package testfed
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"lusail/internal/endpoint"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+	"lusail/internal/store"
+)
+
+// NS is the vocabulary namespace of the fixture.
+const NS = "http://ex/"
+
+// IRI abbreviates fixture IRIs.
+func IRI(local string) rdf.Term { return rdf.IRI(NS + local) }
+
+// Universities builds the Figure-1 federation: EP1 hosts MIT, EP2
+// hosts CMU; EP2's professor Tim holds a PhD from MIT, so resolving
+// his alma mater's address requires traversing the interlink.
+func Universities() (ep1, ep2 *endpoint.Local) {
+	typ := rdf.IRI(rdf.RDFType)
+	adv, takes, teaches := IRI("advisor"), IRI("takesCourse"), IRI("teacherOf")
+	phd, addr := IRI("PhDDegreeFrom"), IRI("address")
+	grad := IRI("GraduateStudent")
+
+	st1 := store.New() // MIT
+	st1.Add(rdf.T(IRI("Lee"), typ, grad))
+	st1.Add(rdf.T(IRI("Lee"), adv, IRI("Ben")))
+	st1.Add(rdf.T(IRI("Lee"), takes, IRI("OS")))
+	st1.Add(rdf.T(IRI("Ben"), teaches, IRI("OS")))
+	st1.Add(rdf.T(IRI("Ben"), phd, IRI("MIT")))
+	st1.Add(rdf.T(IRI("Sam"), typ, grad))
+	st1.Add(rdf.T(IRI("Sam"), adv, IRI("Ann"))) // Ann teaches nothing: GJV false positive for ?P
+	st1.Add(rdf.T(IRI("Sam"), takes, IRI("OS")))
+	st1.Add(rdf.T(IRI("Ann"), phd, IRI("MIT")))
+	st1.Add(rdf.T(IRI("MIT"), addr, rdf.Literal("XXX")))
+
+	st2 := store.New() // CMU
+	st2.Add(rdf.T(IRI("Kim"), typ, grad))
+	st2.Add(rdf.T(IRI("Kim"), adv, IRI("Joy")))
+	st2.Add(rdf.T(IRI("Kim"), adv, IRI("Tim")))
+	st2.Add(rdf.T(IRI("Kim"), takes, IRI("DB")))
+	st2.Add(rdf.T(IRI("Joy"), teaches, IRI("DB")))
+	st2.Add(rdf.T(IRI("Joy"), phd, IRI("CMU")))
+	st2.Add(rdf.T(IRI("Tim"), phd, IRI("MIT"))) // interlink to EP1
+	st2.Add(rdf.T(IRI("CMU"), addr, rdf.Literal("CCCC")))
+
+	return endpoint.NewLocal("EP1", st1), endpoint.NewLocal("EP2", st2)
+}
+
+// Qa is the paper's Figure-2 query over the university federation:
+// students taking a course taught by their advisor, with the URI and
+// address of the advisor's alma mater.
+const Qa = `SELECT ?S ?P ?U ?A WHERE {
+	?S <http://ex/advisor> ?P .
+	?S <http://ex/takesCourse> ?C .
+	?P <http://ex/teacherOf> ?C .
+	?P <http://ex/PhDDegreeFrom> ?U .
+	?U <http://ex/address> ?A .
+}`
+
+// QaChain drops the teacherOf pattern from Qa; ?P then joins only
+// advisor with PhDDegreeFrom, which the fixture keeps endpoint-local,
+// so only ?U is a GJV.
+const QaChain = `SELECT ?S ?P ?U ?A WHERE {
+	?S <http://ex/advisor> ?P .
+	?S <http://ex/takesCourse> ?C .
+	?P <http://ex/PhDDegreeFrom> ?U .
+	?U <http://ex/address> ?A .
+}`
+
+// UnionStore merges the data of all endpoints; evaluating a query over
+// it is the ground truth for the supported fragment.
+func UnionStore(eps ...*endpoint.Local) *store.Store {
+	st := store.New()
+	for _, ep := range eps {
+		st.AddGraph(ep.Store().Triples())
+	}
+	return st
+}
+
+// Canon renders results as a sorted, deterministic list of rows for
+// comparisons in tests.
+func Canon(r *sparql.Results) []string {
+	vars := append([]sparql.Var(nil), r.Vars...)
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	rows := make([]string, 0, len(r.Rows))
+	for _, b := range r.Rows {
+		var parts []string
+		for _, v := range vars {
+			if t, ok := b[v]; ok {
+				parts = append(parts, string(v)+"="+t.String())
+			} else {
+				parts = append(parts, string(v)+"=UNDEF")
+			}
+		}
+		rows = append(rows, strings.Join(parts, " "))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// Flaky wraps an endpoint and injects failures: the first FailFirst
+// requests error out, and any request whose query contains FailOn
+// (when non-empty) errors permanently. It implements the endpoint
+// interface and is used for failure-injection tests.
+type Flaky struct {
+	Inner endpoint.Endpoint
+	// FailFirst makes the first N requests fail.
+	FailFirst int
+	// FailOn fails every query containing this substring.
+	FailOn string
+
+	mu   sync.Mutex
+	seen int
+}
+
+// Name implements endpoint.Endpoint.
+func (f *Flaky) Name() string { return f.Inner.Name() }
+
+// Query injects failures per the configuration, delegating otherwise.
+func (f *Flaky) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	f.mu.Lock()
+	f.seen++
+	n := f.seen
+	f.mu.Unlock()
+	if n <= f.FailFirst {
+		return nil, fmt.Errorf("flaky endpoint %s: injected failure %d", f.Name(), n)
+	}
+	if f.FailOn != "" && strings.Contains(query, f.FailOn) {
+		return nil, fmt.Errorf("flaky endpoint %s: injected failure for %q", f.Name(), f.FailOn)
+	}
+	return f.Inner.Query(ctx, query)
+}
+
+// Requests reports how many requests the endpoint has seen.
+func (f *Flaky) Requests() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seen
+}
+
+// MustQuery runs a query against an endpoint and panics on error;
+// test-fixture convenience.
+func MustQuery(ep endpoint.Endpoint, q string) *sparql.Results {
+	res, err := ep.Query(context.Background(), q)
+	if err != nil {
+		panic(fmt.Sprintf("testfed query at %s: %v", ep.Name(), err))
+	}
+	return res
+}

@@ -1,0 +1,210 @@
+// Package lusail is a federated SPARQL query processor over
+// decentralized RDF graphs, reproducing "Query Optimizations over
+// Decentralized RDF Graphs" (ICDE 2017). Queries are optimized with
+// locality-aware decomposition (LADE) at compile time and
+// selectivity-aware parallel execution (SAPE) at run time.
+//
+// Quick start:
+//
+//	ep1, _ := lusail.LoadEndpoint("uni1", strings.NewReader(ntriples1))
+//	ep2, _ := lusail.LoadEndpoint("uni2", strings.NewReader(ntriples2))
+//	fed := lusail.New([]lusail.Endpoint{ep1, ep2})
+//	res, err := fed.Query(ctx, `SELECT ?s WHERE { ?s <http://ex/p> ?o }`)
+//
+// Endpoints may be in-process (LoadEndpoint), optionally with a
+// simulated network profile, or remote SPARQL endpoints over HTTP
+// (ConnectHTTP). Serve exposes an in-process endpoint over the SPARQL
+// protocol so federations can span real processes.
+package lusail
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+
+	"lusail/internal/baseline/fedx"
+	"lusail/internal/baseline/hibiscus"
+	"lusail/internal/baseline/splendid"
+	"lusail/internal/core"
+	"lusail/internal/endpoint"
+	"lusail/internal/federation"
+	"lusail/internal/rdf"
+	"lusail/internal/sparql"
+	"lusail/internal/store"
+)
+
+// Endpoint is one SPARQL endpoint of the decentralized graph.
+type Endpoint = endpoint.Endpoint
+
+// Results is a SPARQL result set (solution rows, or a boolean for ASK
+// queries).
+type Results = sparql.Results
+
+// Binding is one solution row.
+type Binding = sparql.Binding
+
+// Var is a SPARQL variable name.
+type Var = sparql.Var
+
+// Metrics profiles one query execution: per-phase durations and remote
+// request counts.
+type Metrics = core.Metrics
+
+// NetworkProfile simulates the link between the federator and an
+// in-process endpoint (round-trip latency plus bandwidth).
+type NetworkProfile = endpoint.NetworkProfile
+
+// Predefined network profiles.
+var (
+	// LAN approximates a 1 Gb local cluster.
+	LAN = endpoint.LANProfile
+	// WAN approximates cross-region public-cloud links.
+	WAN = endpoint.WANProfile
+)
+
+// DelayPolicy selects the SAPE threshold for delaying low-selectivity
+// subqueries.
+type DelayPolicy = core.DelayPolicy
+
+// Delay policies (the paper adopts DelayMuSigma, Fig. 9).
+const (
+	DelayMuSigma      = core.DelayMuSigma
+	DelayMu           = core.DelayMu
+	DelayMu2Sigma     = core.DelayMu2Sigma
+	DelayOutliersOnly = core.DelayOutliersOnly
+)
+
+// Option configures a Federation.
+type Option func(*core.Config)
+
+// WithDelayPolicy overrides the delayed-subquery threshold.
+func WithDelayPolicy(p DelayPolicy) Option {
+	return func(c *core.Config) { c.DelayPolicy = p }
+}
+
+// WithBindBlockSize sets the VALUES block size used when evaluating
+// delayed subqueries with bound variables.
+func WithBindBlockSize(n int) Option {
+	return func(c *core.Config) { c.BindBlockSize = n }
+}
+
+// WithWorkers bounds join parallelism (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *core.Config) { c.Workers = n }
+}
+
+// WithoutCache disables the ASK / check-query / COUNT caches, forcing
+// every query to re-probe the endpoints.
+func WithoutCache() Option {
+	return func(c *core.Config) { c.DisableCache = true }
+}
+
+// Federation is a Lusail engine over a fixed set of endpoints.
+type Federation struct {
+	engine    *core.Lusail
+	endpoints []Endpoint
+}
+
+// New builds a federation over the endpoints.
+func New(eps []Endpoint, opts ...Option) *Federation {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Federation{engine: core.New(eps, cfg), endpoints: eps}
+}
+
+// Query runs a SPARQL SELECT or ASK query against the federation.
+func (f *Federation) Query(ctx context.Context, query string) (*Results, error) {
+	return f.engine.Execute(ctx, query)
+}
+
+// Metrics returns the profile of the most recent Query call.
+func (f *Federation) Metrics() Metrics { return f.engine.LastMetrics() }
+
+// Plan describes how the federation would execute a query: global
+// join variables, decomposed subqueries with sources, cardinality
+// estimates, and delay decisions.
+type Plan = core.Plan
+
+// Explain analyzes a query and returns its execution plan without
+// running it (only the lightweight ASK / check / COUNT probes are
+// sent to the endpoints).
+func (f *Federation) Explain(ctx context.Context, query string) (*Plan, error) {
+	return f.engine.Explain(ctx, query)
+}
+
+// BatchResult pairs one query of a batch with its outcome.
+type BatchResult = core.BatchResult
+
+// QueryBatch runs a workload of queries with multi-query optimization:
+// the queries share all caches plus a single-flight subquery-result
+// cache, so overlapping subqueries across queries execute once.
+// Results are returned in input order.
+func (f *Federation) QueryBatch(ctx context.Context, queries []string) []BatchResult {
+	return f.engine.ExecuteBatch(ctx, queries)
+}
+
+// Endpoints returns the federation's endpoints.
+func (f *Federation) Endpoints() []Endpoint { return f.endpoints }
+
+// MemoryEndpoint is an in-process endpoint backed by an indexed
+// in-memory triple store.
+type MemoryEndpoint = endpoint.Local
+
+// LoadEndpoint builds an in-process endpoint from an N-Triples
+// document.
+func LoadEndpoint(name string, ntriples io.Reader) (*MemoryEndpoint, error) {
+	g, err := rdf.ParseNTriples(ntriples)
+	if err != nil {
+		return nil, fmt.Errorf("lusail: loading endpoint %s: %w", name, err)
+	}
+	return endpoint.NewLocal(name, store.FromGraph(g)), nil
+}
+
+// NewEndpoint builds an empty in-process endpoint; triples can be
+// added through its Store.
+func NewEndpoint(name string) *MemoryEndpoint {
+	return endpoint.NewLocal(name, store.New())
+}
+
+// ConnectHTTP returns an endpoint speaking the SPARQL protocol at the
+// given URL (query via form-encoded POST, results as SPARQL JSON).
+func ConnectHTTP(name, url string) Endpoint { return endpoint.NewHTTP(name, url) }
+
+// Serve returns an http.Handler exposing ep over the SPARQL protocol;
+// mount it to make an in-process endpoint reachable by remote
+// federators.
+func Serve(ep *MemoryEndpoint) http.Handler { return endpoint.Handler(ep) }
+
+// Engine is the interface shared by Lusail and the baseline engines.
+type Engine = federation.Engine
+
+// NewBaseline constructs one of the comparison systems over the
+// endpoints: "fedx" (index-free, bound joins), "splendid" (VoID-index
+// based), "hibiscus" (authority summaries over the FedX executor), or
+// "naive" (ship every pattern, join centrally). Index-based baselines
+// pay their preprocessing here and require in-process endpoints.
+func NewBaseline(name string, eps []Endpoint) (Engine, error) {
+	switch name {
+	case "fedx":
+		return fedx.New(eps, fedx.Config{}), nil
+	case "splendid":
+		idx, err := splendid.BuildIndex(eps)
+		if err != nil {
+			return nil, err
+		}
+		return splendid.New(eps, idx, splendid.Config{}), nil
+	case "hibiscus":
+		sum, err := hibiscus.BuildSummary(eps)
+		if err != nil {
+			return nil, err
+		}
+		return hibiscus.New(eps, sum, fedx.Config{}), nil
+	case "naive":
+		return federation.NewNaive(eps, federation.NewAskCache()), nil
+	default:
+		return nil, fmt.Errorf("lusail: unknown baseline %q", name)
+	}
+}
