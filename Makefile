@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race verify bench
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-heavy packages: the elastic request
+# handler, the executor's fail-fast paths, and the resilient decorator.
+race:
+	$(GO) test -race ./internal/federation/... ./internal/core/... ./internal/endpoint/...
+
+verify: build vet test race
+
+bench:
+	$(GO) run ./cmd/lusail-bench -exp all

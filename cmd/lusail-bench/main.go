@@ -4,9 +4,10 @@
 //	lusail-bench -exp all -scale 2     # everything, bigger datasets
 //
 // Available experiments: table1, prep, fig3, fig9, fig10a, fig10bc,
-// fig11, fig12, fig13, fig14, bio, ablade, absape, all. Each prints
-// the rows/series the corresponding figure or table reports; see
-// EXPERIMENTS.md for the mapping and expected shapes.
+// fig11, fig12, fig13, fig14, bio, ablade, absape, mqo, scale,
+// faults, all. Each prints the rows/series the corresponding figure
+// or table reports; see EXPERIMENTS.md for the mapping and expected
+// shapes.
 package main
 
 import (

@@ -158,7 +158,12 @@ func (cm *CostModel) EstimateCards(ctx context.Context, sqs []*Subquery) (int, e
 		}
 	}
 	sent := len(tasks)
-	results := cm.Handler.Run(ctx, tasks)
+	// Fail fast: one failed COUNT probe aborts estimation, so sibling
+	// probes are cancelled rather than run to completion.
+	results, ferr := cm.Handler.RunFailFast(ctx, tasks)
+	if ferr != nil {
+		return sent, fmt.Errorf("count query: %w", ferr)
+	}
 	for i, tr := range results {
 		if tr.Err != nil {
 			return sent, fmt.Errorf("count query: %w", tr.Err)

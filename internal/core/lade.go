@@ -175,7 +175,12 @@ func (d *Decomposer) DetectGJVs(ctx context.Context, patterns []sparql.TriplePat
 		}
 	}
 	rep.CheckQueries = len(tasks)
-	results := d.Handler.Run(ctx, tasks)
+	// Fail fast: the GJV broadcast is all-or-nothing, so the first
+	// check-query failure cancels the sibling probes.
+	results, err := d.Handler.RunFailFast(ctx, tasks)
+	if err != nil {
+		return nil, fmt.Errorf("lade check query: %w", err)
+	}
 	for i, tr := range results {
 		if tr.Err != nil {
 			return nil, fmt.Errorf("lade check query at %s: %w", probes[i].ep.Name(), tr.Err)

@@ -32,6 +32,13 @@ type Config struct {
 	// merger; both produce valid decompositions (§IV-C notes the
 	// result is traversal-order dependent).
 	TraversalDecomposer bool
+	// Resilience, when non-nil, wraps every endpoint in a resilient
+	// decorator: per-request timeout, bounded retries with jittered
+	// exponential backoff on transient faults, and a per-endpoint
+	// circuit breaker. nil (the default) disables the layer: the first
+	// endpoint error surfaces immediately, as an all-or-nothing
+	// federation. See endpoint.DefaultResilience for tuned defaults.
+	Resilience *endpoint.ResilienceConfig
 }
 
 // Metrics profiles one query execution through Lusail's three phases
@@ -52,6 +59,10 @@ type Metrics struct {
 	Subqueries int
 	Delayed    int
 	GJVs       int
+	// Retries and BreakerOpens count fault-recovery events during
+	// execution (non-zero only with Config.Resilience set).
+	Retries      int
+	BreakerOpens int
 	// SharedSubqueries counts subquery executions saved by the
 	// multi-query optimization cache (ExecuteBatch only).
 	SharedSubqueries int
@@ -92,6 +103,12 @@ type Lusail struct {
 func New(eps []endpoint.Endpoint, cfg Config) *Lusail {
 	if cfg.BindBlockSize == 0 {
 		cfg.BindBlockSize = 100
+	}
+	if cfg.Resilience != nil {
+		// Every internal consumer (selector, decomposer, cost model,
+		// executor) sees the decorated endpoints, so ASK probes, check
+		// queries, COUNT probes, and subquery evaluations all retry.
+		eps = endpoint.WrapResilient(eps, *cfg.Resilience)
 	}
 	l := &Lusail{
 		eps:        eps,
@@ -143,6 +160,19 @@ func (l *Lusail) executeCached(ctx context.Context, query string, sqCache *Subqu
 		return nil, err
 	}
 	var m Metrics
+	// Attribute the whole query's fault-recovery events (source
+	// selection, analysis, and execution alike) to its metrics, and
+	// record metrics even when the query errors out, so experiments
+	// can report what a failed query cost.
+	pre := endpoint.TotalStats(l.eps)
+	defer func() {
+		post := endpoint.TotalStats(l.eps)
+		m.Retries = int(post.Retries - pre.Retries)
+		m.BreakerOpens = int(post.BreakerOpens - pre.BreakerOpens)
+		l.mu.Lock()
+		l.last = m
+		l.mu.Unlock()
+	}()
 	if l.cfg.DisableCache {
 		l.ClearCaches()
 	}
@@ -166,10 +196,6 @@ func (l *Lusail) executeCached(ctx context.Context, query string, sqCache *Subqu
 		res = sparql.NewAskResult(len(rows) > 0)
 	}
 	m.Execution += time.Since(t)
-
-	l.mu.Lock()
-	l.last = m
-	l.mu.Unlock()
 	return res, nil
 }
 

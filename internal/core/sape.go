@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -78,6 +79,11 @@ type ExecStats struct {
 	Phase2Requests int
 	RefineRequests int
 	BoundBlocks    int
+	// Retries and BreakerOpens count the fault-recovery events the
+	// resilient endpoint decorators recorded during this execution, so
+	// experiments can report recovery overhead per query.
+	Retries      int
+	BreakerOpens int
 }
 
 // Executor runs SAPE (Algorithm 3): concurrent evaluation of
@@ -116,6 +122,14 @@ func (ex *Executor) Run(ctx context.Context, sqs []*Subquery, extra []*Relation,
 // on per-query bindings and are never cached.
 func (ex *Executor) RunCached(ctx context.Context, sqs []*Subquery, extra []*Relation, globalFilters []sparql.Expr, optFilters map[int][]sparql.Expr, sqCache *SubqueryCache) (*Relation, *ExecStats, error) {
 	stats := &ExecStats{}
+	// Snapshot the resilience counters so the delta attributes this
+	// execution's retry/breaker events to its ExecStats.
+	pre := endpoint.TotalStats(ex.Endpoints)
+	defer func() {
+		post := endpoint.TotalStats(ex.Endpoints)
+		stats.Retries += int(post.Retries - pre.Retries)
+		stats.BreakerOpens += int(post.BreakerOpens - pre.BreakerOpens)
+	}()
 	fb := newFoundBindings()
 
 	var required []*Relation
@@ -214,7 +228,14 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 			}
 		}
 		stats.Phase1Requests = len(tasks)
-		for i, tr := range ex.Handler.Run(ctx, tasks) {
+		// Fail fast: the first terminal subquery error cancels the
+		// sibling in-flight evaluations instead of letting them burn
+		// their full network budget.
+		results, ferr := ex.Handler.RunFailFast(ctx, tasks)
+		if ferr != nil {
+			return nil, fmt.Errorf("sape phase 1: %w", ferr)
+		}
+		for i, tr := range results {
 			if tr.Err != nil {
 				return nil, fmt.Errorf("sape phase 1: %w", tr.Err)
 			}
@@ -226,6 +247,10 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 		return rels, nil
 	}
 
+	// Fail fast across the per-subquery fan-out: the first error
+	// cancels the sibling evaluations of THIS query.
+	groupCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	type outcome struct {
 		sq  *Subquery
 		rel *Relation
@@ -236,10 +261,20 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 	for _, sq := range phase1 {
 		go func(sq *Subquery) {
 			computed := false
-			rel, err := sqCache.Do(sqCache.Key(sq), func() (*Relation, error) {
-				computed = true
-				return ex.evalSubqueryUnbound(ctx, sq)
-			})
+			run := func() (*Relation, error) {
+				return sqCache.Do(sqCache.Key(sq), func() (*Relation, error) {
+					computed = true
+					return ex.evalSubqueryUnbound(groupCtx, sq)
+				})
+			}
+			rel, err := run()
+			if err != nil && errors.Is(err, context.Canceled) && groupCtx.Err() == nil {
+				// A sibling batch query's fail-fast cancelled the
+				// shared computation we were waiting on; its failure
+				// is not ours. Failed entries are evicted, so retry
+				// once under our own (still-live) context.
+				rel, err = run()
+			}
 			n := 0
 			if err == nil && computed {
 				n = len(sq.Sources)
@@ -247,15 +282,23 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 			ch <- outcome{sq: sq, rel: rel, n: n, err: err}
 		}(sq)
 	}
+	var firstErr error
 	for range phase1 {
 		o := <-ch
 		if o.err != nil {
-			return nil, fmt.Errorf("sape phase 1: %w", o.err)
+			if firstErr == nil {
+				firstErr = o.err
+				cancel() // fail fast: stop the sibling subqueries
+			}
+			continue
 		}
 		// Shallow-copy: concurrent queries share cached rows, but the
 		// per-query Optional marking must not leak across.
 		rels[o.sq] = &Relation{Vars: o.rel.Vars, Rows: o.rel.Rows, Partitions: o.rel.Partitions}
 		stats.Phase1Requests += o.n
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("sape phase 1: %w", firstErr)
 	}
 	return rels, nil
 }
@@ -269,7 +312,11 @@ func (ex *Executor) evalSubqueryUnbound(ctx context.Context, sq *Subquery) (*Rel
 	for _, ei := range sq.Sources {
 		tasks = append(tasks, federation.Task{EP: ex.Endpoints[ei], Query: text})
 	}
-	for _, tr := range ex.Handler.Run(ctx, tasks) {
+	results, ferr := ex.Handler.RunFailFast(ctx, tasks)
+	if ferr != nil {
+		return nil, ferr
+	}
+	for _, tr := range results {
 		if tr.Err != nil {
 			return nil, tr.Err
 		}
@@ -394,7 +441,12 @@ func (ex *Executor) runBound(ctx context.Context, sq *Subquery, fb *foundBinding
 		}
 	}
 	stats.Phase2Requests += len(tasks)
-	for _, tr := range ex.Handler.Run(ctx, tasks) {
+	// Fail fast: one failed bound block cancels the sibling blocks.
+	results, ferr := ex.Handler.RunFailFast(ctx, tasks)
+	if ferr != nil {
+		return nil, fmt.Errorf("sape phase 2 (%s): %w", sq, ferr)
+	}
+	for _, tr := range results {
 		if tr.Err != nil {
 			return nil, fmt.Errorf("sape phase 2 (%s): %w", sq, tr.Err)
 		}

@@ -34,12 +34,17 @@ type StatsSource interface {
 	ResetStats()
 }
 
-// Stats counts the traffic one endpoint has served.
+// Stats counts the traffic one endpoint has served, plus the
+// fault-tolerance events its resilient decorator (if any) recorded.
 type Stats struct {
 	Requests  int64 // remote requests received
 	Rows      int64 // solution rows shipped back
 	Bytes     int64 // approximate wire bytes shipped back
 	QueryTime time.Duration
+
+	Retries      int64 // retry attempts issued by the resilient decorator
+	BreakerOpens int64 // requests rejected fast by an open circuit breaker
+	Timeouts     int64 // attempts that hit the per-request timeout
 }
 
 // Add accumulates other into s.
@@ -48,6 +53,9 @@ func (s *Stats) Add(o Stats) {
 	s.Rows += o.Rows
 	s.Bytes += o.Bytes
 	s.QueryTime += o.QueryTime
+	s.Retries += o.Retries
+	s.BreakerOpens += o.BreakerOpens
+	s.Timeouts += o.Timeouts
 }
 
 // NetworkProfile models the link between the federator and an
@@ -129,7 +137,10 @@ func (l *Local) Name() string { return l.name }
 func (l *Local) Store() *store.Store { return l.eng.Store() }
 
 // Query parses and evaluates the query, charging the simulated network
-// cost for the request and its response size.
+// cost for the request and its response size. Error responses still
+// pay at least the link's RTT and still record their elapsed query
+// time: in the geo-distributed experiments a failed request is not
+// free.
 func (l *Local) Query(ctx context.Context, query string) (*sparql.Results, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -138,26 +149,47 @@ func (l *Local) Query(ctx context.Context, query string) (*sparql.Results, error
 	start := time.Now()
 	q, err := sparql.Parse(query)
 	if err != nil {
-		return nil, fmt.Errorf("endpoint %s: %w", l.name, err)
+		return nil, l.failed(ctx, start, &ParseError{Err: fmt.Errorf("endpoint %s: %w", l.name, err)})
 	}
 	res, err := l.eng.Eval(q)
 	if err != nil {
-		return nil, fmt.Errorf("endpoint %s: %w", l.name, err)
+		return nil, l.failed(ctx, start, fmt.Errorf("endpoint %s: %w", l.name, err))
 	}
 	l.queryTime.Add(int64(time.Since(start)))
 	wire := res.ApproxWireBytes()
 	l.rows.Add(int64(res.Len()))
 	l.bytes.Add(wire)
-	if d := l.net.Delay(wire); d > 0 {
-		t := time.NewTimer(d)
-		defer t.Stop()
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-t.C:
-		}
+	if err := l.sleepNet(ctx, l.net.Delay(wire)); err != nil {
+		return nil, err
 	}
 	return res, nil
+}
+
+// failed accounts for an error response: it records the elapsed query
+// time and charges the RTT (an error reply still crosses the wire),
+// then returns qerr (or the context error if cancellation preempts the
+// simulated delay).
+func (l *Local) failed(ctx context.Context, start time.Time, qerr error) error {
+	l.queryTime.Add(int64(time.Since(start)))
+	if err := l.sleepNet(ctx, l.net.Delay(0)); err != nil {
+		return err
+	}
+	return qerr
+}
+
+// sleepNet blocks for the simulated network delay, honouring ctx.
+func (l *Local) sleepNet(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Stats returns a snapshot of the endpoint's counters.

@@ -1,0 +1,153 @@
+package endpoint
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lusail/internal/sparql"
+)
+
+// FaultConfig configures a Faulty wrapper. All modes compose; the zero
+// value injects nothing and delegates every request.
+type FaultConfig struct {
+	// Seed makes the ErrorRate fault stream deterministic; two Faulty
+	// endpoints with the same seed and request sequence inject the
+	// same faults.
+	Seed int64
+	// ErrorRate in [0,1] fails each request with this probability
+	// (transient: a retry re-rolls).
+	ErrorRate float64
+	// FailFirst fails the first N requests (transient), then recovers —
+	// the fail-N-then-recover mode used to exercise retry budgets.
+	FailFirst int
+	// FailOn permanently fails every query containing this substring
+	// (non-retryable), modelling a request the endpoint cannot serve.
+	FailOn string
+	// Hang blocks every request until its context is cancelled,
+	// modelling a wedged endpoint; only a caller-side timeout unblocks.
+	Hang bool
+	// HangOn hangs only queries containing this substring.
+	HangOn string
+	// SlowBy adds a fixed extra latency to every request, modelling a
+	// degraded link or an overloaded server.
+	SlowBy time.Duration
+}
+
+// Faulty is a first-class fault-injection endpoint wrapper: it
+// implements Endpoint over an inner endpoint and injects transient
+// errors, permanent errors, hangs, and slowdowns per its FaultConfig.
+// Injected transient faults satisfy Retryable; permanent ones do not,
+// so the resilient decorator and tests can distinguish them.
+type Faulty struct {
+	Inner Endpoint
+	cfg   FaultConfig
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	seen int64
+
+	injected  atomic.Int64
+	completed atomic.Int64
+}
+
+// NewFaulty wraps inner with deterministic fault injection.
+func NewFaulty(inner Endpoint, cfg FaultConfig) *Faulty {
+	return &Faulty{
+		Inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Name implements Endpoint.
+func (f *Faulty) Name() string { return f.Inner.Name() }
+
+// Requests reports how many requests the wrapper has seen (including
+// ones that failed or hung).
+func (f *Faulty) Requests() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seen
+}
+
+// Injected reports how many faults (errors or hangs) were injected.
+func (f *Faulty) Injected() int64 { return f.injected.Load() }
+
+// Completed reports how many requests were delegated to the inner
+// endpoint and returned (successfully or not) without an injected
+// fault.
+func (f *Faulty) Completed() int64 { return f.completed.Load() }
+
+// Query injects faults per the configuration, delegating otherwise.
+func (f *Faulty) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	f.mu.Lock()
+	f.seen++
+	n := f.seen
+	roll := 0.0
+	if f.cfg.ErrorRate > 0 {
+		roll = f.rng.Float64()
+	}
+	f.mu.Unlock()
+
+	if f.cfg.Hang || (f.cfg.HangOn != "" && strings.Contains(query, f.cfg.HangOn)) {
+		f.injected.Add(1)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	if f.cfg.SlowBy > 0 {
+		t := time.NewTimer(f.cfg.SlowBy)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+	if n <= int64(f.cfg.FailFirst) {
+		f.injected.Add(1)
+		return nil, Transient(fmt.Errorf("faulty endpoint %s: injected failure %d of first %d", f.Name(), n, f.cfg.FailFirst))
+	}
+	if f.cfg.FailOn != "" && strings.Contains(query, f.cfg.FailOn) {
+		f.injected.Add(1)
+		return nil, fmt.Errorf("faulty endpoint %s: injected failure for %q", f.Name(), f.cfg.FailOn)
+	}
+	if f.cfg.ErrorRate > 0 && roll < f.cfg.ErrorRate {
+		f.injected.Add(1)
+		return nil, Transient(fmt.Errorf("faulty endpoint %s: injected failure (rate %.0f%%)", f.Name(), f.cfg.ErrorRate*100))
+	}
+	f.completed.Add(1)
+	return f.Inner.Query(ctx, query)
+}
+
+// Stats passes through to the inner endpoint's counters when exposed.
+func (f *Faulty) Stats() Stats {
+	if ss, ok := f.Inner.(StatsSource); ok {
+		return ss.Stats()
+	}
+	return Stats{}
+}
+
+// ResetStats passes through to the inner endpoint when exposed.
+func (f *Faulty) ResetStats() {
+	if ss, ok := f.Inner.(StatsSource); ok {
+		ss.ResetStats()
+	}
+}
+
+// WrapFaulty wraps every endpoint in eps with fault injection, seeding
+// each wrapper deterministically from cfg.Seed and its index so the
+// whole federation's fault stream is reproducible.
+func WrapFaulty(eps []Endpoint, cfg FaultConfig) []Endpoint {
+	out := make([]Endpoint, len(eps))
+	for i, ep := range eps {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		out[i] = NewFaulty(ep, c)
+	}
+	return out
+}

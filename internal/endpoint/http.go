@@ -2,6 +2,7 @@ package endpoint
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -26,7 +27,16 @@ func Handler(l *Local) http.Handler {
 		}
 		res, err := l.Query(r.Context(), query)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			// The SPARQL protocol distinguishes client faults from
+			// server faults: only a malformed query is the client's
+			// fault (400); evaluation and internal errors are 500 so
+			// remote callers can classify them as retryable.
+			var pe *ParseError
+			if errors.As(err, &pe) {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			} else {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
 			return
 		}
 		// Content negotiation between the two standard result formats;
@@ -114,12 +124,19 @@ func (h *HTTPEndpoint) Query(ctx context.Context, query string) (*sparql.Results
 	req.Header.Set("Accept", "application/sparql-results+json")
 	resp, err := h.client.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("endpoint %s: %w", h.name, err)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// Transport-level failures (connection refused, reset, DNS)
+		// are transient: the endpoint may be back on the next attempt.
+		return nil, Transient(fmt.Errorf("endpoint %s: %w", h.name, err))
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("endpoint %s: HTTP %d: %s", h.name, resp.StatusCode, strings.TrimSpace(string(body)))
+		// HTTPError carries the status so Retryable can classify 5xx
+		// (server-side, retryable) vs 4xx (permanent).
+		return nil, &HTTPError{Endpoint: h.name, Status: resp.StatusCode, Body: strings.TrimSpace(string(body))}
 	}
 	res, err := sparql.DecodeJSON(resp.Body)
 	if err != nil {

@@ -1,0 +1,300 @@
+package endpoint
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lusail/internal/sparql"
+)
+
+// ResilienceConfig tunes the Resilient decorator.
+type ResilienceConfig struct {
+	// Timeout bounds each individual attempt (0 = no per-attempt
+	// timeout). A timed-out attempt counts as a transient failure.
+	Timeout time.Duration
+	// MaxRetries is the number of additional attempts after the first
+	// one fails with a retryable error (0 = fail on first error).
+	MaxRetries int
+	// BaseBackoff is the backoff before the first retry; each further
+	// retry doubles it (exponential), capped at MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (0 = 32×BaseBackoff).
+	MaxBackoff time.Duration
+	// BreakerFailures consecutive failures open the circuit breaker
+	// (0 disables the breaker).
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker rejects requests
+	// before letting one probe through (half-open).
+	BreakerCooldown time.Duration
+	// Seed makes the backoff jitter deterministic.
+	Seed int64
+}
+
+// DefaultResilience returns production-shaped defaults scaled for the
+// in-process simulator: three retries with 5ms..160ms jittered
+// exponential backoff, a 10s per-attempt timeout, and a breaker that
+// opens after 5 consecutive failures for 250ms.
+func DefaultResilience() ResilienceConfig {
+	return ResilienceConfig{
+		Timeout:         10 * time.Second,
+		MaxRetries:      3,
+		BaseBackoff:     5 * time.Millisecond,
+		MaxBackoff:      160 * time.Millisecond,
+		BreakerFailures: 5,
+		BreakerCooldown: 250 * time.Millisecond,
+	}
+}
+
+// breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-endpoint circuit breaker: closed counts consecutive
+// failures; at the threshold it opens and rejects requests locally
+// until the cooldown elapses; then half-open admits a single probe
+// whose outcome closes or re-opens the circuit.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // stubbed in tests
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may proceed; false means the caller
+// must fail fast with ErrCircuitOpen.
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a completed request.
+func (b *breaker) success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure records a failed request, possibly opening the circuit.
+func (b *breaker) failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// Resilient decorates an endpoint with per-attempt timeouts, bounded
+// retries with jittered exponential backoff on retryable errors, and a
+// circuit breaker that fails fast while the endpoint looks dead. It
+// implements Endpoint and StatsSource; its Stats add the retry and
+// breaker counters to the inner endpoint's traffic counters.
+type Resilient struct {
+	inner Endpoint
+	cfg   ResilienceConfig
+	brk   *breaker
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	retries      atomic.Int64
+	breakerOpens atomic.Int64
+	timeouts     atomic.Int64
+}
+
+// NewResilient wraps inner per cfg.
+func NewResilient(inner Endpoint, cfg ResilienceConfig) *Resilient {
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 32 * cfg.BaseBackoff
+	}
+	r := &Resilient{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.BreakerFailures > 0 {
+		r.brk = newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown)
+	}
+	return r
+}
+
+// WrapResilient wraps every endpoint with its own decorator (and thus
+// its own breaker), seeding jitter deterministically per endpoint.
+func WrapResilient(eps []Endpoint, cfg ResilienceConfig) []Endpoint {
+	out := make([]Endpoint, len(eps))
+	for i, ep := range eps {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*104729
+		out[i] = NewResilient(ep, c)
+	}
+	return out
+}
+
+// Name implements Endpoint.
+func (r *Resilient) Name() string { return r.inner.Name() }
+
+// Inner exposes the wrapped endpoint.
+func (r *Resilient) Inner() Endpoint { return r.inner }
+
+// Query runs the retry loop around the inner endpoint.
+func (r *Resilient) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if r.brk != nil && !r.brk.allow() {
+			r.breakerOpens.Add(1)
+			return nil, fmt.Errorf("endpoint %s: %w", r.Name(), ErrCircuitOpen)
+		}
+		res, err := r.attempt(ctx, query)
+		if err == nil {
+			r.brk.success()
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			// The caller's own context expired or was cancelled;
+			// retrying past it is useless.
+			return nil, ctx.Err()
+		}
+		lastErr = err
+		if Retryable(err) {
+			// Only faults that say something about the endpoint's
+			// health count toward opening the circuit.
+			r.brk.failure()
+		}
+		if !Retryable(err) || attempt >= r.cfg.MaxRetries {
+			return nil, lastErr
+		}
+		r.retries.Add(1)
+		if err := r.sleepBackoff(ctx, attempt); err != nil {
+			return nil, lastErr
+		}
+	}
+}
+
+// attempt issues one request under the per-attempt timeout. A deadline
+// expiry caused by that timeout (not by the caller's context) is
+// reported as a transient timeout error so the retry loop can re-roll.
+func (r *Resilient) attempt(ctx context.Context, query string) (*sparql.Results, error) {
+	if r.cfg.Timeout <= 0 {
+		return r.inner.Query(ctx, query)
+	}
+	actx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+	defer cancel()
+	res, err := r.inner.Query(actx, query)
+	if err != nil && actx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+		r.timeouts.Add(1)
+		return nil, Transient(fmt.Errorf("endpoint %s: request timed out after %s: %w",
+			r.Name(), r.cfg.Timeout, context.DeadlineExceeded))
+	}
+	return res, err
+}
+
+// sleepBackoff waits the jittered exponential backoff for the given
+// attempt number, aborting early if ctx is cancelled.
+func (r *Resilient) sleepBackoff(ctx context.Context, attempt int) error {
+	if r.cfg.BaseBackoff <= 0 {
+		return ctx.Err()
+	}
+	d := r.cfg.BaseBackoff << uint(attempt)
+	if d > r.cfg.MaxBackoff || d <= 0 {
+		d = r.cfg.MaxBackoff
+	}
+	// Full jitter: sleep a uniform fraction in [d/2, d].
+	r.mu.Lock()
+	jitter := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
+	r.mu.Unlock()
+	d = d/2 + jitter
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Retries reports how many retry attempts were issued.
+func (r *Resilient) Retries() int64 { return r.retries.Load() }
+
+// BreakerOpens reports how many requests the open breaker rejected.
+func (r *Resilient) BreakerOpens() int64 { return r.breakerOpens.Load() }
+
+// Timeouts reports how many attempts hit the per-attempt timeout.
+func (r *Resilient) Timeouts() int64 { return r.timeouts.Load() }
+
+// Stats merges the inner endpoint's traffic counters with the
+// decorator's resilience counters.
+func (r *Resilient) Stats() Stats {
+	var s Stats
+	if ss, ok := r.inner.(StatsSource); ok {
+		s = ss.Stats()
+	}
+	s.Retries += r.retries.Load()
+	s.BreakerOpens += r.breakerOpens.Load()
+	s.Timeouts += r.timeouts.Load()
+	return s
+}
+
+// ResetStats zeroes both the decorator's and the inner counters.
+func (r *Resilient) ResetStats() {
+	r.retries.Store(0)
+	r.breakerOpens.Store(0)
+	r.timeouts.Store(0)
+	if ss, ok := r.inner.(StatsSource); ok {
+		ss.ResetStats()
+	}
+}

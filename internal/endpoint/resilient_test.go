@@ -1,0 +1,310 @@
+package endpoint
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func quickResilience() ResilienceConfig {
+	return ResilienceConfig{
+		MaxRetries:  3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+	}
+}
+
+func TestResilientRetriesTransientUntilSuccess(t *testing.T) {
+	faulty := NewFaulty(NewLocal("ep", testStore()), FaultConfig{FailFirst: 2})
+	r := NewResilient(faulty, quickResilience())
+	res, err := r.Query(context.Background(), `ASK { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatalf("query did not recover: %v", err)
+	}
+	if !res.Ask {
+		t.Error("wrong result after recovery")
+	}
+	if got := faulty.Requests(); got != 3 {
+		t.Errorf("inner endpoint saw %d requests, want 3 (2 failures + success)", got)
+	}
+	if got := r.Retries(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	// Stats merge the decorator's counters with the inner endpoint's:
+	// the store-backed endpoint saw only the one delegated request,
+	// the two injected faults never reached it.
+	if st := r.Stats(); st.Retries != 2 || st.Requests != 1 {
+		t.Errorf("stats = %+v, want Retries 2 / Requests 1", st)
+	}
+}
+
+func TestResilientExhaustsRetryBudget(t *testing.T) {
+	faulty := NewFaulty(NewLocal("ep", testStore()), FaultConfig{FailFirst: 100})
+	cfg := quickResilience()
+	cfg.MaxRetries = 2
+	r := NewResilient(faulty, cfg)
+	if _, err := r.Query(context.Background(), `ASK { ?s ?p ?o }`); err == nil {
+		t.Fatal("query succeeded with exhausted budget")
+	}
+	if got := faulty.Requests(); got != 3 {
+		t.Errorf("inner endpoint saw %d requests, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestResilientDoesNotRetryPermanentErrors(t *testing.T) {
+	faulty := NewFaulty(NewLocal("ep", testStore()), FaultConfig{FailOn: "ASK"})
+	r := NewResilient(faulty, quickResilience())
+	if _, err := r.Query(context.Background(), `ASK { ?s ?p ?o }`); err == nil {
+		t.Fatal("permanent failure went unnoticed")
+	}
+	if got := faulty.Requests(); got != 1 {
+		t.Errorf("inner endpoint saw %d requests, want 1 (no retries on permanent errors)", got)
+	}
+}
+
+func TestResilientTimesOutHungEndpoint(t *testing.T) {
+	faulty := NewFaulty(NewLocal("ep", testStore()), FaultConfig{Hang: true})
+	cfg := quickResilience()
+	cfg.Timeout = 30 * time.Millisecond
+	cfg.MaxRetries = 1
+	r := NewResilient(faulty, cfg)
+	start := time.Now()
+	_, err := r.Query(context.Background(), `ASK { ?s ?p ?o }`)
+	if err == nil {
+		t.Fatal("hung endpoint did not error")
+	}
+	if !Retryable(err) {
+		t.Errorf("timeout should classify as retryable: %v", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("took %v, want ~2×30ms (bounded by per-attempt timeout)", el)
+	}
+	if got := r.Timeouts(); got != 2 {
+		t.Errorf("timeouts = %d, want 2 (initial attempt + 1 retry)", got)
+	}
+}
+
+func TestResilientHonoursCallerCancellation(t *testing.T) {
+	faulty := NewFaulty(NewLocal("ep", testStore()), FaultConfig{Hang: true})
+	cfg := quickResilience()
+	cfg.Timeout = time.Minute
+	r := NewResilient(faulty, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := r.Query(ctx, `ASK { ?s ?p ?o }`)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if Retryable(err) {
+		t.Errorf("caller-deadline error must not be retryable: %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancellation did not interrupt the hung request")
+	}
+}
+
+func TestCircuitBreakerOpenHalfOpenClosed(t *testing.T) {
+	// The inner endpoint fails its first 4 requests, then recovers.
+	faulty := NewFaulty(NewLocal("ep", testStore()), FaultConfig{FailFirst: 4})
+	cfg := ResilienceConfig{
+		BreakerFailures: 3,
+		BreakerCooldown: 40 * time.Millisecond,
+	}
+	r := NewResilient(faulty, cfg)
+	ctx := context.Background()
+	q := `ASK { ?s ?p ?o }`
+
+	// Closed: three consecutive failures reach the threshold.
+	for i := 0; i < 3; i++ {
+		if _, err := r.Query(ctx, q); err == nil {
+			t.Fatalf("call %d should fail", i)
+		}
+	}
+	// Open: rejected locally, the endpoint is not touched.
+	if _, err := r.Query(ctx, q); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker returned %v, want ErrCircuitOpen", err)
+	}
+	if got := faulty.Requests(); got != 3 {
+		t.Errorf("inner saw %d requests, want 3 (open breaker fails fast)", got)
+	}
+	if got := r.BreakerOpens(); got != 1 {
+		t.Errorf("breaker fast-fails = %d, want 1", got)
+	}
+
+	// Half-open after the cooldown: one probe goes through and fails
+	// (4th injected failure), re-opening the circuit.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := r.Query(ctx, q); err == nil || errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("half-open probe should reach the endpoint and fail, got %v", err)
+	}
+	if got := faulty.Requests(); got != 4 {
+		t.Errorf("inner saw %d requests, want 4 (single half-open probe)", got)
+	}
+	if _, err := r.Query(ctx, q); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("re-opened breaker returned %v, want ErrCircuitOpen", err)
+	}
+
+	// Half-open again: the endpoint has recovered, the probe succeeds
+	// and closes the circuit for good.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := r.Query(ctx, q); err != nil {
+		t.Fatalf("probe after recovery: %v", err)
+	}
+	if _, err := r.Query(ctx, q); err != nil {
+		t.Fatalf("closed breaker rejected a request: %v", err)
+	}
+	if got := faulty.Requests(); got != 6 {
+		t.Errorf("inner saw %d requests, want 6", got)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{Transient(fmt.Errorf("boom")), true},
+		{fmt.Errorf("wrapped: %w", Transient(fmt.Errorf("boom"))), true},
+		{fmt.Errorf("plain failure"), false},
+		{&ParseError{Err: fmt.Errorf("syntax")}, false},
+		{&HTTPError{Status: 500}, true},
+		{&HTTPError{Status: 503}, true},
+		{&HTTPError{Status: 400}, false},
+		{&HTTPError{Status: 404}, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false}, // bare = the caller's own deadline
+		{fmt.Errorf("ep: %w", ErrCircuitOpen), false},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestFaultyDeterministicStream(t *testing.T) {
+	outcomes := func(seed int64) []bool {
+		f := NewFaulty(NewLocal("ep", testStore()), FaultConfig{Seed: seed, ErrorRate: 0.5})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			_, err := f.Query(context.Background(), `ASK { ?s ?p ?o }`)
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := outcomes(7), outcomes(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	c := outcomes(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault streams (suspicious)")
+	}
+}
+
+func TestFaultySlowMode(t *testing.T) {
+	f := NewFaulty(NewLocal("ep", testStore()), FaultConfig{SlowBy: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := f.Query(context.Background(), `ASK { ?s ?p ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Errorf("elapsed %v, want >= ~30ms slowdown", el)
+	}
+}
+
+func TestHTTPStatusClassification(t *testing.T) {
+	// A parse error over the wire must come back as a permanent 400.
+	local := NewLocal("server", testStore())
+	srv := httptest.NewServer(Handler(local))
+	defer srv.Close()
+	client := NewHTTP("client", srv.URL)
+	_, err := client.Query(context.Background(), `NOT SPARQL`)
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusBadRequest {
+		t.Fatalf("parse error over HTTP = %v, want HTTPError 400", err)
+	}
+	if Retryable(err) {
+		t.Error("HTTP 400 must not be retryable")
+	}
+
+	// A 5xx from the server is retryable.
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer flaky.Close()
+	_, err = NewHTTP("flaky", flaky.URL).Query(context.Background(), `ASK { ?s ?p ?o }`)
+	if !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("5xx = %v, want HTTPError 503", err)
+	}
+	if !Retryable(err) {
+		t.Error("HTTP 503 must be retryable")
+	}
+
+	// A refused connection is a transient transport fault.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	_, err = NewHTTP("dead", deadURL).Query(context.Background(), `ASK { ?s ?p ?o }`)
+	if err == nil || !Retryable(err) {
+		t.Errorf("connection failure = %v, want retryable transport error", err)
+	}
+}
+
+func TestResilientOverHTTPRecovers(t *testing.T) {
+	// End to end: an HTTP endpoint that 503s twice then recovers is
+	// healed by the resilient decorator.
+	local := NewLocal("server", testStore())
+	n := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n++
+		if n <= 2 {
+			http.Error(w, "warming up", http.StatusInternalServerError)
+			return
+		}
+		Handler(local).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	r := NewResilient(NewHTTP("client", srv.URL), quickResilience())
+	res, err := r.Query(context.Background(), `ASK { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatalf("did not recover from 5xx: %v", err)
+	}
+	if !res.Ask {
+		t.Error("wrong result")
+	}
+	if r.Retries() != 2 {
+		t.Errorf("retries = %d, want 2", r.Retries())
+	}
+}
+
+func TestLocalErrorPathsChargeNetwork(t *testing.T) {
+	// A failed request still pays the RTT and records query time:
+	// failures must not look free in geo-distributed experiments.
+	ep := NewLocal("ep", testStore()).WithNetwork(NetworkProfile{RTT: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := ep.Query(context.Background(), `NOT SPARQL`); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Errorf("error response took %v, want >= ~30ms RTT", el)
+	}
+	if st := ep.Stats(); st.QueryTime <= 0 {
+		t.Errorf("error path recorded no query time: %+v", st)
+	}
+}

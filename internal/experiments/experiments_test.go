@@ -81,7 +81,8 @@ func TestRunTimeout(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "prep", "fig3", "fig9", "fig10a", "fig10bc",
-		"fig11", "fig12", "fig13", "fig14", "bio", "ablade", "absape", "mqo", "scale", "all"}
+		"fig11", "fig12", "fig13", "fig14", "bio", "ablade", "absape", "mqo", "scale",
+		"faults", "all"}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
 			t.Errorf("experiment %q missing from registry", id)
@@ -201,5 +202,26 @@ func TestSpreadRegions(t *testing.T) {
 	// at least one round trip.
 	if m.Duration < 5*time.Millisecond {
 		t.Errorf("duration %v too small for WAN regions", m.Duration)
+	}
+}
+
+func TestSmokeFaultSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FaultSweep(&buf, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "20%") {
+		t.Errorf("fault sweep output missing the 20%% rate rows:\n%s", out)
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("fault sweep produced incorrect results under retries:\n%s", out)
+	}
+	// The deterministic 20%-rate / 3-retry cells must all complete.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "20%") && strings.Contains(line, " 3 ") &&
+			strings.Contains(line, "ERR") {
+			t.Errorf("retry budget 3 lost a query at 20%% faults: %s", line)
+		}
 	}
 }

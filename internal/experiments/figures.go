@@ -474,6 +474,7 @@ var Registry = map[string]func(io.Writer, Options) error{
 	"absape":  AblationSAPE,
 	"mqo":     MQO,
 	"scale":   Scale,
+	"faults":  FaultSweep,
 	"all":     All,
 }
 

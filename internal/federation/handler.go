@@ -29,21 +29,66 @@ type TaskResult struct {
 type Handler struct {
 	// PerEndpoint limits concurrent requests per endpoint (default 1).
 	PerEndpoint int
+	// MaxConcurrent bounds in-flight requests across all endpoints
+	// (0 = unbounded). NewHandler sets it to the federation size, so a
+	// handler sized for n endpoints never has more than n requests on
+	// the wire.
+	MaxConcurrent int
 }
 
-// NewHandler returns a handler sized for n endpoints. n is advisory;
-// the handler adapts to whatever task list it receives.
-func NewHandler(n int) *Handler { return &Handler{PerEndpoint: 1} }
+// NewHandler returns a handler sized for n endpoints: total in-flight
+// requests are capped at n (one per endpoint in the thread-per-endpoint
+// model). n <= 0 leaves the total unbounded.
+func NewHandler(n int) *Handler { return &Handler{PerEndpoint: 1, MaxConcurrent: n} }
 
-// Run executes all tasks and returns results in task order.
+// Run executes all tasks and returns results in task order. Once the
+// context is cancelled, remaining tasks are short-circuited with
+// ctx.Err() without dispatching them to their endpoints.
 func (h *Handler) Run(ctx context.Context, tasks []Task) []TaskResult {
+	out, _ := h.run(ctx, tasks, false)
+	return out
+}
+
+// RunFailFast is Run with errgroup-style fail-fast semantics: the first
+// task to fail cancels the sibling in-flight requests and
+// short-circuits the not-yet-dispatched ones, and its error is
+// returned. Use it when any single failure makes the whole batch
+// useless (subquery evaluation, check-query broadcasts); keep Run for
+// batches that tolerate per-task errors (source refinement).
+func (h *Handler) RunFailFast(ctx context.Context, tasks []Task) ([]TaskResult, error) {
+	return h.run(ctx, tasks, true)
+}
+
+func (h *Handler) run(ctx context.Context, tasks []Task, failFast bool) ([]TaskResult, error) {
 	out := make([]TaskResult, len(tasks))
 	if len(tasks) == 0 {
-		return out
+		return out, nil
 	}
 	per := h.PerEndpoint
 	if per <= 0 {
 		per = 1
+	}
+	runCtx := ctx
+	var cancel context.CancelFunc
+	var errOnce sync.Once
+	var firstErr error
+	if failFast {
+		runCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+	fail := func(err error) {
+		// The winner of this race is necessarily a real failure (or
+		// the caller's own cancellation): sibling context.Canceled
+		// errors can only occur after some first error already won
+		// and triggered the cancel.
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	var globalSem chan struct{}
+	if h.MaxConcurrent > 0 {
+		globalSem = make(chan struct{}, h.MaxConcurrent)
 	}
 	// Group task indexes by endpoint.
 	groups := make(map[endpoint.Endpoint][]int)
@@ -59,24 +104,61 @@ func (h *Handler) Run(ctx context.Context, tasks []Task) []TaskResult {
 		idxs := groups[ep]
 		sem := make(chan struct{}, per)
 		wg.Add(1)
-		go func(ep endpoint.Endpoint, idxs []int) {
+		go func(idxs []int) {
 			defer wg.Done()
 			var inner sync.WaitGroup
 			for _, i := range idxs {
-				sem <- struct{}{}
+				// Short-circuit queued tasks once cancelled: no
+				// goroutine is spawned and no request dispatched.
+				if err := runCtx.Err(); err != nil {
+					out[i] = TaskResult{Task: tasks[i], Err: err}
+					continue
+				}
+				if !acquire(runCtx, sem) {
+					out[i] = TaskResult{Task: tasks[i], Err: runCtx.Err()}
+					continue
+				}
+				if !acquire(runCtx, globalSem) {
+					release(sem)
+					out[i] = TaskResult{Task: tasks[i], Err: runCtx.Err()}
+					continue
+				}
 				inner.Add(1)
 				go func(i int) {
 					defer inner.Done()
-					defer func() { <-sem }()
-					res, err := tasks[i].EP.Query(ctx, tasks[i].Query)
+					defer release(sem)
+					defer release(globalSem)
+					res, err := tasks[i].EP.Query(runCtx, tasks[i].Query)
 					out[i] = TaskResult{Task: tasks[i], Res: res, Err: err}
+					if failFast && err != nil {
+						fail(err)
+					}
 				}(i)
 			}
 			inner.Wait()
-		}(ep, idxs)
+		}(idxs)
 	}
 	wg.Wait()
-	return out
+	return out, firstErr
+}
+
+// acquire takes a slot from sem (nil = unbounded) unless ctx is done.
+func acquire(ctx context.Context, sem chan struct{}) bool {
+	if sem == nil {
+		return true
+	}
+	select {
+	case sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func release(sem chan struct{}) {
+	if sem != nil {
+		<-sem
+	}
 }
 
 // Broadcast sends one query to each endpoint and returns per-endpoint
@@ -87,4 +169,14 @@ func (h *Handler) Broadcast(ctx context.Context, eps []endpoint.Endpoint, query 
 		tasks[i] = Task{EP: ep, Query: query}
 	}
 	return h.Run(ctx, tasks)
+}
+
+// BroadcastFailFast is Broadcast with fail-fast cancellation: the first
+// endpoint error cancels the sibling requests.
+func (h *Handler) BroadcastFailFast(ctx context.Context, eps []endpoint.Endpoint, query string) ([]TaskResult, error) {
+	tasks := make([]Task, len(eps))
+	for i, ep := range eps {
+		tasks[i] = Task{EP: ep, Query: query}
+	}
+	return h.RunFailFast(ctx, tasks)
 }

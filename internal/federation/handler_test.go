@@ -2,6 +2,7 @@ package federation
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -108,5 +109,157 @@ func TestHandlerResultsAlignWithTasks(t *testing.T) {
 		if out[i].Task.Query != tasks[i].Query {
 			t.Errorf("result %d aligned to %q, want %q", i, out[i].Task.Query, tasks[i].Query)
 		}
+	}
+}
+
+// failEndpoint errors on every request, optionally after a gate fires.
+type failEndpoint struct {
+	name     string
+	after    <-chan struct{} // if set, wait for it before failing
+	requests atomic.Int32
+}
+
+func (f *failEndpoint) Name() string { return f.name }
+
+func (f *failEndpoint) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	f.requests.Add(1)
+	if f.after != nil {
+		<-f.after
+	}
+	return nil, errTerminal
+}
+
+var errTerminal = errors.New("terminal endpoint failure")
+
+// blockEndpoint hangs every request until its context is cancelled.
+type blockEndpoint struct {
+	name     string
+	started  chan struct{} // closed on first request
+	once     sync.Once
+	requests atomic.Int32
+}
+
+func newBlockEndpoint(name string) *blockEndpoint {
+	return &blockEndpoint{name: name, started: make(chan struct{})}
+}
+
+func (b *blockEndpoint) Name() string { return b.name }
+
+func (b *blockEndpoint) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	b.requests.Add(1)
+	b.once.Do(func() { close(b.started) })
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// slowEndpoint answers after a context-aware delay.
+type slowEndpoint struct {
+	name     string
+	delay    time.Duration
+	requests atomic.Int32
+}
+
+func (s *slowEndpoint) Name() string { return s.name }
+
+func (s *slowEndpoint) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	s.requests.Add(1)
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-time.After(s.delay):
+		return sparql.NewAskResult(true), nil
+	}
+}
+
+func TestRunShortCircuitsCancelledContext(t *testing.T) {
+	ep := &gaugeEndpoint{name: "a"}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := NewHandler(1)
+	out := h.Run(ctx, []Task{{EP: ep, Query: "q0"}, {EP: ep, Query: "q1"}})
+	for i, tr := range out {
+		if !errors.Is(tr.Err, context.Canceled) {
+			t.Errorf("task %d err = %v, want context.Canceled", i, tr.Err)
+		}
+	}
+	if len(ep.queries) != 0 {
+		t.Errorf("cancelled run dispatched %d requests, want 0", len(ep.queries))
+	}
+}
+
+func TestRunFailFastCancelsInFlightSiblings(t *testing.T) {
+	hangs := newBlockEndpoint("hung")
+	// The failure fires only after the sibling is in flight, so the
+	// cancellation must interrupt a genuinely hung request.
+	fails := &failEndpoint{name: "bad", after: hangs.started}
+	h := NewHandler(2)
+	start := time.Now()
+	out, err := h.RunFailFast(context.Background(),
+		[]Task{{EP: hangs, Query: "q0"}, {EP: fails, Query: "q1"}})
+	if !errors.Is(err, errTerminal) {
+		t.Fatalf("err = %v, want the terminal failure", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("fail-fast took %v; the hung sibling was not cancelled", el)
+	}
+	if hangs.requests.Load() != 1 {
+		t.Errorf("hung endpoint saw %d requests, want 1", hangs.requests.Load())
+	}
+	if !errors.Is(out[0].Err, context.Canceled) {
+		t.Errorf("cancelled sibling result = %v, want context.Canceled", out[0].Err)
+	}
+}
+
+func TestRunFailFastShortCircuitsQueuedTasks(t *testing.T) {
+	// One endpoint with a deep queue of slow tasks, one that fails
+	// immediately: after the failure the queued tasks must be
+	// short-circuited, not dispatched.
+	slow := &slowEndpoint{name: "slow", delay: 30 * time.Millisecond}
+	fails := &failEndpoint{name: "bad"}
+	tasks := []Task{{EP: fails, Query: "boom"}}
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, Task{EP: slow, Query: "q"})
+	}
+	h := NewHandler(2) // PerEndpoint=1: slow tasks are queued serially
+	_, err := h.RunFailFast(context.Background(), tasks)
+	if !errors.Is(err, errTerminal) {
+		t.Fatalf("err = %v, want the terminal failure", err)
+	}
+	if got := slow.requests.Load(); got >= 8 {
+		t.Errorf("slow endpoint saw %d of 8 queued requests; queue was not short-circuited", got)
+	}
+}
+
+func TestRunFailFastHealthyBatchSucceeds(t *testing.T) {
+	a := &gaugeEndpoint{name: "a"}
+	b := &gaugeEndpoint{name: "b"}
+	h := NewHandler(2)
+	out, err := h.RunFailFast(context.Background(),
+		[]Task{{EP: a, Query: "q0"}, {EP: b, Query: "q1"}, {EP: a, Query: "q2"}})
+	if err != nil {
+		t.Fatalf("healthy batch failed: %v", err)
+	}
+	for i, tr := range out {
+		if tr.Err != nil || tr.Res == nil {
+			t.Errorf("task %d: %+v", i, tr)
+		}
+	}
+}
+
+func TestHandlerMaxConcurrent(t *testing.T) {
+	// PerEndpoint would allow 4 in-flight requests, but the global
+	// bound of 1 must win.
+	ep := &gaugeEndpoint{name: "a", delay: 2 * time.Millisecond}
+	h := &Handler{PerEndpoint: 4, MaxConcurrent: 1}
+	var tasks []Task
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, Task{EP: ep, Query: "q"})
+	}
+	h.Run(context.Background(), tasks)
+	if got := ep.maxSeen.Load(); got != 1 {
+		t.Errorf("max in-flight = %d, want 1 (MaxConcurrent honoured)", got)
+	}
+	if len(ep.queries) != 8 {
+		t.Errorf("queries received = %d, want 8", len(ep.queries))
 	}
 }

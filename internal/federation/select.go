@@ -182,7 +182,12 @@ func (s *Selector) SelectPatterns(ctx context.Context, patterns []sparql.TripleP
 		}
 	}
 	sel.AskRequests = len(tasks)
-	results := s.Handler.Run(ctx, tasks)
+	// Fail fast: the first ASK failure aborts the whole selection, so
+	// sibling probes are cancelled instead of run to completion.
+	results, err := s.Handler.RunFailFast(ctx, tasks)
+	if err != nil {
+		return nil, fmt.Errorf("source selection: %w", err)
+	}
 	for i, tr := range results {
 		if tr.Err != nil {
 			return nil, fmt.Errorf("source selection at %s: %w", tr.Task.EP.Name(), tr.Err)

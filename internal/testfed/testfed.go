@@ -110,9 +110,10 @@ func Canon(r *sparql.Results) []string {
 }
 
 // Flaky wraps an endpoint and injects failures: the first FailFirst
-// requests error out, and any request whose query contains FailOn
-// (when non-empty) errors permanently. It implements the endpoint
-// interface and is used for failure-injection tests.
+// requests error out (transiently — a retry after recovery succeeds),
+// and any request whose query contains FailOn (when non-empty) errors
+// permanently. It is a thin compatibility shim over the first-class
+// endpoint.Faulty wrapper, which adds error-rate, hang, and slow modes.
 type Flaky struct {
 	Inner endpoint.Endpoint
 	// FailFirst makes the first N requests fail.
@@ -120,8 +121,20 @@ type Flaky struct {
 	// FailOn fails every query containing this substring.
 	FailOn string
 
-	mu   sync.Mutex
-	seen int
+	once   sync.Once
+	faulty *endpoint.Faulty
+}
+
+// impl builds the underlying Faulty lazily, after the configuration
+// fields have been set by the struct literal.
+func (f *Flaky) impl() *endpoint.Faulty {
+	f.once.Do(func() {
+		f.faulty = endpoint.NewFaulty(f.Inner, endpoint.FaultConfig{
+			FailFirst: f.FailFirst,
+			FailOn:    f.FailOn,
+		})
+	})
+	return f.faulty
 }
 
 // Name implements endpoint.Endpoint.
@@ -129,24 +142,12 @@ func (f *Flaky) Name() string { return f.Inner.Name() }
 
 // Query injects failures per the configuration, delegating otherwise.
 func (f *Flaky) Query(ctx context.Context, query string) (*sparql.Results, error) {
-	f.mu.Lock()
-	f.seen++
-	n := f.seen
-	f.mu.Unlock()
-	if n <= f.FailFirst {
-		return nil, fmt.Errorf("flaky endpoint %s: injected failure %d", f.Name(), n)
-	}
-	if f.FailOn != "" && strings.Contains(query, f.FailOn) {
-		return nil, fmt.Errorf("flaky endpoint %s: injected failure for %q", f.Name(), f.FailOn)
-	}
-	return f.Inner.Query(ctx, query)
+	return f.impl().Query(ctx, query)
 }
 
 // Requests reports how many requests the endpoint has seen.
 func (f *Flaky) Requests() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.seen
+	return int(f.impl().Requests())
 }
 
 // MustQuery runs a query against an endpoint and panics on error;
