@@ -59,8 +59,12 @@ type Metrics struct {
 	Subqueries int
 	Delayed    int
 	GJVs       int
-	// Retries and BreakerOpens count fault-recovery events during
-	// execution (non-zero only with Config.Resilience set).
+	// Retries and BreakerOpens count the fault-recovery events of this
+	// query (non-zero only with Config.Resilience set). They are
+	// tracked per call via context-attached counters, so concurrent
+	// executions (ExecuteBatch) do not double-count each other; a
+	// subquery shared through the batch cache attributes its events to
+	// the query that actually issued the requests.
 	Retries      int
 	BreakerOpens int
 	// SharedSubqueries counts subquery executions saved by the
@@ -163,12 +167,14 @@ func (l *Lusail) executeCached(ctx context.Context, query string, sqCache *Subqu
 	// Attribute the whole query's fault-recovery events (source
 	// selection, analysis, and execution alike) to its metrics, and
 	// record metrics even when the query errors out, so experiments
-	// can report what a failed query cost.
-	pre := endpoint.TotalStats(l.eps)
+	// can report what a failed query cost. Counters ride the context
+	// rather than diffing the shared endpoint totals, so concurrent
+	// executions (ExecuteBatch) do not double-count each other.
+	fc := endpoint.NewFaultCounters(endpoint.FaultCountersFrom(ctx))
+	ctx = endpoint.WithFaultCounters(ctx, fc)
 	defer func() {
-		post := endpoint.TotalStats(l.eps)
-		m.Retries = int(post.Retries - pre.Retries)
-		m.BreakerOpens = int(post.BreakerOpens - pre.BreakerOpens)
+		m.Retries = int(fc.Retries())
+		m.BreakerOpens = int(fc.BreakerOpens())
 		l.mu.Lock()
 		l.last = m
 		l.mu.Unlock()

@@ -122,13 +122,15 @@ func (ex *Executor) Run(ctx context.Context, sqs []*Subquery, extra []*Relation,
 // on per-query bindings and are never cached.
 func (ex *Executor) RunCached(ctx context.Context, sqs []*Subquery, extra []*Relation, globalFilters []sparql.Expr, optFilters map[int][]sparql.Expr, sqCache *SubqueryCache) (*Relation, *ExecStats, error) {
 	stats := &ExecStats{}
-	// Snapshot the resilience counters so the delta attributes this
-	// execution's retry/breaker events to its ExecStats.
-	pre := endpoint.TotalStats(ex.Endpoints)
+	// Per-call counters attribute this execution's retry/breaker
+	// events to its ExecStats (and, via the parent chain, to any
+	// enclosing query's Metrics) without diffing the shared endpoint
+	// totals, which would double-count under concurrent executions.
+	fc := endpoint.NewFaultCounters(endpoint.FaultCountersFrom(ctx))
+	ctx = endpoint.WithFaultCounters(ctx, fc)
 	defer func() {
-		post := endpoint.TotalStats(ex.Endpoints)
-		stats.Retries += int(post.Retries - pre.Retries)
-		stats.BreakerOpens += int(post.BreakerOpens - pre.BreakerOpens)
+		stats.Retries += int(fc.Retries())
+		stats.BreakerOpens += int(fc.BreakerOpens())
 	}()
 	fb := newFoundBindings()
 
@@ -268,11 +270,15 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 				})
 			}
 			rel, err := run()
-			if err != nil && errors.Is(err, context.Canceled) && groupCtx.Err() == nil {
-				// A sibling batch query's fail-fast cancelled the
-				// shared computation we were waiting on; its failure
-				// is not ours. Failed entries are evicted, so retry
-				// once under our own (still-live) context.
+			// A sibling batch query's fail-fast can cancel the shared
+			// computation we were waiting on; its failure is not ours.
+			// Failed entries are evicted, so retry under our own
+			// (still-live) context until the result settles — a single
+			// retry can itself be cancelled by yet another sibling. The
+			// bound is a livelock backstop; once our own context is
+			// cancelled the loop exits via groupCtx.Err().
+			for tries := 0; err != nil && errors.Is(err, context.Canceled) &&
+				groupCtx.Err() == nil && tries < 64; tries++ {
 				rel, err = run()
 			}
 			n := 0

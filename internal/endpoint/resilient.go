@@ -2,6 +2,7 @@ package endpoint
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -76,30 +77,33 @@ func newBreaker(threshold int, cooldown time.Duration) *breaker {
 	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
 }
 
-// allow reports whether a request may proceed; false means the caller
-// must fail fast with ErrCircuitOpen.
-func (b *breaker) allow() bool {
+// allow reports whether a request may proceed; !ok means the caller
+// must fail fast with ErrCircuitOpen. probe marks the request as the
+// single half-open probe: the caller MUST resolve it — success,
+// failure, or releaseProbe — or the breaker stays stuck half-open
+// rejecting everything.
+func (b *breaker) allow() (ok, probe bool) {
 	if b == nil {
-		return true
+		return true, false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true
+		return true, false
 	case breakerOpen:
 		if b.now().Sub(b.openedAt) < b.cooldown {
-			return false
+			return false, false
 		}
 		b.state = breakerHalfOpen
 		b.probing = true
-		return true
+		return true, true
 	default: // half-open: one probe at a time
 		if b.probing {
-			return false
+			return false, false
 		}
 		b.probing = true
-		return true
+		return true, true
 	}
 }
 
@@ -133,6 +137,20 @@ func (b *breaker) failure() {
 		b.state = breakerOpen
 		b.openedAt = b.now()
 	}
+}
+
+// releaseProbe abandons a half-open probe whose outcome is unknown
+// (the caller's context was cancelled mid-flight). A cancelled probe
+// proves nothing about the endpoint, so the state stays half-open but
+// the probe slot is freed for the next request to try — without this
+// the breaker would reject every future request with ErrCircuitOpen.
+func (b *breaker) releaseProbe() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
 }
 
 // Resilient decorates an endpoint with per-attempt timeouts, bounded
@@ -189,13 +207,16 @@ func (r *Resilient) Inner() Endpoint { return r.inner }
 
 // Query runs the retry loop around the inner endpoint.
 func (r *Resilient) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	fc := FaultCountersFrom(ctx)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if r.brk != nil && !r.brk.allow() {
+		ok, probe := r.brk.allow()
+		if !ok {
 			r.breakerOpens.Add(1)
+			fc.addBreakerOpen()
 			return nil, fmt.Errorf("endpoint %s: %w", r.Name(), ErrCircuitOpen)
 		}
 		res, err := r.attempt(ctx, query)
@@ -205,19 +226,31 @@ func (r *Resilient) Query(ctx context.Context, query string) (*sparql.Results, e
 		}
 		if ctx.Err() != nil {
 			// The caller's own context expired or was cancelled;
-			// retrying past it is useless.
+			// retrying past it is useless. A probe cancelled mid-flight
+			// proves nothing about the endpoint, so free the half-open
+			// slot for the next request instead of leaking it.
+			if probe {
+				r.brk.releaseProbe()
+			}
 			return nil, ctx.Err()
 		}
 		lastErr = err
-		if Retryable(err) {
+		switch {
+		case Retryable(err):
 			// Only faults that say something about the endpoint's
 			// health count toward opening the circuit.
 			r.brk.failure()
+		case probe:
+			// A permanent error (parse error, HTTP 4xx) still resolves
+			// the probe: the endpoint answered definitively, so it is
+			// alive and the circuit closes.
+			r.brk.success()
 		}
 		if !Retryable(err) || attempt >= r.cfg.MaxRetries {
 			return nil, lastErr
 		}
 		r.retries.Add(1)
+		fc.addRetry()
 		if err := r.sleepBackoff(ctx, attempt); err != nil {
 			return nil, lastErr
 		}
@@ -234,8 +267,13 @@ func (r *Resilient) attempt(ctx context.Context, query string) (*sparql.Results,
 	actx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
 	defer cancel()
 	res, err := r.inner.Query(actx, query)
-	if err != nil && actx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+	// Rewrap only when the error itself is the deadline expiring — a
+	// genuine endpoint error (e.g. an HTTPError) that merely raced with
+	// the deadline must surface as-is, not be forced into a retry.
+	if err != nil && errors.Is(err, context.DeadlineExceeded) &&
+		actx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
 		r.timeouts.Add(1)
+		FaultCountersFrom(ctx).addTimeout()
 		return nil, Transient(fmt.Errorf("endpoint %s: request timed out after %s: %w",
 			r.Name(), r.cfg.Timeout, context.DeadlineExceeded))
 	}

@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"lusail/internal/sparql"
 )
 
 func quickResilience() ResilienceConfig {
@@ -160,6 +162,137 @@ func TestCircuitBreakerOpenHalfOpenClosed(t *testing.T) {
 	}
 	if got := faulty.Requests(); got != 6 {
 		t.Errorf("inner saw %d requests, want 6", got)
+	}
+}
+
+func TestBreakerProbePermanentErrorClosesCircuit(t *testing.T) {
+	// Open the breaker with transient failures, then have the endpoint
+	// answer the half-open probe with a permanent (non-retryable)
+	// error. A permanent answer is still an answer: the probe must
+	// resolve — the endpoint is alive — instead of leaking the probe
+	// slot and rejecting every future request with ErrCircuitOpen.
+	faulty := NewFaulty(NewLocal("ep", testStore()), FaultConfig{FailFirst: 3, FailOn: "ASK"})
+	r := NewResilient(faulty, ResilienceConfig{
+		BreakerFailures: 3,
+		BreakerCooldown: 20 * time.Millisecond,
+	})
+	ctx := context.Background()
+	q := `ASK { ?s ?p ?o }`
+	for i := 0; i < 3; i++ {
+		if _, err := r.Query(ctx, q); err == nil {
+			t.Fatalf("call %d should fail", i)
+		}
+	}
+	if _, err := r.Query(ctx, q); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker returned %v, want ErrCircuitOpen", err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	// The probe reaches the endpoint and gets its permanent error.
+	if _, err := r.Query(ctx, q); err == nil || errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("half-open probe returned %v, want the endpoint's permanent error", err)
+	}
+	// The probe resolved and closed the circuit: the next request goes
+	// straight through to the endpoint, no cooldown needed.
+	if _, err := r.Query(ctx, q); errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("breaker stuck half-open after a permanent-error probe")
+	}
+	if got := faulty.Requests(); got != 5 {
+		t.Errorf("inner saw %d requests, want 5 (3 transient + probe + follow-up)", got)
+	}
+}
+
+func TestBreakerProbeCancelReleasesSlot(t *testing.T) {
+	// Cancel a half-open probe mid-flight (hung endpoint, caller-side
+	// deadline). The cancelled probe proves nothing, but it must free
+	// the probe slot so the next request can probe — not leave the
+	// breaker stuck half-open rejecting everything forever.
+	faulty := NewFaulty(NewLocal("ep", testStore()), FaultConfig{FailFirst: 3, HangOn: "HANGME"})
+	r := NewResilient(faulty, ResilienceConfig{
+		BreakerFailures: 3,
+		BreakerCooldown: 10 * time.Millisecond,
+	})
+	q := `ASK { ?s ?p ?o }`
+	for i := 0; i < 3; i++ {
+		if _, err := r.Query(context.Background(), q); err == nil {
+			t.Fatalf("call %d should fail", i)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	cctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := r.Query(cctx, `ASK { ?s ?p ?o } # HANGME`); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled probe returned %v, want the caller's deadline error", err)
+	}
+	// The slot was released: the next request probes the (recovered)
+	// endpoint immediately and closes the circuit.
+	if _, err := r.Query(context.Background(), q); err != nil {
+		t.Fatalf("probe after a cancelled probe returned %v, want success", err)
+	}
+}
+
+// slowErrEndpoint ignores its context, sleeps, and returns a fixed
+// error — modelling a genuine endpoint error racing the per-attempt
+// deadline.
+type slowErrEndpoint struct {
+	d   time.Duration
+	err error
+}
+
+func (e *slowErrEndpoint) Name() string { return "slow-err" }
+
+func (e *slowErrEndpoint) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	time.Sleep(e.d)
+	return nil, e.err
+}
+
+func TestAttemptTimeoutDoesNotMaskRacingError(t *testing.T) {
+	// The endpoint returns a permanent 404 just after the per-attempt
+	// deadline expires. The real error must surface (no retry, no
+	// timeout reclassification), not be rewritten into a transient
+	// timeout merely because the attempt context had expired.
+	inner := &slowErrEndpoint{d: 30 * time.Millisecond, err: &HTTPError{Endpoint: "slow-err", Status: 404, Body: "gone"}}
+	cfg := quickResilience()
+	cfg.Timeout = 5 * time.Millisecond
+	r := NewResilient(inner, cfg)
+	_, err := r.Query(context.Background(), `ASK { ?s ?p ?o }`)
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != 404 {
+		t.Fatalf("got %v, want the endpoint's HTTP 404", err)
+	}
+	if got := r.Timeouts(); got != 0 {
+		t.Errorf("timeouts = %d, want 0 (error was not a deadline expiry)", got)
+	}
+	if got := r.Retries(); got != 0 {
+		t.Errorf("retries = %d, want 0 (permanent error must not retry)", got)
+	}
+}
+
+func TestFaultCountersAttributePerCall(t *testing.T) {
+	// Context-attached counters see only their own call's events even
+	// though the endpoint totals are shared, and propagate up the
+	// parent chain.
+	faulty := NewFaulty(NewLocal("ep", testStore()), FaultConfig{FailFirst: 2})
+	r := NewResilient(faulty, quickResilience())
+	parent := NewFaultCounters(nil)
+	fc1 := NewFaultCounters(parent)
+	if _, err := r.Query(WithFaultCounters(context.Background(), fc1), `ASK { ?s ?p ?o }`); err != nil {
+		t.Fatalf("first call did not recover: %v", err)
+	}
+	fc2 := NewFaultCounters(parent)
+	if _, err := r.Query(WithFaultCounters(context.Background(), fc2), `ASK { ?s ?p ?o }`); err != nil {
+		t.Fatalf("second call failed: %v", err)
+	}
+	if got := fc1.Retries(); got != 2 {
+		t.Errorf("first call's counters saw %d retries, want 2", got)
+	}
+	if got := fc2.Retries(); got != 0 {
+		t.Errorf("second call's counters saw %d retries, want 0", got)
+	}
+	if got := parent.Retries(); got != 2 {
+		t.Errorf("parent counters saw %d retries, want 2 (chained propagation)", got)
+	}
+	if got := r.Retries(); got != 2 {
+		t.Errorf("endpoint totals saw %d retries, want 2", got)
 	}
 }
 
