@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench
+.PHONY: all build vet test race verify bench bench-all trace-smoke
 
 all: verify
 
@@ -20,5 +20,18 @@ race:
 
 verify: build vet test race
 
+# Per-query latency percentiles on the LUBM federation, as JSON.
 bench:
+	$(GO) run ./cmd/lusail-bench -bench-json BENCH_PR2.json -runs 5
+
+# Regenerate every paper figure/table.
+bench-all:
 	$(GO) run ./cmd/lusail-bench -exp all
+
+# Sanity-check the tracing path end to end: the span tree must render
+# the phase-1 and EXPLAIN ANALYZE sections for the LUBM queries.
+trace-smoke:
+	@out=$$($(GO) run ./cmd/lusail-bench -trace); \
+	echo "$$out" | grep -q "phase1" && \
+	echo "$$out" | grep -q "EXPLAIN ANALYZE" && \
+	echo "trace smoke OK"

@@ -8,12 +8,20 @@
 // faults, all. Each prints the rows/series the corresponding figure
 // or table reports; see EXPERIMENTS.md for the mapping and expected
 // shapes.
+//
+// Observability modes (run instead of -exp when set):
+//
+//	lusail-bench -trace                      # span trees + EXPLAIN ANALYZE on LUBM
+//	lusail-bench -bench-json BENCH_PR2.json  # per-query latency percentiles
+//	lusail-bench -pprof :6060 -exp fig12     # pprof listener during any run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -24,25 +32,59 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.RegistryNames(), ", ")+")")
-		scale   = flag.Int("scale", 1, "dataset scale factor")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-query timeout (paper: 1h)")
-		runs    = flag.Int("runs", 1, "repetitions per measurement (paper: 3)")
-		wan     = flag.Bool("wan", false, "simulate WAN latency on all experiments")
+		exp       = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.RegistryNames(), ", ")+")")
+		scale     = flag.Int("scale", 1, "dataset scale factor")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-query timeout (paper: 1h)")
+		runs      = flag.Int("runs", 1, "repetitions per measurement (paper: 3)")
+		wan       = flag.Bool("wan", false, "simulate WAN latency on all experiments")
+		traceDump = flag.Bool("trace", false, "execute the LUBM queries and dump each span tree with EXPLAIN ANALYZE")
+		benchJSON = flag.String("bench-json", "", "write per-query latency percentiles (LUBM) to this JSON file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) while running")
 	)
 	flag.Parse()
 
-	runner, ok := experiments.Registry[*exp]
-	if !ok {
-		log.Fatalf("unknown experiment %q; available: %s", *exp, strings.Join(experiments.RegistryNames(), ", "))
-	}
 	opts := experiments.Options{Scale: *scale, Timeout: *timeout, Runs: *runs}
 	if *wan {
 		opts.Network = endpoint.WANProfile
 	}
-	start := time.Now()
-	if err := runner(os.Stdout, opts); err != nil {
-		log.Fatal(err)
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
 	}
-	fmt.Printf("\ncompleted %s in %s\n", *exp, time.Since(start).Round(time.Millisecond))
+
+	start := time.Now()
+	switch {
+	case *traceDump:
+		if err := experiments.TraceDump(os.Stdout, opts); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ncompleted trace in %s\n", time.Since(start).Round(time.Millisecond))
+	case *benchJSON != "":
+		out, err := os.Create(*benchJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.BenchJSON(out, opts); err != nil {
+			out.Close()
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s in %s\n", *benchJSON, time.Since(start).Round(time.Millisecond))
+	default:
+		runner, ok := experiments.Registry[*exp]
+		if !ok {
+			log.Fatalf("unknown experiment %q; available: %s", *exp, strings.Join(experiments.RegistryNames(), ", "))
+		}
+		if err := runner(os.Stdout, opts); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ncompleted %s in %s\n", *exp, time.Since(start).Round(time.Millisecond))
+	}
 }

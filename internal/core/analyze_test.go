@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"lusail/internal/testfed"
+)
+
+func TestExplainAnalyzeQa(t *testing.T) {
+	l, _ := newUniLusail(Config{Instrument: true})
+	an, err := l.ExplainAnalyze(context.Background(), testfed.Qa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Rows != 2 {
+		t.Errorf("rows = %d, want 2", an.Rows)
+	}
+	if len(an.Subqueries) != 4 {
+		t.Fatalf("subqueries = %d, want 4", len(an.Subqueries))
+	}
+	for _, sa := range an.Subqueries {
+		if !sa.Executed {
+			t.Errorf("subquery %d has no execution record", sa.Subquery.ID)
+			continue
+		}
+		if sa.EstCard <= 0 {
+			t.Errorf("subquery %d missing estimate", sa.Subquery.ID)
+		}
+		if sa.ActualRows <= 0 {
+			t.Errorf("subquery %d actual rows = %d, want > 0", sa.Subquery.ID, sa.ActualRows)
+		}
+		if sa.Latency <= 0 {
+			t.Errorf("subquery %d latency not recorded", sa.Subquery.ID)
+		}
+		if sa.Requests <= 0 {
+			t.Errorf("subquery %d requests = %d, want > 0", sa.Subquery.ID, sa.Requests)
+		}
+		if sa.QError() < 1 {
+			t.Errorf("q-error %f < 1", sa.QError())
+		}
+	}
+	text := an.String()
+	for _, want := range []string{
+		"EXPLAIN ANALYZE", "→ actual", "q-err", "requests",
+		"phases:", "subquery", "endpoints (cumulative):", "p95<=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("analysis text missing %q:\n%s", want, text)
+		}
+	}
+	if an.Trace == nil || an.Trace.Root.Duration() <= 0 {
+		t.Error("analysis carries no trace")
+	}
+}
+
+func TestExplainAnalyzeDelayedDecision(t *testing.T) {
+	// DelayAll forces bound phase-2 execution, so the delayed
+	// subqueries' decisions must describe the bound run, not just
+	// "delayed".
+	l, _ := newUniLusail(Config{DelayPolicy: DelayAll, BindBlockSize: 1})
+	an, err := l.ExplainAnalyze(context.Background(), testfed.QaChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawBound := false
+	for _, sa := range an.Subqueries {
+		if sa.Subquery.Delayed && sa.Executed && strings.Contains(sa.Decision, "bound ?") {
+			sawBound = true
+			if !strings.Contains(sa.Decision, "candidates") || !strings.Contains(sa.Decision, "blocks") {
+				t.Errorf("bound decision lacks candidate/block counts: %q", sa.Decision)
+			}
+		}
+	}
+	if !sawBound {
+		t.Errorf("no delayed subquery recorded a bound decision:\n%s", an.String())
+	}
+}
+
+func TestExplainAnalyzeJoinSteps(t *testing.T) {
+	l, _ := newUniLusail(Config{})
+	an, err := l.ExplainAnalyze(context.Background(), testfed.Qa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(an.String(), "hash-join") {
+		t.Errorf("analysis missing join steps:\n%s", an.String())
+	}
+}
+
+func TestExplainAnalyzeBadQuery(t *testing.T) {
+	l, _ := newUniLusail(Config{})
+	if _, err := l.ExplainAnalyze(context.Background(), "junk"); err == nil {
+		t.Error("bad query accepted")
+	}
+}

@@ -64,7 +64,7 @@ func (p *Plan) String() string {
 		for _, f := range sq.Filters {
 			fmt.Fprintf(&b, "    FILTER (%s)\n", f.String())
 		}
-		fmt.Fprintf(&b, "    SELECT ?%s\n", joinVars(sq.ProjVars, " ?"))
+		fmt.Fprintf(&b, "    %s\n", renderProjection(sq.ProjVars))
 	}
 	return b.String()
 }
@@ -75,6 +75,16 @@ func joinVars(vs []sparql.Var, sep string) string {
 		parts[i] = string(v)
 	}
 	return strings.Join(parts, sep)
+}
+
+// renderProjection renders a subquery projection, handling the empty
+// case (a subquery whose bindings nobody downstream needs) instead of
+// producing a dangling "SELECT ?".
+func renderProjection(vs []sparql.Var) string {
+	if len(vs) == 0 {
+		return "SELECT (no projection)"
+	}
+	return "SELECT ?" + joinVars(vs, " ?")
 }
 
 // Explain analyzes a query — source selection, GJV detection,

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"lusail/internal/sparql"
 	"lusail/internal/testfed"
 )
 
@@ -96,6 +97,22 @@ func TestExplainDoesNotExecute(t *testing.T) {
 			t.Errorf("%s shipped %d rows over %d requests; Explain must not fetch data",
 				ep.Name(), st.Rows, st.Requests)
 		}
+	}
+}
+
+func TestPlanStringEmptyProjection(t *testing.T) {
+	// A subquery whose bindings nobody downstream needs has no
+	// projection; the plan must not render a dangling "SELECT ?".
+	p := &Plan{Subqueries: []*Subquery{{
+		ID:       0,
+		Patterns: sparql.MustParse(`SELECT * WHERE { ?s <http://ex/p> ?o }`).Where.Patterns,
+	}}}
+	text := p.String()
+	if strings.Contains(text, "SELECT ?\n") {
+		t.Errorf("plan renders dangling projection:\n%s", text)
+	}
+	if !strings.Contains(text, "no projection") {
+		t.Errorf("plan text missing empty-projection marker:\n%s", text)
 	}
 }
 

@@ -155,10 +155,13 @@ func TestLusailTimesOutHungEndpoint(t *testing.T) {
 
 func TestLusailCancelsSiblingsOnFailure(t *testing.T) {
 	// During phase 1 both endpoints evaluate the address subquery in
-	// parallel; EP1 fails it immediately while EP2 hangs. Fail-fast
-	// cancellation must interrupt EP2 instead of waiting it out.
+	// parallel; EP1 fails it while EP2 hangs. Fail-fast cancellation
+	// must interrupt EP2 instead of waiting it out. EP1 is slowed so
+	// EP2 deterministically reaches its hang before EP1's failure
+	// cancels the phase (without the delay the failure can win the
+	// race and short-circuit EP2's task before dispatch).
 	ep1, ep2 := testfed.Universities()
-	f1 := endpoint.NewFaulty(ep1, endpoint.FaultConfig{FailOn: "SELECT ?A ?U"})
+	f1 := endpoint.NewFaulty(ep1, endpoint.FaultConfig{FailOn: "SELECT ?A ?U", SlowBy: 10 * time.Millisecond})
 	f2 := endpoint.NewFaulty(ep2, endpoint.FaultConfig{HangOn: "SELECT ?A ?U"})
 	l := New([]endpoint.Endpoint{f1, f2}, Config{})
 	start := time.Now()

@@ -10,6 +10,7 @@ import (
 	"lusail/internal/engine"
 	"lusail/internal/federation"
 	"lusail/internal/sparql"
+	"lusail/internal/trace"
 )
 
 // Config tunes Lusail.
@@ -39,6 +40,12 @@ type Config struct {
 	// endpoint error surfaces immediately, as an all-or-nothing
 	// federation. See endpoint.DefaultResilience for tuned defaults.
 	Resilience *endpoint.ResilienceConfig
+	// Instrument wraps every endpoint in an instrumented decorator
+	// recording per-endpoint latency histograms and request/error
+	// counters, readable via EndpointStats. The decorator wraps
+	// outside the resilient layer, so its latencies cover whole
+	// logical calls including retries and backoff.
+	Instrument bool
 }
 
 // Metrics profiles one query execution through Lusail's three phases
@@ -114,6 +121,9 @@ func New(eps []endpoint.Endpoint, cfg Config) *Lusail {
 		// queries, COUNT probes, and subquery evaluations all retry.
 		eps = endpoint.WrapResilient(eps, *cfg.Resilience)
 	}
+	if cfg.Instrument {
+		eps = endpoint.WrapInstrumented(eps)
+	}
 	l := &Lusail{
 		eps:        eps,
 		cfg:        cfg,
@@ -145,25 +155,71 @@ func (l *Lusail) ClearCaches() {
 }
 
 // LastMetrics returns the metrics of the most recent Execute call.
+// It is a convenience for sequential use only: concurrent Execute
+// calls on one Lusail instance overwrite each other's slot, so
+// concurrent callers must use ExecuteMetrics (or ExecuteTraced) and
+// read the per-call Metrics it returns.
 func (l *Lusail) LastMetrics() Metrics {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.last
 }
 
+// EndpointStats snapshots per-endpoint traffic, error, and latency
+// statistics (latency histograms require Config.Instrument).
+func (l *Lusail) EndpointStats() []endpoint.EndpointStat {
+	return endpoint.PerEndpointStats(l.eps)
+}
+
 // Execute runs a federated SPARQL query.
 func (l *Lusail) Execute(ctx context.Context, query string) (*sparql.Results, error) {
+	res, _, err := l.executeCached(ctx, query, nil)
+	return res, err
+}
+
+// ExecuteMetrics runs a federated SPARQL query and returns the
+// execution's own Metrics. Unlike LastMetrics, the returned value is
+// private to this call, so concurrent executions on one Lusail
+// instance each observe exactly their own profile.
+func (l *Lusail) ExecuteMetrics(ctx context.Context, query string) (*sparql.Results, Metrics, error) {
 	return l.executeCached(ctx, query, nil)
 }
 
+// ExecuteTraced runs a federated SPARQL query while recording a span
+// tree: one span per pipeline stage (source selection, GJV checks,
+// COUNT estimation, phase-1 subqueries, bound phase-2 subqueries,
+// joins), each with wall-clock duration, request/row counts, and
+// retry/breaker attribution. The trace, like the Metrics, is private
+// to the call. The trace is returned (partially filled) even when the
+// query errors out, so failures can be diagnosed from it.
+func (l *Lusail) ExecuteTraced(ctx context.Context, query string) (*sparql.Results, Metrics, *trace.Trace, error) {
+	tr := trace.New("query")
+	ctx = trace.WithSpan(ctx, tr.Root)
+	res, m, err := l.executeCached(ctx, query, nil)
+	tr.Root.End()
+	tr.Root.Set("requests", int64(m.RemoteRequests()))
+	if res != nil {
+		tr.Root.Set("rows", int64(res.Len()))
+	}
+	if m.Retries > 0 {
+		tr.Root.Set("retries", int64(m.Retries))
+	}
+	if m.BreakerOpens > 0 {
+		tr.Root.Set("breaker_opens", int64(m.BreakerOpens))
+	}
+	return res, m, tr, err
+}
+
 // executeCached is Execute with an optional shared subquery-result
-// cache (multi-query optimization).
-func (l *Lusail) executeCached(ctx context.Context, query string, sqCache *SubqueryCache) (*sparql.Results, error) {
+// cache (multi-query optimization). The returned Metrics are the
+// call's own; the LastMetrics slot is additionally updated for
+// sequential callers.
+func (l *Lusail) executeCached(ctx context.Context, query string, sqCache *SubqueryCache) (*sparql.Results, Metrics, error) {
+	var m Metrics
 	q, err := sparql.Parse(query)
 	if err != nil {
-		return nil, err
+		return nil, m, err
 	}
-	var m Metrics
 	// Attribute the whole query's fault-recovery events (source
 	// selection, analysis, and execution alike) to its metrics, and
 	// record metrics even when the query errors out, so experiments
@@ -193,16 +249,50 @@ func (l *Lusail) executeCached(ctx context.Context, query string, sqCache *Subqu
 
 	rows, _, err := l.evalGroup(ctx, q.Where, needed, &m, sqCache)
 	if err != nil {
-		return nil, err
+		return nil, m, err
 	}
 
 	t := time.Now()
+	sp := trace.SpanFrom(ctx).StartChild("finalize")
 	res := engine.Finalize(q, rows)
 	if q.Form == sparql.AskForm {
 		res = sparql.NewAskResult(len(rows) > 0)
 	}
+	sp.Set("rows", int64(res.Len()))
+	sp.End()
 	m.Execution += time.Since(t)
-	return res, nil
+	return res, m, nil
+}
+
+// startPhase opens a traced phase span with its own fault-counter
+// frame, so retry/breaker events of requests issued under the
+// returned context are attributed to the span (and, via the parent
+// chain, to every enclosing span and the query's Metrics). With no
+// span attached to ctx it is free: ctx is returned unchanged.
+func startPhase(ctx context.Context, name string) (context.Context, *trace.Span, *endpoint.FaultCounters) {
+	parent := trace.SpanFrom(ctx)
+	if parent == nil {
+		return ctx, nil, nil
+	}
+	sp := parent.StartChild(name)
+	fc := endpoint.NewFaultCounters(endpoint.FaultCountersFrom(ctx))
+	ctx = endpoint.WithFaultCounters(ctx, fc)
+	ctx = trace.WithSpan(ctx, sp)
+	return ctx, sp, fc
+}
+
+// endPhase stamps the phase span's duration and fault attribution.
+func endPhase(sp *trace.Span, fc *endpoint.FaultCounters) {
+	if sp == nil {
+		return
+	}
+	sp.End()
+	if r := fc.Retries(); r > 0 {
+		sp.Set("retries", r)
+	}
+	if b := fc.BreakerOpens(); b > 0 {
+		sp.Set("breaker_opens", b)
+	}
 }
 
 // evalGroup runs the full Lusail pipeline for one group graph pattern
@@ -210,10 +300,14 @@ func (l *Lusail) executeCached(ctx context.Context, query string, sqCache *Subqu
 func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, needed []sparql.Var, m *Metrics, sqCache *SubqueryCache) ([]sparql.Binding, []sparql.Var, error) {
 	// ---- Phase: source selection --------------------------------
 	t := time.Now()
-	sel, err := l.selector.SelectPatterns(ctx, g.Patterns)
+	selCtx, selSpan, selFC := startPhase(ctx, "source-selection")
+	sel, err := l.selector.SelectPatterns(selCtx, g.Patterns)
 	if err != nil {
+		endPhase(selSpan, selFC)
 		return nil, nil, err
 	}
+	selSpan.Set("asks", int64(sel.AskRequests))
+	endPhase(selSpan, selFC)
 	m.AskRequests += sel.AskRequests
 	m.SourceSelection += time.Since(t)
 
@@ -227,10 +321,15 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 	// ---- Phase: query analysis (LADE + cost model) ---------------
 	t = time.Now()
 	typeOf := TypeConstraints(g.Patterns)
-	rep, err := l.decomposer.DetectGJVs(ctx, g.Patterns, sel.Sources, typeOf)
+	gjvCtx, gjvSpan, gjvFC := startPhase(ctx, "gjv-checks")
+	rep, err := l.decomposer.DetectGJVs(gjvCtx, g.Patterns, sel.Sources, typeOf)
 	if err != nil {
+		endPhase(gjvSpan, gjvFC)
 		return nil, nil, err
 	}
+	gjvSpan.Set("checks", int64(rep.CheckQueries))
+	gjvSpan.Set("gjvs", int64(len(rep.GJVs)))
+	endPhase(gjvSpan, gjvFC)
 	m.CheckQueries += rep.CheckQueries
 	m.GJVs += len(rep.GJVs)
 
@@ -281,10 +380,13 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 					residual = append(residual, f)
 				}
 			}
-			rows, vars, err := l.evalGroup(ctx, inner, inner.AllVars(), m, sqCache)
+			ogCtx, ogSpan, ogFC := startPhase(ctx, fmt.Sprintf("optional-group-%d", ogID))
+			rows, vars, err := l.evalGroup(ogCtx, inner, inner.AllVars(), m, sqCache)
+			endPhase(ogSpan, ogFC)
 			if err != nil {
 				return nil, nil, err
 			}
+			ogSpan.Set("rows", int64(len(rows)))
 			optFilters[ogID] = residual
 			optionalRels = append(optionalRels, &Relation{
 				Vars: vars, Rows: rows, Partitions: 1,
@@ -355,10 +457,14 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 	}
 	ComputeProjections(all, downstream)
 
-	nCount, err := l.cost.EstimateCards(ctx, all)
+	cntCtx, cntSpan, cntFC := startPhase(ctx, "count-estimation")
+	nCount, err := l.cost.EstimateCards(cntCtx, all)
 	if err != nil {
+		endPhase(cntSpan, cntFC)
 		return nil, nil, err
 	}
+	cntSpan.Set("counts", int64(nCount))
+	endPhase(cntSpan, cntFC)
 	m.CountQueries += nCount
 	MarkDelayed(all, l.cfg.DelayPolicy)
 	m.Subqueries += len(all)
@@ -371,13 +477,16 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 
 	// ---- Extra relations: UNION blocks and VALUES ----------------
 	var extra []*Relation
-	for _, u := range g.Unions {
+	for ui, u := range g.Unions {
 		rel := &Relation{Partitions: 1}
-		for _, alt := range u.Alternatives {
-			altRows, altVars, err := l.evalGroup(ctx, alt, alt.AllVars(), m, sqCache)
+		for ai, alt := range u.Alternatives {
+			altCtx, altSpan, altFC := startPhase(ctx, fmt.Sprintf("union-%d-alt-%d", ui, ai))
+			altRows, altVars, err := l.evalGroup(altCtx, alt, alt.AllVars(), m, sqCache)
+			endPhase(altSpan, altFC)
 			if err != nil {
 				return nil, nil, err
 			}
+			altSpan.Set("rows", int64(len(altRows)))
 			rel.Vars = mergeVarsUnique(rel.Vars, altVars)
 			rel.Rows = append(rel.Rows, altRows...)
 		}

@@ -88,6 +88,10 @@ type BatchResult struct {
 	Query   string
 	Results *sparql.Results
 	Err     error
+	// Metrics is the query's own execution profile. Per-call metrics
+	// (not the shared LastMetrics slot) are the only accurate
+	// attribution under batch concurrency.
+	Metrics Metrics
 }
 
 // ExecuteBatch runs a workload of queries with multi-query
@@ -105,8 +109,8 @@ func (l *Lusail) ExecuteBatch(ctx context.Context, queries []string) []BatchResu
 		go func(i int, q string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := l.executeCached(ctx, q, cache)
-			out[i] = BatchResult{Query: q, Results: res, Err: err}
+			res, m, err := l.executeCached(ctx, q, cache)
+			out[i] = BatchResult{Query: q, Results: res, Err: err, Metrics: m}
 		}(i, q)
 	}
 	wg.Wait()

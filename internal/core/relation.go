@@ -93,7 +93,7 @@ func HashJoin(a, b *Relation, workers int) *Relation {
 	key := build.SharedVars(probe)
 	out := &Relation{
 		Vars:       mergeVarsUnique(a.Vars, b.Vars),
-		Partitions: workers,
+		Partitions: 1,
 	}
 	if len(a.Rows) == 0 || len(b.Rows) == 0 {
 		return out
@@ -103,13 +103,15 @@ func HashJoin(a, b *Relation, workers int) *Relation {
 		k := row.Key(key)
 		idx[k] = append(idx[k], row)
 	}
-	// Partition the probe side across workers.
+	// Partition the probe side across workers; small probes are not
+	// worth the goroutine fan-out.
 	if len(probe.Rows) < 1024 {
 		workers = 1
 	}
 	chunk := (len(probe.Rows) + workers - 1) / workers
 	results := make([][]sparql.Binding, workers)
 	var wg sync.WaitGroup
+	spawned := 0
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		if lo >= len(probe.Rows) {
@@ -119,6 +121,7 @@ func HashJoin(a, b *Relation, workers int) *Relation {
 		if hi > len(probe.Rows) {
 			hi = len(probe.Rows)
 		}
+		spawned++
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
@@ -134,6 +137,15 @@ func HashJoin(a, b *Relation, workers int) *Relation {
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	// Stamp the parallelism actually used, not the requested worker
+	// count: the small-probe downgrade (and ceil-division rounding) can
+	// run fewer partitions, and downstream JoinCost divides by this
+	// value — an inflated count makes later joins look cheaper than
+	// they are.
+	out.Partitions = spawned
+	if out.Partitions < 1 {
+		out.Partitions = 1
+	}
 	for _, part := range results {
 		out.Rows = append(out.Rows, part...)
 	}

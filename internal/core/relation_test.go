@@ -68,6 +68,53 @@ func TestHashJoinEmptySides(t *testing.T) {
 	}
 }
 
+// Regression: HashJoin used to stamp the requested worker count on the
+// output even when the small-probe downgrade ran the join on a single
+// partition; JoinCost then divided by a thread count that never ran,
+// making every intermediate result look cheaper by ~NumCPU×.
+func TestHashJoinPartitionsReflectActualWorkers(t *testing.T) {
+	left := relOf([]sparql.Var{"x", "y"},
+		b("x", "a", "y", "1"), b("x", "b", "y", "2"))
+	right := relOf([]sparql.Var{"y", "z"},
+		b("y", "1", "z", "p"), b("y", "2", "z", "q"))
+	// Probe side far below the 1024-row parallel threshold: the join
+	// runs single-partition no matter how many workers were requested.
+	out := HashJoin(left, right, 8)
+	if out.Partitions != 1 {
+		t.Errorf("small-probe join Partitions = %d, want 1 (the worker count actually used)", out.Partitions)
+	}
+
+	// Large probe side: the parallel path runs, and Partitions must
+	// match the number of chunks actually spawned.
+	bigLeft := &Relation{Vars: []sparql.Var{"x"}}
+	bigRight := &Relation{Vars: []sparql.Var{"x"}}
+	for i := 0; i < 2048; i++ {
+		row := sparql.Binding{"x": rdf.Integer(int64(i))}
+		bigLeft.Rows = append(bigLeft.Rows, row)
+		bigRight.Rows = append(bigRight.Rows, row)
+	}
+	out = HashJoin(bigLeft, bigRight, 4)
+	if out.Partitions != 4 {
+		t.Errorf("large join Partitions = %d, want 4", out.Partitions)
+	}
+	if len(out.Rows) != 2048 {
+		t.Errorf("large join rows = %d, want 2048", len(out.Rows))
+	}
+
+	// Empty-side joins never spawn a worker.
+	empty := relOf([]sparql.Var{"y"})
+	if out := HashJoin(left, empty, 8); out.Partitions != 1 {
+		t.Errorf("empty join Partitions = %d, want 1", out.Partitions)
+	}
+
+	// JoinCost must therefore see the single partition: with the old
+	// inflated count, a small join's cost shrank by the worker count.
+	small := HashJoin(left, right, 8)
+	if got, want := JoinCost(small, right, right.Card()), small.Card()/1+right.Card()/1; got != want {
+		t.Errorf("JoinCost = %v, want %v (no phantom parallelism)", got, want)
+	}
+}
+
 func TestHashJoinCartesian(t *testing.T) {
 	left := relOf([]sparql.Var{"x"}, b("x", "a"), b("x", "b"))
 	right := relOf([]sparql.Var{"y"}, b("y", "1"), b("y", "2"), b("y", "3"))
@@ -241,7 +288,7 @@ func TestQuickJoinOrderPreservesResult(t *testing.T) {
 		}
 		// Optimized order.
 		ex := NewExecutor(nil)
-		opt := ex.joinAll(rels)
+		opt := ex.joinAll(nil, rels)
 		canon := func(rel *Relation) []string {
 			out := make([]string, len(rel.Rows))
 			for i, row := range rel.Rows {

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"lusail/internal/endpoint"
 	"lusail/internal/federation"
 	"lusail/internal/rdf"
 	"lusail/internal/sparql"
+	"lusail/internal/trace"
 )
 
 // foundBindings is SAPE's hashmap of the values observed for each
@@ -171,7 +173,9 @@ func (ex *Executor) RunCached(ctx context.Context, sqs []*Subquery, extra []*Rel
 			phase1 = append(phase1, sq)
 		}
 	}
-	rels, err := ex.runPhase1(ctx, phase1, stats, sqCache)
+	p1Ctx, p1Span, p1FC := startPhase(ctx, "phase1")
+	rels, err := ex.runPhase1(p1Ctx, phase1, stats, sqCache)
+	endPhase(p1Span, p1FC)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -179,36 +183,55 @@ func (ex *Executor) RunCached(ctx context.Context, sqs []*Subquery, extra []*Rel
 		addRel(sq, rels[sq])
 	}
 
-	// Short-circuit: an empty required relation empties the join.
+	// Short-circuit: an empty required relation empties the join. The
+	// empty result is still one valid partition for the cost model.
 	if emptyRequired(required) {
-		return &Relation{Vars: allVars(required, optionalRels, delayed)}, stats, nil
+		return &Relation{Vars: allVars(required, optionalRels, delayed), Partitions: 1}, stats, nil
 	}
 
 	// Phase 2: delayed subqueries, most selective first, bound to the
 	// found bindings via VALUES blocks (Algorithm 3 lines 10-18).
+	var p2Span *trace.Span
+	var p2FC *endpoint.FaultCounters
+	p2Ctx := ctx
+	if len(delayed) > 0 {
+		p2Ctx, p2Span, p2FC = startPhase(ctx, "phase2")
+	}
 	for len(delayed) > 0 {
 		idx := ex.pickMostSelective(delayed, fb)
 		sq := delayed[idx]
 		delayed = append(delayed[:idx], delayed[idx+1:]...)
-		rel, err := ex.runBound(ctx, sq, fb, stats)
+		rel, err := ex.runBound(p2Ctx, sq, fb, stats)
 		if err != nil {
+			endPhase(p2Span, p2FC)
 			return nil, stats, err
 		}
 		addRel(sq, rel)
 		if !sq.Optional && len(rel.Rows) == 0 {
-			return &Relation{Vars: allVars(required, optionalRels, delayed)}, stats, nil
+			endPhase(p2Span, p2FC)
+			return &Relation{Vars: allVars(required, optionalRels, delayed), Partitions: 1}, stats, nil
 		}
 	}
+	endPhase(p2Span, p2FC)
 
 	// Join evaluation: cost-ordered parallel hash join of required
 	// relations, then OPTIONAL left joins, then the group's residual
 	// filters (SPARQL applies group filters after all joins, so they
 	// may reference optionally-bound variables, e.g. !BOUND).
-	result := ex.joinAll(required)
-	result = ex.leftJoinOptionals(result, optionalRels, optFilters)
+	joinSpan := trace.SpanFrom(ctx).StartChild("join")
+	result := ex.joinAll(joinSpan, required)
+	result = ex.leftJoinOptionals(joinSpan, result, optionalRels, optFilters)
 	if len(globalFilters) > 0 {
+		before := len(result.Rows)
 		result = filterRelation(result, globalFilters)
+		if fs := joinSpan.StartChild("filter"); fs != nil {
+			fs.Set("rows_in", int64(before))
+			fs.Set("rows_out", int64(len(result.Rows)))
+			fs.End()
+		}
 	}
+	joinSpan.Set("rows", int64(len(result.Rows)))
+	joinSpan.End()
 	return result, stats, nil
 }
 
@@ -218,6 +241,7 @@ func (ex *Executor) RunCached(ctx context.Context, sqs []*Subquery, extra []*Rel
 // one, all broadcasts go out as a single task batch.
 func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *ExecStats, sqCache *SubqueryCache) (map[*Subquery]*Relation, error) {
 	rels := make(map[*Subquery]*Relation, len(phase1))
+	sp := trace.SpanFrom(ctx)
 	if sqCache == nil {
 		var tasks []federation.Task
 		var taskSq []*Subquery
@@ -237,14 +261,22 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 		if ferr != nil {
 			return nil, fmt.Errorf("sape phase 1: %w", ferr)
 		}
+		// Per-subquery latency is the slowest of its per-endpoint tasks
+		// (the parallel critical path), taken from the handler's
+		// per-task timings.
+		durs := map[*Subquery]time.Duration{}
 		for i, tr := range results {
 			if tr.Err != nil {
 				return nil, fmt.Errorf("sape phase 1: %w", tr.Err)
 			}
 			rels[taskSq[i]].Rows = append(rels[taskSq[i]].Rows, tr.Res.Rows...)
+			if tr.Duration > durs[taskSq[i]] {
+				durs[taskSq[i]] = tr.Duration
+			}
 		}
 		for _, sq := range phase1 {
 			dedupFullProjection(sq, rels[sq])
+			recordSubquerySpan(sp, sq, rels[sq], durs[sq], len(sq.Sources))
 		}
 		return rels, nil
 	}
@@ -254,14 +286,17 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 	groupCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type outcome struct {
-		sq  *Subquery
-		rel *Relation
-		n   int
-		err error
+		sq       *Subquery
+		rel      *Relation
+		n        int
+		dur      time.Duration
+		computed bool
+		err      error
 	}
 	ch := make(chan outcome, len(phase1))
 	for _, sq := range phase1 {
 		go func(sq *Subquery) {
+			start := time.Now()
 			computed := false
 			run := func() (*Relation, error) {
 				return sqCache.Do(sqCache.Key(sq), func() (*Relation, error) {
@@ -285,7 +320,7 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 			if err == nil && computed {
 				n = len(sq.Sources)
 			}
-			ch <- outcome{sq: sq, rel: rel, n: n, err: err}
+			ch <- outcome{sq: sq, rel: rel, n: n, dur: time.Since(start), computed: computed, err: err}
 		}(sq)
 	}
 	var firstErr error
@@ -302,11 +337,38 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 		// per-query Optional marking must not leak across.
 		rels[o.sq] = &Relation{Vars: o.rel.Vars, Rows: o.rel.Rows, Partitions: o.rel.Partitions}
 		stats.Phase1Requests += o.n
+		sqSpan := recordSubquerySpan(sp, o.sq, rels[o.sq], o.dur, o.n)
+		if !o.computed {
+			sqSpan.Set("shared", true)
+		}
 	}
 	if firstErr != nil {
 		return nil, fmt.Errorf("sape phase 1: %w", firstErr)
 	}
 	return rels, nil
+}
+
+// recordSubquerySpan appends one subquery's execution record under
+// parent: identity (id, rendered query), the estimate it was planned
+// with, and the actuals observed (rows, requests, latency). These
+// spans are what ExplainAnalyze joins against the static plan to show
+// estimate-vs-actual error per subquery. Nil-safe; returns the span
+// for extra attributes.
+func recordSubquerySpan(parent *trace.Span, sq *Subquery, rel *Relation, dur time.Duration, requests int) *trace.Span {
+	if parent == nil {
+		return nil
+	}
+	sp := parent.StartChild(fmt.Sprintf("sq%d", sq.ID))
+	sp.Set("query", sq.Query().String())
+	sp.Set("est", int64(sq.EstCard))
+	sp.Set("rows", int64(len(rel.Rows)))
+	sp.Set("requests", int64(requests))
+	sp.Set("sources", int64(len(sq.Sources)))
+	if sq.Optional {
+		sp.Set("optional", true)
+	}
+	sp.SetDuration(dur)
+	return sp
 }
 
 // evalSubqueryUnbound broadcasts one subquery to its sources and
@@ -384,8 +446,14 @@ func refinedCard(sq *Subquery, fb *foundBindings) float64 {
 // for its most selective bound variable; unbound evaluation is the
 // fallback when no variable is covered yet.
 func (ex *Executor) runBound(ctx context.Context, sq *Subquery, fb *foundBindings, stats *ExecStats) (*Relation, error) {
+	start := time.Now()
 	rel := &Relation{Vars: append([]sparql.Var(nil), sq.ProjVars...), Partitions: len(sq.Sources)}
 	if len(sq.Sources) == 0 {
+		if rel.Partitions < 1 {
+			rel.Partitions = 1
+		}
+		sp := recordSubquerySpan(trace.SpanFrom(ctx), sq, rel, time.Since(start), 0)
+		sp.Set("decision", "no-sources")
 		return rel, nil
 	}
 
@@ -401,6 +469,7 @@ func (ex *Executor) runBound(ctx context.Context, sq *Subquery, fb *foundBinding
 		}
 	}
 
+	blocksBefore := stats.BoundBlocks
 	var queries []string
 	switch {
 	case bindN < 0:
@@ -408,6 +477,8 @@ func (ex *Executor) runBound(ctx context.Context, sq *Subquery, fb *foundBinding
 	case bindN == 0:
 		// No candidate values: a required subquery would make the join
 		// empty; an optional one contributes nothing.
+		sp := recordSubquerySpan(trace.SpanFrom(ctx), sq, rel, time.Since(start), 0)
+		sp.Set("decision", "empty-candidates")
 		return rel, nil
 	default:
 		values := fb.valuesFor(bindVar)
@@ -431,13 +502,15 @@ func (ex *Executor) runBound(ctx context.Context, sq *Subquery, fb *foundBinding
 	}
 
 	sources := sq.Sources
+	refined := false
 	// Source refinement (Algorithm 3 line 13): subqueries with fully
 	// generic patterns are relevant everywhere; re-ask with bindings
 	// to drop irrelevant endpoints before shipping all blocks.
 	if bindN > 0 && hasGenericPattern(sq) {
-		refined, nRefine := ex.refineSources(ctx, sq, bindVar, fb)
+		re, nRefine := ex.refineSources(ctx, sq, bindVar, fb)
 		stats.RefineRequests += nRefine
-		sources = refined
+		sources = re
+		refined = true
 	}
 
 	var tasks []federation.Task
@@ -462,6 +535,18 @@ func (ex *Executor) runBound(ctx context.Context, sq *Subquery, fb *foundBinding
 	rel.Partitions = len(sources)
 	if rel.Partitions < 1 {
 		rel.Partitions = 1
+	}
+	sp := recordSubquerySpan(trace.SpanFrom(ctx), sq, rel, time.Since(start), len(tasks))
+	if sp != nil {
+		if bindN < 0 {
+			sp.Set("decision", "unbound-fallback")
+		} else {
+			sp.Set("decision", fmt.Sprintf("bound ?%s (%d candidates, %d blocks)",
+				bindVar, bindN, stats.BoundBlocks-blocksBefore))
+		}
+		if refined {
+			sp.Set("sources_refined", int64(len(sources)))
+		}
 	}
 	return rel, nil
 }
@@ -533,8 +618,8 @@ func (ex *Executor) refineSources(ctx context.Context, sq *Subquery, bindVar spa
 }
 
 // joinAll folds the relations in cost-based order with the parallel
-// hash join.
-func (ex *Executor) joinAll(rels []*Relation) *Relation {
+// hash join, recording one child span per join step under sp.
+func (ex *Executor) joinAll(sp *trace.Span, rels []*Relation) *Relation {
 	if len(rels) == 0 {
 		// The join identity: one empty row (SPARQL's empty group),
 		// so OPTIONAL-only groups still left-join correctly.
@@ -543,7 +628,13 @@ func (ex *Executor) joinAll(rels []*Relation) *Relation {
 	order := OptimizeJoinOrder(rels)
 	acc := rels[order[0]]
 	for _, i := range order[1:] {
+		js := sp.StartChild("hash-join")
+		js.Set("left_rows", int64(len(acc.Rows)))
+		js.Set("right_rows", int64(len(rels[i].Rows)))
 		acc = HashJoin(acc, rels[i], ex.Workers)
+		js.Set("out_rows", int64(len(acc.Rows)))
+		js.Set("partitions", int64(acc.Partitions))
+		js.End()
 	}
 	return acc
 }
@@ -570,7 +661,7 @@ func filterRelation(rel *Relation, filters []sparql.Expr) *Relation {
 // leftJoinOptionals groups the optional relations by OPTIONAL group,
 // joins within each group, and left-joins each group onto the result
 // with its residual filters.
-func (ex *Executor) leftJoinOptionals(result *Relation, optional []*Relation, optFilters map[int][]sparql.Expr) *Relation {
+func (ex *Executor) leftJoinOptionals(sp *trace.Span, result *Relation, optional []*Relation, optFilters map[int][]sparql.Expr) *Relation {
 	if len(optional) == 0 {
 		return result
 	}
@@ -584,7 +675,10 @@ func (ex *Executor) leftJoinOptionals(result *Relation, optional []*Relation, op
 	}
 	sort.Ints(order)
 	for _, gid := range order {
-		grp := ex.joinAll(groups[gid])
+		ljs := sp.StartChild("left-join")
+		ljs.Set("group", int64(gid))
+		ljs.Set("left_rows", int64(len(result.Rows)))
+		grp := ex.joinAll(ljs, groups[gid])
 		filters := optFilters[gid]
 		var check func(sparql.Binding) bool
 		if len(filters) > 0 {
@@ -599,6 +693,8 @@ func (ex *Executor) leftJoinOptionals(result *Relation, optional []*Relation, op
 			}
 		}
 		result = LeftJoin(result, grp, check)
+		ljs.Set("out_rows", int64(len(result.Rows)))
+		ljs.End()
 	}
 	return result
 }

@@ -3,8 +3,11 @@ package core
 import (
 	"context"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 
+	"lusail/internal/endpoint"
 	"lusail/internal/rdf"
 	"lusail/internal/sparql"
 	"lusail/internal/testfed"
@@ -202,6 +205,100 @@ func TestExecutorOptionalLeftJoin(t *testing.T) {
 	}
 	if unbound != 2 {
 		t.Errorf("unbound optional rows = %d, want 2", unbound)
+	}
+}
+
+// captureEndpoint records every query shipped to it.
+type captureEndpoint struct {
+	inner   endpoint.Endpoint
+	mu      sync.Mutex
+	queries []string
+}
+
+func (c *captureEndpoint) Name() string { return c.inner.Name() }
+
+func (c *captureEndpoint) Query(ctx context.Context, q string) (*sparql.Results, error) {
+	c.mu.Lock()
+	c.queries = append(c.queries, q)
+	c.mu.Unlock()
+	return c.inner.Query(ctx, q)
+}
+
+func (c *captureEndpoint) captured() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.queries...)
+}
+
+// Regression for VALUES-block aliasing: with BindBlockSize=1 and more
+// than two candidate values, runBound builds one query per block. Each
+// shipped query must carry exactly its own single VALUES block — a
+// shared Where pointer under append would leak blocks across queries.
+func TestRunBoundOneValuesBlockPerShippedQuery(t *testing.T) {
+	ep1, ep2 := testfed.Universities()
+	cap1, cap2 := &captureEndpoint{inner: ep1}, &captureEndpoint{inner: ep2}
+	ex := NewExecutor([]endpoint.Endpoint{cap1, cap2})
+	ex.BindBlockSize = 1
+
+	sq := &Subquery{
+		Patterns: sparql.MustParse(`SELECT * WHERE { ?P <http://ex/PhDDegreeFrom> ?U }`).Where.Patterns,
+		Sources:  []int{0, 1}, ProjVars: []sparql.Var{"P", "U"},
+		OptionalGroup: -1, Delayed: true, EstCard: 100,
+	}
+	fb := newFoundBindings()
+	fb.update(relOf([]sparql.Var{"P"},
+		b("P", "Tim"), b("P", "Ann"), b("P", "Joe"), b("P", "Sue")))
+
+	var stats ExecStats
+	if _, err := ex.runBound(context.Background(), sq, fb, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.BoundBlocks != 4 {
+		t.Errorf("bound blocks = %d, want 4 (one per candidate)", stats.BoundBlocks)
+	}
+	shipped := append(cap1.captured(), cap2.captured()...)
+	if len(shipped) != 8 {
+		t.Fatalf("shipped queries = %d, want 8 (4 blocks x 2 endpoints)", len(shipped))
+	}
+	for _, q := range shipped {
+		if n := strings.Count(q, "VALUES"); n != 1 {
+			t.Errorf("shipped query carries %d VALUES blocks, want exactly 1:\n%s", n, q)
+		}
+	}
+}
+
+// When source refinement drops every endpoint (no source answers the
+// bound ASK), the bound subquery must come back as an empty relation
+// with sane partitioning, not panic or ship data queries.
+func TestRunBoundRefinementDropsAllSources(t *testing.T) {
+	eps := uniEndpoints()
+	ex := NewExecutor(eps)
+	sq := &Subquery{
+		// Variable predicate: relevant everywhere, so refinement kicks in.
+		Patterns: sparql.MustParse(`SELECT * WHERE { ?s ?p ?o }`).Where.Patterns,
+		Sources:  []int{0, 1}, ProjVars: []sparql.Var{"o", "p", "s"},
+		OptionalGroup: -1, Delayed: true, EstCard: 100,
+	}
+	fb := newFoundBindings()
+	// Candidates that exist at no endpoint: every refinement ASK is false.
+	fb.update(relOf([]sparql.Var{"s"}, b("s", "ghost1"), b("s", "ghost2"), b("s", "ghost3")))
+
+	var stats ExecStats
+	rel, err := ex.runBound(context.Background(), sq, fb, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 0 {
+		t.Errorf("rows = %d, want 0 (all sources refined away)", len(rel.Rows))
+	}
+	if rel.Partitions < 1 {
+		t.Errorf("partitions = %d, want >= 1", rel.Partitions)
+	}
+	if stats.RefineRequests == 0 {
+		t.Error("expected refinement ASKs")
+	}
+	if stats.Phase2Requests != 0 {
+		t.Errorf("phase-2 requests = %d, want 0 after refinement dropped all sources", stats.Phase2Requests)
 	}
 }
 

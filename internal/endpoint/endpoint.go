@@ -45,6 +45,12 @@ type Stats struct {
 	Retries      int64 // retry attempts issued by the resilient decorator
 	BreakerOpens int64 // requests rejected fast by an open circuit breaker
 	Timeouts     int64 // attempts that hit the per-request timeout
+
+	// Errors counts failed calls observed by an Instrumented decorator
+	// (after any retries underneath), and Latency is its fixed-bucket
+	// client-side latency histogram; both stay zero without one.
+	Errors  int64
+	Latency LatencyHistogram
 }
 
 // Add accumulates other into s.
@@ -56,6 +62,8 @@ func (s *Stats) Add(o Stats) {
 	s.Retries += o.Retries
 	s.BreakerOpens += o.BreakerOpens
 	s.Timeouts += o.Timeouts
+	s.Errors += o.Errors
+	s.Latency.Add(o.Latency)
 }
 
 // NetworkProfile models the link between the federator and an

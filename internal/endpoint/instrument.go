@@ -1,0 +1,241 @@
+package endpoint
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"lusail/internal/sparql"
+)
+
+// latencyBuckets are the fixed histogram bucket upper bounds. The
+// range covers everything the simulator and real WAN deployments
+// produce: sub-millisecond in-process calls up to multi-second bound
+// subqueries. The last bucket is the +Inf overflow.
+var latencyBuckets = [...]time.Duration{
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+// numBuckets includes the +Inf overflow bucket.
+const numBuckets = len(latencyBuckets) + 1
+
+// LatencyHistogram is a fixed-bucket latency distribution snapshot.
+// The zero value is an empty histogram.
+type LatencyHistogram struct {
+	// Counts[i] counts observations <= latencyBuckets[i]; the final
+	// element is the +Inf overflow bucket.
+	Counts [numBuckets]int64
+	// Sum is the total observed latency (for means).
+	Sum time.Duration
+}
+
+// Observe records one latency sample.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	h.Counts[bucketOf(d)]++
+	h.Sum += d
+}
+
+func bucketOf(d time.Duration) int {
+	for i, ub := range latencyBuckets {
+		if d <= ub {
+			return i
+		}
+	}
+	return numBuckets - 1
+}
+
+// Add merges another histogram into h.
+func (h *LatencyHistogram) Add(o LatencyHistogram) {
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Sum += o.Sum
+}
+
+// Count returns the number of observations.
+func (h LatencyHistogram) Count() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Mean returns the average observed latency (0 when empty).
+func (h LatencyHistogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(n)
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 < q <= 1), e.g. Quantile(0.99) is a p99 latency bound.
+// Samples in the overflow bucket report the largest finite bound.
+func (h LatencyHistogram) Quantile(q float64) time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q*float64(n) + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= rank {
+			if i < len(latencyBuckets) {
+				return latencyBuckets[i]
+			}
+			break
+		}
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+// String renders the non-empty buckets, e.g. "<=1ms:12 <=5ms:3".
+func (h LatencyHistogram) String() string {
+	var parts []string
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if i < len(latencyBuckets) {
+			parts = append(parts, fmt.Sprintf("<=%s:%d", latencyBuckets[i], c))
+		} else {
+			parts = append(parts, fmt.Sprintf(">%s:%d", latencyBuckets[len(latencyBuckets)-1], c))
+		}
+	}
+	if len(parts) == 0 {
+		return "empty"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Instrumented decorates an endpoint with client-side observability:
+// a fixed-bucket latency histogram over the full call (including any
+// resilient decorator's retries and backoff underneath) plus request
+// and error counters. It implements Endpoint and StatsSource; its
+// Stats merge the decorator's histogram and error count into the
+// inner endpoint's traffic counters.
+type Instrumented struct {
+	inner Endpoint
+
+	requests atomic.Int64
+	errors   atomic.Int64
+	buckets  [numBuckets]atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// NewInstrumented wraps inner with latency/error instrumentation.
+func NewInstrumented(inner Endpoint) *Instrumented {
+	return &Instrumented{inner: inner}
+}
+
+// WrapInstrumented wraps every endpoint with its own instrumentation.
+func WrapInstrumented(eps []Endpoint) []Endpoint {
+	out := make([]Endpoint, len(eps))
+	for i, ep := range eps {
+		out[i] = NewInstrumented(ep)
+	}
+	return out
+}
+
+// Name implements Endpoint.
+func (in *Instrumented) Name() string { return in.inner.Name() }
+
+// Inner exposes the wrapped endpoint.
+func (in *Instrumented) Inner() Endpoint { return in.inner }
+
+// Query delegates to the inner endpoint, recording latency and
+// outcome.
+func (in *Instrumented) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	start := time.Now()
+	res, err := in.inner.Query(ctx, query)
+	d := time.Since(start)
+	in.requests.Add(1)
+	in.buckets[bucketOf(d)].Add(1)
+	in.sumNanos.Add(int64(d))
+	if err != nil {
+		in.errors.Add(1)
+	}
+	return res, err
+}
+
+// Errors reports the number of failed calls observed.
+func (in *Instrumented) Errors() int64 { return in.errors.Load() }
+
+// Latency snapshots the decorator's latency histogram.
+func (in *Instrumented) Latency() LatencyHistogram {
+	var h LatencyHistogram
+	for i := range in.buckets {
+		h.Counts[i] = in.buckets[i].Load()
+	}
+	h.Sum = time.Duration(in.sumNanos.Load())
+	return h
+}
+
+// Stats merges the inner endpoint's counters with the decorator's
+// error count and latency histogram.
+func (in *Instrumented) Stats() Stats {
+	var s Stats
+	if ss, ok := in.inner.(StatsSource); ok {
+		s = ss.Stats()
+	}
+	s.Errors += in.errors.Load()
+	s.Latency.Add(in.Latency())
+	return s
+}
+
+// ResetStats zeroes the decorator's and the inner counters.
+func (in *Instrumented) ResetStats() {
+	in.requests.Store(0)
+	in.errors.Store(0)
+	for i := range in.buckets {
+		in.buckets[i].Store(0)
+	}
+	in.sumNanos.Store(0)
+	if ss, ok := in.inner.(StatsSource); ok {
+		ss.ResetStats()
+	}
+}
+
+// EndpointStat pairs an endpoint name with its stats snapshot, for
+// per-endpoint reports sorted by name.
+type EndpointStat struct {
+	Name  string
+	Stats Stats
+}
+
+// PerEndpointStats snapshots the stats of every endpoint exposing
+// them, sorted by endpoint name.
+func PerEndpointStats(eps []Endpoint) []EndpointStat {
+	var out []EndpointStat
+	for _, ep := range eps {
+		if ss, ok := ep.(StatsSource); ok {
+			out = append(out, EndpointStat{Name: ep.Name(), Stats: ss.Stats()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

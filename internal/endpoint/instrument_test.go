@@ -1,0 +1,134 @@
+package endpoint
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"lusail/internal/store"
+)
+
+func TestLatencyHistogramBuckets(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(50 * time.Microsecond) // bucket 0
+	h.Observe(3 * time.Millisecond)  // <=5ms
+	h.Observe(3 * time.Millisecond)
+	h.Observe(time.Minute) // overflow
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	if h.Counts[0] != 1 || h.Counts[numBuckets-1] != 1 {
+		t.Fatalf("unexpected bucket layout: %v", h.Counts)
+	}
+	if got := h.Mean(); got == 0 {
+		t.Fatal("Mean should be non-zero")
+	}
+	var other LatencyHistogram
+	other.Observe(3 * time.Millisecond)
+	h.Add(other)
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count after Add = %d, want 5", got)
+	}
+	if h.String() == "empty" {
+		t.Fatal("non-empty histogram should render buckets")
+	}
+	var empty LatencyHistogram
+	if empty.String() != "empty" || empty.Mean() != 0 || empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram accessors should report empty/zero")
+	}
+}
+
+func TestLatencyHistogramQuantile(t *testing.T) {
+	var h LatencyHistogram
+	// 90 fast samples, 10 slow ones: p50 stays in the fast bucket,
+	// p99 lands in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(80 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(40 * time.Millisecond)
+	}
+	if got := h.Quantile(0.5); got != 100*time.Microsecond {
+		t.Fatalf("p50 = %s, want 100µs bound", got)
+	}
+	if got := h.Quantile(0.99); got != 50*time.Millisecond {
+		t.Fatalf("p99 = %s, want 50ms bound", got)
+	}
+}
+
+func TestInstrumentedCountsAndStats(t *testing.T) {
+	ep := NewLocal("A", store.New())
+	in := NewInstrumented(ep)
+	ctx := context.Background()
+	if _, err := in.Query(ctx, `SELECT ?s WHERE { ?s ?p ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Query(ctx, `THIS IS NOT SPARQL`); err == nil {
+		t.Fatal("expected a parse error")
+	}
+	if got := in.Errors(); got != 1 {
+		t.Fatalf("Errors = %d, want 1", got)
+	}
+	h := in.Latency()
+	if got := h.Count(); got != 2 {
+		t.Fatalf("latency samples = %d, want 2", got)
+	}
+	st := in.Stats()
+	if st.Errors != 1 || st.Latency.Count() != 2 {
+		t.Fatalf("Stats should merge instrumentation: %+v", st)
+	}
+	// Stats must also include the inner endpoint's traffic counters.
+	if st.Requests != 2 {
+		t.Fatalf("Stats.Requests = %d, want 2", st.Requests)
+	}
+	in.ResetStats()
+	if in.Errors() != 0 || in.Latency().Count() != 0 || in.Stats().Requests != 0 {
+		t.Fatal("ResetStats should zero decorator and inner counters")
+	}
+}
+
+func TestInstrumentedName(t *testing.T) {
+	in := NewInstrumented(NewLocal("A", store.New()))
+	if in.Name() != "A" {
+		t.Fatalf("Name = %q", in.Name())
+	}
+	if in.Inner().Name() != "A" {
+		t.Fatal("Inner should expose the wrapped endpoint")
+	}
+}
+
+func TestWrapInstrumentedAndPerEndpointStats(t *testing.T) {
+	eps := []Endpoint{NewLocal("B", store.New()), NewLocal("A", store.New())}
+	wrapped := WrapInstrumented(eps)
+	if len(wrapped) != 2 {
+		t.Fatalf("wrapped %d endpoints", len(wrapped))
+	}
+	if _, err := wrapped[0].Query(context.Background(), `ASK { ?s ?p ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	stats := PerEndpointStats(wrapped)
+	if len(stats) != 2 || stats[0].Name != "A" || stats[1].Name != "B" {
+		t.Fatalf("PerEndpointStats should sort by name: %+v", stats)
+	}
+	if stats[1].Stats.Latency.Count() != 1 {
+		t.Fatalf("endpoint B should have one latency sample: %+v", stats[1].Stats)
+	}
+}
+
+// Concurrent queries must not race on the histogram (run with -race).
+func TestInstrumentedConcurrent(t *testing.T) {
+	in := NewInstrumented(NewLocal("A", store.New()))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = in.Query(context.Background(), `ASK { ?s ?p ?o }`)
+		}()
+	}
+	wg.Wait()
+	if got := in.Latency().Count(); got != 16 {
+		t.Fatalf("latency samples = %d, want 16", got)
+	}
+}

@@ -1,0 +1,155 @@
+// Observability experiments: latency-percentile benchmarking with JSON
+// output (lusail-bench -bench-json) and execution-trace dumps
+// (lusail-bench -trace). Both run the LUBM federation, the benchmark
+// every other experiment is calibrated against.
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"lusail/internal/benchdata/lubm"
+	"lusail/internal/core"
+	"lusail/internal/endpoint"
+)
+
+// QueryBench is one query's latency distribution over repeated runs.
+type QueryBench struct {
+	Query    string  `json:"query"`
+	Runs     int     `json:"runs"`
+	Rows     int     `json:"rows"`
+	Requests int64   `json:"requests"`
+	MinMs    float64 `json:"min_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+	Err      string  `json:"error,omitempty"`
+}
+
+// BenchReport is the JSON document -bench-json writes.
+type BenchReport struct {
+	Benchmark    string       `json:"benchmark"`
+	Universities int          `json:"universities"`
+	Scale        int          `json:"scale"`
+	Runs         int          `json:"runs"`
+	Queries      []QueryBench `json:"queries"`
+}
+
+// durQuantile returns the q-quantile of sorted durations (nearest-rank).
+func durQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Bench measures per-query latency distributions for Lusail on the
+// LUBM federation: one warm-up run per query (populating the analysis
+// caches, as every experiment does), then opts.Runs timed runs.
+func Bench(opts Options) BenchReport {
+	const nUniv = 4
+	f := LUBM(nUniv, opts)
+	l := core.New(f.Endpoints, core.Config{})
+	report := BenchReport{
+		Benchmark: "lubm", Universities: nUniv,
+		Scale: opts.Scale, Runs: opts.runs(),
+	}
+
+	names := make([]string, 0, len(lubm.Queries))
+	for name := range lubm.Queries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		qb := QueryBench{Query: name, Runs: opts.runs()}
+		query := lubm.Queries[name]
+		run := func() (time.Duration, error) {
+			ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
+			defer cancel()
+			start := time.Now()
+			res, err := l.Execute(ctx, query)
+			if err != nil {
+				return 0, err
+			}
+			qb.Rows = res.Len()
+			return time.Since(start), nil
+		}
+		if _, err := run(); err != nil { // warm-up
+			qb.Err = err.Error()
+			report.Queries = append(report.Queries, qb)
+			continue
+		}
+		endpoint.ResetAll(f.Endpoints)
+		var durs []time.Duration
+		var total time.Duration
+		for i := 0; i < opts.runs(); i++ {
+			d, err := run()
+			if err != nil {
+				qb.Err = err.Error()
+				break
+			}
+			durs = append(durs, d)
+			total += d
+		}
+		if len(durs) > 0 {
+			sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+			qb.MinMs = ms(durs[0])
+			qb.MaxMs = ms(durs[len(durs)-1])
+			qb.MeanMs = ms(total / time.Duration(len(durs)))
+			qb.P50Ms = ms(durQuantile(durs, 0.50))
+			qb.P95Ms = ms(durQuantile(durs, 0.95))
+			qb.P99Ms = ms(durQuantile(durs, 0.99))
+			qb.Requests = endpoint.TotalStats(f.Endpoints).Requests
+		}
+		report.Queries = append(report.Queries, qb)
+		endpoint.ResetAll(f.Endpoints)
+	}
+	return report
+}
+
+// BenchJSON runs Bench and writes the report as indented JSON.
+func BenchJSON(w io.Writer, opts Options) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Bench(opts))
+}
+
+// TraceDump executes every LUBM query once with tracing enabled and
+// renders each span tree followed by its EXPLAIN ANALYZE report.
+func TraceDump(w io.Writer, opts Options) error {
+	f := LUBM(4, opts)
+	l := core.New(f.Endpoints, core.Config{Instrument: true})
+
+	names := make([]string, 0, len(lubm.Queries))
+	for name := range lubm.Queries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
+		an, err := l.ExplainAnalyze(ctx, lubm.Queries[name])
+		cancel()
+		if err != nil {
+			return fmt.Errorf("trace %s: %w", name, err)
+		}
+		fmt.Fprintf(w, "== %s ==\n%s\n%s\n", name, an.Trace.Root.String(), an)
+	}
+	return nil
+}

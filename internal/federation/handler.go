@@ -3,6 +3,7 @@ package federation
 import (
 	"context"
 	"sync"
+	"time"
 
 	"lusail/internal/endpoint"
 	"lusail/internal/sparql"
@@ -19,6 +20,11 @@ type TaskResult struct {
 	Task Task
 	Res  *sparql.Results
 	Err  error
+	// Duration is the task's wall-clock time at the federator, from
+	// dispatch to response (zero for tasks short-circuited before
+	// dispatch). Observability layers use it to attribute per-subquery
+	// latency without re-measuring at every call site.
+	Duration time.Duration
 }
 
 // Handler is the elastic request handler of the paper's architecture
@@ -128,8 +134,9 @@ func (h *Handler) run(ctx context.Context, tasks []Task, failFast bool) ([]TaskR
 					defer inner.Done()
 					defer release(sem)
 					defer release(globalSem)
+					start := time.Now()
 					res, err := tasks[i].EP.Query(runCtx, tasks[i].Query)
-					out[i] = TaskResult{Task: tasks[i], Res: res, Err: err}
+					out[i] = TaskResult{Task: tasks[i], Res: res, Err: err, Duration: time.Since(start)}
 					if failFast && err != nil {
 						fail(err)
 					}

@@ -246,6 +246,34 @@ func TestRunFailFastHealthyBatchSucceeds(t *testing.T) {
 	}
 }
 
+func TestRunRecordsPerTaskDuration(t *testing.T) {
+	slow := &slowEndpoint{name: "slow", delay: 15 * time.Millisecond}
+	fast := &gaugeEndpoint{name: "fast"}
+	h := NewHandler(2)
+	out := h.Run(context.Background(),
+		[]Task{{EP: slow, Query: "q0"}, {EP: fast, Query: "q1"}})
+	if out[0].Duration < 15*time.Millisecond {
+		t.Errorf("slow task duration = %v, want >= 15ms", out[0].Duration)
+	}
+	if out[1].Duration <= 0 {
+		t.Errorf("fast task duration = %v, want > 0", out[1].Duration)
+	}
+	if out[1].Duration > out[0].Duration {
+		t.Errorf("fast task (%v) measured slower than slow task (%v)", out[1].Duration, out[0].Duration)
+	}
+}
+
+func TestRunShortCircuitedTaskHasZeroDuration(t *testing.T) {
+	ep := &gaugeEndpoint{name: "a"}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := NewHandler(1)
+	out := h.Run(ctx, []Task{{EP: ep, Query: "q0"}})
+	if out[0].Duration != 0 {
+		t.Errorf("short-circuited task duration = %v, want 0", out[0].Duration)
+	}
+}
+
 func TestHandlerMaxConcurrent(t *testing.T) {
 	// PerEndpoint would allow 4 in-flight requests, but the global
 	// bound of 1 must win.

@@ -1,0 +1,22 @@
+package trace
+
+import "context"
+
+type spanKey struct{}
+
+// WithSpan attaches sp to ctx as the current span; instrumented code
+// below reads it with SpanFrom and opens children under it. Attaching
+// a nil span returns ctx unchanged, so un-traced executions flow
+// through instrumented code at zero cost.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFrom returns the current span attached to ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

@@ -32,6 +32,7 @@ import (
 	"lusail/internal/rdf"
 	"lusail/internal/sparql"
 	"lusail/internal/store"
+	"lusail/internal/trace"
 )
 
 // Endpoint is one SPARQL endpoint of the decentralized graph.
@@ -100,6 +101,13 @@ func WithoutCache() Option {
 	return func(c *core.Config) { c.DisableCache = true }
 }
 
+// WithInstrumentation wraps every endpoint in a latency-histogram
+// decorator so EndpointStats reports per-endpoint request counts,
+// error counts, and latency quantiles.
+func WithInstrumentation() Option {
+	return func(c *core.Config) { c.Instrument = true }
+}
+
 // Federation is a Lusail engine over a fixed set of endpoints.
 type Federation struct {
 	engine    *core.Lusail
@@ -120,8 +128,41 @@ func (f *Federation) Query(ctx context.Context, query string) (*Results, error) 
 	return f.engine.Execute(ctx, query)
 }
 
-// Metrics returns the profile of the most recent Query call.
+// Metrics returns the profile of the most recent Query call. It is a
+// single slot: with concurrent queries on one federation, use
+// QueryMetrics to read each call's own profile instead.
 func (f *Federation) Metrics() Metrics { return f.engine.LastMetrics() }
+
+// QueryMetrics runs a query and returns its results together with the
+// call's own Metrics. Unlike Metrics, this attribution is exact under
+// concurrent queries on the same federation.
+func (f *Federation) QueryMetrics(ctx context.Context, query string) (*Results, Metrics, error) {
+	return f.engine.ExecuteMetrics(ctx, query)
+}
+
+// Trace is a query execution's span tree: source selection, GJV
+// checks, COUNT estimation, phase-1 subqueries, bound phase-2 blocks,
+// hash joins, and left joins, each with wall-clock duration and
+// attributes (rows, requests, retries).
+type Trace = trace.Trace
+
+// Span is one node of a Trace.
+type Span = trace.Span
+
+// QueryTraced runs a query recording a full trace of its execution.
+// The trace is also returned when the query fails, describing the work
+// done up to the error.
+func (f *Federation) QueryTraced(ctx context.Context, query string) (*Results, Metrics, *Trace, error) {
+	return f.engine.ExecuteTraced(ctx, query)
+}
+
+// EndpointStat names one endpoint's cumulative traffic statistics.
+type EndpointStat = endpoint.EndpointStat
+
+// EndpointStats reports per-endpoint request, error, and latency
+// statistics, sorted by endpoint name. Latency histograms are
+// populated when the federation was built WithInstrumentation.
+func (f *Federation) EndpointStats() []EndpointStat { return f.engine.EndpointStats() }
 
 // Plan describes how the federation would execute a query: global
 // join variables, decomposed subqueries with sources, cardinality
@@ -133,6 +174,17 @@ type Plan = core.Plan
 // sent to the endpoints).
 func (f *Federation) Explain(ctx context.Context, query string) (*Plan, error) {
 	return f.engine.Explain(ctx, query)
+}
+
+// Analysis is an executed plan: the static Plan annotated with actual
+// per-subquery cardinalities, latencies, and delay-decision outcomes.
+type Analysis = core.Analysis
+
+// ExplainAnalyze executes the query (paying its full cost) and returns
+// the plan annotated with actual cardinalities, per-subquery
+// latencies, and delay-decision outcomes next to the estimates.
+func (f *Federation) ExplainAnalyze(ctx context.Context, query string) (*Analysis, error) {
+	return f.engine.ExplainAnalyze(ctx, query)
 }
 
 // BatchResult pairs one query of a batch with its outcome.

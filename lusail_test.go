@@ -173,3 +173,46 @@ func TestQueryBatchThroughPublicAPI(t *testing.T) {
 		t.Error("identical batch queries should share subquery executions")
 	}
 }
+
+func TestObservabilityThroughPublicAPI(t *testing.T) {
+	ep1, ep2 := twoEndpoints(t)
+	fed := New([]Endpoint{ep1, ep2}, WithInstrumentation())
+	ctx := context.Background()
+
+	res, m, err := fed.QueryMetrics(ctx, crossQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || m.RemoteRequests() == 0 {
+		t.Errorf("rows = %d, requests = %d", res.Len(), m.RemoteRequests())
+	}
+
+	res, m, tr, err := fed.QueryTraced(ctx, crossQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || m.Total() <= 0 {
+		t.Errorf("traced rows = %d, total = %s", res.Len(), m.Total())
+	}
+	if tr == nil || !strings.Contains(tr.String(), "phase1") {
+		t.Fatalf("trace missing phase1 span:\n%s", tr.String())
+	}
+
+	an, err := fed.ExplainAnalyze(ctx, crossQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(an.String(), "→ actual") {
+		t.Errorf("analysis text missing actuals:\n%s", an.String())
+	}
+
+	stats := fed.EndpointStats()
+	if len(stats) != 2 {
+		t.Fatalf("endpoint stats = %d entries, want 2", len(stats))
+	}
+	for _, es := range stats {
+		if es.Stats.Latency.Count() == 0 {
+			t.Errorf("%s: no latency observations despite WithInstrumentation", es.Name)
+		}
+	}
+}
