@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-all trace-smoke
+.PHONY: all build vet test race verify bench bench-all trace-smoke server-smoke
 
 all: verify
 
@@ -14,9 +14,10 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages: the elastic request
-# handler, the executor's fail-fast paths, and the resilient decorator.
+# handler, the executor's fail-fast paths, the resilient decorator,
+# the metrics registry, and the server daemon.
 race:
-	$(GO) test -race ./internal/federation/... ./internal/core/... ./internal/endpoint/...
+	$(GO) test -race ./internal/federation/... ./internal/core/... ./internal/endpoint/... ./internal/obs/... ./cmd/lusail-server/...
 
 verify: build vet test race
 
@@ -35,3 +36,27 @@ trace-smoke:
 	echo "$$out" | grep -q "phase1" && \
 	echo "$$out" | grep -q "EXPLAIN ANALYZE" && \
 	echo "trace smoke OK"
+
+# End-to-end daemon smoke test: boot lusail-server over two local
+# N-Triples endpoints, wait for /readyz, run one federated query over
+# the SPARQL protocol, scrape /metrics, and assert the query counter
+# incremented.
+server-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'kill $$srv 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/lusail-server ./cmd/lusail-server; \
+	printf '<http://ex/s1> <http://ex/p> "a" .\n' > $$tmp/a.nt; \
+	printf '<http://ex/s2> <http://ex/q> "b" .\n' > $$tmp/b.nt; \
+	$$tmp/lusail-server -addr 127.0.0.1:18080 \
+	  -endpoint $$tmp/a.nt -endpoint $$tmp/b.nt 2> $$tmp/server.log & srv=$$!; \
+	for i in $$(seq 1 50); do \
+	  code=$$(curl -s -o /dev/null -w '%{http_code}' http://127.0.0.1:18080/readyz || true); \
+	  [ "$$code" = 200 ] && break; sleep 0.1; \
+	done; \
+	[ "$$code" = 200 ] || { echo "server never became ready"; cat $$tmp/server.log; exit 1; }; \
+	curl -sf 'http://127.0.0.1:18080/sparql' \
+	  --data-urlencode 'query=SELECT ?s WHERE { ?s ?p ?o }' | grep -q 'http://ex/s' || \
+	  { echo "query failed"; cat $$tmp/server.log; exit 1; }; \
+	curl -sf http://127.0.0.1:18080/metrics | grep -q '^lusail_queries_total 1$$' || \
+	  { echo "lusail_queries_total did not increment"; exit 1; }; \
+	echo "server smoke OK"

@@ -1,41 +1,135 @@
 // Command endpoint serves an N-Triples file as a SPARQL endpoint over
-// HTTP (query via GET ?query= or POST, results as SPARQL JSON):
+// HTTP (query via GET ?query= or POST, results as SPARQL JSON/XML/CSV/TSV):
 //
 //	endpoint -data university0.nt -addr :8001 -name univ0
 //
-// A federation of such processes is queryable with cmd/lusail.
+// A federation of such processes is queryable with cmd/lusail or
+// cmd/lusail-server. With -metrics the process also exposes its
+// cumulative traffic counters (requests, rows, bytes, latency
+// histogram) in Prometheus text format at /metrics. Access logs go to
+// stderr via log/slog; SIGINT/SIGTERM drain in-flight requests before
+// exit.
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"lusail"
+	"lusail/internal/endpoint"
+	"lusail/internal/obs"
 )
 
 func main() {
 	var (
-		data = flag.String("data", "", "N-Triples file to serve (required)")
-		addr = flag.String("addr", ":8001", "listen address")
-		name = flag.String("name", "endpoint", "endpoint name")
+		data    = flag.String("data", "", "N-Triples file to serve (required)")
+		addr    = flag.String("addr", ":8001", "listen address")
+		name    = flag.String("name", "endpoint", "endpoint name")
+		metrics = flag.Bool("metrics", false, "expose Prometheus metrics at /metrics")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	)
 	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if *data == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	f, err := os.Open(*data)
 	if err != nil {
-		log.Fatalf("open %s: %v", *data, err)
+		logger.Error("open data file", "path", *data, "err", err)
+		os.Exit(1)
 	}
 	ep, err := lusail.LoadEndpoint(*name, f)
 	f.Close()
 	if err != nil {
-		log.Fatalf("load %s: %v", *data, err)
+		logger.Error("load data file", "path", *data, "err", err)
+		os.Exit(1)
 	}
-	fmt.Printf("endpoint %q: %d triples, serving SPARQL at %s\n", *name, ep.Store().Len(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, lusail.Serve(ep)))
+
+	mux := http.NewServeMux()
+	// The store-level counters (requests, rows, bytes) come from the
+	// endpoint itself; request latency is observed at the HTTP layer,
+	// where the access log already times each request.
+	var reqDur *obs.Histogram
+	if *metrics {
+		reg := obs.NewRegistry()
+		obs.RegisterEndpointStats(reg, func() []endpoint.EndpointStat {
+			return endpoint.PerEndpointStats([]endpoint.Endpoint{ep})
+		})
+		reqDur = reg.Histogram("endpoint_http_request_duration_seconds",
+			"HTTP request latency as served by this endpoint process.", nil)
+		mux.Handle("/metrics", reg.Handler())
+	}
+	mux.Handle("/", accessLog(logger, reqDur, endpoint.HandlerWithLog(ep, logger)))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Info("endpoint serving SPARQL",
+		"name", *name, "addr", *addr, "triples", ep.Store().Len(), "metrics", *metrics)
+
+	select {
+	case err := <-errCh:
+		logger.Error("server exited", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	logger.Info("shutting down", "drain", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		logger.Warn("drain incomplete, closing", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("shutdown complete")
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// accessLog logs one line per request — method, path, status,
+// duration, remote address — and feeds the duration into reqDur when
+// metrics are enabled.
+func accessLog(logger *slog.Logger, reqDur *obs.Histogram, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		if reqDur != nil {
+			reqDur.ObserveDuration(elapsed)
+		}
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
 }

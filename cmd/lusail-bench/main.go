@@ -14,6 +14,8 @@
 //	lusail-bench -trace                      # span trees + EXPLAIN ANALYZE on LUBM
 //	lusail-bench -bench-json BENCH_PR2.json  # per-query latency percentiles
 //	lusail-bench -pprof :6060 -exp fig12     # pprof listener during any run
+//	lusail-bench -bench-json B.json -metrics-dump -   # dump the Prometheus
+//	                                         # metrics page after the run
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 
 	"lusail/internal/endpoint"
 	"lusail/internal/experiments"
+	"lusail/internal/obs"
 )
 
 func main() {
@@ -40,12 +43,16 @@ func main() {
 		traceDump = flag.Bool("trace", false, "execute the LUBM queries and dump each span tree with EXPLAIN ANALYZE")
 		benchJSON = flag.String("bench-json", "", "write per-query latency percentiles (LUBM) to this JSON file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) while running")
+		metricsTo = flag.String("metrics-dump", "", `write the Prometheus metrics page here after -trace/-bench-json runs ("-" = stdout)`)
 	)
 	flag.Parse()
 
 	opts := experiments.Options{Scale: *scale, Timeout: *timeout, Runs: *runs}
 	if *wan {
 		opts.Network = endpoint.WANProfile
+	}
+	if *metricsTo != "" {
+		opts.Metrics = obs.NewRegistry()
 	}
 
 	if *pprofAddr != "" {
@@ -87,4 +94,28 @@ func main() {
 		}
 		fmt.Printf("\ncompleted %s in %s\n", *exp, time.Since(start).Round(time.Millisecond))
 	}
+
+	if opts.Metrics != nil {
+		if err := dumpMetrics(*metricsTo, opts.Metrics); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// dumpMetrics writes the registry's Prometheus text exposition to path
+// ("-" = stdout), so a bench run's counters can be compared against a
+// live lusail-server /metrics scrape.
+func dumpMetrics(path string, reg *obs.Registry) error {
+	if path == "-" {
+		return reg.WriteText(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,143 @@
+// Command lusail-server is the long-running federation daemon: it
+// loads (or points at) a federation of SPARQL endpoints and serves
+// federated queries over the SPARQL protocol, together with the
+// operational surface a production deployment needs:
+//
+//	/sparql         SPARQL protocol (GET ?query=, POST form, POST application/sparql-query)
+//	/metrics        Prometheus text-format exposition (queries, phases, per-endpoint stats, breakers)
+//	/healthz        liveness (process up)
+//	/readyz         readiness (503 while probing endpoints or while any circuit breaker is open)
+//	/debug/queries  recent + slow queries (slow ones with rendered span trees), JSON
+//	/debug/pprof/   net/http/pprof (with -pprof)
+//
+// Endpoints are given as repeated -endpoint flags, each either an
+// http(s):// SPARQL endpoint URL or a path to a local N-Triples file
+// (loaded in process):
+//
+//	lusail-server -addr :8080 -endpoint http://host1:8001 -endpoint data/univ1.nt
+//
+// SIGINT/SIGTERM drain in-flight queries (bounded by -drain) before
+// exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"lusail"
+)
+
+type endpointFlags []string
+
+func (e *endpointFlags) String() string { return strings.Join(*e, ",") }
+func (e *endpointFlags) Set(v string) error {
+	*e = append(*e, v)
+	return nil
+}
+
+func main() {
+	var endpoints endpointFlags
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		slow         = flag.Duration("slow", 500*time.Millisecond, "slow-query threshold (0 disables slow-query capture)")
+		ringSize     = flag.Int("ring", 128, "recent/slow query ring-buffer size")
+		queryTimeout = flag.Duration("query-timeout", 5*time.Minute, "per-query timeout")
+		drain        = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight queries")
+		resilience   = flag.Bool("resilience", true, "enable endpoint retries and circuit breakers")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
+	)
+	flag.Var(&endpoints, "endpoint", "endpoint URL or N-Triples file (repeatable)")
+	flag.Parse()
+
+	logger, err := buildLogger(*logJSON, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(endpoints) == 0 {
+		fmt.Fprintln(os.Stderr, "at least one -endpoint is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	eps, err := loadEndpoints(endpoints)
+	if err != nil {
+		logger.Error("loading endpoints", "err", err)
+		os.Exit(1)
+	}
+
+	cfg := serverConfig{
+		Logger:        logger,
+		SlowThreshold: *slow,
+		RingSize:      *ringSize,
+		QueryTimeout:  *queryTimeout,
+		EnablePprof:   *pprofOn,
+	}
+	if *resilience {
+		rc := lusail.DefaultResilience()
+		cfg.Resilience = &rc
+	}
+	s := newServer(eps, cfg)
+
+	ln, err := s.listen(*addr)
+	if err != nil {
+		logger.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := s.serve(ctx, ln, *drain); err != nil {
+		logger.Error("server exited", "err", err)
+		os.Exit(1)
+	}
+}
+
+// loadEndpoints resolves each -endpoint spec: URLs become HTTP
+// clients, paths are loaded as in-process N-Triples endpoints.
+func loadEndpoints(specs []string) ([]lusail.Endpoint, error) {
+	var eps []lusail.Endpoint
+	for _, spec := range specs {
+		if strings.HasPrefix(spec, "http://") || strings.HasPrefix(spec, "https://") {
+			eps = append(eps, lusail.ConnectHTTP(spec, spec))
+			continue
+		}
+		f, err := os.Open(spec)
+		if err != nil {
+			return nil, err
+		}
+		name := strings.TrimSuffix(filepath.Base(spec), filepath.Ext(spec))
+		ep, err := lusail.LoadEndpoint(name, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		eps = append(eps, ep)
+	}
+	return eps, nil
+}
+
+func buildLogger(jsonOut bool, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h), nil
+}

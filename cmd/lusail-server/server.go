@@ -1,0 +1,272 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"lusail"
+	"lusail/internal/sparql"
+)
+
+// serverConfig tunes the daemon.
+type serverConfig struct {
+	// Logger receives the structured query log and server events (nil
+	// = slog.Default).
+	Logger *slog.Logger
+	// SlowThreshold marks queries at or above this duration as slow
+	// (captured with span trees in /debug/queries).
+	SlowThreshold time.Duration
+	// RingSize bounds the recent/slow query rings.
+	RingSize int
+	// QueryTimeout bounds each federated query (0 = no limit).
+	QueryTimeout time.Duration
+	// Resilience, when non-nil, enables the endpoint fault-tolerance
+	// layer (retries + circuit breakers); /readyz then reports 503
+	// while any breaker is open.
+	Resilience *lusail.ResilienceConfig
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+// server is the lusail-server daemon: a federation plus its
+// operational surface (SPARQL protocol, metrics, health, readiness,
+// query-log debug).
+type server struct {
+	fed    *lusail.Federation
+	reg    *lusail.MetricsRegistry
+	qlog   *lusail.QueryLog
+	logger *slog.Logger
+	cfg    serverConfig
+
+	mux    *http.ServeMux
+	probed atomic.Bool // initial source probing complete
+}
+
+// newServer wires the observability stack around a federation over
+// eps and builds the HTTP surface.
+func newServer(eps []lusail.Endpoint, cfg serverConfig) *server {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	reg := lusail.NewMetricsRegistry()
+	qlog := lusail.NewQueryLog(lusail.QueryLogConfig{
+		Logger:        logger,
+		SlowThreshold: cfg.SlowThreshold,
+		RingSize:      cfg.RingSize,
+		Registry:      reg,
+	})
+	opts := []lusail.Option{lusail.WithObservability(qlog)}
+	if cfg.Resilience != nil {
+		opts = append(opts, lusail.WithResilience(*cfg.Resilience))
+	}
+	fed := lusail.New(eps, opts...)
+	fed.RegisterMetrics(reg)
+
+	s := &server{fed: fed, reg: reg, qlog: qlog, logger: logger, cfg: cfg}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/sparql", s.handleQuery)
+	s.mux.Handle("/metrics", reg.Handler())
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
+	s.mux.Handle("/debug/queries", qlog.DebugHandler())
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// probe runs the initial source probing: one ASK against every
+// endpoint, in parallel, to warm connections and surface dead
+// endpoints at startup. /readyz reports 503 until probing completes
+// (probe failures are logged but do not block readiness forever — the
+// breakers own steady-state health).
+func (s *server) probe(ctx context.Context) {
+	eps := s.fed.Endpoints()
+	done := make(chan struct{}, len(eps))
+	for _, ep := range eps {
+		ep := ep
+		go func() {
+			defer func() { done <- struct{}{} }()
+			pctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			defer cancel()
+			if _, err := ep.Query(pctx, "ASK { ?s ?p ?o }"); err != nil {
+				s.logger.Warn("startup probe failed", "endpoint", ep.Name(), "err", err)
+				return
+			}
+			s.logger.Info("startup probe ok", "endpoint", ep.Name())
+		}()
+	}
+	for range eps {
+		<-done
+	}
+	s.probed.Store(true)
+	s.logger.Info("initial source probing complete", "endpoints", len(eps))
+}
+
+// handleHealth is the liveness probe: the process is up and serving.
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReady is the readiness probe: 503 while initial source
+// probing is incomplete or any endpoint's circuit breaker is open.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.probed.Load() {
+		http.Error(w, "not ready: initial source probing incomplete", http.StatusServiceUnavailable)
+		return
+	}
+	for _, b := range s.fed.BreakerStates() {
+		if b.State == lusail.BreakerOpen {
+			http.Error(w, fmt.Sprintf("not ready: circuit breaker open for endpoint %s", b.Name),
+				http.StatusServiceUnavailable)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleQuery serves the SPARQL protocol for federated queries: GET
+// with ?query=, POST with a form-encoded query parameter, or POST
+// with an application/sparql-query body. Results are encoded per the
+// Accept header (JSON default; XML, CSV, TSV supported).
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	query, err := extractQuery(r)
+	if err != nil {
+		if errors.Is(err, errMethod) {
+			w.Header().Set("Allow", "GET, POST")
+			http.Error(w, err.Error(), http.StatusMethodNotAllowed)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// A syntactically invalid query is the client's fault: reject it
+	// with 400 before it reaches the engine (mirroring the SPARQL
+	// protocol's MalformedQuery distinction).
+	if _, perr := sparql.Parse(query); perr != nil {
+		http.Error(w, perr.Error(), http.StatusBadRequest)
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	// Traced execution so slow queries carry their span tree into the
+	// query log's ring buffer.
+	res, _, _, err := s.fed.QueryTraced(ctx, query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, "application/sparql-results+xml"):
+		w.Header().Set("Content-Type", "application/sparql-results+xml")
+		err = res.EncodeXML(w)
+	case strings.Contains(accept, "text/csv"):
+		w.Header().Set("Content-Type", "text/csv")
+		err = res.EncodeCSV(w)
+	case strings.Contains(accept, "text/tab-separated-values"):
+		w.Header().Set("Content-Type", "text/tab-separated-values")
+		err = res.EncodeTSV(w)
+	default:
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		err = res.EncodeJSON(w)
+	}
+	if err != nil {
+		s.logger.Debug("result encoding failed mid-stream", "err", err)
+	}
+}
+
+var errMethod = errors.New("method not allowed")
+
+// extractQuery pulls the SPARQL query text out of a protocol request.
+func extractQuery(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			return "", fmt.Errorf("missing query parameter")
+		}
+		return q, nil
+	case http.MethodPost:
+		if strings.HasPrefix(r.Header.Get("Content-Type"), "application/sparql-query") {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				return "", err
+			}
+			return string(body), nil
+		}
+		if err := r.ParseForm(); err != nil {
+			return "", err
+		}
+		q := r.PostForm.Get("query")
+		if q == "" {
+			return "", fmt.Errorf("missing query parameter")
+		}
+		return q, nil
+	default:
+		return "", fmt.Errorf("%w: %s", errMethod, r.Method)
+	}
+}
+
+// listen opens the daemon's listener.
+func (s *server) listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// serve runs the HTTP server on ln until ctx is cancelled, then
+// gracefully drains in-flight queries for up to drain before closing.
+// The server is configured with read-header/read/idle timeouts so a
+// slowloris client cannot pin connections open.
+func (s *server) serve(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          slog.NewLogLogger(s.logger.Handler(), slog.LevelWarn),
+	}
+	go s.probe(ctx)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	s.logger.Info("lusail-server listening", "addr", ln.Addr().String(),
+		"endpoints", len(s.fed.Endpoints()))
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	s.logger.Info("shutting down: draining in-flight queries", "drain", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		s.logger.Warn("drain incomplete, closing", "err", err)
+		return err
+	}
+	s.logger.Info("shutdown complete")
+	return nil
+}

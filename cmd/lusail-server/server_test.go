@@ -1,0 +1,385 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"lusail"
+	"lusail/internal/endpoint"
+)
+
+// testEndpoints builds two in-process endpoints with a few triples.
+func testEndpoints(t *testing.T) []lusail.Endpoint {
+	t.Helper()
+	var aDoc, bDoc strings.Builder
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(&aDoc, "<http://ex/s%d> <http://ex/p> \"a%d\" .\n", i, i)
+		fmt.Fprintf(&bDoc, "<http://ex/t%d> <http://ex/q> \"b%d\" .\n", i, i)
+	}
+	return []lusail.Endpoint{loadEndpoint(t, "epA", aDoc.String()), loadEndpoint(t, "epB", bDoc.String())}
+}
+
+func loadEndpoint(t *testing.T, name, ntriples string) *lusail.MemoryEndpoint {
+	t.Helper()
+	ep, err := lusail.LoadEndpoint(name, strings.NewReader(ntriples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func waitReady(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+			if !strings.Contains(string(body), "probing") {
+				return // probing done; not-ready for another reason
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("server never finished initial probing")
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// metricValue extracts the value of the first exposition line whose
+// name+labels prefix matches.
+func metricValue(t *testing.T, page, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(page, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %q not found in:\n%s", prefix, page)
+	return 0
+}
+
+func TestQueryAndMetricsExposition(t *testing.T) {
+	s := newServer(testEndpoints(t), serverConfig{Logger: quietLogger()})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	s.probe(context.Background())
+	waitReady(t, ts)
+
+	// One federated query over /sparql.
+	q := url.QueryEscape(`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }`)
+	status, body := get(t, ts.URL+"/sparql?query="+q)
+	if status != http.StatusOK {
+		t.Fatalf("query status %d: %s", status, body)
+	}
+	if !strings.Contains(body, "a0") {
+		t.Fatalf("expected bindings in response, got: %s", body)
+	}
+
+	status, page := get(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	if got := metricValue(t, page, "lusail_queries_total"); got != 1 {
+		t.Errorf("lusail_queries_total = %v, want 1", got)
+	}
+	if got := metricValue(t, page, `lusail_endpoint_requests_total{endpoint="epA"}`); got == 0 {
+		t.Errorf("epA request counter is zero")
+	}
+	if got := metricValue(t, page, `lusail_endpoint_requests_total{endpoint="epB"}`); got == 0 {
+		t.Errorf("epB request counter is zero")
+	}
+	// Per-phase counters flow from core.Metrics.
+	if got := metricValue(t, page, `lusail_remote_requests_total{kind="ask"}`); got == 0 {
+		t.Errorf("ask request counter is zero")
+	}
+
+	// The scraped latency histogram must match the Instrumented
+	// decorator's own counts.
+	for _, st := range s.fed.EndpointStats() {
+		want := st.Stats.Latency.Count()
+		if want == 0 {
+			t.Fatalf("endpoint %s: no instrumented latency samples", st.Name)
+		}
+		got := metricValue(t, page,
+			fmt.Sprintf(`lusail_endpoint_latency_seconds_count{endpoint=%q}`, st.Name))
+		if int64(got) != want {
+			t.Errorf("endpoint %s: scraped latency count %v, instrumented count %d", st.Name, got, want)
+		}
+	}
+
+	// The query duration histogram recorded exactly one observation.
+	if got := metricValue(t, page, "lusail_query_duration_seconds_count"); got != 1 {
+		t.Errorf("lusail_query_duration_seconds_count = %v, want 1", got)
+	}
+}
+
+func TestHealthAlwaysOK(t *testing.T) {
+	s := newServer(testEndpoints(t), serverConfig{Logger: quietLogger()})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	if status, _ := get(t, ts.URL+"/healthz"); status != http.StatusOK {
+		t.Fatalf("/healthz status %d, want 200", status)
+	}
+}
+
+func TestReadyzReportsProbing(t *testing.T) {
+	s := newServer(testEndpoints(t), serverConfig{Logger: quietLogger()})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	// probe() has not run (serve() starts it): readiness must fail.
+	status, body := get(t, ts.URL+"/readyz")
+	if status != http.StatusServiceUnavailable || !strings.Contains(body, "probing") {
+		t.Fatalf("pre-probe /readyz = %d %q, want 503 probing", status, body)
+	}
+	go s.probe(context.Background())
+	waitReady(t, ts)
+	if status, _ := get(t, ts.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("post-probe /readyz = %d, want 200", status)
+	}
+}
+
+func TestReadyzFlipsWithBreakerAndRecovers(t *testing.T) {
+	eps := testEndpoints(t)
+	// Fault-inject epA: the startup probe consumes one failure, then
+	// three query-driven failures open the breaker, two more fail the
+	// half-open probes, and the seventh request succeeds, closing it.
+	faulty := endpoint.NewFaulty(eps[0], endpoint.FaultConfig{FailFirst: 6})
+	rc := lusail.ResilienceConfig{
+		MaxRetries:      0,
+		BreakerFailures: 3,
+		BreakerCooldown: 20 * time.Millisecond,
+	}
+	s := newServer([]lusail.Endpoint{faulty, eps[1]}, serverConfig{
+		Logger:     quietLogger(),
+		Resilience: &rc,
+	})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	go s.probe(context.Background())
+	waitReady(t, ts)
+
+	query := func(i int) int {
+		// Distinct predicates bypass the ASK cache so every query
+		// really probes the endpoints.
+		q := url.QueryEscape(fmt.Sprintf(`SELECT ?s WHERE { ?s <http://ex/fresh%d> ?o }`, i))
+		status, _ := get(t, ts.URL+"/sparql?query="+q)
+		return status
+	}
+
+	// Three failing queries trip the breaker.
+	for i := 0; i < 3; i++ {
+		if status := query(i); status != http.StatusInternalServerError {
+			t.Fatalf("query %d status %d, want 500", i, status)
+		}
+	}
+	status, body := get(t, ts.URL+"/readyz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with open breaker = %d (%s), want 503", status, body)
+	}
+	if !strings.Contains(body, "epA") {
+		t.Fatalf("/readyz body %q does not name the broken endpoint", body)
+	}
+	// The breaker gauge must agree with the probe.
+	_, page := get(t, ts.URL+"/metrics")
+	if got := metricValue(t, page, `lusail_breaker_open{endpoint="epA"}`); got != 1 {
+		t.Errorf(`lusail_breaker_open{endpoint="epA"} = %v, want 1`, got)
+	}
+
+	// Recovery: wait out cooldowns; the remaining two fault-injected
+	// failures burn half-open probes, then a request succeeds and the
+	// circuit closes.
+	deadline := time.Now().Add(5 * time.Second)
+	i := 3
+	for time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+		query(i)
+		i++
+		if status, _ := get(t, ts.URL+"/readyz"); status == http.StatusOK {
+			break
+		}
+	}
+	if status, body := get(t, ts.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("/readyz never recovered: %d %q", status, body)
+	}
+}
+
+func TestSlowQueryCapturedWithSpanTree(t *testing.T) {
+	s := newServer(testEndpoints(t), serverConfig{
+		Logger:        quietLogger(),
+		SlowThreshold: time.Nanosecond, // every query is slow
+	})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+
+	q := url.QueryEscape(`SELECT ?s WHERE { ?s <http://ex/p> ?o }`)
+	if status, body := get(t, ts.URL+"/sparql?query="+q); status != http.StatusOK {
+		t.Fatalf("query status %d: %s", status, body)
+	}
+
+	status, body := get(t, ts.URL+"/debug/queries")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/queries status %d", status)
+	}
+	for _, want := range []string{`"slow": true`, `"span_tree"`, "source-selection", `qid=q`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/queries missing %q:\n%s", want, body)
+		}
+	}
+	if len(s.qlog.Slow()) != 1 {
+		t.Fatalf("slow ring has %d records, want 1", len(s.qlog.Slow()))
+	}
+	rec := s.qlog.Slow()[0]
+	if !strings.Contains(rec.SpanTree, "finalize") {
+		t.Errorf("span tree missing finalize span:\n%s", rec.SpanTree)
+	}
+	_, page := get(t, ts.URL+"/metrics")
+	if got := metricValue(t, page, "lusail_slow_queries_total"); got != 1 {
+		t.Errorf("lusail_slow_queries_total = %v, want 1", got)
+	}
+}
+
+func TestSparqlProtocolSurface(t *testing.T) {
+	s := newServer(testEndpoints(t), serverConfig{Logger: quietLogger()})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+
+	// Unsupported method: 405 with Allow.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sparql", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE status %d, want 405", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Allow"); got != "GET, POST" {
+		t.Fatalf("Allow = %q, want GET, POST", got)
+	}
+
+	// Malformed query: 400.
+	if status, _ := get(t, ts.URL+"/sparql?query="+url.QueryEscape("SELEKT broken")); status != http.StatusBadRequest {
+		t.Fatalf("malformed query status %d, want 400", status)
+	}
+
+	// POST with direct query body (charset parameter included).
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/sparql",
+		strings.NewReader(`SELECT ?s WHERE { ?s <http://ex/p> ?o }`))
+	req.Header.Set("Content-Type", "application/sparql-query; charset=utf-8")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "http://ex/s0") {
+		t.Fatalf("sparql-query POST: %d %s", resp.StatusCode, body)
+	}
+
+	// Content negotiation: CSV.
+	req, _ = http.NewRequest(http.MethodGet,
+		ts.URL+"/sparql?query="+url.QueryEscape(`SELECT ?s WHERE { ?s <http://ex/p> ?o }`), nil)
+	req.Header.Set("Accept", "text/csv")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/csv" {
+		t.Fatalf("Accept text/csv → Content-Type %q", ct)
+	}
+	if !strings.HasPrefix(string(body), "s\r\n") && !strings.HasPrefix(string(body), "s\n") {
+		t.Fatalf("CSV body: %q", body)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	// An endpoint with a simulated 200ms RTT keeps the query in
+	// flight long enough to race shutdown against it.
+	slow := loadEndpoint(t, "slowEP", `<http://ex/s> <http://ex/p> "v" .`).
+		WithNetwork(lusail.NetworkProfile{RTT: 200 * time.Millisecond})
+	s := newServer([]lusail.Endpoint{slow}, serverConfig{Logger: quietLogger()})
+
+	ln, err := s.listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.serve(ctx, ln, 5*time.Second) }()
+	base := "http://" + ln.Addr().String()
+
+	type result struct {
+		status int
+		body   string
+		at     time.Time
+	}
+	results := make(chan result, 1)
+	go func() {
+		q := url.QueryEscape(`SELECT ?s WHERE { ?s <http://ex/p> ?o }`)
+		resp, err := http.Get(base + "/sparql?query=" + q)
+		if err != nil {
+			results <- result{status: -1, body: err.Error(), at: time.Now()}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		results <- result{status: resp.StatusCode, body: string(body), at: time.Now()}
+	}()
+
+	// Let the query get on the wire, then trigger shutdown mid-flight.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	res := <-results
+	if res.status != http.StatusOK {
+		t.Fatalf("in-flight query during shutdown: %d %s", res.status, res.body)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+	if len(s.qlog.Recent()) != 1 {
+		t.Fatalf("drained query not recorded: %d records", len(s.qlog.Recent()))
+	}
+}

@@ -46,6 +46,30 @@ type Config struct {
 	// outside the resilient layer, so its latencies cover whole
 	// logical calls including retries and backoff.
 	Instrument bool
+	// QueryLog, when non-nil, receives a lifecycle event pair for
+	// every query execution (Execute, ExecuteMetrics, ExecuteTraced,
+	// and each ExecuteBatch member): QueryStarted assigns the query's
+	// correlation ID, and QueryFinished reports its metrics, row
+	// count, error, and — for traced executions — the root span. The
+	// correlation ID is also threaded into the trace as the root
+	// span's "qid" attribute.
+	QueryLog QueryLogger
+}
+
+// QueryLogger receives query lifecycle events. Implementations must be
+// safe for concurrent use: batch members report concurrently.
+// internal/obs provides the standard implementation (structured slog
+// output, slow-query ring buffer, metric counters); core only defines
+// the interface so it never depends on the observability layer.
+type QueryLogger interface {
+	// QueryStarted is called before execution and returns the query's
+	// correlation ID.
+	QueryStarted(query string) (id string)
+	// QueryFinished is called exactly once per started query, after
+	// the metrics are final. rows is -1 when the query failed before
+	// producing results; root is the execution's root span (nil for
+	// untraced executions).
+	QueryFinished(id, query string, m Metrics, rows int, err error, root *trace.Span)
 }
 
 // Metrics profiles one query execution through Lusail's three phases
@@ -171,6 +195,24 @@ func (l *Lusail) EndpointStats() []endpoint.EndpointStat {
 	return endpoint.PerEndpointStats(l.eps)
 }
 
+// BreakerStates reports the circuit-breaker state of every endpoint,
+// sorted by name (empty without Config.Resilience: there are no
+// breakers). Readiness probes treat any open breaker as not-ready.
+func (l *Lusail) BreakerStates() []endpoint.BreakerStatus {
+	return endpoint.BreakerStatuses(l.eps)
+}
+
+// InFlight reports the number of remote requests currently on the wire
+// across the engine's request handlers (source selection, locality
+// checks, COUNT probes, and subquery execution) — the live federation
+// pool depth.
+func (l *Lusail) InFlight() int64 {
+	return l.selector.Handler.InFlight() +
+		l.decomposer.Handler.InFlight() +
+		l.cost.Handler.InFlight() +
+		l.executor.Handler.InFlight()
+}
+
 // Execute runs a federated SPARQL query.
 func (l *Lusail) Execute(ctx context.Context, query string) (*sparql.Results, error) {
 	res, _, err := l.executeCached(ctx, query, nil)
@@ -214,8 +256,25 @@ func (l *Lusail) ExecuteTraced(ctx context.Context, query string) (*sparql.Resul
 // cache (multi-query optimization). The returned Metrics are the
 // call's own; the LastMetrics slot is additionally updated for
 // sequential callers.
-func (l *Lusail) executeCached(ctx context.Context, query string, sqCache *SubqueryCache) (*sparql.Results, Metrics, error) {
-	var m Metrics
+func (l *Lusail) executeCached(ctx context.Context, query string, sqCache *SubqueryCache) (res *sparql.Results, m Metrics, err error) {
+	if l.cfg.QueryLog != nil {
+		id := l.cfg.QueryLog.QueryStarted(query)
+		root := trace.SpanFrom(ctx)
+		// Thread the correlation ID through the trace context so the
+		// rendered span tree and the log stream can be joined on it.
+		root.Set("qid", id)
+		// Registered before the fault-counter defer below so it runs
+		// after it (LIFO): the logged Metrics include the final retry
+		// and breaker attribution.
+		defer func() {
+			rows := -1
+			if res != nil {
+				rows = res.Len()
+			}
+			root.End() // freeze the duration so a captured span tree renders it
+			l.cfg.QueryLog.QueryFinished(id, query, m, rows, err, root)
+		}()
+	}
 	q, err := sparql.Parse(query)
 	if err != nil {
 		return nil, m, err
@@ -254,7 +313,7 @@ func (l *Lusail) executeCached(ctx context.Context, query string, sqCache *Subqu
 
 	t := time.Now()
 	sp := trace.SpanFrom(ctx).StartChild("finalize")
-	res := engine.Finalize(q, rows)
+	res = engine.Finalize(q, rows)
 	if q.Form == sparql.AskForm {
 		res = sparql.NewAskResult(len(rows) > 0)
 	}

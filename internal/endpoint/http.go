@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strings"
@@ -17,9 +18,26 @@ import (
 // Handler serves the SPARQL protocol over HTTP for one local
 // endpoint: GET with ?query= or POST with either an
 // application/sparql-query body or form-encoded query parameter.
-// Results use the SPARQL 1.1 JSON format.
-func Handler(l *Local) http.Handler {
+// Results use the SPARQL 1.1 JSON format. Log output (mid-stream
+// encoding failures, at debug level) goes to slog.Default; use
+// HandlerWithLog to direct it elsewhere.
+func Handler(l *Local) http.Handler { return HandlerWithLog(l, nil) }
+
+// HandlerWithLog is Handler with an explicit structured logger (nil
+// falls back to slog.Default).
+func HandlerWithLog(l *Local, logger *slog.Logger) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		log := logger
+		if log == nil {
+			log = slog.Default()
+		}
+		if r.Method != http.MethodGet && r.Method != http.MethodPost {
+			// RFC 9110 requires Allow on 405 responses so clients can
+			// discover the supported methods.
+			w.Header().Set("Allow", "GET, POST")
+			http.Error(w, fmt.Sprintf("method %s not allowed", r.Method), http.StatusMethodNotAllowed)
+			return
+		}
 		query, err := extractQuery(r)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -43,13 +61,16 @@ func Handler(l *Local) http.Handler {
 		// JSON is the default.
 		if strings.Contains(r.Header.Get("Accept"), "application/sparql-results+xml") {
 			w.Header().Set("Content-Type", "application/sparql-results+xml")
-			_ = res.EncodeXML(w)
+			if err := res.EncodeXML(w); err != nil {
+				// Headers already sent; the failure (usually the client
+				// hanging up mid-stream) can only be logged.
+				log.Debug("sparql xml encoding failed mid-stream", "err", err)
+			}
 			return
 		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
 		if err := res.EncodeJSON(w); err != nil {
-			// Headers already sent; nothing more to do.
-			return
+			log.Debug("sparql json encoding failed mid-stream", "err", err)
 		}
 	})
 }
@@ -62,8 +83,11 @@ func extractQuery(r *http.Request) (string, error) {
 			return "", fmt.Errorf("missing query parameter")
 		}
 		return q, nil
-	case http.MethodPost:
+	default: // POST; Handler rejected other methods already
 		ct := r.Header.Get("Content-Type")
+		// Match the media type only: a parameter suffix such as
+		// "application/sparql-query; charset=utf-8" is still a direct
+		// query body.
 		if strings.HasPrefix(ct, "application/sparql-query") {
 			body, err := io.ReadAll(r.Body)
 			if err != nil {
@@ -79,8 +103,6 @@ func extractQuery(r *http.Request) (string, error) {
 			return "", fmt.Errorf("missing query parameter")
 		}
 		return q, nil
-	default:
-		return "", fmt.Errorf("method %s not allowed", r.Method)
 	}
 }
 

@@ -1,0 +1,178 @@
+package endpoint
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"lusail/internal/sparql"
+)
+
+const selectP = `SELECT ?s WHERE { ?s <http://ex/p> ?o }`
+
+func protocolServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv := httptest.NewServer(HandlerWithLog(NewLocal("server", testStore()), quiet))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHandlerMethodNotAllowed(t *testing.T) {
+	srv := protocolServer(t)
+	for _, method := range []string{http.MethodDelete, http.MethodPut, http.MethodPatch} {
+		req, _ := http.NewRequest(method, srv.URL, nil)
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s: status = %d, want 405", method, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "GET, POST" {
+			t.Errorf("%s: Allow = %q, want \"GET, POST\"", method, allow)
+		}
+	}
+}
+
+func TestHandlerFormPost(t *testing.T) {
+	srv := protocolServer(t)
+	resp, err := srv.Client().PostForm(srv.URL, url.Values{"query": {selectP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	res, err := sparql.DecodeJSON(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("rows = %d, want 2", res.Len())
+	}
+}
+
+func TestHandlerDirectQueryPost(t *testing.T) {
+	srv := protocolServer(t)
+	// The media type may carry a charset parameter; the handler must
+	// still treat the body as the raw query.
+	for _, ct := range []string{"application/sparql-query", "application/sparql-query; charset=utf-8"} {
+		resp, err := srv.Client().Post(srv.URL, ct, strings.NewReader(selectP))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, derr := sparql.DecodeJSON(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status = %d", ct, resp.StatusCode)
+		}
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if res.Len() != 2 {
+			t.Errorf("%s: rows = %d, want 2", ct, res.Len())
+		}
+	}
+}
+
+func TestHandlerMissingQuery(t *testing.T) {
+	srv := protocolServer(t)
+	// Form POST without a query parameter is a 400, same as GET.
+	resp, err := srv.Client().PostForm(srv.URL, url.Values{"other": {"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("form without query: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHandlerParseErrorIs400(t *testing.T) {
+	srv := protocolServer(t)
+	resp, err := srv.Client().PostForm(srv.URL, url.Values{"query": {"SELEKT broken"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("malformed query: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestLatencyHistogramQuantileEdges(t *testing.T) {
+	var h LatencyHistogram
+	for i := 0; i < 4; i++ {
+		h.Observe(80 * time.Microsecond)
+	}
+	h.Observe(time.Minute) // overflow bucket
+	// q=1.0 must cover the overflow sample, which reports the largest
+	// finite bound rather than +Inf.
+	if got := h.Quantile(1.0); got != 10*time.Second {
+		t.Errorf("Quantile(1.0) = %s, want 10s (largest finite bound)", got)
+	}
+	// A tiny quantile still ranks at least one sample.
+	if got := h.Quantile(0.0001); got != 100*time.Microsecond {
+		t.Errorf("Quantile(0.0001) = %s, want 100µs", got)
+	}
+
+	var overflowOnly LatencyHistogram
+	overflowOnly.Observe(time.Hour)
+	if got := overflowOnly.Quantile(0.5); got != 10*time.Second {
+		t.Errorf("overflow-only Quantile(0.5) = %s, want 10s", got)
+	}
+}
+
+func TestLatencyBucketBoundsCopy(t *testing.T) {
+	bounds := LatencyBucketBounds()
+	if len(bounds) != len(latencyBuckets) {
+		t.Fatalf("bounds = %d entries, want %d", len(bounds), len(latencyBuckets))
+	}
+	bounds[0] = time.Hour
+	if latencyBuckets[0] == time.Hour {
+		t.Error("LatencyBucketBounds must return a copy")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if LatencyBucketBounds()[i] <= LatencyBucketBounds()[i-1] {
+			t.Errorf("bounds not increasing at %d", i)
+		}
+	}
+}
+
+func TestInstrumentedMergedStats(t *testing.T) {
+	// Stats through an Instrumented decorator must merge the inner
+	// endpoint's traffic counters with the decorator's histogram.
+	in := NewInstrumented(NewLocal("ep", testStore()))
+	for i := 0; i < 3; i++ {
+		if _, err := in.Query(t.Context(), selectP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := in.Stats()
+	if st.Requests != 3 {
+		t.Errorf("merged Requests = %d, want 3", st.Requests)
+	}
+	if st.Rows != 6 {
+		t.Errorf("merged Rows = %d, want 6", st.Rows)
+	}
+	if st.Latency.Count() != 3 {
+		t.Errorf("merged Latency.Count = %d, want 3", st.Latency.Count())
+	}
+	if st.Latency.Sum <= 0 {
+		t.Error("merged Latency.Sum should be positive")
+	}
+
+	in.ResetStats()
+	st = in.Stats()
+	if st.Requests != 0 || st.Latency.Count() != 0 {
+		t.Errorf("stats after reset: %+v", st)
+	}
+}

@@ -37,6 +37,16 @@ var latencyBuckets = [...]time.Duration{
 // numBuckets includes the +Inf overflow bucket.
 const numBuckets = len(latencyBuckets) + 1
 
+// LatencyBucketBounds returns the histogram's finite bucket upper
+// bounds in increasing order (the +Inf overflow bucket is implicit).
+// Exposition bridges use it to project LatencyHistogram counts into
+// Prometheus-style cumulative buckets.
+func LatencyBucketBounds() []time.Duration {
+	out := make([]time.Duration, len(latencyBuckets))
+	copy(out[:], latencyBuckets[:])
+	return out
+}
+
 // LatencyHistogram is a fixed-bucket latency distribution snapshot.
 // The zero value is an empty histogram.
 type LatencyHistogram struct {

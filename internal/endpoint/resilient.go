@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -303,6 +304,75 @@ func (r *Resilient) sleepBackoff(ctx context.Context, attempt int) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// BreakerState is the externally visible state of a circuit breaker.
+type BreakerState int
+
+// Breaker states, in increasing order of degradation as seen by
+// readiness probes: closed (healthy), half-open (probing), open
+// (failing fast).
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String renders the state for logs and metric labels.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// BreakerState reports the current circuit-breaker state. Endpoints
+// configured without a breaker always read as closed. The state is the
+// stored one: an open breaker keeps reading open until a request
+// actually probes it after the cooldown.
+func (r *Resilient) BreakerState() BreakerState {
+	if r.brk == nil {
+		return BreakerClosed
+	}
+	r.brk.mu.Lock()
+	defer r.brk.mu.Unlock()
+	return BreakerState(r.brk.state)
+}
+
+// BreakerStatus pairs an endpoint name with its breaker state.
+type BreakerStatus struct {
+	Name  string
+	State BreakerState
+}
+
+// BreakerStatuses reports the breaker state of every endpoint that has
+// a resilient decorator anywhere in its decorator chain, sorted by
+// endpoint name. Endpoints without one are omitted: they have no
+// breaker to report.
+func BreakerStatuses(eps []Endpoint) []BreakerStatus {
+	var out []BreakerStatus
+	for _, ep := range eps {
+		cur := ep
+		for cur != nil {
+			if r, ok := cur.(*Resilient); ok {
+				out = append(out, BreakerStatus{Name: ep.Name(), State: r.BreakerState()})
+				break
+			}
+			w, ok := cur.(interface{ Inner() Endpoint })
+			if !ok {
+				break
+			}
+			cur = w.Inner()
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Retries reports how many retry attempts were issued.

@@ -21,6 +21,7 @@ import (
 	"lusail/internal/core"
 	"lusail/internal/endpoint"
 	"lusail/internal/federation"
+	"lusail/internal/obs"
 	"lusail/internal/rdf"
 	"lusail/internal/store"
 )
@@ -39,6 +40,11 @@ type Options struct {
 	// Runs averages each measurement over this many repetitions
 	// (paper: 3).
 	Runs int
+	// Metrics, when non-nil, receives the observability metric
+	// families (query counts, phase timings, per-endpoint traffic)
+	// from the experiments that support it (Bench, TraceDump), so a
+	// run can be compared against a scraped /metrics page.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns quick settings.

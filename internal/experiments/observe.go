@@ -9,13 +9,35 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"time"
 
 	"lusail/internal/benchdata/lubm"
 	"lusail/internal/core"
 	"lusail/internal/endpoint"
+	"lusail/internal/obs"
 )
+
+// observedConfig wires opts.Metrics (when set) into a core.Config: a
+// quiet QueryLog feeds the registry's query-level families, and a
+// scrape-time collector projects the federation's per-endpoint
+// traffic. The bench output itself stays on stdout, so query log
+// events are discarded rather than interleaved.
+func observedConfig(opts Options, f *Federation) core.Config {
+	cfg := core.Config{}
+	if opts.Metrics == nil {
+		return cfg
+	}
+	cfg.QueryLog = obs.NewQueryLog(obs.QueryLogConfig{
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Registry: opts.Metrics,
+	})
+	obs.RegisterEndpointStats(opts.Metrics, func() []endpoint.EndpointStat {
+		return endpoint.PerEndpointStats(f.Endpoints)
+	})
+	return cfg
+}
 
 // QueryBench is one query's latency distribution over repeated runs.
 type QueryBench struct {
@@ -64,7 +86,7 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 func Bench(opts Options) BenchReport {
 	const nUniv = 4
 	f := LUBM(nUniv, opts)
-	l := core.New(f.Endpoints, core.Config{})
+	l := core.New(f.Endpoints, observedConfig(opts, f))
 	report := BenchReport{
 		Benchmark: "lubm", Universities: nUniv,
 		Scale: opts.Scale, Runs: opts.runs(),
@@ -134,7 +156,9 @@ func BenchJSON(w io.Writer, opts Options) error {
 // renders each span tree followed by its EXPLAIN ANALYZE report.
 func TraceDump(w io.Writer, opts Options) error {
 	f := LUBM(4, opts)
-	l := core.New(f.Endpoints, core.Config{Instrument: true})
+	cfg := observedConfig(opts, f)
+	cfg.Instrument = true
+	l := core.New(f.Endpoints, cfg)
 
 	names := make([]string, 0, len(lubm.Queries))
 	for name := range lubm.Queries {

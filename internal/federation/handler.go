@@ -3,6 +3,7 @@ package federation
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lusail/internal/endpoint"
@@ -40,7 +41,19 @@ type Handler struct {
 	// handler sized for n endpoints never has more than n requests on
 	// the wire.
 	MaxConcurrent int
+
+	inflight   atomic.Int64
+	dispatched atomic.Int64
 }
+
+// InFlight reports the number of requests currently on the wire
+// through this handler — the live pool depth observability gauges
+// scrape.
+func (h *Handler) InFlight() int64 { return h.inflight.Load() }
+
+// Dispatched reports the total number of tasks this handler has sent
+// to endpoints (short-circuited tasks are not counted).
+func (h *Handler) Dispatched() int64 { return h.dispatched.Load() }
 
 // NewHandler returns a handler sized for n endpoints: total in-flight
 // requests are capped at n (one per endpoint in the thread-per-endpoint
@@ -135,7 +148,10 @@ func (h *Handler) run(ctx context.Context, tasks []Task, failFast bool) ([]TaskR
 					defer release(sem)
 					defer release(globalSem)
 					start := time.Now()
+					h.dispatched.Add(1)
+					h.inflight.Add(1)
 					res, err := tasks[i].EP.Query(runCtx, tasks[i].Query)
+					h.inflight.Add(-1)
 					out[i] = TaskResult{Task: tasks[i], Res: res, Err: err, Duration: time.Since(start)}
 					if failFast && err != nil {
 						fail(err)

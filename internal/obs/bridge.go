@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"lusail/internal/endpoint"
+)
+
+// Bridges project the engine's existing in-process instrumentation
+// (PR 1 fault counters, PR 2 latency histograms and stats) into
+// scrape-time metric families. Each bridge registers a collector: the
+// snapshot function is invoked on every scrape, so the exposed values
+// are always live without a background sampler.
+
+// RegisterEndpointStats exposes per-endpoint traffic statistics:
+// request/row/byte/error counters, fault-recovery counters, and —
+// when the federation is instrumented — the client-side latency
+// histogram projected into cumulative Prometheus buckets.
+func RegisterEndpointStats(r *Registry, snapshot func() []endpoint.EndpointStat) {
+	bounds := endpoint.LatencyBucketBounds()
+	r.RegisterCollector(func() []Family {
+		stats := snapshot()
+		counter := func(name, help string, value func(endpoint.Stats) float64) Family {
+			f := Family{Name: name, Help: help, Kind: "counter"}
+			for _, st := range stats {
+				f.Samples = append(f.Samples, Sample{
+					Labels: []Label{L("endpoint", st.Name)},
+					Value:  value(st.Stats),
+				})
+			}
+			return f
+		}
+		fams := []Family{
+			counter("lusail_endpoint_requests_total", "Remote requests sent to the endpoint.",
+				func(s endpoint.Stats) float64 { return float64(s.Requests) }),
+			counter("lusail_endpoint_rows_total", "Solution rows shipped back by the endpoint.",
+				func(s endpoint.Stats) float64 { return float64(s.Rows) }),
+			counter("lusail_endpoint_bytes_total", "Approximate wire bytes shipped back by the endpoint.",
+				func(s endpoint.Stats) float64 { return float64(s.Bytes) }),
+			counter("lusail_endpoint_errors_total", "Failed endpoint calls (after retries).",
+				func(s endpoint.Stats) float64 { return float64(s.Errors) }),
+			counter("lusail_endpoint_retries_total", "Retry attempts issued by the resilient decorator.",
+				func(s endpoint.Stats) float64 { return float64(s.Retries) }),
+			counter("lusail_endpoint_breaker_rejections_total", "Requests rejected fast by an open circuit breaker.",
+				func(s endpoint.Stats) float64 { return float64(s.BreakerOpens) }),
+			counter("lusail_endpoint_timeouts_total", "Attempts that hit the per-request timeout.",
+				func(s endpoint.Stats) float64 { return float64(s.Timeouts) }),
+		}
+
+		hist := Family{
+			Name: "lusail_endpoint_latency_seconds",
+			Help: "Client-side endpoint call latency, including retries and backoff.",
+			Kind: "histogram",
+		}
+		for _, st := range stats {
+			h := st.Stats.Latency
+			if h.Count() == 0 {
+				continue
+			}
+			sample := Sample{Labels: []Label{L("endpoint", st.Name)}}
+			var cum uint64
+			for i, b := range bounds {
+				cum += uint64(h.Counts[i])
+				sample.Buckets = append(sample.Buckets, BucketCount{Le: b.Seconds(), Count: cum})
+			}
+			sample.Count = cum + uint64(h.Counts[len(bounds)])
+			sample.Sum = h.Sum.Seconds()
+			hist.Samples = append(hist.Samples, sample)
+		}
+		// An empty family is still exposed (TYPE line only) so scrapers
+		// see the series exists before traffic arrives.
+		return append(fams, hist)
+	})
+}
+
+// RegisterBreakers exposes per-endpoint circuit-breaker state as a
+// gauge: 0 closed, 1 open, 2 half-open (matching
+// endpoint.BreakerState), plus a 0/1 open indicator readiness
+// dashboards can alert on directly.
+func RegisterBreakers(r *Registry, snapshot func() []endpoint.BreakerStatus) {
+	r.RegisterCollector(func() []Family {
+		states := snapshot()
+		state := Family{Name: "lusail_breaker_state",
+			Help: "Circuit-breaker state per endpoint (0 closed, 1 open, 2 half-open).", Kind: "gauge"}
+		open := Family{Name: "lusail_breaker_open",
+			Help: "1 while the endpoint's circuit breaker is open.", Kind: "gauge"}
+		for _, b := range states {
+			labels := []Label{L("endpoint", b.Name)}
+			state.Samples = append(state.Samples, Sample{Labels: labels, Value: float64(b.State)})
+			var v float64
+			if b.State == endpoint.BreakerOpen {
+				v = 1
+			}
+			open.Samples = append(open.Samples, Sample{Labels: labels, Value: v})
+		}
+		return []Family{state, open}
+	})
+}
+
+// RegisterInFlight exposes the federation's live pool depth: remote
+// requests currently on the wire across the engine's request handlers.
+func RegisterInFlight(r *Registry, depth func() int64) {
+	r.RegisterCollector(func() []Family {
+		return []Family{{
+			Name: "lusail_federation_inflight_requests",
+			Help: "Remote requests currently on the wire (federation pool depth).",
+			Kind: "gauge",
+			Samples: []Sample{
+				{Value: float64(depth())},
+			},
+		}}
+	})
+}

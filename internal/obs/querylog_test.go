@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lusail/internal/core"
+	"lusail/internal/endpoint"
+	"lusail/internal/trace"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func TestQueryLogLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	q := NewQueryLog(QueryLogConfig{Logger: discardLogger(), Registry: reg})
+
+	id := q.QueryStarted("SELECT * WHERE { ?s ?p ?o }")
+	if !strings.HasPrefix(id, "q") {
+		t.Fatalf("id = %q, want q-prefixed", id)
+	}
+	m := core.Metrics{
+		SourceSelection: 10 * time.Millisecond,
+		Execution:       20 * time.Millisecond,
+		AskRequests:     4,
+		Phase1Requests:  2,
+	}
+	q.QueryFinished(id, "SELECT * WHERE { ?s ?p ?o }", m, 7, nil, nil)
+
+	recent := q.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("recent = %d records, want 1", len(recent))
+	}
+	rec := recent[0]
+	if rec.ID != id || rec.Rows != 7 || rec.Requests != 6 || rec.Slow || rec.Error != "" {
+		t.Errorf("unexpected record: %+v", rec)
+	}
+	if len(q.Slow()) != 0 {
+		t.Errorf("no slow queries expected, got %d", len(q.Slow()))
+	}
+	if got := reg.Counter("lusail_queries_total", "").Value(); got != 1 {
+		t.Errorf("lusail_queries_total = %v, want 1", got)
+	}
+	out := expo(t, reg)
+	for _, want := range []string{
+		`lusail_remote_requests_total{kind="ask"} 4`,
+		`lusail_remote_requests_total{kind="phase1"} 2`,
+		`lusail_query_phase_seconds_total{phase="source_selection"} 0.01`,
+		"lusail_query_duration_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQueryLogSlowCapture(t *testing.T) {
+	q := NewQueryLog(QueryLogConfig{Logger: discardLogger(), SlowThreshold: time.Nanosecond})
+	root := trace.New("query").Root
+	child := root.StartChild("source-selection")
+	child.End()
+	root.End()
+
+	id := q.QueryStarted("SELECT ?s WHERE { ?s ?p ?o }")
+	time.Sleep(time.Microsecond)
+	q.QueryFinished(id, "SELECT ?s WHERE { ?s ?p ?o }", core.Metrics{}, 0, nil, root)
+
+	slow := q.Slow()
+	if len(slow) != 1 {
+		t.Fatalf("slow = %d records, want 1", len(slow))
+	}
+	if !slow[0].Slow {
+		t.Error("record not marked slow")
+	}
+	if !strings.Contains(slow[0].SpanTree, "source-selection") {
+		t.Errorf("span tree missing child span:\n%s", slow[0].SpanTree)
+	}
+}
+
+func TestQueryLogErrorRecord(t *testing.T) {
+	reg := NewRegistry()
+	q := NewQueryLog(QueryLogConfig{Logger: discardLogger(), Registry: reg})
+	id := q.QueryStarted("SELECT * WHERE { ?s ?p ?o }")
+	failure := fmt.Errorf("endpoint a: %w", endpoint.ErrCircuitOpen)
+	q.QueryFinished(id, "SELECT * WHERE { ?s ?p ?o }", core.Metrics{}, -1, failure, nil)
+
+	rec := q.Recent()[0]
+	if rec.ErrorClass != "circuit_open" || rec.Rows != -1 || rec.Error == "" {
+		t.Errorf("unexpected error record: %+v", rec)
+	}
+	if !strings.Contains(expo(t, reg), `lusail_query_errors_total{class="circuit_open"} 1`) {
+		t.Error("error-class counter not incremented")
+	}
+}
+
+func TestQueryLogRingBounded(t *testing.T) {
+	q := NewQueryLog(QueryLogConfig{Logger: discardLogger(), RingSize: 3})
+	for i := 0; i < 5; i++ {
+		id := q.QueryStarted(fmt.Sprintf("SELECT * WHERE { ?s ?p %d }", i))
+		q.QueryFinished(id, fmt.Sprintf("SELECT * WHERE { ?s ?p %d }", i), core.Metrics{}, i, nil, nil)
+	}
+	recent := q.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring kept %d records, want 3", len(recent))
+	}
+	// Newest first: rows 4, 3, 2.
+	for i, want := range []int{4, 3, 2} {
+		if recent[i].Rows != want {
+			t.Errorf("recent[%d].Rows = %d, want %d", i, recent[i].Rows, want)
+		}
+	}
+}
+
+func TestQueryLogTruncation(t *testing.T) {
+	q := NewQueryLog(QueryLogConfig{Logger: discardLogger(), MaxQueryLength: 10})
+	long := strings.Repeat("x", 100)
+	id := q.QueryStarted(long)
+	q.QueryFinished(id, long, core.Metrics{}, 0, nil, nil)
+	if got := q.Recent()[0].Query; len(got) > 20 {
+		t.Errorf("query not truncated: %d bytes", len(got))
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	q := NewQueryLog(QueryLogConfig{Logger: discardLogger(), SlowThreshold: 500 * time.Millisecond})
+	id := q.QueryStarted("SELECT * WHERE { ?s ?p ?o }")
+	q.QueryFinished(id, "SELECT * WHERE { ?s ?p ?o }", core.Metrics{}, 1, nil, nil)
+
+	srv := httptest.NewServer(q.DebugHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		SlowThresholdMs float64       `json:"slow_threshold_ms"`
+		Recent          []QueryRecord `json:"recent"`
+		Slow            []QueryRecord `json:"slow"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.SlowThresholdMs != 500 {
+		t.Errorf("slow_threshold_ms = %v, want 500", body.SlowThresholdMs)
+	}
+	if len(body.Recent) != 1 || body.Recent[0].ID != id {
+		t.Errorf("unexpected recent: %+v", body.Recent)
+	}
+
+	del, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Body.Close()
+	if del.StatusCode != 405 || del.Header.Get("Allow") != "GET" {
+		t.Errorf("POST: status %d Allow %q, want 405 GET", del.StatusCode, del.Header.Get("Allow"))
+	}
+}
+
+func TestErrorClass(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{&endpoint.ParseError{Err: errors.New("bad")}, "parse"},
+		{fmt.Errorf("a: %w", endpoint.ErrCircuitOpen), "circuit_open"},
+		{context.DeadlineExceeded, "timeout"},
+		{context.Canceled, "canceled"},
+		{&endpoint.HTTPError{Status: 502}, "http_5xx"},
+		{&endpoint.HTTPError{Status: 404}, "http_4xx"},
+		{endpoint.Transient(errors.New("flaky")), "transient"},
+		{errors.New("mystery"), "other"},
+	}
+	for _, c := range cases {
+		if got := ErrorClass(c.err); got != c.want {
+			t.Errorf("ErrorClass(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}

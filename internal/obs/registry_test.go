@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func expo(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	c.Inc()
+	c.Add(2)
+	r.Counter("test_ops_by_kind_total", "By kind.", L("kind", "read")).Inc()
+	r.Counter("test_ops_by_kind_total", "By kind.", L("kind", "write")).Add(3)
+	g := r.Gauge("test_depth", "Depth.")
+	g.Set(7)
+	g.Add(-2)
+
+	out := expo(t, r)
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.",
+		"# TYPE test_ops_total counter",
+		"test_ops_total 3",
+		`test_ops_by_kind_total{kind="read"} 1`,
+		`test_ops_by_kind_total{kind="write"} 3`,
+		"# TYPE test_depth gauge",
+		"test_depth 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterSameSeriesShared(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x", L("a", "1")).Inc()
+	r.Counter("x_total", "x", L("a", "1")).Inc()
+	if got := r.Counter("x_total", "x", L("a", "1")).Value(); got != 2 {
+		t.Fatalf("re-resolved counter = %v, want 2", got)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)  // bucket 0.1
+	h.Observe(0.5)   // bucket 1
+	h.Observe(0.5)   // bucket 1
+	h.Observe(100)   // +Inf overflow
+	h.ObserveDuration(5 * time.Second)
+
+	out := expo(t, r)
+	for _, want := range []string{
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 3`,
+		`test_latency_seconds_bucket{le="10"} 4`,
+		`test_latency_seconds_bucket{le="+Inf"} 5`,
+		"test_latency_seconds_sum 106.05",
+		"test_latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectorFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCollector(func() []Family {
+		return []Family{{
+			Name: "live_gauge", Help: "Live.", Kind: "gauge",
+			Samples: []Sample{{Labels: []Label{L("who", "x")}, Value: 42}},
+		}}
+	})
+	out := expo(t, r)
+	if !strings.Contains(out, `live_gauge{who="x"} 42`) {
+		t.Errorf("collector family missing:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("esc", "e", L("v", "a\"b\\c\nd")).Set(1)
+	out := expo(t, r)
+	if !strings.Contains(out, `esc{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != ContentType {
+		t.Fatalf("Content-Type = %q, want %q", got, ContentType)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("conc_total", "c").Inc()
+				r.Histogram("conc_seconds", "h", nil).Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "c").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %v, want 8000", got)
+	}
+	out := expo(t, r)
+	if !strings.Contains(out, "conc_seconds_count 8000") {
+		t.Errorf("concurrent histogram count wrong:\n%s", out)
+	}
+}
+
+func TestFamiliesSortedByName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "z").Inc()
+	r.Counter("aa_total", "a").Inc()
+	out := expo(t, r)
+	if strings.Index(out, "aa_total") > strings.Index(out, "zz_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}

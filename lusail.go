@@ -29,6 +29,7 @@ import (
 	"lusail/internal/core"
 	"lusail/internal/endpoint"
 	"lusail/internal/federation"
+	"lusail/internal/obs"
 	"lusail/internal/rdf"
 	"lusail/internal/sparql"
 	"lusail/internal/store"
@@ -108,6 +109,55 @@ func WithInstrumentation() Option {
 	return func(c *core.Config) { c.Instrument = true }
 }
 
+// ResilienceConfig tunes the per-endpoint fault-tolerance layer:
+// per-attempt timeouts, bounded retries with jittered exponential
+// backoff, and a circuit breaker.
+type ResilienceConfig = endpoint.ResilienceConfig
+
+// DefaultResilience returns production-shaped resilience defaults.
+func DefaultResilience() ResilienceConfig { return endpoint.DefaultResilience() }
+
+// WithResilience wraps every endpoint in a resilient decorator (its
+// own retry loop and circuit breaker) configured by cfg. Breaker
+// states become observable through BreakerStates, which readiness
+// probes consume.
+func WithResilience(cfg ResilienceConfig) Option {
+	return func(c *core.Config) { c.Resilience = &cfg }
+}
+
+// QueryLog is the structured query log: correlation IDs, slog
+// start/finish events, bounded recent/slow ring buffers (slow queries
+// keep their rendered span tree), and query-level metric families.
+type QueryLog = obs.QueryLog
+
+// QueryLogConfig tunes a QueryLog.
+type QueryLogConfig = obs.QueryLogConfig
+
+// QueryRecord is one completed query as kept in the QueryLog rings.
+type QueryRecord = obs.QueryRecord
+
+// NewQueryLog builds a QueryLog.
+func NewQueryLog(cfg QueryLogConfig) *QueryLog { return obs.NewQueryLog(cfg) }
+
+// MetricsRegistry collects counters, gauges, and histograms and
+// exposes them in the Prometheus text format via its Handler.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WithObservability attaches ql to the federation (every query gets a
+// correlation ID and a start/finish event pair, slow queries are
+// captured with their span tree) and enables endpoint instrumentation
+// so latency histograms flow into EndpointStats and any registry
+// bridged with RegisterMetrics.
+func WithObservability(ql *QueryLog) Option {
+	return func(c *core.Config) {
+		c.QueryLog = ql
+		c.Instrument = true
+	}
+}
+
 // Federation is a Lusail engine over a fixed set of endpoints.
 type Federation struct {
 	engine    *core.Lusail
@@ -163,6 +213,39 @@ type EndpointStat = endpoint.EndpointStat
 // statistics, sorted by endpoint name. Latency histograms are
 // populated when the federation was built WithInstrumentation.
 func (f *Federation) EndpointStats() []EndpointStat { return f.engine.EndpointStats() }
+
+// BreakerState is a circuit breaker's externally visible state.
+type BreakerState = endpoint.BreakerState
+
+// Breaker states.
+const (
+	BreakerClosed   = endpoint.BreakerClosed
+	BreakerOpen     = endpoint.BreakerOpen
+	BreakerHalfOpen = endpoint.BreakerHalfOpen
+)
+
+// BreakerStatus pairs an endpoint name with its breaker state.
+type BreakerStatus = endpoint.BreakerStatus
+
+// BreakerStates reports the circuit-breaker state of every endpoint,
+// sorted by name (empty unless the federation was built
+// WithResilience). A service readiness probe should report not-ready
+// while any breaker is open.
+func (f *Federation) BreakerStates() []BreakerStatus { return f.engine.BreakerStates() }
+
+// InFlight reports the number of remote requests currently on the
+// wire — the federation's live pool depth.
+func (f *Federation) InFlight() int64 { return f.engine.InFlight() }
+
+// RegisterMetrics bridges the federation's live state into reg:
+// per-endpoint request/error/latency families, circuit-breaker state
+// gauges, and the in-flight pool-depth gauge. Values are read at
+// scrape time, so one registration covers the federation's lifetime.
+func (f *Federation) RegisterMetrics(reg *MetricsRegistry) {
+	obs.RegisterEndpointStats(reg, f.EndpointStats)
+	obs.RegisterBreakers(reg, f.BreakerStates)
+	obs.RegisterInFlight(reg, f.InFlight)
+}
 
 // Plan describes how the federation would execute a query: global
 // join variables, decomposed subqueries with sources, cardinality
