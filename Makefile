@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-all trace-smoke server-smoke
+.PHONY: all build vet test race verify bench bench-all trace-smoke server-smoke degrade-smoke
 
 all: verify
 
@@ -36,6 +36,16 @@ trace-smoke:
 	echo "$$out" | grep -q "phase1" && \
 	echo "$$out" | grep -q "EXPLAIN ANALYZE" && \
 	echo "trace smoke OK"
+
+# Graceful-degradation smoke test: run the availability sweep and
+# assert that skip-endpoint/best-effort return the surviving-partition
+# answer against a hard-down endpoint while the fail policy errors.
+degrade-smoke:
+	@out=$$($(GO) run ./cmd/lusail-bench -exp degrade); \
+	echo "$$out" | grep -qE "fail +ERR" && \
+	echo "$$out" | grep -qE "best-effort +ok" && \
+	echo "$$out" | grep -q "scenario B" && \
+	echo "degrade smoke OK"
 
 # End-to-end daemon smoke test: boot lusail-server over two local
 # N-Triples endpoints, wait for /readyz, run one federated query over

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"lusail/internal/obs"
+)
+
+// admission is the daemon's load-shedding front door: a bounded pool
+// of query slots plus a bounded, deadline-aware wait queue. Requests
+// that cannot get a slot within the queue-wait budget (or that find
+// the queue itself full) are shed with 503 so overload degrades into
+// fast rejections instead of unbounded latency.
+type admission struct {
+	limit     int           // concurrent query slots (<=0 disables admission control)
+	maxQueue  int           // waiters allowed to queue for a slot
+	queueWait time.Duration // longest a waiter holds its queue spot
+
+	slots chan struct{}
+
+	inflight atomic.Int64
+	peak     atomic.Int64 // high-water mark of inflight
+	queued   atomic.Int64
+	shed     atomic.Int64
+
+	// fullSince is the unix-nano timestamp since which the queue has
+	// been continuously full (0 = not full). Readiness only reports
+	// saturation after the queue has stayed full for satWindow, so a
+	// short burst sheds load without flapping /readyz.
+	fullSince atomic.Int64
+
+	now func() time.Time // injectable clock for tests
+}
+
+// satWindow is how long the wait queue must stay full before the
+// admission controller reports saturation to /readyz.
+const satWindow = 10 * time.Second
+
+// newAdmission builds the controller. limit <= 0 returns a disabled
+// controller whose acquire always admits.
+func newAdmission(limit, maxQueue int, queueWait time.Duration) *admission {
+	a := &admission{limit: limit, maxQueue: maxQueue, queueWait: queueWait, now: time.Now}
+	if limit > 0 {
+		a.slots = make(chan struct{}, limit)
+	}
+	return a
+}
+
+// acquire tries to admit one query. On admission it returns a release
+// function (which must be called exactly once) and true; on shed it
+// records the rejection and returns false.
+func (a *admission) acquire(ctx context.Context) (func(), bool) {
+	if a.limit <= 0 {
+		return func() {}, true
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.admitted(), true
+	default:
+	}
+	// No free slot: take a queue spot if one is left.
+	if q := a.queued.Add(1); q > int64(a.maxQueue) {
+		a.queued.Add(-1)
+		a.fullSince.CompareAndSwap(0, a.now().UnixNano())
+		a.shed.Add(1)
+		return nil, false
+	}
+	defer a.queued.Add(-1)
+	wait := time.NewTimer(a.queueWait)
+	defer wait.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.fullSince.Store(0)
+		return a.admitted(), true
+	case <-wait.C:
+	case <-ctx.Done():
+	}
+	a.shed.Add(1)
+	return nil, false
+}
+
+// admitted bumps the in-flight accounting and returns the release.
+func (a *admission) admitted() func() {
+	n := a.inflight.Add(1)
+	for {
+		p := a.peak.Load()
+		if n <= p || a.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	var done atomic.Bool
+	return func() {
+		if done.Swap(true) {
+			return
+		}
+		a.inflight.Add(-1)
+		<-a.slots
+		a.fullSince.Store(0)
+	}
+}
+
+// saturated reports whether the wait queue has been continuously full
+// for at least satWindow — the signal /readyz uses to mark the server
+// unready under sustained (not momentary) overload.
+func (a *admission) saturated() bool {
+	if a.limit <= 0 {
+		return false
+	}
+	since := a.fullSince.Load()
+	return since != 0 && a.now().Sub(time.Unix(0, since)) >= satWindow
+}
+
+// register exposes the controller's live state as metric families:
+// the configured limit, in-flight and queued gauges, the in-flight
+// high-water mark, and the shed-request counter.
+func (a *admission) register(reg *obs.Registry) {
+	reg.RegisterCollector(func() []obs.Family {
+		gauge := func(name, help string, v float64) obs.Family {
+			return obs.Family{Name: name, Help: help, Kind: "gauge",
+				Samples: []obs.Sample{{Value: v}}}
+		}
+		return []obs.Family{
+			gauge("lusail_admission_limit", "Configured concurrent-query limit (0 = unlimited).",
+				float64(a.limit)),
+			gauge("lusail_server_inflight_queries", "Queries currently executing.",
+				float64(a.inflight.Load())),
+			gauge("lusail_server_inflight_peak", "High-water mark of concurrently executing queries.",
+				float64(a.peak.Load())),
+			gauge("lusail_server_queued_queries", "Requests waiting for a query slot.",
+				float64(a.queued.Load())),
+			{Name: "lusail_shed_requests_total", Help: "Requests rejected by admission control.",
+				Kind: "counter", Samples: []obs.Sample{{Value: float64(a.shed.Load())}}},
+		}
+	})
+}

@@ -5,8 +5,10 @@
 //
 //	/sparql         SPARQL protocol (GET ?query=, POST form, POST application/sparql-query)
 //	/metrics        Prometheus text-format exposition (queries, phases, per-endpoint stats, breakers)
-//	/healthz        liveness (process up)
-//	/readyz         readiness (503 while probing endpoints or while any circuit breaker is open)
+//	/healthz        liveness (process up) with per-endpoint breaker detail as JSON
+//	/readyz         readiness (503 while probing, while ALL breakers are open, or under
+//	                sustained admission saturation; -strict-ready restores the historical
+//	                any-open-breaker rule)
 //	/debug/queries  recent + slow queries (slow ones with rendered span trees), JSON
 //	/debug/pprof/   net/http/pprof (with -pprof)
 //
@@ -55,6 +57,14 @@ func main() {
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		logLevel     = flag.String("log-level", "info", "log level: debug | info | warn | error")
+
+		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrently executing queries (0 = unlimited)")
+		maxQueue      = flag.Int("max-queue", 64, "max requests waiting for a query slot")
+		queueWait     = flag.Duration("queue-wait", 2*time.Second, "max time a request waits for a query slot")
+		strictReady   = flag.Bool("strict-ready", false, "report /readyz 503 while ANY breaker is open (historical rule)")
+		degrade       = flag.String("degrade", "fail", "degradation policy: fail | skip-endpoint | best-effort")
+		queryBudget   = flag.Duration("query-budget", 0, "per-query wall-clock budget (0 = none; best-effort returns partial results)")
+		hedge         = flag.Bool("hedge", false, "hedge slow phase-1 subqueries with one backup request")
 	)
 	flag.Var(&endpoints, "endpoint", "endpoint URL or N-Triples file (repeatable)")
 	flag.Parse()
@@ -76,12 +86,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	policy, err := lusail.ParseDegradePolicy(*degrade)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	cfg := serverConfig{
 		Logger:        logger,
 		SlowThreshold: *slow,
 		RingSize:      *ringSize,
 		QueryTimeout:  *queryTimeout,
 		EnablePprof:   *pprofOn,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		QueueWait:     *queueWait,
+		StrictReady:   *strictReady,
+		Degradation:   policy,
+		QueryBudget:   *queryBudget,
+		Hedge:         *hedge,
 	}
 	if *resilience {
 		rc := lusail.DefaultResilience()

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -30,11 +31,34 @@ type serverConfig struct {
 	// QueryTimeout bounds each federated query (0 = no limit).
 	QueryTimeout time.Duration
 	// Resilience, when non-nil, enables the endpoint fault-tolerance
-	// layer (retries + circuit breakers); /readyz then reports 503
-	// while any breaker is open.
+	// layer (retries + circuit breakers).
 	Resilience *lusail.ResilienceConfig
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+
+	// MaxConcurrent bounds concurrently executing queries (0 = no
+	// limit). Excess requests wait in a bounded queue and are shed
+	// with 503 + Retry-After when the queue is full or QueueWait
+	// expires.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a query slot (default 64).
+	MaxQueue int
+	// QueueWait bounds how long a request may wait for a slot
+	// (default 2s).
+	QueueWait time.Duration
+	// StrictReady restores the historical readiness rule: /readyz
+	// reports 503 while ANY endpoint's circuit breaker is open. The
+	// default treats a partially degraded federation as ready and only
+	// reports 503 while probing, while every endpoint's breaker is
+	// open, or under sustained admission saturation.
+	StrictReady bool
+
+	// Degradation selects the federation's degraded-execution policy.
+	Degradation lusail.DegradePolicy
+	// QueryBudget is the per-query wall-clock budget (0 = none).
+	QueryBudget time.Duration
+	// Hedge enables hedged backup requests for phase-1 subqueries.
+	Hedge bool
 }
 
 // server is the lusail-server daemon: a federation plus its
@@ -48,6 +72,7 @@ type server struct {
 	cfg    serverConfig
 
 	mux    *http.ServeMux
+	adm    *admission
 	probed atomic.Bool // initial source probing complete
 }
 
@@ -69,10 +94,30 @@ func newServer(eps []lusail.Endpoint, cfg serverConfig) *server {
 	if cfg.Resilience != nil {
 		opts = append(opts, lusail.WithResilience(*cfg.Resilience))
 	}
+	if cfg.Degradation != lusail.DegradeFail {
+		opts = append(opts, lusail.WithDegradation(cfg.Degradation))
+	}
+	if cfg.QueryBudget > 0 {
+		opts = append(opts, lusail.WithQueryBudget(cfg.QueryBudget))
+	}
+	if cfg.Hedge {
+		opts = append(opts, lusail.WithHedging(lusail.DefaultHedge()))
+	}
 	fed := lusail.New(eps, opts...)
 	fed.RegisterMetrics(reg)
 
-	s := &server{fed: fed, reg: reg, qlog: qlog, logger: logger, cfg: cfg}
+	maxQueue := cfg.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = 64
+	}
+	queueWait := cfg.QueueWait
+	if queueWait <= 0 {
+		queueWait = 2 * time.Second
+	}
+	adm := newAdmission(cfg.MaxConcurrent, maxQueue, queueWait)
+	adm.register(reg)
+
+	s := &server{fed: fed, reg: reg, qlog: qlog, logger: logger, cfg: cfg, adm: adm}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/sparql", s.handleQuery)
 	s.mux.Handle("/metrics", reg.Handler())
@@ -118,25 +163,83 @@ func (s *server) probe(ctx context.Context) {
 }
 
 // handleHealth is the liveness probe: the process is up and serving.
+// The body carries per-endpoint detail (breaker state per endpoint)
+// as JSON, so a partially degraded federation is visible here while
+// /readyz keeps routing traffic to the survivors.
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	type epHealth struct {
+		Name    string `json:"name"`
+		Breaker string `json:"breaker,omitempty"`
+	}
+	states := s.fed.BreakerStates()
+	out := struct {
+		Status    string     `json:"status"`
+		Probed    bool       `json:"probed"`
+		Endpoints []epHealth `json:"endpoints"`
+	}{Status: "ok", Probed: s.probed.Load()}
+	byName := map[string]lusail.BreakerState{}
+	for _, b := range states {
+		byName[b.Name] = b.State
+	}
+	for _, ep := range s.fed.Endpoints() {
+		h := epHealth{Name: ep.Name()}
+		if st, ok := byName[ep.Name()]; ok {
+			h.Breaker = breakerName(st)
+		}
+		out.Endpoints = append(out.Endpoints, h)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
 }
 
-// handleReady is the readiness probe: 503 while initial source
-// probing is incomplete or any endpoint's circuit breaker is open.
+func breakerName(st lusail.BreakerState) string {
+	switch st {
+	case lusail.BreakerOpen:
+		return "open"
+	case lusail.BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// handleReady is the readiness probe. By default a partially degraded
+// federation stays ready: 503 only while initial source probing is
+// incomplete, while EVERY endpoint's circuit breaker is open (nothing
+// left to answer from), or under sustained admission saturation. With
+// StrictReady, any single open breaker reports 503 (the historical
+// rule, for deployments that would rather fail over than degrade).
 func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if !s.probed.Load() {
 		http.Error(w, "not ready: initial source probing incomplete", http.StatusServiceUnavailable)
 		return
 	}
-	for _, b := range s.fed.BreakerStates() {
+	if s.adm.saturated() {
+		http.Error(w, "not ready: admission queue saturated", http.StatusServiceUnavailable)
+		return
+	}
+	states := s.fed.BreakerStates()
+	open := 0
+	firstOpen := ""
+	for _, b := range states {
 		if b.State == lusail.BreakerOpen {
-			http.Error(w, fmt.Sprintf("not ready: circuit breaker open for endpoint %s", b.Name),
-				http.StatusServiceUnavailable)
-			return
+			open++
+			if firstOpen == "" {
+				firstOpen = b.Name
+			}
 		}
+	}
+	if s.cfg.StrictReady && open > 0 {
+		http.Error(w, fmt.Sprintf("not ready: circuit breaker open for endpoint %s", firstOpen),
+			http.StatusServiceUnavailable)
+		return
+	}
+	if len(states) > 0 && open == len(states) {
+		http.Error(w, "not ready: all endpoint circuit breakers open", http.StatusServiceUnavailable)
+		return
 	}
 	fmt.Fprintln(w, "ready")
 }
@@ -165,6 +268,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Admission control: take a query slot (waiting briefly in the
+	// bounded queue) or shed the request so overload turns into fast
+	// 503s instead of unbounded queueing.
+	release, ok := s.adm.acquire(r.Context())
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
+
 	ctx := r.Context()
 	if s.cfg.QueryTimeout > 0 {
 		var cancel context.CancelFunc
@@ -177,6 +291,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
+	}
+	if c := res.Completeness; c != nil && !c.Complete {
+		w.Header().Set("X-Lusail-Partial-Results", "true")
 	}
 
 	accept := r.Header.Get("Accept")

@@ -184,9 +184,13 @@ func TestReadyzFlipsWithBreakerAndRecovers(t *testing.T) {
 		BreakerFailures: 3,
 		BreakerCooldown: 20 * time.Millisecond,
 	}
+	// StrictReady restores the historical any-open-breaker rule this
+	// test exercises; the relaxed default keeps a partially degraded
+	// federation ready (see TestReadyzToleratesPartialOutage).
 	s := newServer([]lusail.Endpoint{faulty, eps[1]}, serverConfig{
-		Logger:     quietLogger(),
-		Resilience: &rc,
+		Logger:      quietLogger(),
+		Resilience:  &rc,
+		StrictReady: true,
 	})
 	ts := httptest.NewServer(s.mux)
 	defer ts.Close()
@@ -235,6 +239,203 @@ func TestReadyzFlipsWithBreakerAndRecovers(t *testing.T) {
 	}
 	if status, body := get(t, ts.URL+"/readyz"); status != http.StatusOK {
 		t.Fatalf("/readyz never recovered: %d %q", status, body)
+	}
+}
+
+func TestReadyzToleratesPartialOutage(t *testing.T) {
+	eps := testEndpoints(t)
+	// epA permanently down; epB healthy. Under the relaxed default
+	// rule a single open breaker must NOT flip readiness.
+	faulty := endpoint.NewFaulty(eps[0], endpoint.FaultConfig{Down: true})
+	rc := lusail.ResilienceConfig{
+		MaxRetries:      0,
+		BreakerFailures: 2,
+		BreakerCooldown: time.Minute, // stays open for the whole test
+	}
+	s := newServer([]lusail.Endpoint{faulty, eps[1]}, serverConfig{
+		Logger:      quietLogger(),
+		Resilience:  &rc,
+		Degradation: lusail.DegradeBestEffort,
+	})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	go s.probe(context.Background())
+	waitReady(t, ts)
+
+	// Trip epA's breaker with failing queries (best-effort absorbs the
+	// endpoint loss, so the queries themselves succeed).
+	for i := 0; i < 3; i++ {
+		q := url.QueryEscape(fmt.Sprintf(`SELECT ?s WHERE { ?s <http://ex/fresh%d> ?o }`, i))
+		if status, body := get(t, ts.URL+"/sparql?query="+q); status != http.StatusOK {
+			t.Fatalf("best-effort query %d = %d: %s", i, status, body)
+		}
+	}
+	_, page := get(t, ts.URL+"/metrics")
+	if got := metricValue(t, page, `lusail_breaker_open{endpoint="epA"}`); got != 1 {
+		t.Fatalf(`lusail_breaker_open{endpoint="epA"} = %v, want 1 (breaker never opened)`, got)
+	}
+
+	// Partially degraded federation stays ready.
+	if status, body := get(t, ts.URL+"/readyz"); status != http.StatusOK {
+		t.Errorf("/readyz with one open breaker = %d %q, want 200", status, body)
+	}
+	// /healthz carries the per-endpoint detail.
+	if _, body := get(t, ts.URL+"/healthz"); !strings.Contains(body, `"epA"`) ||
+		!strings.Contains(body, `"open"`) {
+		t.Errorf("/healthz missing per-endpoint breaker detail: %s", body)
+	}
+}
+
+func TestBestEffortQueryMarksPartialResults(t *testing.T) {
+	eps := testEndpoints(t)
+	down := endpoint.NewFaulty(eps[1], endpoint.FaultConfig{Down: true})
+	s := newServer([]lusail.Endpoint{eps[0], down}, serverConfig{
+		Logger:      quietLogger(),
+		Degradation: lusail.DegradeBestEffort,
+	})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	s.probe(context.Background())
+
+	q := url.QueryEscape(`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }`)
+	resp, err := http.Get(ts.URL + "/sparql?query=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("best-effort query = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Lusail-Partial-Results"); got != "true" {
+		t.Errorf("X-Lusail-Partial-Results = %q, want true", got)
+	}
+	if !strings.Contains(string(body), "a0") {
+		t.Errorf("partial results missing surviving endpoint's rows: %s", body)
+	}
+
+	_, page := get(t, ts.URL+"/metrics")
+	if got := metricValue(t, page, "lusail_degraded_queries_total"); got != 1 {
+		t.Errorf("lusail_degraded_queries_total = %v, want 1", got)
+	}
+	if got := metricValue(t, page, "lusail_dropped_endpoints_total"); got == 0 {
+		t.Errorf("lusail_dropped_endpoints_total = 0, want > 0")
+	}
+}
+
+func TestAdmissionShedsOverloadAndStaysReady(t *testing.T) {
+	// A simulated 150ms RTT keeps each query holding its slot long
+	// enough for 16 concurrent clients to pile up behind limit 2.
+	slow := loadEndpoint(t, "slowEP", `<http://ex/s> <http://ex/p> "v" .`).
+		WithNetwork(lusail.NetworkProfile{RTT: 150 * time.Millisecond})
+	s := newServer([]lusail.Endpoint{slow}, serverConfig{
+		Logger:        quietLogger(),
+		MaxConcurrent: 2,
+		MaxQueue:      2,
+		QueueWait:     50 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	s.probe(context.Background())
+
+	const clients = 16
+	type outcome struct {
+		status     int
+		retryAfter string
+	}
+	results := make(chan outcome, clients)
+	q := url.QueryEscape(`SELECT ?s WHERE { ?s <http://ex/p> ?o }`)
+	for i := 0; i < clients; i++ {
+		go func() {
+			resp, err := http.Get(ts.URL + "/sparql?query=" + q)
+			if err != nil {
+				results <- outcome{status: -1}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			results <- outcome{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+		}()
+	}
+	var ok, shed int
+	for i := 0; i < clients; i++ {
+		o := <-results
+		switch o.status {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			shed++
+			if o.retryAfter == "" {
+				t.Errorf("shed response missing Retry-After header")
+			}
+		default:
+			t.Errorf("unexpected status %d", o.status)
+		}
+	}
+	if ok == 0 {
+		t.Errorf("no query succeeded under overload")
+	}
+	if shed == 0 {
+		t.Errorf("no request was shed with limit 2 and %d clients", clients)
+	}
+
+	_, page := get(t, ts.URL+"/metrics")
+	if got := metricValue(t, page, "lusail_shed_requests_total"); got != float64(shed) {
+		t.Errorf("lusail_shed_requests_total = %v, want %d", got, shed)
+	}
+	if got := metricValue(t, page, "lusail_server_inflight_peak"); got > 2 {
+		t.Errorf("in-flight peak %v exceeded limit 2", got)
+	}
+	if got := metricValue(t, page, "lusail_admission_limit"); got != 2 {
+		t.Errorf("lusail_admission_limit = %v, want 2", got)
+	}
+	// A momentarily full queue must not flip readiness.
+	if status, body := get(t, ts.URL+"/readyz"); status != http.StatusOK {
+		t.Errorf("/readyz under overload = %d %q, want 200", status, body)
+	}
+}
+
+func TestAdmissionSaturationHysteresis(t *testing.T) {
+	a := newAdmission(1, 1, 10*time.Millisecond)
+	now := time.Now()
+	a.now = func() time.Time { return now }
+
+	release, ok := a.acquire(context.Background())
+	if !ok {
+		t.Fatal("first acquire should be admitted")
+	}
+	// Fill the queue spot, then overflow it: the overflow is shed and
+	// marks the queue full.
+	queued := make(chan bool)
+	go func() {
+		r, ok := a.acquire(context.Background())
+		if ok {
+			defer r()
+		}
+		queued <- ok
+	}()
+	for a.queued.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := a.acquire(context.Background()); ok {
+		t.Fatal("overflow acquire should be shed")
+	}
+	if a.saturated() {
+		t.Error("saturation must not report before the window elapses")
+	}
+	now = now.Add(satWindow + time.Second)
+	if !a.saturated() {
+		t.Error("sustained full queue should report saturation")
+	}
+	// Progress (a slot release) clears saturation.
+	release()
+	if got := <-queued; !got {
+		// The queued waiter may have timed out instead; either way a
+		// release resets the full-since marker.
+		_ = got
+	}
+	if a.saturated() {
+		t.Error("saturation must clear after a slot release")
 	}
 }
 

@@ -159,17 +159,40 @@ func (cm *CostModel) EstimateCards(ctx context.Context, sqs []*Subquery) (int, e
 	}
 	sent := len(tasks)
 	// Fail fast: one failed COUNT probe aborts estimation, so sibling
-	// probes are cancelled rather than run to completion.
-	results, ferr := cm.Handler.RunFailFast(ctx, tasks)
-	if ferr != nil {
-		return sent, fmt.Errorf("count query: %w", ferr)
+	// probes are cancelled rather than run to completion. Under an
+	// active degradation policy a failed probe instead falls back to a
+	// pessimistic cardinality — a wrong estimate only affects which
+	// subqueries are delayed, never answer correctness.
+	dg := endpoint.DegradeFrom(ctx)
+	var results []federation.TaskResult
+	if dg.Active() {
+		results = cm.Handler.Run(ctx, tasks)
+	} else {
+		var ferr error
+		results, ferr = cm.Handler.RunFailFast(ctx, tasks)
+		if ferr != nil {
+			return sent, fmt.Errorf("count query: %w", ferr)
+		}
 	}
+	// pessimisticCard pushes an unprobeable pattern toward "delayed",
+	// where bound execution naturally limits its cost.
+	const pessimisticCard = 1e6
 	for i, tr := range results {
 		if tr.Err != nil {
+			if dg.Absorb(tr.Err) {
+				dg.Drop(tr.Task.EP.Name(), "", "count-estimation", tr.Err)
+				counts[order[i]] = pessimisticCard
+				continue
+			}
 			return sent, fmt.Errorf("count query: %w", tr.Err)
 		}
 		v, err := countValue(tr.Res)
 		if err != nil {
+			if dg.Absorb(err) {
+				dg.Drop(tr.Task.EP.Name(), "", "count-estimation", err)
+				counts[order[i]] = pessimisticCard
+				continue
+			}
 			return sent, err
 		}
 		counts[order[i]] = v

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
+	"lusail/internal/endpoint"
 	"lusail/internal/sparql"
 )
 
@@ -96,6 +98,14 @@ func (l *Lusail) Explain(ctx context.Context, query string) (*Plan, error) {
 	q, err := sparql.Parse(query)
 	if err != nil {
 		return nil, err
+	}
+	// Plan under the engine's degradation policy: with SkipEndpoint or
+	// BestEffort configured, a dead endpoint must not fail planning any
+	// more than it fails execution. The planning-local drops are not
+	// surfaced (the plan is advisory); ExplainAnalyze reports the
+	// execution's own completeness.
+	if endpoint.DegradeFrom(ctx) == nil && l.cfg.Degradation != endpoint.DegradeFail {
+		ctx = endpoint.WithDegrade(ctx, endpoint.NewDegrade(l.cfg.Degradation, time.Time{}))
 	}
 	g := q.Where
 	sel, err := l.selector.SelectPatterns(ctx, g.Patterns)

@@ -176,13 +176,28 @@ func (d *Decomposer) DetectGJVs(ctx context.Context, patterns []sparql.TriplePat
 	}
 	rep.CheckQueries = len(tasks)
 	// Fail fast: the GJV broadcast is all-or-nothing, so the first
-	// check-query failure cancels the sibling probes.
-	results, err := d.Handler.RunFailFast(ctx, tasks)
-	if err != nil {
-		return nil, fmt.Errorf("lade check query: %w", err)
+	// check-query failure cancels the sibling probes. Under an active
+	// degradation policy an unanswerable check conservatively flags the
+	// variable global: over-flagging a GJV only splits subqueries more
+	// finely, never produces wrong answers.
+	dg := endpoint.DegradeFrom(ctx)
+	var results []federation.TaskResult
+	if dg.Active() {
+		results = d.Handler.Run(ctx, tasks)
+	} else {
+		var err error
+		results, err = d.Handler.RunFailFast(ctx, tasks)
+		if err != nil {
+			return nil, fmt.Errorf("lade check query: %w", err)
+		}
 	}
 	for i, tr := range results {
 		if tr.Err != nil {
+			if dg.Absorb(tr.Err) {
+				dg.Drop(probes[i].ep.Name(), "", "gjv-checks", tr.Err)
+				flagged[probes[i].chk.v] = true
+				continue
+			}
 			return nil, fmt.Errorf("lade check query at %s: %w", probes[i].ep.Name(), tr.Err)
 		}
 		nonEmpty := tr.Res.Len() > 0

@@ -46,6 +46,29 @@ type Config struct {
 	// outside the resilient layer, so its latencies cover whole
 	// logical calls including retries and backoff.
 	Instrument bool
+	// Degradation selects how the engine responds to an endpoint whose
+	// retries exhaust (or whose breaker is open) mid-query. The default
+	// DegradeFail keeps today's all-or-nothing behavior; SkipEndpoint
+	// and BestEffort drop the failing endpoint's contribution, keep
+	// joining what remains, and annotate the result with a Completeness
+	// report.
+	Degradation endpoint.DegradePolicy
+	// QueryBudget, when > 0, bounds each query's wall-clock time. Under
+	// BestEffort an expired budget skips the remaining delayed
+	// subqueries and returns the (annotated) partial answer; under the
+	// other policies it fails the query like a deadline.
+	QueryBudget time.Duration
+	// Hedge, when non-nil, wraps every endpoint in a hedged decorator:
+	// phase-1 subqueries whose latency exceeds the endpoint's observed
+	// quantile get one backup attempt, first result wins. It layers
+	// outside Resilience (each attempt retries independently) and
+	// inside Instrument.
+	Hedge *endpoint.HedgeConfig
+	// BoundBlockBytes caps the approximate serialized size of one
+	// VALUES block in bound (phase-2) subqueries, on top of the
+	// BindBlockSize row cap (0 = 64 KiB). Oversized or rejected blocks
+	// are recursively bisected and retried.
+	BoundBlockBytes int
 	// QueryLog, when non-nil, receives a lifecycle event pair for
 	// every query execution (Execute, ExecuteMetrics, ExecuteTraced,
 	// and each ExecuteBatch member): QueryStarted assigns the query's
@@ -98,9 +121,21 @@ type Metrics struct {
 	// the query that actually issued the requests.
 	Retries      int
 	BreakerOpens int
+	// Hedges counts the backup attempts launched for this query's
+	// phase-1 requests (non-zero only with Config.Hedge set).
+	Hedges int
 	// SharedSubqueries counts subquery executions saved by the
 	// multi-query optimization cache (ExecuteBatch only).
 	SharedSubqueries int
+	// ChunkSplits counts the VALUES-block bisections phase-2 performed
+	// after an endpoint rejected or timed out on a block.
+	ChunkSplits int
+	// DroppedEndpoints counts the contributions a degraded execution
+	// dropped, and Completeness details them (nil unless a degradation
+	// policy or query budget was configured). Like Retries they are
+	// tracked per call, so concurrent executions do not cross-attribute.
+	DroppedEndpoints int
+	Completeness     *sparql.Completeness
 }
 
 // Total returns the total response time.
@@ -145,6 +180,12 @@ func New(eps []endpoint.Endpoint, cfg Config) *Lusail {
 		// queries, COUNT probes, and subquery evaluations all retry.
 		eps = endpoint.WrapResilient(eps, *cfg.Resilience)
 	}
+	if cfg.Hedge != nil {
+		// Outside the resilient layer so each hedge attempt gets its own
+		// retry/breaker handling; inside instrumentation so per-endpoint
+		// latencies observe the merged hedged call.
+		eps = endpoint.WrapHedged(eps, *cfg.Hedge)
+	}
 	if cfg.Instrument {
 		eps = endpoint.WrapInstrumented(eps)
 	}
@@ -161,6 +202,7 @@ func New(eps []endpoint.Endpoint, cfg Config) *Lusail {
 	l.cost = NewCostModel(eps, l.countCache)
 	l.executor = NewExecutor(eps)
 	l.executor.BindBlockSize = cfg.BindBlockSize
+	l.executor.BoundBlockBytes = cfg.BoundBlockBytes
 	l.executor.Workers = cfg.Workers
 	return l
 }
@@ -249,6 +291,13 @@ func (l *Lusail) ExecuteTraced(ctx context.Context, query string) (*sparql.Resul
 	if m.BreakerOpens > 0 {
 		tr.Root.Set("breaker_opens", int64(m.BreakerOpens))
 	}
+	if m.Hedges > 0 {
+		tr.Root.Set("hedges", int64(m.Hedges))
+	}
+	if m.DroppedEndpoints > 0 {
+		tr.Root.Set("dropped", int64(m.DroppedEndpoints))
+		tr.Root.Set("completeness", m.Completeness.String())
+	}
 	return res, m, tr, err
 }
 
@@ -287,9 +336,29 @@ func (l *Lusail) executeCached(ctx context.Context, query string, sqCache *Subqu
 	// executions (ExecuteBatch) do not double-count each other.
 	fc := endpoint.NewFaultCounters(endpoint.FaultCountersFrom(ctx))
 	ctx = endpoint.WithFaultCounters(ctx, fc)
+	// Degraded execution: the policy and the budget deadline ride the
+	// context like the fault counters, so every phase records dropped
+	// contributions against exactly this query.
+	var dg *endpoint.Degrade
+	if l.cfg.Degradation != endpoint.DegradeFail || l.cfg.QueryBudget > 0 {
+		var deadline time.Time
+		if l.cfg.QueryBudget > 0 {
+			deadline = time.Now().Add(l.cfg.QueryBudget)
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, deadline)
+			defer cancel()
+		}
+		dg = endpoint.NewDegrade(l.cfg.Degradation, deadline)
+		ctx = endpoint.WithDegrade(ctx, dg)
+	}
 	defer func() {
 		m.Retries = int(fc.Retries())
 		m.BreakerOpens = int(fc.BreakerOpens())
+		m.Hedges = int(fc.Hedges())
+		if dg != nil {
+			m.DroppedEndpoints = dg.DropCount()
+			m.Completeness = dg.Completeness()
+		}
 		l.mu.Lock()
 		l.last = m
 		l.mu.Unlock()
@@ -317,6 +386,9 @@ func (l *Lusail) executeCached(ctx context.Context, query string, sqCache *Subqu
 	if q.Form == sparql.AskForm {
 		res = sparql.NewAskResult(len(rows) > 0)
 	}
+	// Annotate after the ASK replacement so every result form carries
+	// the report.
+	res.Completeness = dg.Completeness()
 	sp.Set("rows", int64(res.Len()))
 	sp.End()
 	m.Execution += time.Since(t)
@@ -371,8 +443,17 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 	m.SourceSelection += time.Since(t)
 
 	// A required pattern with no relevant source empties the group.
+	// SkipEndpoint promises every required pattern keeps at least one
+	// live source, so an empty source list after a degraded selection is
+	// an error there; BestEffort accepts the (annotated) empty answer.
+	dg := endpoint.DegradeFrom(ctx)
 	for i := range g.Patterns {
 		if len(sel.Sources[i]) == 0 {
+			if dg.Policy() == endpoint.DegradeSkipEndpoint && dg.DropCount() > 0 {
+				return nil, nil, fmt.Errorf(
+					"lusail: pattern %d lost all relevant sources under skip-endpoint degradation (%s)",
+					i, dg.Completeness())
+			}
 			return nil, g.AllVars(), nil
 		}
 	}
@@ -576,6 +657,7 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 	m.Phase2Requests += stats.Phase2Requests
 	m.RefineRequests += stats.RefineRequests
 	m.BoundBlocks += stats.BoundBlocks
+	m.ChunkSplits += stats.ChunkSplits
 	m.Execution += time.Since(t)
 	return result.Rows, result.Vars, nil
 }

@@ -18,6 +18,11 @@ type Relation struct {
 	// Optional relations are left-joined rather than joined.
 	Optional      bool
 	OptionalGroup int
+	// Dropped records the contributions a degraded execution gave up on
+	// while materializing this relation. It travels with the relation
+	// through the batch subquery cache, so a query reusing a degraded
+	// cached result inherits its completeness annotations.
+	Dropped []sparql.Dropped
 }
 
 // Card returns the true cardinality.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"lusail/internal/endpoint"
@@ -86,6 +87,14 @@ type ExecStats struct {
 	// experiments can report recovery overhead per query.
 	Retries      int
 	BreakerOpens int
+	// ChunkSplits counts the VALUES-block bisections performed after an
+	// endpoint rejected or timed out on a bound block.
+	ChunkSplits int
+	// Dropped counts the contributions this execution gave up on under
+	// a degradation policy. Like Retries it is attributed per call via
+	// the context-attached Degrade state, so concurrent executions
+	// (ExecuteBatch) do not cross-attribute each other's drops.
+	Dropped int
 }
 
 // Executor runs SAPE (Algorithm 3): concurrent evaluation of
@@ -96,6 +105,11 @@ type Executor struct {
 	Handler   *federation.Handler
 	// BindBlockSize is the number of VALUES per bound-subquery block.
 	BindBlockSize int
+	// BoundBlockBytes caps the approximate serialized size of one
+	// VALUES block (0 = 64 KiB), complementing the row cap: many long
+	// IRIs can oversize a block long before it reaches BindBlockSize
+	// rows, and servers cap URL/body sizes, not row counts.
+	BoundBlockBytes int
 	// Workers bounds the parallel join workers.
 	Workers int
 }
@@ -130,9 +144,12 @@ func (ex *Executor) RunCached(ctx context.Context, sqs []*Subquery, extra []*Rel
 	// totals, which would double-count under concurrent executions.
 	fc := endpoint.NewFaultCounters(endpoint.FaultCountersFrom(ctx))
 	ctx = endpoint.WithFaultCounters(ctx, fc)
+	dg := endpoint.DegradeFrom(ctx)
+	dropsBefore := dg.DropCount()
 	defer func() {
 		stats.Retries += int(fc.Retries())
 		stats.BreakerOpens += int(fc.BreakerOpens())
+		stats.Dropped += dg.DropCount() - dropsBefore
 	}()
 	fb := newFoundBindings()
 
@@ -174,6 +191,9 @@ func (ex *Executor) RunCached(ctx context.Context, sqs []*Subquery, extra []*Rel
 		}
 	}
 	p1Ctx, p1Span, p1FC := startPhase(ctx, "phase1")
+	// Only phase-1 unbound subqueries opt in to hedging: probes are
+	// cheap and bound blocks carry VALUES payloads too large to double.
+	p1Ctx = endpoint.WithHedging(p1Ctx)
 	rels, err := ex.runPhase1(p1Ctx, phase1, stats, sqCache)
 	endPhase(p1Span, p1FC)
 	if err != nil {
@@ -198,6 +218,16 @@ func (ex *Executor) RunCached(ctx context.Context, sqs []*Subquery, extra []*Rel
 		p2Ctx, p2Span, p2FC = startPhase(ctx, "phase2")
 	}
 	for len(delayed) > 0 {
+		// BestEffort stops issuing delayed subqueries once the query
+		// budget expires: the remaining ones are skipped (the result may
+		// then be a superset of the exact answer) and annotated. Other
+		// policies let the context deadline fail the next request.
+		if dg.Policy() == endpoint.DegradeBestEffort && dg.BudgetExpired() {
+			for _, sq := range delayed {
+				dg.Drop("", sqLabel(sq), "phase2", context.DeadlineExceeded)
+			}
+			break
+		}
 		idx := ex.pickMostSelective(delayed, fb)
 		sq := delayed[idx]
 		delayed = append(delayed[:idx], delayed[idx+1:]...)
@@ -256,17 +286,32 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 		stats.Phase1Requests = len(tasks)
 		// Fail fast: the first terminal subquery error cancels the
 		// sibling in-flight evaluations instead of letting them burn
-		// their full network budget.
-		results, ferr := ex.Handler.RunFailFast(ctx, tasks)
-		if ferr != nil {
-			return nil, fmt.Errorf("sape phase 1: %w", ferr)
+		// their full network budget. Under an active degradation policy
+		// the batch runs to completion instead and a failed evaluation
+		// drops that endpoint's contribution to the subquery.
+		dg := endpoint.DegradeFrom(ctx)
+		var results []federation.TaskResult
+		if dg.Active() {
+			results = ex.Handler.Run(ctx, tasks)
+		} else {
+			var ferr error
+			results, ferr = ex.Handler.RunFailFast(ctx, tasks)
+			if ferr != nil {
+				return nil, fmt.Errorf("sape phase 1: %w", ferr)
+			}
 		}
 		// Per-subquery latency is the slowest of its per-endpoint tasks
 		// (the parallel critical path), taken from the handler's
 		// per-task timings.
 		durs := map[*Subquery]time.Duration{}
+		failedBySq := map[*Subquery]int{}
 		for i, tr := range results {
 			if tr.Err != nil {
+				if dg.Absorb(tr.Err) {
+					dg.Drop(tr.Task.EP.Name(), sqLabel(taskSq[i]), "phase1", tr.Err)
+					failedBySq[taskSq[i]]++
+					continue
+				}
 				return nil, fmt.Errorf("sape phase 1: %w", tr.Err)
 			}
 			rels[taskSq[i]].Rows = append(rels[taskSq[i]].Rows, tr.Res.Rows...)
@@ -275,6 +320,13 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 			}
 		}
 		for _, sq := range phase1 {
+			// SkipEndpoint promises every required subquery keeps at
+			// least one live source; a subquery that lost all of them is
+			// an error there (BestEffort accepts the empty contribution).
+			if n := failedBySq[sq]; n > 0 && n == len(sq.Sources) && !sq.Optional &&
+				dg.Policy() == endpoint.DegradeSkipEndpoint {
+				return nil, fmt.Errorf("sape phase 1: subquery %s lost all %d sources under skip-endpoint degradation", sqLabel(sq), n)
+			}
 			dedupFullProjection(sq, rels[sq])
 			recordSubquerySpan(sp, sq, rels[sq], durs[sq], len(sq.Sources))
 		}
@@ -323,6 +375,7 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 			ch <- outcome{sq: sq, rel: rel, n: n, dur: time.Since(start), computed: computed, err: err}
 		}(sq)
 	}
+	dg := endpoint.DegradeFrom(ctx)
 	var firstErr error
 	for range phase1 {
 		o := <-ch
@@ -334,8 +387,12 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 			continue
 		}
 		// Shallow-copy: concurrent queries share cached rows, but the
-		// per-query Optional marking must not leak across.
-		rels[o.sq] = &Relation{Vars: o.rel.Vars, Rows: o.rel.Rows, Partitions: o.rel.Partitions}
+		// per-query Optional marking must not leak across. Drops stamped
+		// on a degraded cached relation are merged into THIS query's
+		// state, so a batch member reusing a partial shared result still
+		// reports it in its own Completeness.
+		rels[o.sq] = &Relation{Vars: o.rel.Vars, Rows: o.rel.Rows, Partitions: o.rel.Partitions, Dropped: o.rel.Dropped}
+		dg.Merge(o.rel.Dropped)
 		stats.Phase1Requests += o.n
 		sqSpan := recordSubquerySpan(sp, o.sq, rels[o.sq], o.dur, o.n)
 		if !o.computed {
@@ -371,8 +428,16 @@ func recordSubquerySpan(parent *trace.Span, sq *Subquery, rel *Relation, dur tim
 	return sp
 }
 
+// sqLabel renders a subquery's identity for completeness reports and
+// trace spans.
+func sqLabel(sq *Subquery) string { return fmt.Sprintf("sq%d", sq.ID) }
+
 // evalSubqueryUnbound broadcasts one subquery to its sources and
-// concatenates the per-endpoint results.
+// concatenates the per-endpoint results. Under an active degradation
+// policy, a failed source's contribution is dropped and recorded on
+// the relation itself (not the context's Degrade state): the relation
+// may be shared across batch queries through the subquery cache, and
+// each consumer merges the drops into its own completeness report.
 func (ex *Executor) evalSubqueryUnbound(ctx context.Context, sq *Subquery) (*Relation, error) {
 	rel := &Relation{Vars: append([]sparql.Var(nil), sq.ProjVars...), Partitions: len(sq.Sources)}
 	text := sq.Query().String()
@@ -380,15 +445,32 @@ func (ex *Executor) evalSubqueryUnbound(ctx context.Context, sq *Subquery) (*Rel
 	for _, ei := range sq.Sources {
 		tasks = append(tasks, federation.Task{EP: ex.Endpoints[ei], Query: text})
 	}
-	results, ferr := ex.Handler.RunFailFast(ctx, tasks)
-	if ferr != nil {
-		return nil, ferr
+	dg := endpoint.DegradeFrom(ctx)
+	var results []federation.TaskResult
+	if dg.Active() {
+		results = ex.Handler.Run(ctx, tasks)
+	} else {
+		var ferr error
+		results, ferr = ex.Handler.RunFailFast(ctx, tasks)
+		if ferr != nil {
+			return nil, ferr
+		}
 	}
+	failed := 0
 	for _, tr := range results {
 		if tr.Err != nil {
+			if dg.Absorb(tr.Err) {
+				rel.Dropped = append(rel.Dropped, dg.DropRecord(tr.Task.EP.Name(), sqLabel(sq), "phase1", tr.Err))
+				failed++
+				continue
+			}
 			return nil, tr.Err
 		}
 		rel.Rows = append(rel.Rows, tr.Res.Rows...)
+	}
+	if failed > 0 && failed == len(tasks) && !sq.Optional &&
+		dg.Policy() == endpoint.DegradeSkipEndpoint {
+		return nil, fmt.Errorf("subquery %s lost all %d sources under skip-endpoint degradation", sqLabel(sq), failed)
 	}
 	dedupFullProjection(sq, rel)
 	return rel, nil
@@ -470,10 +552,12 @@ func (ex *Executor) runBound(ctx context.Context, sq *Subquery, fb *foundBinding
 	}
 
 	blocksBefore := stats.BoundBlocks
-	var queries []string
+	// blocks are the VALUES chunks; a single nil block is the unbound
+	// fallback (one plain query, nothing to bisect).
+	var blocks [][]rdf.Term
 	switch {
 	case bindN < 0:
-		queries = []string{sq.Query().String()}
+		blocks = [][]rdf.Term{nil}
 	case bindN == 0:
 		// No candidate values: a required subquery would make the join
 		// empty; an optional one contributes nothing.
@@ -481,24 +565,16 @@ func (ex *Executor) runBound(ctx context.Context, sq *Subquery, fb *foundBinding
 		sp.Set("decision", "empty-candidates")
 		return rel, nil
 	default:
-		values := fb.valuesFor(bindVar)
-		block := ex.BindBlockSize
-		if block <= 0 {
-			block = 100
+		maxRows := ex.BindBlockSize
+		if maxRows <= 0 {
+			maxRows = 100
 		}
-		for lo := 0; lo < len(values); lo += block {
-			hi := lo + block
-			if hi > len(values) {
-				hi = len(values)
-			}
-			q := sq.Query()
-			q.Where.Values = append(q.Where.Values, &sparql.ValuesBlock{
-				Vars: []sparql.Var{bindVar},
-				Rows: termRows(values[lo:hi]),
-			})
-			queries = append(queries, q.String())
-			stats.BoundBlocks++
+		maxBytes := ex.BoundBlockBytes
+		if maxBytes <= 0 {
+			maxBytes = 64 * 1024
 		}
+		blocks = chunkValues(fb.valuesFor(bindVar), maxRows, maxBytes)
+		stats.BoundBlocks += len(blocks)
 	}
 
 	sources := sq.Sources
@@ -513,30 +589,67 @@ func (ex *Executor) runBound(ctx context.Context, sq *Subquery, fb *foundBinding
 		refined = true
 	}
 
-	var tasks []federation.Task
-	for _, text := range queries {
-		for _, ei := range sources {
-			tasks = append(tasks, federation.Task{EP: ex.Endpoints[ei], Query: text})
-		}
+	// Each source runs its blocks sequentially (so an endpoint dying
+	// between chunks keeps the chunks already fetched); sources run
+	// concurrently. An unabsorbable failure cancels the siblings, like
+	// the fail-fast batch it replaces.
+	dg := endpoint.DegradeFrom(ctx)
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type srcOutcome struct {
+		rows     []sparql.Binding
+		requests int
+		splits   int
+		err      error
 	}
-	stats.Phase2Requests += len(tasks)
-	// Fail fast: one failed bound block cancels the sibling blocks.
-	results, ferr := ex.Handler.RunFailFast(ctx, tasks)
-	if ferr != nil {
-		return nil, fmt.Errorf("sape phase 2 (%s): %w", sq, ferr)
+	outs := make([]srcOutcome, len(sources))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for si, ei := range sources {
+		wg.Add(1)
+		go func(si, ei int) {
+			defer wg.Done()
+			rows, requests, splits, err := ex.runBoundAt(bctx, sq, bindVar, blocks, ei)
+			outs[si] = srcOutcome{rows: rows, requests: requests, splits: splits, err: err}
+			if err != nil && !dg.Absorb(err) {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				mu.Unlock()
+			}
+		}(si, ei)
 	}
-	for _, tr := range results {
-		if tr.Err != nil {
-			return nil, fmt.Errorf("sape phase 2 (%s): %w", sq, tr.Err)
+	wg.Wait()
+	requests := 0
+	failed := 0
+	for si, o := range outs {
+		requests += o.requests
+		stats.Phase2Requests += o.requests
+		stats.ChunkSplits += o.splits
+		if o.err != nil && firstErr == nil {
+			// Absorbed: keep the chunks fetched before the failure, drop
+			// the endpoint's remaining contribution.
+			dg.Drop(ex.Endpoints[sources[si]].Name(), sqLabel(sq), "phase2", o.err)
+			failed++
 		}
-		rel.Rows = append(rel.Rows, tr.Res.Rows...)
+		rel.Rows = append(rel.Rows, o.rows...)
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("sape phase 2 (%s): %w", sq, firstErr)
+	}
+	if failed > 0 && failed == len(sources) && !sq.Optional &&
+		dg.Policy() == endpoint.DegradeSkipEndpoint {
+		return nil, fmt.Errorf("sape phase 2 (%s): all %d sources failed under skip-endpoint degradation", sq, failed)
 	}
 	dedupFullProjection(sq, rel)
 	rel.Partitions = len(sources)
 	if rel.Partitions < 1 {
 		rel.Partitions = 1
 	}
-	sp := recordSubquerySpan(trace.SpanFrom(ctx), sq, rel, time.Since(start), len(tasks))
+	sp := recordSubquerySpan(trace.SpanFrom(ctx), sq, rel, time.Since(start), requests)
 	if sp != nil {
 		if bindN < 0 {
 			sp.Set("decision", "unbound-fallback")
@@ -547,8 +660,106 @@ func (ex *Executor) runBound(ctx context.Context, sq *Subquery, fb *foundBinding
 		if refined {
 			sp.Set("sources_refined", int64(len(sources)))
 		}
+		splits := 0
+		for _, o := range outs {
+			splits += o.splits
+		}
+		if splits > 0 {
+			sp.Set("chunk_splits", int64(splits))
+		}
+		if failed > 0 {
+			sp.Set("dropped_sources", int64(failed))
+		}
 	}
 	return rel, nil
+}
+
+// chunkValues splits the candidate values into VALUES blocks capped by
+// both row count and approximate serialized bytes.
+func chunkValues(values []rdf.Term, maxRows, maxBytes int) [][]rdf.Term {
+	var out [][]rdf.Term
+	var cur []rdf.Term
+	bytes := 0
+	for _, t := range values {
+		sz := len(t.String()) + 4
+		if len(cur) > 0 && (len(cur) >= maxRows || bytes+sz > maxBytes) {
+			out = append(out, cur)
+			cur, bytes = nil, 0
+		}
+		cur = append(cur, t)
+		bytes += sz
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// boundQuery renders sq with one VALUES block over bindVar; a nil
+// values slice renders the plain (unbound) query.
+func boundQuery(sq *Subquery, bindVar sparql.Var, values []rdf.Term) string {
+	if values == nil {
+		return sq.Query().String()
+	}
+	q := sq.Query()
+	q.Where.Values = append(q.Where.Values, &sparql.ValuesBlock{
+		Vars: []sparql.Var{bindVar},
+		Rows: termRows(values),
+	})
+	return q.String()
+}
+
+// splittableBoundError reports whether a failed VALUES block is worth
+// bisecting: the endpoint rejected the request as oversized or
+// malformed (400/413/414), or the attempt timed out while the caller's
+// own context is still live — halves are smaller and faster, so
+// retrying them can succeed where the whole block cannot.
+func splittableBoundError(ctx context.Context, err error) bool {
+	var he *endpoint.HTTPError
+	if errors.As(err, &he) {
+		switch he.Status {
+		case 400, 413, 414:
+			return true
+		}
+	}
+	return ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded)
+}
+
+// runBoundAt runs the blocks sequentially at one endpoint, recursively
+// bisecting blocks the endpoint rejects. It reports the rows fetched,
+// the requests issued, the number of splits, and the first
+// unrecoverable error; rows fetched before the error are returned so a
+// degradation policy can keep them.
+func (ex *Executor) runBoundAt(ctx context.Context, sq *Subquery, bindVar sparql.Var, blocks [][]rdf.Term, ei int) (rows []sparql.Binding, requests, splits int, err error) {
+	var run func(values []rdf.Term) error
+	run = func(values []rdf.Term) error {
+		requests++
+		results := ex.Handler.Run(ctx, []federation.Task{
+			{EP: ex.Endpoints[ei], Query: boundQuery(sq, bindVar, values)},
+		})
+		tr := results[0]
+		if tr.Err == nil {
+			rows = append(rows, tr.Res.Rows...)
+			return nil
+		}
+		// Bisection terminates: each recursion strictly halves the
+		// block, and a single-value block that still fails is permanent.
+		if len(values) > 1 && splittableBoundError(ctx, tr.Err) {
+			splits++
+			mid := len(values) / 2
+			if err := run(values[:mid]); err != nil {
+				return err
+			}
+			return run(values[mid:])
+		}
+		return tr.Err
+	}
+	for _, b := range blocks {
+		if err = run(b); err != nil {
+			return rows, requests, splits, err
+		}
+	}
+	return rows, requests, splits, nil
 }
 
 // dedupFullProjection removes duplicate rows collected from multiple

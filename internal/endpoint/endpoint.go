@@ -46,6 +46,9 @@ type Stats struct {
 	BreakerOpens int64 // requests rejected fast by an open circuit breaker
 	Timeouts     int64 // attempts that hit the per-request timeout
 
+	Hedges    int64 // backup attempts launched by a hedged decorator
+	HedgeWins int64 // hedged requests the backup attempt won
+
 	// Errors counts failed calls observed by an Instrumented decorator
 	// (after any retries underneath), and Latency is its fixed-bucket
 	// client-side latency histogram; both stay zero without one.
@@ -62,6 +65,8 @@ func (s *Stats) Add(o Stats) {
 	s.Retries += o.Retries
 	s.BreakerOpens += o.BreakerOpens
 	s.Timeouts += o.Timeouts
+	s.Hedges += o.Hedges
+	s.HedgeWins += o.HedgeWins
 	s.Errors += o.Errors
 	s.Latency.Add(o.Latency)
 }

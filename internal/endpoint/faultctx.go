@@ -19,6 +19,7 @@ type FaultCounters struct {
 	retries      atomic.Int64
 	breakerOpens atomic.Int64
 	timeouts     atomic.Int64
+	hedges       atomic.Int64
 }
 
 // NewFaultCounters returns a counter set chained to parent (nil for a
@@ -35,6 +36,9 @@ func (c *FaultCounters) BreakerOpens() int64 { return c.breakerOpens.Load() }
 
 // Timeouts reports the attempts that hit the per-attempt timeout.
 func (c *FaultCounters) Timeouts() int64 { return c.timeouts.Load() }
+
+// Hedges reports the backup attempts launched by hedged endpoints.
+func (c *FaultCounters) Hedges() int64 { return c.hedges.Load() }
 
 // The add helpers are nil-safe so call sites can use
 // FaultCountersFrom(ctx).addRetry() without a nil check.
@@ -54,6 +58,12 @@ func (c *FaultCounters) addBreakerOpen() {
 func (c *FaultCounters) addTimeout() {
 	for ; c != nil; c = c.parent {
 		c.timeouts.Add(1)
+	}
+}
+
+func (c *FaultCounters) addHedge() {
+	for ; c != nil; c = c.parent {
+		c.hedges.Add(1)
 	}
 }
 

@@ -36,6 +36,22 @@ type FaultConfig struct {
 	// SlowBy adds a fixed extra latency to every request, modelling a
 	// degraded link or an overloaded server.
 	SlowBy time.Duration
+	// Down fails every request with a transient connection-refused
+	// style error, modelling a hard-down endpoint that never recovers.
+	Down bool
+	// MaxRequestBytes, when > 0, rejects any query whose serialized
+	// length exceeds the limit with an HTTPError (OversizeStatus),
+	// modelling servers that cap URL or body size. The rejection is a
+	// 4xx: non-retryable, so only re-chunking the request can succeed.
+	MaxRequestBytes int
+	// OversizeStatus is the HTTP status for oversized requests;
+	// defaults to 413 (414 models a GET URL-length cap).
+	OversizeStatus int
+	// FlapDownFor/FlapUpFor, when both > 0, cycle the endpoint: the
+	// first FlapDownFor requests fail (transient), the next FlapUpFor
+	// succeed, and so on — modelling a flapping endpoint.
+	FlapDownFor int
+	FlapUpFor   int
 }
 
 // Faulty is a first-class fault-injection endpoint wrapper: it
@@ -94,6 +110,25 @@ func (f *Faulty) Query(ctx context.Context, query string) (*sparql.Results, erro
 	}
 	f.mu.Unlock()
 
+	if f.cfg.Down {
+		f.injected.Add(1)
+		return nil, Transient(fmt.Errorf("faulty endpoint %s: connection refused (down)", f.Name()))
+	}
+	if f.cfg.FlapDownFor > 0 && f.cfg.FlapUpFor > 0 {
+		if (n-1)%int64(f.cfg.FlapDownFor+f.cfg.FlapUpFor) < int64(f.cfg.FlapDownFor) {
+			f.injected.Add(1)
+			return nil, Transient(fmt.Errorf("faulty endpoint %s: connection refused (flapping, request %d)", f.Name(), n))
+		}
+	}
+	if f.cfg.MaxRequestBytes > 0 && len(query) > f.cfg.MaxRequestBytes {
+		f.injected.Add(1)
+		status := f.cfg.OversizeStatus
+		if status == 0 {
+			status = 413
+		}
+		return nil, &HTTPError{Endpoint: f.Name(), Status: status, Body: fmt.Sprintf(
+			"request of %d bytes exceeds limit %d", len(query), f.cfg.MaxRequestBytes)}
+	}
 	if f.cfg.Hang || (f.cfg.HangOn != "" && strings.Contains(query, f.cfg.HangOn)) {
 		f.injected.Add(1)
 		<-ctx.Done()

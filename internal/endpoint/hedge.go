@@ -1,0 +1,225 @@
+package endpoint
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"lusail/internal/sparql"
+)
+
+// HedgeConfig tunes the Hedged decorator.
+type HedgeConfig struct {
+	// Quantile of the endpoint's observed latency distribution at which
+	// a backup attempt is launched (default 0.95).
+	Quantile float64
+	// MinSamples is the number of completed requests required before
+	// hedging arms; with fewer observations the quantile estimate is
+	// noise (default 20).
+	MinSamples int
+	// MinDelay is a lower bound on the hedge trigger delay, so a very
+	// fast endpoint does not double every request (default 1ms).
+	MinDelay time.Duration
+}
+
+// DefaultHedge returns the default hedging configuration.
+func DefaultHedge() HedgeConfig {
+	return HedgeConfig{Quantile: 0.95, MinSamples: 20, MinDelay: time.Millisecond}
+}
+
+func (c HedgeConfig) withDefaults() HedgeConfig {
+	if c.Quantile <= 0 || c.Quantile > 1 {
+		c.Quantile = 0.95
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 20
+	}
+	if c.MinDelay <= 0 {
+		c.MinDelay = time.Millisecond
+	}
+	return c
+}
+
+type hedgeKey struct{}
+
+// WithHedging marks ctx as eligible for hedged requests. The executor
+// sets it only around phase-1 unbound subqueries: check, COUNT, and
+// bound requests are either cheap probes or carry VALUES payloads big
+// enough that doubling them is a poor trade.
+func WithHedging(ctx context.Context) context.Context {
+	return context.WithValue(ctx, hedgeKey{}, true)
+}
+
+// HedgingAllowed reports whether ctx opted in to hedged requests.
+func HedgingAllowed(ctx context.Context) bool {
+	ok, _ := ctx.Value(hedgeKey{}).(bool)
+	return ok
+}
+
+// Hedged decorates an endpoint with tail-latency hedging: once a
+// request (on an opted-in context) has been in flight longer than the
+// endpoint's configured latency quantile, one backup attempt is
+// launched and the first result wins; the loser's context is
+// cancelled. It sits between the resilient and instrumented layers, so
+// each attempt gets its own retries/breaker handling underneath, and
+// the instrumentation above observes the merged call.
+type Hedged struct {
+	inner Endpoint
+	cfg   HedgeConfig
+
+	// Own completion-latency histogram (not the Instrumented one, which
+	// wraps this decorator and would observe merged hedged calls).
+	buckets  [numBuckets]atomic.Int64
+	sumNanos atomic.Int64
+
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+}
+
+// NewHedged wraps inner with hedging per cfg.
+func NewHedged(inner Endpoint, cfg HedgeConfig) *Hedged {
+	return &Hedged{inner: inner, cfg: cfg.withDefaults()}
+}
+
+// WrapHedged wraps every endpoint with its own hedging state.
+func WrapHedged(eps []Endpoint, cfg HedgeConfig) []Endpoint {
+	out := make([]Endpoint, len(eps))
+	for i, ep := range eps {
+		out[i] = NewHedged(ep, cfg)
+	}
+	return out
+}
+
+// Name implements Endpoint.
+func (h *Hedged) Name() string { return h.inner.Name() }
+
+// Inner exposes the wrapped endpoint (breaker-status chain walking).
+func (h *Hedged) Inner() Endpoint { return h.inner }
+
+// Hedges reports the backup attempts launched.
+func (h *Hedged) Hedges() int64 { return h.hedges.Load() }
+
+// HedgeWins reports the hedged requests won by the backup attempt.
+func (h *Hedged) HedgeWins() int64 { return h.hedgeWins.Load() }
+
+// triggerDelay returns the hedge trigger, or 0 when not yet armed.
+func (h *Hedged) triggerDelay() time.Duration {
+	var hist LatencyHistogram
+	for i := range h.buckets {
+		hist.Counts[i] = h.buckets[i].Load()
+	}
+	if hist.Count() < int64(h.cfg.MinSamples) {
+		return 0
+	}
+	d := hist.Quantile(h.cfg.Quantile)
+	if d < h.cfg.MinDelay {
+		d = h.cfg.MinDelay
+	}
+	return d
+}
+
+// observe records the latency of one completed (non-cancelled) attempt.
+func (h *Hedged) observe(d time.Duration) {
+	h.buckets[bucketOf(d)].Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+type hedgeOutcome struct {
+	res    *sparql.Results
+	err    error
+	backup bool
+}
+
+// Query delegates to the inner endpoint, launching one backup attempt
+// when the primary outlives the latency-quantile trigger.
+func (h *Hedged) Query(ctx context.Context, query string) (*sparql.Results, error) {
+	delay := time.Duration(0)
+	if HedgingAllowed(ctx) {
+		delay = h.triggerDelay()
+	}
+	if delay <= 0 {
+		start := time.Now()
+		res, err := h.inner.Query(ctx, query)
+		if ctx.Err() == nil {
+			h.observe(time.Since(start))
+		}
+		return res, err
+	}
+
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Buffered so the losing attempt's send never blocks after the
+	// winner returns and cancel() unblocks it.
+	out := make(chan hedgeOutcome, 2)
+	attempt := func(backup bool) {
+		start := time.Now()
+		res, err := h.inner.Query(hctx, query)
+		if hctx.Err() == nil {
+			h.observe(time.Since(start))
+		}
+		out <- hedgeOutcome{res: res, err: err, backup: backup}
+	}
+
+	go attempt(false)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	launched := false
+	pending := 1
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if !launched {
+				launched = true
+				pending++
+				h.hedges.Add(1)
+				FaultCountersFrom(ctx).addHedge()
+				go attempt(true)
+			}
+		case o := <-out:
+			pending--
+			if o.err == nil {
+				if o.backup {
+					h.hedgeWins.Add(1)
+				}
+				return o.res, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if pending == 0 {
+				return nil, firstErr
+			}
+			if !launched {
+				// Primary failed before the trigger: no point hedging a
+				// request whose error was not slowness.
+				return nil, firstErr
+			}
+		}
+	}
+}
+
+// Stats merges the inner endpoint's counters with the hedge counters.
+func (h *Hedged) Stats() Stats {
+	var s Stats
+	if ss, ok := h.inner.(StatsSource); ok {
+		s = ss.Stats()
+	}
+	s.Hedges += h.hedges.Load()
+	s.HedgeWins += h.hedgeWins.Load()
+	return s
+}
+
+// ResetStats zeroes the decorator's and the inner counters.
+func (h *Hedged) ResetStats() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.sumNanos.Store(0)
+	h.hedges.Store(0)
+	h.hedgeWins.Store(0)
+	if ss, ok := h.inner.(StatsSource); ok {
+		ss.ResetStats()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"lusail/internal/endpoint"
 	"lusail/internal/engine"
@@ -241,5 +242,63 @@ func TestReconstructTriple(t *testing.T) {
 	}
 	if _, ok := ReconstructTriple(tp, sparql.Binding{}); ok {
 		t.Error("unbound variable should fail reconstruction")
+	}
+}
+
+func TestSelectDegradesOnEndpointFailure(t *testing.T) {
+	// With an active degrade context, a dead endpoint is treated as
+	// not-relevant and recorded as a source-selection drop instead of
+	// failing the whole selection.
+	ep1, ep2 := testfed.Universities()
+	dead := endpoint.NewFaulty(ep2, endpoint.FaultConfig{Down: true})
+	cache := NewAskCache()
+	sel := NewSelector([]endpoint.Endpoint{ep1, dead}, cache)
+	q := sparql.MustParse(testfed.QaChain)
+
+	// Without a degrade context the failure surfaces, as before.
+	if _, err := sel.SelectPatterns(context.Background(), q.Where.Patterns); err == nil {
+		t.Fatal("dead endpoint went unnoticed without a degrade policy")
+	}
+
+	dg := endpoint.NewDegrade(endpoint.DegradeBestEffort, time.Time{})
+	ctx := endpoint.WithDegrade(context.Background(), dg)
+	selection, err := sel.SelectPatterns(ctx, q.Where.Patterns)
+	if err != nil {
+		t.Fatalf("degraded selection failed: %v", err)
+	}
+	for i, srcs := range selection.Sources {
+		for _, s := range srcs {
+			if s == 1 {
+				t.Errorf("pattern %d still lists the dead endpoint as a source", i)
+			}
+		}
+	}
+	if dg.DropCount() == 0 {
+		t.Fatal("dead endpoint was not recorded as a drop")
+	}
+	for _, d := range dg.Drops() {
+		if d.Endpoint != "EP2" || d.Phase != "source-selection" {
+			t.Errorf("drop = %+v, want EP2@source-selection", d)
+		}
+	}
+
+	// The failed probes must not be cached as authoritative
+	// not-relevant answers: the same cache with the endpoint recovered
+	// (unwrapped) must re-consult it and find it relevant.
+	healthy := NewSelector([]endpoint.Endpoint{ep1, ep2}, cache)
+	full, err := healthy.SelectPatterns(context.Background(), q.Where.Patterns)
+	if err != nil {
+		t.Fatalf("healthy selection: %v", err)
+	}
+	ep2Relevant := false
+	for _, srcs := range full.Sources {
+		for _, s := range srcs {
+			if s == 1 {
+				ep2Relevant = true
+			}
+		}
+	}
+	if !ep2Relevant {
+		t.Error("fixture does not exercise EP2 relevance; test is vacuous")
 	}
 }

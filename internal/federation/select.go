@@ -183,16 +183,34 @@ func (s *Selector) SelectPatterns(ctx context.Context, patterns []sparql.TripleP
 	}
 	sel.AskRequests = len(tasks)
 	// Fail fast: the first ASK failure aborts the whole selection, so
-	// sibling probes are cancelled instead of run to completion.
-	results, err := s.Handler.RunFailFast(ctx, tasks)
-	if err != nil {
-		return nil, fmt.Errorf("source selection: %w", err)
+	// sibling probes are cancelled instead of run to completion. Under
+	// an active degradation policy the probes instead run to completion
+	// and a failed ASK drops that endpoint for the pattern: later
+	// phases never target it, so the result is exactly the answer set
+	// derivable from the surviving endpoints.
+	dg := endpoint.DegradeFrom(ctx)
+	var results []TaskResult
+	if dg.Active() {
+		results = s.Handler.Run(ctx, tasks)
+	} else {
+		var err error
+		results, err = s.Handler.RunFailFast(ctx, tasks)
+		if err != nil {
+			return nil, fmt.Errorf("source selection: %w", err)
+		}
 	}
 	for i, tr := range results {
+		pr := probes[i]
 		if tr.Err != nil {
+			if dg.Absorb(tr.Err) {
+				// Treat the endpoint as not relevant for this pattern,
+				// but do not cache the verdict: it reflects a fault, not
+				// the endpoint's data.
+				dg.Drop(tr.Task.EP.Name(), "", "source-selection", tr.Err)
+				continue
+			}
 			return nil, fmt.Errorf("source selection at %s: %w", tr.Task.EP.Name(), tr.Err)
 		}
-		pr := probes[i]
 		val := tr.Res.Ask
 		s.Cache.Put(s.Endpoints[pr.ep].Name(), PatternSig(patterns[pr.pattern]), val)
 		if val {

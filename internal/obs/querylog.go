@@ -47,16 +47,20 @@ type QueryRecord struct {
 	Start      time.Time `json:"start"`
 	DurationMs float64   `json:"duration_ms"`
 	// Rows is -1 when the query failed before producing results.
-	Rows         int     `json:"rows"`
-	Requests     int     `json:"requests"`
-	Retries      int     `json:"retries,omitempty"`
-	BreakerOpens int     `json:"breaker_opens,omitempty"`
-	Error        string  `json:"error,omitempty"`
-	ErrorClass   string  `json:"error_class,omitempty"`
-	Slow         bool    `json:"slow,omitempty"`
-	SourceSelMs  float64 `json:"source_selection_ms"`
-	AnalysisMs   float64 `json:"analysis_ms"`
-	ExecutionMs  float64 `json:"execution_ms"`
+	Rows         int `json:"rows"`
+	Requests     int `json:"requests"`
+	Retries      int `json:"retries,omitempty"`
+	BreakerOpens int `json:"breaker_opens,omitempty"`
+	// Degraded marks a query that returned partial results; Dropped is
+	// the number of contributions its degraded execution gave up on.
+	Degraded    bool    `json:"degraded,omitempty"`
+	Dropped     int     `json:"dropped,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	ErrorClass  string  `json:"error_class,omitempty"`
+	Slow        bool    `json:"slow,omitempty"`
+	SourceSelMs float64 `json:"source_selection_ms"`
+	AnalysisMs  float64 `json:"analysis_ms"`
+	ExecutionMs float64 `json:"execution_ms"`
 	// SpanTree is the rendered execution trace, captured only for
 	// slow queries of traced executions.
 	SpanTree string `json:"span_tree,omitempty"`
@@ -111,6 +115,10 @@ func NewQueryLog(cfg QueryLogConfig) *QueryLog {
 		// the first query already shows them at zero.
 		q.reg.Counter("lusail_queries_total", "Federated queries executed.")
 		q.reg.Counter("lusail_slow_queries_total", "Queries at or above the slow-query threshold.")
+		q.reg.Counter("lusail_degraded_queries_total", "Queries that returned partial results under a degradation policy.")
+		q.reg.Counter("lusail_dropped_endpoints_total", "Endpoint contributions dropped by degraded executions.")
+		q.reg.Counter("lusail_values_chunk_splits_total", "VALUES block bisections forced by endpoint request limits or timeouts.")
+		q.reg.Counter("lusail_hedges_total", "Backup (hedged) requests launched for slow phase-1 subqueries.")
 		q.reg.Histogram("lusail_query_duration_seconds", "Federated query latency.", nil)
 	}
 	return q
@@ -162,6 +170,8 @@ func (q *QueryLog) QueryFinished(id, query string, m core.Metrics, rows int, err
 		Requests:     m.RemoteRequests(),
 		Retries:      m.Retries,
 		BreakerOpens: m.BreakerOpens,
+		Degraded:     m.Completeness != nil && !m.Completeness.Complete,
+		Dropped:      m.DroppedEndpoints,
 		ErrorClass:   cls,
 		SourceSelMs:  durMs(m.SourceSelection),
 		AnalysisMs:   durMs(m.Analysis),
@@ -182,6 +192,13 @@ func (q *QueryLog) QueryFinished(id, query string, m core.Metrics, rows int, err
 		slog.Duration("source_selection", m.SourceSelection),
 		slog.Duration("analysis", m.Analysis),
 		slog.Duration("execution", m.Execution),
+	}
+	if rec.Degraded {
+		attrs = append(attrs,
+			slog.Bool("degraded", true),
+			slog.Int("dropped", m.DroppedEndpoints),
+			slog.String("completeness", m.Completeness.String()),
+		)
 	}
 	level := slog.LevelInfo
 	if err != nil {
@@ -223,6 +240,18 @@ func (q *QueryLog) updateMetrics(m core.Metrics, dur time.Duration, cls string, 
 	}
 	if slow {
 		q.reg.Counter("lusail_slow_queries_total", "Queries at or above the slow-query threshold.").Inc()
+	}
+	if m.Completeness != nil && !m.Completeness.Complete {
+		q.reg.Counter("lusail_degraded_queries_total", "Queries that returned partial results under a degradation policy.").Inc()
+	}
+	if m.DroppedEndpoints > 0 {
+		q.reg.Counter("lusail_dropped_endpoints_total", "Endpoint contributions dropped by degraded executions.").Add(float64(m.DroppedEndpoints))
+	}
+	if m.ChunkSplits > 0 {
+		q.reg.Counter("lusail_values_chunk_splits_total", "VALUES block bisections forced by endpoint request limits or timeouts.").Add(float64(m.ChunkSplits))
+	}
+	if m.Hedges > 0 {
+		q.reg.Counter("lusail_hedges_total", "Backup (hedged) requests launched for slow phase-1 subqueries.").Add(float64(m.Hedges))
 	}
 	q.reg.Histogram("lusail_query_duration_seconds", "Federated query latency.", nil).ObserveDuration(dur)
 

@@ -1,0 +1,84 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dropped records one contribution a degraded execution gave up on:
+// an endpoint (or a whole subquery) whose answers are missing from the
+// result, in which pipeline phase it was lost, and why.
+type Dropped struct {
+	// Endpoint names the endpoint whose contribution was dropped.
+	// Empty when a whole subquery was skipped regardless of endpoint
+	// (e.g. the query budget expired before it ran).
+	Endpoint string `json:"endpoint,omitempty"`
+	// Subquery identifies the affected subquery ("sq3") when the drop
+	// is scoped to one; empty for whole-endpoint drops during source
+	// selection or analysis.
+	Subquery string `json:"subquery,omitempty"`
+	// Phase is the pipeline phase the drop happened in:
+	// "source-selection", "gjv-checks", "count-estimation", "phase1",
+	// or "phase2".
+	Phase string `json:"phase"`
+	// Reason is a short human-readable cause ("circuit breaker open",
+	// "query budget exceeded", "HTTP 413", ...).
+	Reason string `json:"reason"`
+}
+
+// String renders one drop, e.g. "univ2@phase1: circuit breaker open".
+func (d Dropped) String() string {
+	who := d.Endpoint
+	if d.Subquery != "" {
+		if who != "" {
+			who += "/"
+		}
+		who += d.Subquery
+	}
+	if who == "" {
+		who = "*"
+	}
+	return fmt.Sprintf("%s@%s: %s", who, d.Phase, d.Reason)
+}
+
+// Completeness annotates a result set produced under a degradation
+// policy: whether every endpoint contributed fully, and which
+// contributions were dropped when not. A nil *Completeness (or one
+// with Complete=true) means the result is exact.
+type Completeness struct {
+	// Complete is true when no contribution was dropped.
+	Complete bool `json:"complete"`
+	// Dropped lists the contributions the execution gave up on, in the
+	// order they were recorded.
+	Dropped []Dropped `json:"dropped,omitempty"`
+}
+
+// DroppedEndpoints returns the distinct endpoint names with at least
+// one drop, in first-seen order.
+func (c *Completeness) DroppedEndpoints() []string {
+	if c == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, d := range c.Dropped {
+		if d.Endpoint == "" || seen[d.Endpoint] {
+			continue
+		}
+		seen[d.Endpoint] = true
+		out = append(out, d.Endpoint)
+	}
+	return out
+}
+
+// String renders the report for logs and EXPLAIN ANALYZE output.
+func (c *Completeness) String() string {
+	if c == nil || c.Complete {
+		return "complete"
+	}
+	parts := make([]string, len(c.Dropped))
+	for i, d := range c.Dropped {
+		parts[i] = d.String()
+	}
+	return "partial: " + strings.Join(parts, "; ")
+}

@@ -20,6 +20,10 @@ type Results struct {
 	Vars []Var
 	// Rows are the solutions.
 	Rows []Binding
+	// Completeness, when non-nil, reports whether the result is exact
+	// or which endpoint/subquery contributions a degraded execution
+	// dropped. Results from healthy executions leave it nil.
+	Completeness *Completeness `json:"-"`
 }
 
 // NewAskResult builds an ASK result.

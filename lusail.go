@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"lusail/internal/baseline/fedx"
 	"lusail/internal/baseline/hibiscus"
@@ -107,6 +108,77 @@ func WithoutCache() Option {
 // error counts, and latency quantiles.
 func WithInstrumentation() Option {
 	return func(c *core.Config) { c.Instrument = true }
+}
+
+// DegradePolicy selects how a query responds to losing an endpoint
+// mid-execution (retries exhausted, circuit open, request rejected).
+type DegradePolicy = endpoint.DegradePolicy
+
+// Degradation policies.
+const (
+	// DegradeFail fails the whole query on the first terminal endpoint
+	// error (the default, and the historical behavior).
+	DegradeFail = endpoint.DegradeFail
+	// DegradeSkipEndpoint drops a failing endpoint's contribution and
+	// keeps executing as long as every required subquery still has a
+	// live source.
+	DegradeSkipEndpoint = endpoint.DegradeSkipEndpoint
+	// DegradeBestEffort never fails on endpoint loss or budget expiry:
+	// it returns whatever the surviving endpoints can answer, annotated
+	// with a Completeness report.
+	DegradeBestEffort = endpoint.DegradeBestEffort
+)
+
+// ParseDegradePolicy parses "fail", "skip-endpoint", or "best-effort".
+func ParseDegradePolicy(s string) (DegradePolicy, error) {
+	return endpoint.ParseDegradePolicy(s)
+}
+
+// Completeness annotates a degraded query's results: Complete is false
+// when contributions were dropped, and Dropped says which and why.
+// Results.Completeness is nil unless degradation or a query budget was
+// configured.
+type Completeness = sparql.Completeness
+
+// Dropped is one contribution a degraded execution gave up on.
+type Dropped = sparql.Dropped
+
+// WithDegradation selects the federation's degradation policy. Under
+// DegradeSkipEndpoint or DegradeBestEffort, queries that lose an
+// endpoint return partial results annotated via Results.Completeness
+// instead of failing.
+func WithDegradation(p DegradePolicy) Option {
+	return func(c *core.Config) { c.Degradation = p }
+}
+
+// WithQueryBudget bounds each query's wall-clock time. When the budget
+// expires, a DegradeBestEffort federation returns what it has computed
+// so far (skipping remaining delayed subqueries); other policies fail
+// the query with context.DeadlineExceeded.
+func WithQueryBudget(d time.Duration) Option {
+	return func(c *core.Config) { c.QueryBudget = d }
+}
+
+// HedgeConfig tunes hedged (backup) requests for phase-1 subqueries.
+type HedgeConfig = endpoint.HedgeConfig
+
+// DefaultHedge returns production-shaped hedging defaults: a backup
+// request fires when the primary exceeds the endpoint's observed p95.
+func DefaultHedge() HedgeConfig { return endpoint.DefaultHedge() }
+
+// WithHedging launches a single backup request for phase-1 subqueries
+// whose primary exceeds the endpoint's observed latency quantile; the
+// first response wins and the loser is cancelled.
+func WithHedging(cfg HedgeConfig) Option {
+	return func(c *core.Config) { c.Hedge = &cfg }
+}
+
+// WithBoundBlockBytes caps the serialized size of a phase-2 VALUES
+// block (default 64 KiB). Blocks an endpoint rejects (HTTP 400/413/414)
+// or times out on are bisected and retried automatically regardless of
+// this cap.
+func WithBoundBlockBytes(n int) Option {
+	return func(c *core.Config) { c.BoundBlockBytes = n }
 }
 
 // ResilienceConfig tunes the per-endpoint fault-tolerance layer:
