@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-all trace-smoke server-smoke degrade-smoke
+.PHONY: all build vet test race verify bench bench-all bench-compare bench-baseline trace-smoke server-smoke degrade-smoke
+
+# Packages with microbenchmarks, gated by bench-compare.
+BENCH_PKGS = ./internal/core/ ./internal/sparql/ ./internal/engine/ ./internal/store/
+BENCH_ARGS = -run NONE -bench . -benchmem -benchtime 300ms
 
 all: verify
 
@@ -23,7 +27,18 @@ verify: build vet test race
 
 # Per-query latency percentiles on the LUBM federation, as JSON.
 bench:
-	$(GO) run ./cmd/lusail-bench -bench-json BENCH_PR2.json -runs 5
+	$(GO) run ./cmd/lusail-bench -bench-json BENCH_PR5.json -runs 5
+
+# Microbenchmark regression gate: fail when any benchmark's ns/op or
+# allocs/op exceeds 2x the committed baseline. CI runs this with
+# -skip-time (allocs/op is deterministic; wall clock on shared runners
+# is not).
+bench-compare:
+	$(GO) test $(BENCH_PKGS) $(BENCH_ARGS) | $(GO) run ./cmd/lusail-benchcmp -baseline BENCH_ALLOC_BASELINE.json
+
+# Rewrite the committed microbenchmark baseline from a fresh run.
+bench-baseline:
+	$(GO) test $(BENCH_PKGS) $(BENCH_ARGS) | $(GO) run ./cmd/lusail-benchcmp -baseline BENCH_ALLOC_BASELINE.json -update
 
 # Regenerate every paper figure/table.
 bench-all:

@@ -33,6 +33,7 @@ func main() {
 		name    = flag.String("name", "endpoint", "endpoint name")
 		metrics = flag.Bool("metrics", false, "expose Prometheus metrics at /metrics")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		maxReq  = flag.Int64("max-request-bytes", 0, "cap on POST request bodies; oversized requests get 413 (0 = default 4MiB, negative = unlimited)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -66,7 +67,10 @@ func main() {
 			"HTTP request latency as served by this endpoint process.", nil)
 		mux.Handle("/metrics", reg.Handler())
 	}
-	mux.Handle("/", accessLog(logger, reqDur, endpoint.HandlerWithLog(ep, logger)))
+	mux.Handle("/", accessLog(logger, reqDur, endpoint.HandlerWithConfig(ep, endpoint.HandlerConfig{
+		Logger:          logger,
+		MaxRequestBytes: *maxReq,
+	})))
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,199 @@
+// Command lusail-benchcmp gates microbenchmark regressions: it parses
+// `go test -bench -benchmem` output from stdin and compares each
+// benchmark's ns/op and allocs/op against a committed baseline JSON,
+// failing (exit 1) when either regresses past -max-ratio.
+//
+//	go test ./internal/... -run NONE -bench . -benchmem | lusail-benchcmp -baseline BENCH_ALLOC_BASELINE.json
+//
+// -update rewrites the baseline from the measured numbers instead of
+// comparing. -skip-time compares only allocs/op, which is
+// deterministic and therefore safe on noisy shared CI runners where
+// wall-clock ratios are not.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark measurement.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// baseline is the committed reference file.
+type baseline struct {
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline JSON file to compare against (required)")
+		update       = flag.Bool("update", false, "rewrite the baseline from stdin instead of comparing")
+		maxRatio     = flag.Float64("max-ratio", 2.0, "fail when current/baseline exceeds this for ns/op or allocs/op")
+		skipTime     = flag.Bool("skip-time", false, "compare only allocs/op (deterministic), not ns/op (noisy on shared runners)")
+	)
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "-baseline is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	current, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parsing benchmark output:", err)
+		os.Exit(2)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "no benchmark lines on stdin (run with -bench . -benchmem)")
+		os.Exit(2)
+	}
+
+	if *update {
+		b := baseline{
+			Note:       "Microbenchmark baseline for `make bench-compare`. Regenerate with `make bench-baseline`.",
+			Benchmarks: current,
+		}
+		buf, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*baselinePath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reading baseline:", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "parsing baseline:", err)
+		os.Exit(2)
+	}
+
+	regressions := compare(os.Stdout, base.Benchmarks, current, *maxRatio, *skipTime)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "%d benchmark regression(s) past %.1fx baseline\n", regressions, *maxRatio)
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts benchmark results from `go test -bench -benchmem`
+// output. The "-8" GOMAXPROCS suffix is stripped so baselines are
+// portable across machines with different core counts.
+func parseBench(r io.Reader) (map[string]result, error) {
+	out := map[string]result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var res result
+		seen := false
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp, seen = v, true
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if seen {
+			out[name] = res
+		}
+	}
+	return out, sc.Err()
+}
+
+// compare prints a per-benchmark report and returns the number of
+// regressions past maxRatio.
+func compare(w io.Writer, base, current map[string]result, maxRatio float64, skipTime bool) int {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, name := range names {
+		cur := current[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s new (no baseline): %s\n", name, fmtResult(cur))
+			continue
+		}
+		var faults []string
+		if !skipTime && exceeds(cur.NsPerOp, b.NsPerOp, maxRatio) {
+			faults = append(faults, fmt.Sprintf("ns/op %.0f -> %.0f (%.2fx)", b.NsPerOp, cur.NsPerOp, cur.NsPerOp/b.NsPerOp))
+		}
+		if exceeds(cur.AllocsPerOp, b.AllocsPerOp, maxRatio) {
+			faults = append(faults, fmt.Sprintf("allocs/op %.0f -> %.0f (%.2fx)", b.AllocsPerOp, cur.AllocsPerOp, cur.AllocsPerOp/b.AllocsPerOp))
+		}
+		if len(faults) > 0 {
+			regressions++
+			fmt.Fprintf(w, "%-40s REGRESSION: %s\n", name, strings.Join(faults, "; "))
+		} else {
+			fmt.Fprintf(w, "%-40s ok: %s\n", name, fmtResult(cur))
+		}
+	}
+	for name := range base {
+		if _, ok := current[name]; !ok {
+			fmt.Fprintf(w, "%-40s missing from current run (baseline stale?)\n", name)
+		}
+	}
+	return regressions
+}
+
+// exceeds reports cur > ratio*base, with a small absolute floor so
+// single-digit baselines (5 allocs/op) are not failed by +1-2 counts
+// of measurement jitter.
+func exceeds(cur, base, ratio float64) bool {
+	if base <= 0 {
+		return false
+	}
+	threshold := base * ratio
+	if floor := base + 16; floor > threshold {
+		threshold = floor
+	}
+	return cur > threshold
+}
+
+func fmtResult(r result) string {
+	return fmt.Sprintf("%.0f ns/op, %.0f B/op, %.0f allocs/op", r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+}

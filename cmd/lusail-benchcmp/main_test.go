@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: lusail/internal/core
+cpu: AMD EPYC
+BenchmarkHashJoin10k-8       	      21	  10043160 ns/op	 7579752 B/op	   21088 allocs/op
+BenchmarkHashJoin10kSerial-8 	      25	   9914589 ns/op	 7455022 B/op	   21041 allocs/op
+BenchmarkBindingKey          	 1559046	       163.6 ns/op	     144 B/op	       1 allocs/op
+PASS
+ok  	lusail/internal/core	1.120s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got))
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	hj, ok := got["BenchmarkHashJoin10k"]
+	if !ok {
+		t.Fatalf("BenchmarkHashJoin10k missing (keys: %v)", keys(got))
+	}
+	if hj.NsPerOp != 10043160 || hj.BytesPerOp != 7579752 || hj.AllocsPerOp != 21088 {
+		t.Fatalf("wrong values: %+v", hj)
+	}
+	// A benchmark name without a suffix parses as-is.
+	bk, ok := got["BenchmarkBindingKey"]
+	if !ok {
+		t.Fatal("BenchmarkBindingKey missing")
+	}
+	if bk.NsPerOp != 163.6 || bk.AllocsPerOp != 1 {
+		t.Fatalf("wrong values: %+v", bk)
+	}
+}
+
+func keys(m map[string]result) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := map[string]result{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkB": {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkC": {NsPerOp: 1000, AllocsPerOp: 100},
+	}
+	current := map[string]result{
+		"BenchmarkA": {NsPerOp: 1500, AllocsPerOp: 120},  // within 2x: ok
+		"BenchmarkB": {NsPerOp: 2500, AllocsPerOp: 100},  // ns/op 2.5x: regression
+		"BenchmarkC": {NsPerOp: 1000, AllocsPerOp: 300},  // allocs/op 3x: regression
+		"BenchmarkD": {NsPerOp: 9999, AllocsPerOp: 9999}, // new: not a failure
+	}
+	var sb strings.Builder
+	if got := compare(&sb, base, current, 2.0, false); got != 2 {
+		t.Fatalf("regressions = %d, want 2 (output:\n%s)", got, sb.String())
+	}
+	// skip-time ignores the ns/op regression in B.
+	sb.Reset()
+	if got := compare(&sb, base, current, 2.0, true); got != 1 {
+		t.Fatalf("regressions with -skip-time = %d, want 1 (output:\n%s)", got, sb.String())
+	}
+}
+
+func TestExceedsAbsoluteFloor(t *testing.T) {
+	// Tiny baselines get an absolute +16 floor: 5 -> 12 allocs is
+	// jitter, not a 2.4x regression.
+	if exceeds(12, 5, 2.0) {
+		t.Fatal("12 vs baseline 5 should be within the absolute floor")
+	}
+	if !exceeds(30, 5, 2.0) {
+		t.Fatal("30 vs baseline 5 should regress")
+	}
+	if exceeds(100, 0, 2.0) {
+		t.Fatal("zero baseline must never fail")
+	}
+}
+
+func TestCompareMissingBenchmarkIsNotRegression(t *testing.T) {
+	base := map[string]result{"BenchmarkGone": {NsPerOp: 1, AllocsPerOp: 1}}
+	current := map[string]result{"BenchmarkNew": {NsPerOp: 1, AllocsPerOp: 1}}
+	var sb strings.Builder
+	if got := compare(&sb, base, current, 2.0, false); got != 0 {
+		t.Fatalf("regressions = %d, want 0", got)
+	}
+	if !strings.Contains(sb.String(), "missing from current run") {
+		t.Fatalf("expected stale-baseline note, got:\n%s", sb.String())
+	}
+}

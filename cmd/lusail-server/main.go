@@ -52,6 +52,7 @@ func main() {
 		slow         = flag.Duration("slow", 500*time.Millisecond, "slow-query threshold (0 disables slow-query capture)")
 		ringSize     = flag.Int("ring", 128, "recent/slow query ring-buffer size")
 		queryTimeout = flag.Duration("query-timeout", 5*time.Minute, "per-query timeout")
+		maxReqBytes  = flag.Int64("max-request-bytes", 0, "cap on POST request bodies; oversized requests get 413 (0 = default 4MiB, negative = unlimited)")
 		drain        = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight queries")
 		resilience   = flag.Bool("resilience", true, "enable endpoint retries and circuit breakers")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -93,18 +94,19 @@ func main() {
 	}
 
 	cfg := serverConfig{
-		Logger:        logger,
-		SlowThreshold: *slow,
-		RingSize:      *ringSize,
-		QueryTimeout:  *queryTimeout,
-		EnablePprof:   *pprofOn,
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *maxQueue,
-		QueueWait:     *queueWait,
-		StrictReady:   *strictReady,
-		Degradation:   policy,
-		QueryBudget:   *queryBudget,
-		Hedge:         *hedge,
+		Logger:          logger,
+		SlowThreshold:   *slow,
+		RingSize:        *ringSize,
+		QueryTimeout:    *queryTimeout,
+		MaxRequestBytes: *maxReqBytes,
+		EnablePprof:     *pprofOn,
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueue:        *maxQueue,
+		QueueWait:       *queueWait,
+		StrictReady:     *strictReady,
+		Degradation:     policy,
+		QueryBudget:     *queryBudget,
+		Hedge:           *hedge,
 	}
 	if *resilience {
 		rc := lusail.DefaultResilience()

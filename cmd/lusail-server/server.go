@@ -30,6 +30,10 @@ type serverConfig struct {
 	RingSize int
 	// QueryTimeout bounds each federated query (0 = no limit).
 	QueryTimeout time.Duration
+	// MaxRequestBytes caps SPARQL protocol POST bodies; oversized
+	// requests get 413. 0 selects the endpoint package's default cap;
+	// negative disables the cap.
+	MaxRequestBytes int64
 	// Resilience, when non-nil, enables the endpoint fault-tolerance
 	// layer (retries + circuit breakers).
 	Resilience *lusail.ResilienceConfig
@@ -249,6 +253,17 @@ func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 // with an application/sparql-query body. Results are encoded per the
 // Accept header (JSON default; XML, CSV, TSV supported).
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Cap the request body before anything reads it: an unbounded
+	// io.ReadAll over an attacker-sized body is a trivial memory DoS.
+	if r.Method == http.MethodPost {
+		max := s.cfg.MaxRequestBytes
+		if max == 0 {
+			max = lusail.DefaultMaxRequestBytes
+		}
+		if max > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, max)
+		}
+	}
 	query, err := extractQuery(r)
 	if err != nil {
 		if errors.Is(err, errMethod) {
@@ -256,7 +271,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusMethodNotAllowed)
 			return
 		}
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 

@@ -584,3 +584,33 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatalf("drained query not recorded: %d records", len(s.qlog.Recent()))
 	}
 }
+
+// A POST body over the configured cap gets 413 from /sparql; a body
+// under it is served normally.
+func TestServerRequestBodyCap(t *testing.T) {
+	s := newServer(testEndpoints(t), serverConfig{Logger: quietLogger(), MaxRequestBytes: 256})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	s.probe(context.Background())
+	waitReady(t, ts)
+
+	small := url.Values{"query": {`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }`}}
+	resp, err := http.PostForm(ts.URL+"/sparql", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body: status %d, want 200", resp.StatusCode)
+	}
+
+	big := url.Values{"query": {`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o } # ` + strings.Repeat("x", 1024)}}
+	resp, err = http.PostForm(ts.URL+"/sparql", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}

@@ -86,6 +86,12 @@ func JoinCost(s, r *Relation, estProbe float64) float64 {
 // HashJoin joins two relations in parallel: the smaller side is
 // hashed, the larger side's probe is partitioned across workers
 // (inter-operator parallelism in the paper's join evaluation).
+//
+// The join key of each build row is rendered exactly once up front
+// (sparql.KeyColumn); probe rows render theirs into pooled scratch
+// buffers and look the hash table up through an allocation-free
+// string conversion, so the probe loop allocates only for actual
+// output rows.
 func HashJoin(a, b *Relation, workers int) *Relation {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -104,9 +110,8 @@ func HashJoin(a, b *Relation, workers int) *Relation {
 		return out
 	}
 	idx := make(map[string][]sparql.Binding, len(build.Rows))
-	for _, row := range build.Rows {
-		k := row.Key(key)
-		idx[k] = append(idx[k], row)
+	for i, k := range sparql.KeyColumn(build.Rows, key) {
+		idx[k] = append(idx[k], build.Rows[i])
 	}
 	// Partition the probe side across workers; small probes are not
 	// worth the goroutine fan-out.
@@ -131,13 +136,16 @@ func HashJoin(a, b *Relation, workers int) *Relation {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			var local []sparql.Binding
+			scratch := sparql.GetKeyBuf()
 			for _, pr := range probe.Rows[lo:hi] {
-				for _, br := range idx[pr.Key(key)] {
+				*scratch = pr.AppendKey((*scratch)[:0], key)
+				for _, br := range idx[string(*scratch)] {
 					if pr.Compatible(br) {
 						local = append(local, pr.Merge(br))
 					}
 				}
 			}
+			sparql.PutKeyBuf(scratch)
 			results[w] = local
 		}(w, lo, hi)
 	}
@@ -168,12 +176,15 @@ func LeftJoin(left, right *Relation, filterOK func(sparql.Binding) bool) *Relati
 	}
 	key := left.SharedVars(right)
 	idx := make(map[string][]sparql.Binding, len(right.Rows))
-	for _, row := range right.Rows {
-		idx[row.Key(key)] = append(idx[row.Key(key)], row)
+	for i, k := range sparql.KeyColumn(right.Rows, key) {
+		idx[k] = append(idx[k], right.Rows[i])
 	}
+	scratch := sparql.GetKeyBuf()
+	defer sparql.PutKeyBuf(scratch)
 	for _, l := range left.Rows {
 		matched := false
-		for _, r := range idx[l.Key(key)] {
+		*scratch = l.AppendKey((*scratch)[:0], key)
+		for _, r := range idx[string(*scratch)] {
 			if !l.Compatible(r) {
 				continue
 			}

@@ -1,0 +1,227 @@
+package endpoint
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"lusail/internal/sparql"
+)
+
+// cappedServer serves the protocol handler with a small request-body cap.
+func cappedServer(t *testing.T, maxBytes int64) *httptest.Server {
+	t.Helper()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv := httptest.NewServer(HandlerWithConfig(NewLocal("server", testStore()), HandlerConfig{
+		Logger:          quiet,
+		MaxRequestBytes: maxBytes,
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// An oversized direct-query POST body must get 413, not 400 or an
+// unbounded read: 413 tells the federator's VALUES chunking to bisect.
+func TestHandlerOversizedDirectBodyIs413(t *testing.T) {
+	srv := cappedServer(t, 64)
+	big := selectP + " # " + strings.Repeat("x", 1024)
+	resp, err := srv.Client().Post(srv.URL, "application/sparql-query", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// Form-encoded posts go through ParseForm, which reads the body too;
+// the cap must hold on that path as well.
+func TestHandlerOversizedFormBodyIs413(t *testing.T) {
+	srv := cappedServer(t, 64)
+	form := url.Values{"query": {selectP + " # " + strings.Repeat("x", 1024)}}
+	resp, err := srv.Client().PostForm(srv.URL, form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// A body under the cap still works.
+func TestHandlerBodyUnderCapSucceeds(t *testing.T) {
+	srv := cappedServer(t, 1<<16)
+	resp, err := srv.Client().PostForm(srv.URL, url.Values{"query": {selectP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// A negative MaxRequestBytes disables the cap entirely.
+func TestHandlerNegativeCapDisablesLimit(t *testing.T) {
+	srv := cappedServer(t, -1)
+	big := url.Values{"other": {strings.Repeat("x", DefaultMaxRequestBytes+1024)}, "query": {selectP}}
+	resp, err := srv.Client().PostForm(srv.URL, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// gzipBytes compresses b.
+func gzipBytes(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// A gzip-encoded form body is inflated transparently and served.
+func TestHandlerGzipFormBody(t *testing.T) {
+	srv := cappedServer(t, 1<<16)
+	enc := url.Values{"query": {selectP}}.Encode()
+	req, err := http.NewRequest(http.MethodPost, srv.URL, bytes.NewReader(gzipBytes(t, []byte(enc))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d, want 200 (body: %s)", resp.StatusCode, body)
+	}
+	res, err := sparql.DecodeJSON(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("expected rows from gzip-encoded query")
+	}
+}
+
+// The cap applies to the INFLATED size: a tiny compressed bomb whose
+// expansion exceeds the limit must be rejected with 413, not ballooned
+// into memory.
+func TestHandlerGzipBombIs413(t *testing.T) {
+	srv := cappedServer(t, 4096)
+	// ~1 MiB of zeros compresses to ~1 KiB — under the raw cap once
+	// compressed, far over it inflated.
+	bomb := gzipBytes(t, bytes.Repeat([]byte{'0'}, 1<<20))
+	if len(bomb) > 4096 {
+		t.Fatalf("test setup: compressed bomb is %d bytes, want <= 4096", len(bomb))
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL, bytes.NewReader(bomb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// A malformed gzip body is the client's fault: 400.
+func TestHandlerMalformedGzipIs400(t *testing.T) {
+	srv := cappedServer(t, 1<<16)
+	req, err := http.NewRequest(http.MethodPost, srv.URL, strings.NewReader("not gzip at all"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// End-to-end: an HTTPEndpoint configured to gzip request bodies talks
+// to the protocol handler, which inflates transparently. With minBytes
+// 1 every request is compressed, so this exercises the whole path.
+func TestHTTPEndpointGzipRequestsRoundTrip(t *testing.T) {
+	srv := cappedServer(t, 1<<16)
+	ep := NewHTTP("gz", srv.URL, WithHTTPClient(srv.Client()), WithGzipRequests(1))
+	if ep.gzipMin != 1 {
+		t.Fatalf("gzipMin = %d, want 1", ep.gzipMin)
+	}
+	res, err := ep.Query(t.Context(), selectP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("expected rows from gzip-compressed query")
+	}
+}
+
+// WithGzipRequests(<=0) picks the default threshold, under which small
+// bodies stay uncompressed.
+func TestGzipRequestsDefaultThreshold(t *testing.T) {
+	ep := NewHTTP("gz", "http://example.invalid/sparql", WithGzipRequests(0))
+	if ep.gzipMin != 1<<12 {
+		t.Fatalf("gzipMin = %d, want %d", ep.gzipMin, 1<<12)
+	}
+	body, encoding := ep.requestBody(url.Values{"query": {selectP}})
+	if encoding != "" {
+		t.Fatalf("small body encoding = %q, want none", encoding)
+	}
+	got, err := io.ReadAll(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (url.Values{"query": {selectP}}).Encode(); string(got) != want {
+		t.Fatalf("body = %q, want %q", got, want)
+	}
+
+	big := url.Values{"query": {selectP + " # " + strings.Repeat("x", 1<<13)}}
+	zbody, encoding := ep.requestBody(big)
+	if encoding != "gzip" {
+		t.Fatalf("large body encoding = %q, want gzip", encoding)
+	}
+	zr, err := gzip.NewReader(zbody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflated, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := big.Encode(); string(inflated) != want {
+		t.Fatal("gzip round trip mismatch")
+	}
+}

@@ -1,6 +1,8 @@
 package endpoint
 
 import (
+	"bytes"
+	"compress/gzip"
 	"context"
 	"errors"
 	"fmt"
@@ -9,25 +11,65 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"lusail/internal/sparql"
 )
 
+// DefaultMaxRequestBytes caps SPARQL protocol request bodies: large
+// enough for any realistic query (bound phase-2 VALUES blocks
+// included), small enough that a malformed or malicious client cannot
+// balloon server memory through an unbounded body read.
+const DefaultMaxRequestBytes = 4 << 20
+
+// errBodyTooLarge reports a gzip request body that inflated past the
+// configured cap.
+var errBodyTooLarge = errors.New("request body too large")
+
+// HandlerConfig tunes the SPARQL protocol handler.
+type HandlerConfig struct {
+	// Logger receives debug output (mid-stream encoding failures);
+	// nil falls back to slog.Default.
+	Logger *slog.Logger
+	// MaxRequestBytes caps POST bodies (after gzip inflation, when
+	// the client compresses). 0 selects DefaultMaxRequestBytes;
+	// negative disables the cap. Oversized requests get HTTP 413,
+	// which the federator's adaptive VALUES chunking treats as a
+	// signal to bisect.
+	MaxRequestBytes int64
+}
+
+func (c HandlerConfig) maxBytes() int64 {
+	if c.MaxRequestBytes == 0 {
+		return DefaultMaxRequestBytes
+	}
+	if c.MaxRequestBytes < 0 {
+		return 0
+	}
+	return c.MaxRequestBytes
+}
+
 // Handler serves the SPARQL protocol over HTTP for one local
 // endpoint: GET with ?query= or POST with either an
-// application/sparql-query body or form-encoded query parameter.
-// Results use the SPARQL 1.1 JSON format. Log output (mid-stream
-// encoding failures, at debug level) goes to slog.Default; use
-// HandlerWithLog to direct it elsewhere.
-func Handler(l *Local) http.Handler { return HandlerWithLog(l, nil) }
+// application/sparql-query body or form-encoded query parameter
+// (optionally gzip-compressed). Results use the SPARQL 1.1 JSON
+// format. Log output (mid-stream encoding failures, at debug level)
+// goes to slog.Default; use HandlerWithConfig to direct it elsewhere
+// or change the request-body cap.
+func Handler(l *Local) http.Handler { return HandlerWithConfig(l, HandlerConfig{}) }
 
 // HandlerWithLog is Handler with an explicit structured logger (nil
 // falls back to slog.Default).
 func HandlerWithLog(l *Local, logger *slog.Logger) http.Handler {
+	return HandlerWithConfig(l, HandlerConfig{Logger: logger})
+}
+
+// HandlerWithConfig is Handler with explicit configuration.
+func HandlerWithConfig(l *Local, cfg HandlerConfig) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		log := logger
+		log := cfg.Logger
 		if log == nil {
 			log = slog.Default()
 		}
@@ -38,9 +80,23 @@ func HandlerWithLog(l *Local, logger *slog.Logger) http.Handler {
 			http.Error(w, fmt.Sprintf("method %s not allowed", r.Method), http.StatusMethodNotAllowed)
 			return
 		}
+		if r.Method == http.MethodPost {
+			if err := wrapRequestBody(w, r, cfg.maxBytes()); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
 		query, err := extractQuery(r)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			// A body over the cap is the client's fault, but unlike a
+			// parse error it is actionable: 413 tells the federator's
+			// VALUES chunking to bisect and resend smaller requests.
+			status := http.StatusBadRequest
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) || errors.Is(err, errBodyTooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			http.Error(w, err.Error(), status)
 			return
 		}
 		res, err := l.Query(r.Context(), query)
@@ -75,6 +131,61 @@ func HandlerWithLog(l *Local, logger *slog.Logger) http.Handler {
 	})
 }
 
+// wrapRequestBody bounds the POST body at max bytes
+// (http.MaxBytesReader) and transparently inflates gzip request
+// bodies, bounding the *inflated* size at the same cap so a tiny
+// compressed bomb cannot bypass the limit.
+func wrapRequestBody(w http.ResponseWriter, r *http.Request, max int64) error {
+	if max > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, max)
+	}
+	if !strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip") {
+		return nil
+	}
+	zr, err := gzip.NewReader(r.Body)
+	if err != nil {
+		return fmt.Errorf("malformed gzip request body: %w", err)
+	}
+	var inflated io.Reader = zr
+	if max > 0 {
+		inflated = &cappedReader{r: zr, remaining: max}
+	}
+	r.Body = &wrappedBody{Reader: inflated, closer: r.Body}
+	// The body the handler sees is now plain text.
+	r.Header.Del("Content-Encoding")
+	r.ContentLength = -1
+	return nil
+}
+
+// cappedReader errors with errBodyTooLarge once more than remaining
+// bytes have been read.
+type cappedReader struct {
+	r         io.Reader
+	remaining int64
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.remaining < 0 {
+		return 0, errBodyTooLarge
+	}
+	n, err := c.r.Read(p)
+	c.remaining -= int64(n)
+	if c.remaining < 0 {
+		return 0, errBodyTooLarge
+	}
+	return n, err
+}
+
+// wrappedBody pairs a replacement reader with the original body's
+// Close (the connection's body must still be closed, not the gzip
+// stream).
+type wrappedBody struct {
+	io.Reader
+	closer io.Closer
+}
+
+func (b *wrappedBody) Close() error { return b.closer.Close() }
+
 func extractQuery(r *http.Request) (string, error) {
 	switch r.Method {
 	case http.MethodGet:
@@ -107,24 +218,70 @@ func extractQuery(r *http.Request) (string, error) {
 }
 
 // HTTPEndpoint is a client-side Endpoint that talks to a remote SPARQL
-// endpoint over HTTP.
+// endpoint over HTTP. By default it rides the process-wide tuned
+// transport (SharedTransport) so concurrent subqueries to the same
+// endpoint multiply pooled keep-alive connections instead of queueing
+// behind http.DefaultTransport's two idle connections per host.
 type HTTPEndpoint struct {
-	name   string
-	url    string
-	client *http.Client
-
+	name     string
+	url      string
+	client   *http.Client
+	gzipMin  int // gzip-encode request bodies at or above this size; 0 = never
 	requests atomic.Int64
 	rows     atomic.Int64
 	bytes    atomic.Int64
 }
 
-// NewHTTP returns an endpoint speaking the SPARQL protocol at url.
-func NewHTTP(name, endpointURL string) *HTTPEndpoint {
-	return &HTTPEndpoint{
-		name:   name,
-		url:    endpointURL,
-		client: &http.Client{Timeout: 5 * time.Minute},
+// HTTPOption customizes an HTTPEndpoint.
+type HTTPOption func(*HTTPEndpoint)
+
+// WithHTTPClient replaces the endpoint's HTTP client entirely (tests,
+// exotic transports). The caller owns timeout configuration.
+func WithHTTPClient(c *http.Client) HTTPOption {
+	return func(h *HTTPEndpoint) { h.client = c }
+}
+
+// WithTransport keeps the default request timeout but swaps the
+// transport, e.g. NewTransport(TransportConfig{...}) with custom pool
+// sizes.
+func WithTransport(t http.RoundTripper) HTTPOption {
+	return func(h *HTTPEndpoint) { h.client.Transport = t }
+}
+
+// WithRequestTimeout bounds each request end to end (dial through
+// body); zero means no client-side bound beyond the caller's context.
+func WithRequestTimeout(d time.Duration) HTTPOption {
+	return func(h *HTTPEndpoint) { h.client.Timeout = d }
+}
+
+// WithGzipRequests gzip-encodes request bodies of at least minBytes
+// (Content-Encoding: gzip). Bound phase-2 subqueries carry VALUES
+// blocks of thousands of IRIs that compress 5-10x; the serving side
+// (Handler) decodes transparently. minBytes <= 0 picks a sensible
+// default.
+func WithGzipRequests(minBytes int) HTTPOption {
+	return func(h *HTTPEndpoint) {
+		if minBytes <= 0 {
+			minBytes = 1 << 12
+		}
+		h.gzipMin = minBytes
 	}
+}
+
+// NewHTTP returns an endpoint speaking the SPARQL protocol at url.
+func NewHTTP(name, endpointURL string, opts ...HTTPOption) *HTTPEndpoint {
+	h := &HTTPEndpoint{
+		name: name,
+		url:  endpointURL,
+		client: &http.Client{
+			Transport: SharedTransport(),
+			Timeout:   5 * time.Minute,
+		},
+	}
+	for _, opt := range opts {
+		opt(h)
+	}
+	return h
 }
 
 // Name returns the endpoint name.
@@ -133,17 +290,46 @@ func (h *HTTPEndpoint) Name() string { return h.name }
 // URL returns the endpoint URL.
 func (h *HTTPEndpoint) URL() string { return h.url }
 
-// Query posts the query and decodes the JSON results.
+// gzipWriterPool recycles gzip writers across requests; a gzip.Writer
+// is ~256KiB of buffers that would otherwise be reallocated per
+// compressed request.
+var gzipWriterPool = sync.Pool{
+	New: func() any { return gzip.NewWriter(io.Discard) },
+}
+
+// requestBody encodes the form, optionally gzip-compressing large
+// bodies, and returns the reader plus the Content-Encoding to set.
+func (h *HTTPEndpoint) requestBody(form url.Values) (io.Reader, string) {
+	enc := form.Encode()
+	if h.gzipMin == 0 || len(enc) < h.gzipMin {
+		return strings.NewReader(enc), ""
+	}
+	var buf bytes.Buffer
+	zw := gzipWriterPool.Get().(*gzip.Writer)
+	zw.Reset(&buf)
+	zw.Write([]byte(enc)) // writes to bytes.Buffer cannot fail
+	if err := zw.Close(); err != nil {
+		gzipWriterPool.Put(zw)
+		return strings.NewReader(enc), ""
+	}
+	gzipWriterPool.Put(zw)
+	return &buf, "gzip"
+}
+
+// Query posts the query and decodes the JSON results as they stream
+// off the wire.
 func (h *HTTPEndpoint) Query(ctx context.Context, query string) (*sparql.Results, error) {
 	h.requests.Add(1)
-	form := url.Values{"query": {query}}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.url,
-		strings.NewReader(form.Encode()))
+	body, encoding := h.requestBody(url.Values{"query": {query}})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.url, body)
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 	req.Header.Set("Accept", "application/sparql-results+json")
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
+	}
 	resp, err := h.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -164,6 +350,11 @@ func (h *HTTPEndpoint) Query(ctx context.Context, query string) (*sparql.Results
 	if err != nil {
 		return nil, fmt.Errorf("endpoint %s: %w", h.name, err)
 	}
+	// Drain the trailing bytes the decoder did not consume (typically
+	// the encoder's final newline): a body closed before EOF forces
+	// the transport to discard the connection instead of returning it
+	// to the keep-alive pool.
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
 	h.rows.Add(int64(res.Len()))
 	h.bytes.Add(res.ApproxWireBytes())
 	return res, nil

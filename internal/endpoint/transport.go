@@ -1,0 +1,86 @@
+package endpoint
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// The HTTP client used to ride http.DefaultTransport, whose
+// MaxIdleConnsPerHost default of 2 quietly serialized SAPE's
+// per-endpoint parallelism: phase-1 fires every subquery at every
+// endpoint concurrently, and with only two pooled connections per
+// host the surplus requests either queue behind the pool or dial a
+// fresh connection per request (paying TCP + TLS setup on a hot
+// path). The tuned transport keeps enough idle connections per
+// endpoint for the executor's full fan-out.
+
+// TransportConfig tunes the shared HTTP transport. The zero value
+// selects the defaults documented on each field.
+type TransportConfig struct {
+	// MaxIdleConnsPerHost bounds the idle keep-alive connections kept
+	// per endpoint host. Default 64 (http.DefaultTransport keeps 2).
+	MaxIdleConnsPerHost int
+	// MaxIdleConns bounds the idle connections across all endpoints.
+	// Default 256.
+	MaxIdleConns int
+	// IdleConnTimeout closes idle connections after this long.
+	// Default 90s.
+	IdleConnTimeout time.Duration
+	// DialTimeout bounds TCP connection establishment. Default 10s.
+	DialTimeout time.Duration
+	// TLSHandshakeTimeout bounds the TLS handshake. Default 10s.
+	TLSHandshakeTimeout time.Duration
+	// ResponseHeaderTimeout bounds the wait for response headers after
+	// writing a request; zero means no bound (result streaming time is
+	// governed by the caller's context, not the transport).
+	ResponseHeaderTimeout time.Duration
+}
+
+func (c TransportConfig) withDefaults() TransportConfig {
+	if c.MaxIdleConnsPerHost == 0 {
+		c.MaxIdleConnsPerHost = 64
+	}
+	if c.MaxIdleConns == 0 {
+		c.MaxIdleConns = 256
+	}
+	if c.IdleConnTimeout == 0 {
+		c.IdleConnTimeout = 90 * time.Second
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	if c.TLSHandshakeTimeout == 0 {
+		c.TLSHandshakeTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// NewTransport builds a tuned *http.Transport from cfg.
+func NewTransport(cfg TransportConfig) *http.Transport {
+	cfg = cfg.withDefaults()
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   cfg.DialTimeout,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ForceAttemptHTTP2:     true,
+		MaxIdleConns:          cfg.MaxIdleConns,
+		MaxIdleConnsPerHost:   cfg.MaxIdleConnsPerHost,
+		IdleConnTimeout:       cfg.IdleConnTimeout,
+		TLSHandshakeTimeout:   cfg.TLSHandshakeTimeout,
+		ResponseHeaderTimeout: cfg.ResponseHeaderTimeout,
+		ExpectContinueTimeout: 1 * time.Second,
+	}
+}
+
+// sharedTransport is the process-wide tuned transport every
+// HTTPEndpoint uses unless overridden: one connection pool shared by
+// all endpoints of all federations in the process, so concurrent
+// subqueries to the same endpoint multiply connections up to the
+// per-host cap and then reuse them across queries.
+var sharedTransport = NewTransport(TransportConfig{})
+
+// SharedTransport returns the process-wide tuned transport.
+func SharedTransport() *http.Transport { return sharedTransport }

@@ -1,0 +1,188 @@
+package endpoint
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingListener counts accepted connections: every TCP dial the
+// client's transport makes shows up here exactly once, so the counter
+// distinguishes pooled-connection reuse from redialing.
+type countingListener struct {
+	net.Listener
+	conns atomic.Int64
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.conns.Add(1)
+	}
+	return c, err
+}
+
+// barrierServer serves a minimal SPARQL JSON response, but only after
+// all expected requests of the current wave have arrived — forcing
+// each wave's requests onto concurrent connections so reuse (or the
+// lack of it) is deterministic rather than timing-dependent.
+type barrierServer struct {
+	mu      sync.Mutex
+	arrived chan struct{}
+	release chan struct{}
+
+	srv      *httptest.Server
+	listener *countingListener
+}
+
+func newBarrierServer(t *testing.T) *barrierServer {
+	t.Helper()
+	b := &barrierServer{}
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b.mu.Lock()
+		arrived, release := b.arrived, b.release
+		b.mu.Unlock()
+		arrived <- struct{}{}
+		<-release
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		io.WriteString(w, `{"head":{"vars":["x"]},"results":{"bindings":[{"x":{"type":"uri","value":"http://ex/a"}}]}}`)
+	})
+	b.srv = httptest.NewUnstartedServer(handler)
+	b.listener = &countingListener{Listener: b.srv.Listener}
+	b.srv.Listener = b.listener
+	b.srv.Start()
+	t.Cleanup(b.srv.Close)
+	return b
+}
+
+// wave fires n concurrent queries, waits until all n are in flight on
+// the server (i.e. hold n distinct or reused connections), then
+// releases them and collects the results.
+func (b *barrierServer) wave(t *testing.T, ep *HTTPEndpoint, n int) {
+	t.Helper()
+	b.mu.Lock()
+	b.arrived = make(chan struct{}, n)
+	b.release = make(chan struct{})
+	b.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := ep.Query(ctx, selectP)
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-b.arrived:
+		case <-ctx.Done():
+			t.Fatalf("only %d/%d requests arrived: %v", i, n, ctx.Err())
+		}
+	}
+	close(b.release)
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+}
+
+// TestTunedTransportReusesConnections is the regression test for the
+// default-transport client: 8 concurrent requests to one endpoint
+// must park 8 keep-alive connections in the pool and the next wave
+// must reuse all of them. http.DefaultTransport's
+// MaxIdleConnsPerHost=2 fails this — it throws 6 of the 8 away and
+// redials them on the second wave (see the companion test below).
+func TestTunedTransportReusesConnections(t *testing.T) {
+	const parallel = 8
+	b := newBarrierServer(t)
+	// Fresh tuned transport (not the shared one) so other tests'
+	// traffic cannot perturb the count.
+	ep := NewHTTP("tuned", b.srv.URL, WithTransport(NewTransport(TransportConfig{})))
+
+	b.wave(t, ep, parallel)
+	afterFirst := b.listener.conns.Load()
+	if afterFirst != parallel {
+		t.Fatalf("first wave opened %d connections, want %d concurrent", afterFirst, parallel)
+	}
+	b.wave(t, ep, parallel)
+	if got := b.listener.conns.Load(); got != afterFirst {
+		t.Errorf("second wave dialed %d new connections, want 0 (pool must retain all %d)",
+			got-afterFirst, parallel)
+	}
+}
+
+// TestDefaultTransportDropsPooledConnections documents the bug the
+// tuned transport fixes: with Go's default per-host idle cap of 2,
+// the second wave has to redial most of its connections.
+func TestDefaultTransportDropsPooledConnections(t *testing.T) {
+	const parallel = 8
+	b := newBarrierServer(t)
+	// A fresh zero-value transport has http.DefaultTransport's
+	// pooling behavior (DefaultMaxIdleConnsPerHost = 2) without
+	// sharing its global state.
+	ep := NewHTTP("default", b.srv.URL, WithHTTPClient(&http.Client{
+		Transport: &http.Transport{},
+		Timeout:   5 * time.Minute,
+	}))
+
+	b.wave(t, ep, parallel)
+	afterFirst := b.listener.conns.Load()
+	b.wave(t, ep, parallel)
+	redialed := b.listener.conns.Load() - afterFirst
+	if want := int64(parallel - http.DefaultMaxIdleConnsPerHost); redialed != want {
+		t.Errorf("default transport redialed %d connections, expected %d (pool keeps only %d)",
+			redialed, want, http.DefaultMaxIdleConnsPerHost)
+	}
+}
+
+// TestQueryDrainsBodyForReuse: sequential requests must ride one
+// connection. This fails if Query closes the response body before
+// consuming the encoder's trailing bytes — the transport then
+// discards the connection instead of pooling it.
+func TestQueryDrainsBodyForReuse(t *testing.T) {
+	var conns countingListener
+	srv := httptest.NewUnstartedServer(Handler(NewLocal("server", testStore())))
+	conns.Listener = srv.Listener
+	srv.Listener = &conns
+	srv.Start()
+	defer srv.Close()
+
+	ep := NewHTTP("seq", srv.URL, WithTransport(NewTransport(TransportConfig{})))
+	for i := 0; i < 5; i++ {
+		if _, err := ep.Query(context.Background(), selectP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := conns.conns.Load(); got != 1 {
+		t.Errorf("5 sequential queries used %d connections, want 1 (body not drained?)", got)
+	}
+}
+
+func TestTransportConfigDefaults(t *testing.T) {
+	tr := NewTransport(TransportConfig{})
+	if tr.MaxIdleConnsPerHost <= http.DefaultMaxIdleConnsPerHost {
+		t.Errorf("MaxIdleConnsPerHost = %d, must exceed the default %d",
+			tr.MaxIdleConnsPerHost, http.DefaultMaxIdleConnsPerHost)
+	}
+	if tr.MaxIdleConns < tr.MaxIdleConnsPerHost {
+		t.Errorf("MaxIdleConns %d < MaxIdleConnsPerHost %d", tr.MaxIdleConns, tr.MaxIdleConnsPerHost)
+	}
+	if tr.IdleConnTimeout <= 0 || tr.TLSHandshakeTimeout <= 0 {
+		t.Error("idle/TLS timeouts must default to non-zero")
+	}
+	custom := NewTransport(TransportConfig{MaxIdleConnsPerHost: 7, IdleConnTimeout: time.Second})
+	if custom.MaxIdleConnsPerHost != 7 || custom.IdleConnTimeout != time.Second {
+		t.Errorf("custom config not honoured: %+v", custom)
+	}
+	if SharedTransport() != SharedTransport() {
+		t.Error("SharedTransport must return one process-wide instance")
+	}
+}

@@ -330,17 +330,19 @@ func (e *Engine) leftJoin(rows []sparql.Binding, opt *sparql.GroupGraphPattern) 
 	var buckets map[string][]sparql.Binding
 	if len(key) > 0 {
 		buckets = make(map[string][]sparql.Binding, len(right))
-		for _, r := range right {
-			k := r.Key(key)
-			buckets[k] = append(buckets[k], r)
+		for i, k := range sparql.KeyColumn(right, key) {
+			buckets[k] = append(buckets[k], right[i])
 		}
 	}
 	ev := e.existsEvaluator()
 	var out []sparql.Binding
+	scratch := sparql.GetKeyBuf()
+	defer sparql.PutKeyBuf(scratch)
 	for _, l := range rows {
 		candidates := right
 		if buckets != nil {
-			candidates = buckets[l.Key(key)]
+			*scratch = l.AppendKey((*scratch)[:0], key)
+			candidates = buckets[string(*scratch)]
 		}
 		matched := false
 		for _, r := range candidates {

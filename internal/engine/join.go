@@ -69,14 +69,18 @@ func joinRows(left, right []sparql.Binding) []sparql.Binding {
 		build, probe = left, right
 		swapped = true
 	}
+	// Build keys are rendered once up front; probe keys are rendered
+	// into a pooled scratch buffer and probed allocation-free.
 	idx := make(map[string][]sparql.Binding, len(build))
-	for _, b := range build {
-		k := b.Key(key)
-		idx[k] = append(idx[k], b)
+	for i, k := range sparql.KeyColumn(build, key) {
+		idx[k] = append(idx[k], build[i])
 	}
 	var out []sparql.Binding
+	scratch := sparql.GetKeyBuf()
+	defer sparql.PutKeyBuf(scratch)
 	for _, pr := range probe {
-		for _, b := range idx[pr.Key(key)] {
+		*scratch = pr.AppendKey((*scratch)[:0], key)
+		for _, b := range idx[string(*scratch)] {
 			l, r := pr, b
 			if swapped {
 				l, r = b, pr

@@ -42,19 +42,25 @@ func SharedCertainVars(left, right []sparql.Binding) []sparql.Var {
 	return out
 }
 
-// JoinBindings hash-joins two solution multisets at the mediator.
+// JoinBindings hash-joins two solution multisets at the mediator. The
+// hash side's keys are rendered once (sparql.KeyColumn); the probe
+// side renders into a pooled scratch buffer and probes without
+// allocating.
 func JoinBindings(left, right []sparql.Binding) []sparql.Binding {
 	if len(left) == 0 || len(right) == 0 {
 		return nil
 	}
 	key := SharedCertainVars(left, right)
 	idx := make(map[string][]sparql.Binding, len(right))
-	for _, r := range right {
-		idx[r.Key(key)] = append(idx[r.Key(key)], r)
+	for i, k := range sparql.KeyColumn(right, key) {
+		idx[k] = append(idx[k], right[i])
 	}
 	var out []sparql.Binding
+	scratch := sparql.GetKeyBuf()
+	defer sparql.PutKeyBuf(scratch)
 	for _, l := range left {
-		for _, r := range idx[l.Key(key)] {
+		*scratch = l.AppendKey((*scratch)[:0], key)
+		for _, r := range idx[string(*scratch)] {
 			if l.Compatible(r) {
 				out = append(out, l.Merge(r))
 			}
@@ -69,13 +75,16 @@ func JoinBindings(left, right []sparql.Binding) []sparql.Binding {
 func LeftJoinBindings(left, right []sparql.Binding, filters []sparql.Expr) []sparql.Binding {
 	key := SharedCertainVars(left, right)
 	idx := make(map[string][]sparql.Binding, len(right))
-	for _, r := range right {
-		idx[r.Key(key)] = append(idx[r.Key(key)], r)
+	for i, k := range sparql.KeyColumn(right, key) {
+		idx[k] = append(idx[k], right[i])
 	}
 	var out []sparql.Binding
+	scratch := sparql.GetKeyBuf()
+	defer sparql.PutKeyBuf(scratch)
 	for _, l := range left {
 		matched := false
-		for _, r := range idx[l.Key(key)] {
+		*scratch = l.AppendKey((*scratch)[:0], key)
+		for _, r := range idx[string(*scratch)] {
 			if !l.Compatible(r) {
 				continue
 			}
@@ -108,12 +117,14 @@ func LeftJoinBindings(left, right []sparql.Binding, filters []sparql.Expr) []spa
 func DedupRows(rows []sparql.Binding, vars []sparql.Var) []sparql.Binding {
 	seen := make(map[string]struct{}, len(rows))
 	out := rows[:0]
+	scratch := sparql.GetKeyBuf()
+	defer sparql.PutKeyBuf(scratch)
 	for _, row := range rows {
-		k := row.Key(vars)
-		if _, dup := seen[k]; dup {
+		*scratch = row.AppendKey((*scratch)[:0], vars)
+		if _, dup := seen[string(*scratch)]; dup {
 			continue
 		}
-		seen[k] = struct{}{}
+		seen[string(*scratch)] = struct{}{}
 		out = append(out, row)
 	}
 	return out

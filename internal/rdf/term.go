@@ -165,6 +165,37 @@ func (t Term) String() string {
 	}
 }
 
+// AppendTo appends the N-Triples rendering of t to buf and returns the
+// extended slice. It is the allocation-free counterpart of String,
+// used on join hot paths where the rendering feeds a reused key
+// buffer rather than a fresh string.
+func (t Term) AppendTo(buf []byte) []byte {
+	switch t.Kind {
+	case KindIRI:
+		buf = append(buf, '<')
+		buf = append(buf, t.Value...)
+		return append(buf, '>')
+	case KindBlank:
+		buf = append(buf, '_', ':')
+		return append(buf, t.Value...)
+	case KindLiteral:
+		buf = append(buf, '"')
+		buf = appendEscapedLiteral(buf, t.Value)
+		buf = append(buf, '"')
+		if t.Lang != "" {
+			buf = append(buf, '@')
+			buf = append(buf, t.Lang...)
+		} else if t.Datatype != "" {
+			buf = append(buf, '^', '^', '<')
+			buf = append(buf, t.Datatype...)
+			buf = append(buf, '>')
+		}
+		return buf
+	default:
+		return append(buf, "UNDEF"...)
+	}
+}
+
 func escapeLiteral(b *strings.Builder, s string) {
 	for _, r := range s {
 		switch r {
@@ -182,4 +213,32 @@ func escapeLiteral(b *strings.Builder, s string) {
 			b.WriteRune(r)
 		}
 	}
+}
+
+// appendEscapedLiteral is escapeLiteral for byte slices. Escaping only
+// touches single-byte runes, so the input can be appended bytewise —
+// multi-byte UTF-8 sequences pass through untouched.
+func appendEscapedLiteral(buf []byte, s string) []byte {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		var esc string
+		switch s[i] {
+		case '"':
+			esc = `\"`
+		case '\\':
+			esc = `\\`
+		case '\n':
+			esc = `\n`
+		case '\r':
+			esc = `\r`
+		case '\t':
+			esc = `\t`
+		default:
+			continue
+		}
+		buf = append(buf, s[start:i]...)
+		buf = append(buf, esc...)
+		start = i + 1
+	}
+	return append(buf, s[start:]...)
 }

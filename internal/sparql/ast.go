@@ -8,8 +8,6 @@
 package sparql
 
 import (
-	"strings"
-
 	"lusail/internal/rdf"
 )
 
@@ -288,14 +286,26 @@ func (b Binding) Merge(o Binding) Binding {
 // Key renders the values of vars (in order) as a single string usable
 // as a hash-join key. Unbound variables contribute "UNDEF".
 func (b Binding) Key(vars []Var) string {
-	var sb strings.Builder
+	buf := GetKeyBuf()
+	*buf = b.AppendKey((*buf)[:0], vars)
+	k := string(*buf)
+	PutKeyBuf(buf)
+	return k
+}
+
+// AppendKey appends the join key of b over vars to buf and returns the
+// extended slice. Hot paths call it with a pooled scratch buffer and
+// probe hash tables via idx[string(buf)], which the compiler compiles
+// to an allocation-free lookup — rendering a key then costs no
+// allocations at all.
+func (b Binding) AppendKey(buf []byte, vars []Var) []byte {
 	for _, v := range vars {
 		if t, ok := b[v]; ok {
-			sb.WriteString(t.String())
+			buf = t.AppendTo(buf)
 		} else {
-			sb.WriteString("UNDEF")
+			buf = append(buf, "UNDEF"...)
 		}
-		sb.WriteByte('\x00')
+		buf = append(buf, '\x00')
 	}
-	return sb.String()
+	return buf
 }

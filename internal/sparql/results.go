@@ -33,11 +33,25 @@ func NewAskResult(v bool) *Results { return &Results{AskForm: true, Ask: v} }
 func (r *Results) Len() int { return len(r.Rows) }
 
 // Sort orders rows deterministically by the rendered values of Vars;
-// used by tests and stable output.
+// used by tests and stable output. Each row's sort key is rendered
+// exactly once up front — re-rendering inside the comparator costs
+// O(n log n) key constructions and dominated sorting wide results.
 func (r *Results) Sort() {
-	sort.Slice(r.Rows, func(i, j int) bool {
-		return r.Rows[i].Key(r.Vars) < r.Rows[j].Key(r.Vars)
-	})
+	keys := KeyColumn(r.Rows, r.Vars)
+	sort.Sort(&rowSorter{keys: keys, rows: r.Rows})
+}
+
+// rowSorter sorts rows and their precomputed keys in lockstep.
+type rowSorter struct {
+	keys []string
+	rows []Binding
+}
+
+func (s *rowSorter) Len() int           { return len(s.rows) }
+func (s *rowSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
 }
 
 // Project returns a copy of the results restricted to vars.
@@ -102,35 +116,11 @@ func (r *Results) EncodeJSON(w io.Writer) error {
 	return json.NewEncoder(w).Encode(jr)
 }
 
-// DecodeJSON reads the SPARQL 1.1 JSON results format.
+// DecodeJSON reads the SPARQL 1.1 JSON results format. It streams:
+// rows are decoded incrementally from r (no whole-payload buffering)
+// with repeated terms interned; see DecodeJSONStream.
 func DecodeJSON(r io.Reader) (*Results, error) {
-	var jr jsonResults
-	if err := json.NewDecoder(r).Decode(&jr); err != nil {
-		return nil, fmt.Errorf("sparql: decoding results: %w", err)
-	}
-	if jr.Boolean != nil {
-		return NewAskResult(*jr.Boolean), nil
-	}
-	out := &Results{}
-	for _, v := range jr.Head.Vars {
-		out.Vars = append(out.Vars, Var(v))
-	}
-	if jr.Results == nil {
-		return out, nil
-	}
-	out.Rows = make([]Binding, 0, len(jr.Results.Bindings))
-	for _, m := range jr.Results.Bindings {
-		b := make(Binding, len(m))
-		for v, jt := range m {
-			t, err := termFromJSON(jt)
-			if err != nil {
-				return nil, err
-			}
-			b[Var(v)] = t
-		}
-		out.Rows = append(out.Rows, b)
-	}
-	return out, nil
+	return DecodeJSONStream(r)
 }
 
 func termToJSON(t rdf.Term) jsonTerm {

@@ -1,0 +1,314 @@
+package sparql
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lusail/internal/rdf"
+)
+
+// Streaming decoder for the SPARQL 1.1 Query Results JSON Format.
+//
+// The buffered decoder this replaces unmarshalled the whole payload
+// into an intermediate []map[string]jsonTerm before converting to
+// Bindings — two full copies of every row, plus one map per row that
+// lived just long enough to be converted. This decoder walks the
+// json.Decoder token stream instead and builds Bindings directly as
+// rows arrive off the wire, so decoding overlaps the network transfer
+// and the intermediate representation disappears entirely.
+//
+// Repeated terms are interned: federated results are dominated by a
+// small vocabulary of IRIs (types, predicates, shared entities) that
+// recur in thousands of rows, and the intern table makes every
+// recurrence share one string allocation. Interned terms also compare
+// faster downstream — Go's string equality short-circuits on the data
+// pointer, so join probes and Compatible checks on interned terms
+// usually never touch the bytes.
+
+// maxInternEntries bounds each intern table so a pathological result
+// set with millions of distinct terms cannot balloon the table; past
+// the cap, lookups still deduplicate against what's cached but new
+// terms are no longer added.
+const maxInternEntries = 1 << 16
+
+// internCheckAt is the table size at which the interner evaluates
+// whether it is earning its keep (see internTerm).
+const internCheckAt = 1 << 12
+
+// interner deduplicates terms and variable names within one decode.
+type interner struct {
+	vars    map[string]Var
+	terms   map[rdf.Term]rdf.Term
+	lookups int
+	hits    int
+}
+
+func newInterner() *interner {
+	return &interner{
+		vars:  make(map[string]Var, 8),
+		terms: make(map[rdf.Term]rdf.Term, 64),
+	}
+}
+
+func (in *interner) internVar(s string) Var {
+	if v, ok := in.vars[s]; ok {
+		return v
+	}
+	v := Var(s)
+	if len(in.vars) < maxInternEntries {
+		in.vars[s] = v
+	}
+	return v
+}
+
+// internTerm returns the canonical copy of t, deduplicating repeats.
+// The table is adaptive: a result set whose terms are almost all
+// distinct (row IDs, measurement literals) gets no benefit from
+// interning but pays two string hashes per term, so once the table
+// reaches internCheckAt entries with under a 1-in-8 hit rate the
+// interner shuts itself off for the remainder of the decode.
+func (in *interner) internTerm(t rdf.Term) rdf.Term {
+	if in.terms == nil {
+		return t
+	}
+	in.lookups++
+	if c, ok := in.terms[t]; ok {
+		in.hits++
+		return c
+	}
+	if len(in.terms) >= maxInternEntries {
+		return t
+	}
+	in.terms[t] = t
+	if len(in.terms) == internCheckAt && in.hits*8 < in.lookups {
+		in.terms = nil
+	}
+	return t
+}
+
+// DecodeJSONStream reads the SPARQL 1.1 JSON results format from r,
+// decoding rows incrementally. It accepts "head"/"results"/"boolean"
+// members in any order, skips unknown members (some stores emit
+// "link" or vendor extensions), and reports mid-stream truncation as
+// an error rather than silently returning a partial result.
+func DecodeJSONStream(r io.Reader) (*Results, error) {
+	dec := json.NewDecoder(r)
+	out := &Results{}
+	in := newInterner()
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, decodeErr(err)
+	}
+	for dec.More() {
+		key, err := stringToken(dec, "member name")
+		if err != nil {
+			return nil, decodeErr(err)
+		}
+		switch key {
+		case "head":
+			if err := decodeHead(dec, out, in); err != nil {
+				return nil, decodeErr(err)
+			}
+		case "boolean":
+			tok, err := dec.Token()
+			if err != nil {
+				return nil, decodeErr(err)
+			}
+			b, ok := tok.(bool)
+			if !ok {
+				return nil, decodeErr(fmt.Errorf("boolean member is %T, not bool", tok))
+			}
+			out.AskForm, out.Ask = true, b
+		case "results":
+			if err := decodeResultsMember(dec, out, in); err != nil {
+				return nil, decodeErr(err)
+			}
+		default:
+			if err := skipValue(dec); err != nil {
+				return nil, decodeErr(err)
+			}
+		}
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return nil, decodeErr(err)
+	}
+	return out, nil
+}
+
+// decodeHead parses {"vars": ["a", ...], ...}.
+func decodeHead(dec *json.Decoder, out *Results, in *interner) error {
+	if err := expectDelim(dec, '{'); err != nil {
+		return err
+	}
+	for dec.More() {
+		key, err := stringToken(dec, "head member name")
+		if err != nil {
+			return err
+		}
+		if key != "vars" {
+			if err := skipValue(dec); err != nil {
+				return err
+			}
+			continue
+		}
+		// ASK results encode "vars": null; tolerate it.
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return io.ErrUnexpectedEOF
+		}
+		if err != nil {
+			return err
+		}
+		if tok == nil {
+			continue
+		}
+		if d, ok := tok.(json.Delim); !ok || d != '[' {
+			return fmt.Errorf("expected \"[\", got %v", tok)
+		}
+		for dec.More() {
+			v, err := stringToken(dec, "variable name")
+			if err != nil {
+				return err
+			}
+			out.Vars = append(out.Vars, in.internVar(v))
+		}
+		if err := expectDelim(dec, ']'); err != nil {
+			return err
+		}
+	}
+	return expectDelim(dec, '}')
+}
+
+// decodeResultsMember parses {"bindings": [ {...}, ... ], ...}.
+func decodeResultsMember(dec *json.Decoder, out *Results, in *interner) error {
+	if err := expectDelim(dec, '{'); err != nil {
+		return err
+	}
+	for dec.More() {
+		key, err := stringToken(dec, "results member name")
+		if err != nil {
+			return err
+		}
+		if key != "bindings" {
+			if err := skipValue(dec); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := expectDelim(dec, '['); err != nil {
+			return err
+		}
+		if out.Rows == nil {
+			out.Rows = []Binding{}
+		}
+		scratch := make(map[string]jsonTerm, 8)
+		for dec.More() {
+			b, err := decodeBindingObj(dec, in, scratch)
+			if err != nil {
+				return err
+			}
+			out.Rows = append(out.Rows, b)
+		}
+		if err := expectDelim(dec, ']'); err != nil {
+			return err
+		}
+	}
+	return expectDelim(dec, '}')
+}
+
+// decodeBindingObj parses one solution ({"var": {term}, ...}) with a
+// single Decode call into the caller's reused scratch map: the
+// compiled map/struct decode path is several times faster than walking
+// the same bytes token by token (each Token() round trip boxes its
+// result), and reusing the map leaves the Binding itself and
+// never-seen-before terms as the only per-row allocations.
+func decodeBindingObj(dec *json.Decoder, in *interner, scratch map[string]jsonTerm) (Binding, error) {
+	clear(scratch)
+	if err := dec.Decode(&scratch); err != nil {
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	b := make(Binding, len(scratch))
+	for name, jt := range scratch {
+		t, err := termFromJSON(jt)
+		if err != nil {
+			return nil, err
+		}
+		b[in.internVar(name)] = in.internTerm(t)
+	}
+	return b, nil
+}
+
+// expectDelim consumes one token and checks it is the delimiter d.
+// Truncated input surfaces as io.ErrUnexpectedEOF.
+func expectDelim(dec *json.Decoder, d json.Delim) error {
+	tok, err := dec.Token()
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	if err != nil {
+		return err
+	}
+	got, ok := tok.(json.Delim)
+	if !ok || got != d {
+		return fmt.Errorf("expected %q, got %v", d.String(), tok)
+	}
+	return nil
+}
+
+// stringToken consumes one token and requires it to be a string.
+func stringToken(dec *json.Decoder, what string) (string, error) {
+	tok, err := dec.Token()
+	if err == io.EOF {
+		return "", io.ErrUnexpectedEOF
+	}
+	if err != nil {
+		return "", err
+	}
+	s, ok := tok.(string)
+	if !ok {
+		return "", fmt.Errorf("expected string %s, got %v", what, tok)
+	}
+	return s, nil
+}
+
+// skipValue consumes exactly one JSON value (scalar, object, or
+// array) from the token stream.
+func skipValue(dec *json.Decoder) error {
+	tok, err := dec.Token()
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	if err != nil {
+		return err
+	}
+	d, ok := tok.(json.Delim)
+	if !ok || (d != '{' && d != '[') {
+		return nil
+	}
+	depth := 1
+	for depth > 0 {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return io.ErrUnexpectedEOF
+		}
+		if err != nil {
+			return err
+		}
+		if d, ok := tok.(json.Delim); ok {
+			switch d {
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+			}
+		}
+	}
+	return nil
+}
+
+func decodeErr(err error) error {
+	return fmt.Errorf("sparql: decoding results: %w", err)
+}

@@ -1,0 +1,177 @@
+package sparql
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"unsafe"
+
+	"lusail/internal/rdf"
+)
+
+// A fixture exercising every term shape the SPARQL 1.1 JSON format
+// defines: IRIs, plain / typed / language-tagged literals, bnodes,
+// and unbound cells.
+const streamFixture = `{
+  "head": { "vars": ["s", "o", "extra"] },
+  "results": { "bindings": [
+    { "s": {"type": "uri", "value": "http://ex/1"},
+      "o": {"type": "literal", "value": "plain"} },
+    { "s": {"type": "uri", "value": "http://ex/2"},
+      "o": {"type": "literal", "value": "salut", "xml:lang": "fr"} },
+    { "s": {"type": "bnode", "value": "b0"},
+      "o": {"type": "literal", "value": "42",
+            "datatype": "http://www.w3.org/2001/XMLSchema#integer"} },
+    { "s": {"type": "uri", "value": "http://ex/3"} }
+  ] }
+}`
+
+func TestStreamDecodeConformance(t *testing.T) {
+	r, err := DecodeJSONStream(strings.NewReader(streamFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Vars) != 3 || r.Vars[0] != "s" || r.Vars[1] != "o" || r.Vars[2] != "extra" {
+		t.Fatalf("vars = %v", r.Vars)
+	}
+	want := []Binding{
+		{"s": rdf.IRI("http://ex/1"), "o": rdf.Literal("plain")},
+		{"s": rdf.IRI("http://ex/2"), "o": rdf.LangLiteral("salut", "fr")},
+		{"s": rdf.Blank("b0"), "o": rdf.Integer(42)},
+		{"s": rdf.IRI("http://ex/3")},
+	}
+	if len(r.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), len(want))
+	}
+	for i := range want {
+		if len(r.Rows[i]) != len(want[i]) {
+			t.Errorf("row %d = %v, want %v", i, r.Rows[i], want[i])
+			continue
+		}
+		for v, tm := range want[i] {
+			if r.Rows[i][v] != tm {
+				t.Errorf("row %d var %s = %v, want %v", i, v, r.Rows[i][v], tm)
+			}
+		}
+	}
+}
+
+func TestStreamDecodeMemberOrderAndUnknownMembers(t *testing.T) {
+	// "results" before "head", plus unknown members at every level
+	// (some stores emit "link", Virtuoso emits vendor extensions).
+	in := `{
+	  "link": ["http://ex/meta"],
+	  "results": { "distinct": false, "bindings": [
+	    { "x": {"type": "uri", "value": "http://ex/a", "vendor": {"deep": [1,2,{"n":3}]}} }
+	  ], "ordered": true },
+	  "head": { "link": [], "vars": ["x"] },
+	  "vendor-extension": {"a": [true, null, 1.5]}
+	}`
+	r, err := DecodeJSONStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Vars) != 1 || r.Vars[0] != "x" {
+		t.Fatalf("vars = %v", r.Vars)
+	}
+	if len(r.Rows) != 1 || r.Rows[0]["x"] != rdf.IRI("http://ex/a") {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}
+
+func TestStreamDecodeVirtuosoTypedLiteral(t *testing.T) {
+	in := `{"head":{"vars":["x"]},"results":{"bindings":[{"x":{"type":"typed-literal","datatype":"http://www.w3.org/2001/XMLSchema#integer","value":"5"}}]}}`
+	r, err := DecodeJSONStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0]["x"] != rdf.Integer(5) {
+		t.Errorf("term = %v", r.Rows[0]["x"])
+	}
+}
+
+func TestStreamDecodeAsk(t *testing.T) {
+	for in, want := range map[string]bool{
+		`{"head":{},"boolean":true}`:            true,
+		`{"boolean":false,"head":{"vars":[]}}`:  false,
+		`{"head":{"vars":null},"boolean":true}`: true,
+	} {
+		r, err := DecodeJSONStream(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if !r.AskForm || r.Ask != want {
+			t.Errorf("%s: AskForm=%v Ask=%v, want Ask=%v", in, r.AskForm, r.Ask, want)
+		}
+	}
+}
+
+func TestStreamDecodeTruncation(t *testing.T) {
+	// Cutting the fixture anywhere must produce an error, never a
+	// silently partial result. Skip prefixes that happen to end right
+	// after the closing brace (those are complete documents).
+	full := strings.TrimSpace(streamFixture)
+	for cut := 0; cut < len(full); cut++ {
+		_, err := DecodeJSONStream(strings.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at byte %d accepted:\n%s", cut, full[:cut])
+		}
+	}
+	// The canonical truncation error for a clean mid-stream cut.
+	_, err := DecodeJSONStream(strings.NewReader(`{"head":{"vars":["x"]},"results":{"bindings":[`))
+	if err == nil || !strings.Contains(err.Error(), io.ErrUnexpectedEOF.Error()) {
+		t.Errorf("mid-array truncation error = %v, want unexpected EOF", err)
+	}
+}
+
+func TestStreamDecodeMalformed(t *testing.T) {
+	for _, in := range []string{
+		`[]`,                            // not an object
+		`{"boolean":"yes"}`,             // boolean member not a bool
+		`{"head":{"vars":[42]}}`,        // non-string var
+		`{"results":{"bindings":[42]}}`, // binding not an object
+		`{"results":{"bindings":[{"x":{"type":"martian","value":"v"}}]}}`, // unknown term type
+		`{"results":{"bindings":[{"x":{"type":"uri","value":42}}]}}`,      // non-string value
+	} {
+		if _, err := DecodeJSONStream(strings.NewReader(in)); err == nil {
+			t.Errorf("malformed input accepted: %s", in)
+		}
+	}
+}
+
+func TestStreamDecodeInternsRepeatedTerms(t *testing.T) {
+	// The same IRI in different rows must share one string allocation:
+	// both values' string headers point at the same bytes.
+	in := `{"head":{"vars":["x"]},"results":{"bindings":[
+	  {"x":{"type":"uri","value":"http://ex/shared"}},
+	  {"x":{"type":"uri","value":"http://ex/shared"}}
+	]}}`
+	r, err := DecodeJSONStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := r.Rows[0]["x"].Value, r.Rows[1]["x"].Value
+	if a != b {
+		t.Fatalf("values differ: %q vs %q", a, b)
+	}
+	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Error("repeated IRI not interned: values have distinct backing arrays")
+	}
+}
+
+func TestStreamDecodeEmptyAndHeadOnly(t *testing.T) {
+	r, err := DecodeJSONStream(strings.NewReader(`{"head":{"vars":["x"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Vars) != 1 || r.Rows != nil || r.AskForm {
+		t.Errorf("head-only decode = %+v", r)
+	}
+	r, err = DecodeJSONStream(strings.NewReader(`{"head":{"vars":["x"]},"results":{"bindings":[]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("empty bindings decode = %+v", r)
+	}
+}

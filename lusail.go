@@ -377,13 +377,60 @@ func NewEndpoint(name string) *MemoryEndpoint {
 }
 
 // ConnectHTTP returns an endpoint speaking the SPARQL protocol at the
-// given URL (query via form-encoded POST, results as SPARQL JSON).
-func ConnectHTTP(name, url string) Endpoint { return endpoint.NewHTTP(name, url) }
+// given URL (query via form-encoded POST, results as streamed SPARQL
+// JSON). The endpoint rides a process-wide tuned transport (raised
+// per-host keep-alive pool, dial/TLS timeouts) so the executor's
+// concurrent subqueries reuse connections instead of queueing behind
+// Go's default two-per-host idle pool; see HTTPOption for knobs.
+func ConnectHTTP(name, url string, opts ...HTTPOption) Endpoint {
+	return endpoint.NewHTTP(name, url, opts...)
+}
+
+// HTTPOption customizes a ConnectHTTP endpoint.
+type HTTPOption = endpoint.HTTPOption
+
+// TransportConfig tunes an HTTP transport built with NewTransport for
+// WithHTTPTransport.
+type TransportConfig = endpoint.TransportConfig
+
+// NewHTTPTransport builds a tuned *http.Transport (connection
+// pooling, dial/TLS timeouts) from cfg; pass it to WithHTTPTransport
+// to give one federation its own pool.
+func NewHTTPTransport(cfg TransportConfig) *http.Transport { return endpoint.NewTransport(cfg) }
+
+// WithHTTPTransport swaps the endpoint's transport (e.g. a dedicated
+// pool from NewHTTPTransport).
+func WithHTTPTransport(t http.RoundTripper) HTTPOption { return endpoint.WithTransport(t) }
+
+// WithHTTPTimeout bounds each request end to end; zero removes the
+// client-side bound (the per-query context still applies).
+func WithHTTPTimeout(d time.Duration) HTTPOption { return endpoint.WithRequestTimeout(d) }
+
+// WithHTTPGzipRequests gzip-encodes request bodies of at least
+// minBytes — bound subqueries carry VALUES blocks that compress well;
+// minBytes <= 0 picks a sensible default. The serving side (Serve,
+// cmd/endpoint) inflates transparently.
+func WithHTTPGzipRequests(minBytes int) HTTPOption { return endpoint.WithGzipRequests(minBytes) }
+
+// DefaultMaxRequestBytes is the default cap on SPARQL protocol POST
+// bodies enforced by Serve and the server daemons; oversized requests
+// receive HTTP 413.
+const DefaultMaxRequestBytes = endpoint.DefaultMaxRequestBytes
 
 // Serve returns an http.Handler exposing ep over the SPARQL protocol;
 // mount it to make an in-process endpoint reachable by remote
-// federators.
+// federators. Request bodies are capped at DefaultMaxRequestBytes
+// (use ServeWithConfig to change the cap or the logger).
 func Serve(ep *MemoryEndpoint) http.Handler { return endpoint.Handler(ep) }
+
+// EndpointHandlerConfig tunes ServeWithConfig.
+type EndpointHandlerConfig = endpoint.HandlerConfig
+
+// ServeWithConfig is Serve with an explicit logger and request-body
+// cap.
+func ServeWithConfig(ep *MemoryEndpoint, cfg EndpointHandlerConfig) http.Handler {
+	return endpoint.HandlerWithConfig(ep, cfg)
+}
 
 // Engine is the interface shared by Lusail and the baseline engines.
 type Engine = federation.Engine
