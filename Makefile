@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-all bench-compare bench-baseline trace-smoke server-smoke degrade-smoke
+.PHONY: all build vet test race verify bench bench-all bench-compare bench-baseline trace-smoke server-smoke degrade-smoke stream-smoke
 
 # Packages with microbenchmarks, gated by bench-compare.
 BENCH_PKGS = ./internal/core/ ./internal/sparql/ ./internal/engine/ ./internal/store/
@@ -27,7 +27,7 @@ verify: build vet test race
 
 # Per-query latency percentiles on the LUBM federation, as JSON.
 bench:
-	$(GO) run ./cmd/lusail-bench -bench-json BENCH_PR5.json -runs 5
+	$(GO) run ./cmd/lusail-bench -bench-json BENCH_PR6.json -runs 5
 
 # Microbenchmark regression gate: fail when any benchmark's ns/op or
 # allocs/op exceeds 2x the committed baseline. CI runs this with
@@ -51,6 +51,14 @@ trace-smoke:
 	echo "$$out" | grep -q "phase1" && \
 	echo "$$out" | grep -q "EXPLAIN ANALYZE" && \
 	echo "trace smoke OK"
+
+# Streaming-execution smoke test: race-check the pipelined executor,
+# the symmetric hash join, and the server's chunked JSON path —
+# streamed-vs-materialized equivalence, concurrent producers,
+# client-disconnect cancellation.
+stream-smoke:
+	$(GO) test -race -count=1 -run 'Stream|SymmetricJoin' ./internal/core/ ./internal/engine/ ./internal/sparql/ ./cmd/lusail-server/
+	@echo "stream smoke OK"
 
 # Graceful-degradation smoke test: run the availability sweep and
 # assert that skip-endpoint/best-effort return the surviving-partition

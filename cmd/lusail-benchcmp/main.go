@@ -23,11 +23,15 @@ import (
 	"strings"
 )
 
-// result is one benchmark measurement.
+// result is one benchmark measurement. FirstRowNsPerOp is the
+// streaming executor's custom time-to-first-chunk metric (reported
+// via b.ReportMetric as "first-row-ns/op"); zero when a benchmark
+// does not emit it.
 type result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	BytesPerOp      float64 `json:"bytes_per_op"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	FirstRowNsPerOp float64 `json:"first_row_ns_per_op,omitempty"`
 }
 
 // baseline is the committed reference file.
@@ -132,6 +136,8 @@ func parseBench(r io.Reader) (map[string]result, error) {
 				res.BytesPerOp = v
 			case "allocs/op":
 				res.AllocsPerOp = v
+			case "first-row-ns/op":
+				res.FirstRowNsPerOp = v
 			}
 		}
 		if seen {
@@ -164,6 +170,11 @@ func compare(w io.Writer, base, current map[string]result, maxRatio float64, ski
 		}
 		if exceeds(cur.AllocsPerOp, b.AllocsPerOp, maxRatio) {
 			faults = append(faults, fmt.Sprintf("allocs/op %.0f -> %.0f (%.2fx)", b.AllocsPerOp, cur.AllocsPerOp, cur.AllocsPerOp/b.AllocsPerOp))
+		}
+		// First-row latency is wall clock, so it shares the -skip-time
+		// escape hatch for noisy shared runners.
+		if !skipTime && exceeds(cur.FirstRowNsPerOp, b.FirstRowNsPerOp, maxRatio) {
+			faults = append(faults, fmt.Sprintf("first-row-ns/op %.0f -> %.0f (%.2fx)", b.FirstRowNsPerOp, cur.FirstRowNsPerOp, cur.FirstRowNsPerOp/b.FirstRowNsPerOp))
 		}
 		if len(faults) > 0 {
 			regressions++

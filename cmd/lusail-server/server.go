@@ -299,12 +299,28 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	// r.Context() so a client disconnect cancels the federated query:
+	// the engine's streaming executor aborts its in-flight subqueries
+	// and the admission slot frees as soon as the handler returns.
 	ctx := r.Context()
 	if s.cfg.QueryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 		defer cancel()
 	}
+
+	// The JSON default streams solution rows as they land; the other
+	// formats keep the buffered path (their encoders need the full
+	// result anyway, and XML's head carries no row-independent state
+	// worth splitting).
+	accept := r.Header.Get("Accept")
+	if !strings.Contains(accept, "application/sparql-results+xml") &&
+		!strings.Contains(accept, "text/csv") &&
+		!strings.Contains(accept, "text/tab-separated-values") {
+		s.streamQuery(w, ctx, query)
+		return
+	}
+
 	// Traced execution so slow queries carry their span tree into the
 	// query log's ring buffer.
 	res, _, _, err := s.fed.QueryTraced(ctx, query)
@@ -316,7 +332,6 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Lusail-Partial-Results", "true")
 	}
 
-	accept := r.Header.Get("Accept")
 	switch {
 	case strings.Contains(accept, "application/sparql-results+xml"):
 		w.Header().Set("Content-Type", "application/sparql-results+xml")
@@ -324,15 +339,65 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case strings.Contains(accept, "text/csv"):
 		w.Header().Set("Content-Type", "text/csv")
 		err = res.EncodeCSV(w)
-	case strings.Contains(accept, "text/tab-separated-values"):
+	default:
 		w.Header().Set("Content-Type", "text/tab-separated-values")
 		err = res.EncodeTSV(w)
-	default:
-		w.Header().Set("Content-Type", "application/sparql-results+json")
-		err = res.EncodeJSON(w)
 	}
 	if err != nil {
 		s.logger.Debug("result encoding failed mid-stream", "err", err)
+	}
+}
+
+// streamQuery serves the SPARQL JSON path with chunked transfer: each
+// result chunk is encoded and flushed as the engine produces it, so
+// clients see first solutions while phase-2 subqueries are still in
+// flight. Because the status line is gone after the first flush,
+// end-of-stream conditions travel as HTTP trailers: X-Lusail-Partial-
+// Results marks degraded completeness, X-Lusail-Error carries a
+// mid-stream failure on a truncated document.
+func (s *server) streamQuery(w http.ResponseWriter, ctx context.Context, query string) {
+	// Trailers must be declared before the first byte of the body.
+	w.Header().Set("Trailer", "X-Lusail-Partial-Results, X-Lusail-Error")
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+
+	flusher, canFlush := w.(http.Flusher)
+	enc := sparql.NewJSONRowEncoder(w)
+	res, _, _, err := s.fed.QueryStreamTraced(ctx, query,
+		func(vars []lusail.Var, rows []lusail.Binding) error {
+			if err := enc.Rows(vars, rows); err != nil {
+				return err
+			}
+			if canFlush {
+				flusher.Flush()
+			}
+			return nil
+		})
+	if err != nil {
+		if !enc.Started() {
+			// Nothing written yet: a clean HTTP error is still possible.
+			w.Header().Del("Trailer")
+			w.Header().Del("Content-Type")
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("X-Lusail-Error", err.Error())
+		s.logger.Debug("stream failed mid-response", "err", err)
+		return
+	}
+	if res.AskForm {
+		// ASK never streams; the boolean document goes out whole.
+		w.Header().Del("Trailer")
+		_ = res.EncodeJSON(w)
+		return
+	}
+	// Close writes a valid empty document when no chunk ever arrived.
+	if err := enc.Close(res.Vars); err != nil {
+		s.logger.Debug("stream close failed", "err", err)
+		return
+	}
+	// Trailer values are picked up from the header map after the body.
+	if c := res.Completeness; c != nil && !c.Complete {
+		w.Header().Set("X-Lusail-Partial-Results", "true")
 	}
 }
 

@@ -307,8 +307,10 @@ func TestBestEffortQueryMarksPartialResults(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("best-effort query = %d: %s", resp.StatusCode, body)
 	}
-	if got := resp.Header.Get("X-Lusail-Partial-Results"); got != "true" {
-		t.Errorf("X-Lusail-Partial-Results = %q, want true", got)
+	// The JSON path streams, so completeness arrives as a trailer
+	// (populated once the body has been fully read).
+	if got := resp.Trailer.Get("X-Lusail-Partial-Results"); got != "true" {
+		t.Errorf("X-Lusail-Partial-Results trailer = %q, want true", got)
 	}
 	if !strings.Contains(string(body), "a0") {
 		t.Errorf("partial results missing surviving endpoint's rows: %s", body)

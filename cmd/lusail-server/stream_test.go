@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lusail"
+	"lusail/internal/sparql"
+)
+
+// blockingEndpoint passes planning traffic (source-selection ASKs,
+// cardinality COUNT probes) through to its inner endpoint but parks
+// every data-fetching SELECT until the query context is cancelled,
+// recording that the cancellation reached it.
+type blockingEndpoint struct {
+	inner    lusail.Endpoint
+	observed chan struct{}
+	once     sync.Once
+}
+
+func (b *blockingEndpoint) Name() string { return b.inner.Name() }
+
+func (b *blockingEndpoint) Query(ctx context.Context, query string) (*lusail.Results, error) {
+	if strings.HasPrefix(strings.TrimSpace(query), "ASK") || strings.Contains(query, "COUNT(") {
+		return b.inner.Query(ctx, query)
+	}
+	<-ctx.Done()
+	b.once.Do(func() { close(b.observed) })
+	return nil, ctx.Err()
+}
+
+// A client that walks away mid-stream must cancel the federated query
+// (in-flight subqueries see ctx.Done) and give its admission slot
+// back. This is the contract that makes streaming safe to expose: a
+// hung or disconnected reader cannot pin endpoint work or a query
+// slot.
+func TestStreamClientDisconnectCancelsQuery(t *testing.T) {
+	fast := loadEndpoint(t, "fastEP",
+		`<http://ex/s0> <http://ex/p> "a0" .
+<http://ex/s1> <http://ex/p> "a1" .`)
+	slowInner := loadEndpoint(t, "slowEP", `<http://ex/s2> <http://ex/p> "b0" .`)
+	blocked := &blockingEndpoint{inner: slowInner, observed: make(chan struct{})}
+
+	s := newServer([]lusail.Endpoint{fast, blocked}, serverConfig{
+		Logger:        quietLogger(),
+		MaxConcurrent: 1, // enables in-flight accounting
+	})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	q := url.QueryEscape(`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }`)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/sparql?query="+q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Do returns once response headers arrive — which, on the
+	// streaming path, happens at the first flushed chunk (fastEP's
+	// rows) while the blocked endpoint still holds phase 1 open.
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("request failed before first chunk: %v", err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 64)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("reading first chunk: %v", err)
+	}
+	if !strings.Contains(string(buf), `"head"`) {
+		t.Errorf("first chunk does not open a SPARQL JSON document: %q", buf)
+	}
+	if n := s.adm.inflight.Load(); n != 1 {
+		t.Errorf("in-flight = %d mid-stream, want 1", n)
+	}
+
+	// Walk away.
+	cancel()
+	io.Copy(io.Discard, resp.Body)
+
+	select {
+	case <-blocked.observed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked endpoint never observed cancellation after client disconnect")
+	}
+	// The handler returns and the admission slot frees.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.adm.inflight.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("admission slot never released: in-flight = %d", s.adm.inflight.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// The streaming JSON path must deliver the same document the buffered
+// encoder would, chunking notwithstanding, and report mid-query
+// degradation through the declared trailer fields.
+func TestStreamedJSONDocumentWellFormed(t *testing.T) {
+	s := newServer(testEndpoints(t), serverConfig{Logger: quietLogger()})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+
+	q := url.QueryEscape(`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }`)
+	resp, err := http.Get(ts.URL + "/sparql?query=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/sparql-results+json" {
+		t.Errorf("Content-Type = %q", got)
+	}
+	// Trailers were declared up front and, absent degradation or a
+	// mid-stream error, stay unset after the body.
+	if got := resp.Trailer.Get("X-Lusail-Error"); got != "" {
+		t.Errorf("X-Lusail-Error trailer = %q, want unset", got)
+	}
+	res, err := sparql.DecodeJSONStream(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("streamed document does not decode: %v\n%s", err, body)
+	}
+	if res.Len() != 5 {
+		t.Errorf("decoded %d rows, want 5", res.Len())
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -301,6 +302,182 @@ func (l *Lusail) ExecuteTraced(ctx context.Context, query string) (*sparql.Resul
 	return res, m, tr, err
 }
 
+// errStreamStop is the sentinel a streaming row sink returns once the
+// query's LIMIT is satisfied; the executor unwinds and treats it as
+// successful completion.
+var errStreamStop = errors.New("stream: limit satisfied")
+
+// Streamable reports whether a parsed query can execute through the
+// pipelined streaming path: a SELECT whose solution modifiers commute
+// with chunked delivery. DISTINCT, COUNT, and ORDER BY all need the
+// whole result before the first row can be emitted; LIMIT/OFFSET
+// stream fine (the sink skips and truncates).
+func streamable(q *sparql.Query) bool {
+	return q.Form == sparql.SelectForm && !q.Distinct && !q.Count && len(q.OrderBy) == 0
+}
+
+// ExecuteStream runs a federated SPARQL query, delivering result rows
+// through onChunk in bounded chunks as the streaming executor produces
+// them — the first chunk typically arrives while slower endpoints are
+// still answering, instead of after the last join. onChunk receives
+// the projected header (identical on every call) and a chunk of rows;
+// returning an error aborts the query. The returned Results summary
+// has empty Rows and Streamed set to the number of rows delivered
+// (Len() reports it), so metrics and logging see the true row count.
+//
+// Queries whose solution modifiers need the whole result first
+// (DISTINCT, COUNT, ORDER BY) and ASK queries fall back to the
+// materialized path; SELECT results are then delivered as one chunk,
+// so callers stream uniformly either way.
+func (l *Lusail) ExecuteStream(ctx context.Context, query string, onChunk StreamSink) (*sparql.Results, Metrics, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	if !streamable(q) {
+		res, m, err := l.executeCached(ctx, query, nil)
+		if err != nil {
+			return nil, m, err
+		}
+		if !res.AskForm && len(res.Rows) > 0 {
+			if serr := onChunk(res.Vars, res.Rows); serr != nil {
+				return nil, m, serr
+			}
+		}
+		return res, m, nil
+	}
+	return l.executeStream(ctx, q, query, onChunk)
+}
+
+// ExecuteStreamTraced is ExecuteStream recording a span tree, so
+// streamed executions are as diagnosable as materialized ones.
+func (l *Lusail) ExecuteStreamTraced(ctx context.Context, query string, onChunk StreamSink) (*sparql.Results, Metrics, *trace.Trace, error) {
+	tr := trace.New("query")
+	ctx = trace.WithSpan(ctx, tr.Root)
+	res, m, err := l.ExecuteStream(ctx, query, onChunk)
+	tr.Root.End()
+	tr.Root.Set("requests", int64(m.RemoteRequests()))
+	if res != nil {
+		tr.Root.Set("rows", int64(res.Len()))
+	}
+	if m.Retries > 0 {
+		tr.Root.Set("retries", int64(m.Retries))
+	}
+	if m.BreakerOpens > 0 {
+		tr.Root.Set("breaker_opens", int64(m.BreakerOpens))
+	}
+	if m.Hedges > 0 {
+		tr.Root.Set("hedges", int64(m.Hedges))
+	}
+	if m.DroppedEndpoints > 0 {
+		tr.Root.Set("dropped", int64(m.DroppedEndpoints))
+		tr.Root.Set("completeness", m.Completeness.String())
+	}
+	return res, m, tr, err
+}
+
+// executeStream is the streamed counterpart of executeCached: the same
+// lifecycle (query log, fault counters, degradation state, metrics
+// attribution) wrapped around the pipelined executor, with the final
+// projection and LIMIT/OFFSET applied per chunk in the sink.
+func (l *Lusail) executeStream(ctx context.Context, q *sparql.Query, query string, onChunk StreamSink) (res *sparql.Results, m Metrics, err error) {
+	if l.cfg.QueryLog != nil {
+		id := l.cfg.QueryLog.QueryStarted(query)
+		root := trace.SpanFrom(ctx)
+		root.Set("qid", id)
+		defer func() {
+			rows := -1
+			if res != nil {
+				rows = res.Len()
+			}
+			root.End()
+			l.cfg.QueryLog.QueryFinished(id, query, m, rows, err, root)
+		}()
+	}
+	fc := endpoint.NewFaultCounters(endpoint.FaultCountersFrom(ctx))
+	ctx = endpoint.WithFaultCounters(ctx, fc)
+	var dg *endpoint.Degrade
+	if l.cfg.Degradation != endpoint.DegradeFail || l.cfg.QueryBudget > 0 {
+		var deadline time.Time
+		if l.cfg.QueryBudget > 0 {
+			deadline = time.Now().Add(l.cfg.QueryBudget)
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, deadline)
+			defer cancel()
+		}
+		dg = endpoint.NewDegrade(l.cfg.Degradation, deadline)
+		ctx = endpoint.WithDegrade(ctx, dg)
+	}
+	defer func() {
+		m.Retries = int(fc.Retries())
+		m.BreakerOpens = int(fc.BreakerOpens())
+		m.Hedges = int(fc.Hedges())
+		if dg != nil {
+			m.DroppedEndpoints = dg.DropCount()
+			m.Completeness = dg.Completeness()
+		}
+		l.mu.Lock()
+		l.last = m
+		l.mu.Unlock()
+	}()
+	if l.cfg.DisableCache {
+		l.ClearCaches()
+	}
+
+	proj := q.ProjectedVars()
+	emitted := 0
+	offset := q.Offset
+	sink := func(vars []sparql.Var, rows []sparql.Binding) error {
+		// Project each row to the query's header (copying, as the
+		// joined rows are shared with the executor's hash tables).
+		out := make([]sparql.Binding, 0, len(rows))
+		for _, row := range rows {
+			b := make(sparql.Binding, len(proj))
+			for _, v := range proj {
+				if t, ok := row[v]; ok {
+					b[v] = t
+				}
+			}
+			out = append(out, b)
+		}
+		if offset > 0 {
+			if len(out) <= offset {
+				offset -= len(out)
+				return nil
+			}
+			out = out[offset:]
+			offset = 0
+		}
+		if q.Limit >= 0 && emitted+len(out) > q.Limit {
+			out = out[:q.Limit-emitted]
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		emitted += len(out)
+		if cerr := onChunk(proj, out); cerr != nil {
+			return cerr
+		}
+		if q.Limit >= 0 && emitted >= q.Limit {
+			return errStreamStop
+		}
+		return nil
+	}
+	verr := l.evalGroupStreamed(ctx, q.Where, proj, &m, sink)
+	if verr != nil && !errors.Is(verr, errStreamStop) {
+		return nil, m, verr
+	}
+	// Finalization proper (projection, LIMIT/OFFSET) already happened
+	// per chunk in the sink; the span keeps the trace contract — every
+	// query tree ends with a finalize node carrying the row count.
+	sp := trace.SpanFrom(ctx).StartChild("finalize")
+	res = &sparql.Results{Vars: proj, Streamed: emitted}
+	res.Completeness = dg.Completeness()
+	sp.Set("rows", int64(emitted))
+	sp.End()
+	return res, m, nil
+}
+
 // executeCached is Execute with an optional shared subquery-result
 // cache (multi-query optimization). The returned Metrics are the
 // call's own; the LastMetrics slot is additionally updated for
@@ -426,16 +603,86 @@ func endPhase(sp *trace.Span, fc *endpoint.FaultCounters) {
 	}
 }
 
+// groupPlan is the fully-analyzed execution plan of one group graph
+// pattern: the decomposed subqueries with sources, estimates, and
+// delay marks, the pre-materialized extra relations (UNION, VALUES,
+// nested OPTIONAL groups), and the residual filters. The materialized
+// and the streaming executors both consume it.
+type groupPlan struct {
+	all           []*Subquery
+	extra         []*Relation
+	globalFilters []sparql.Expr
+	optFilters    map[int][]sparql.Expr
+	// empty marks a group proven unsatisfiable during planning (a
+	// required pattern with no relevant source); emptyVars is its
+	// header.
+	empty     bool
+	emptyVars []sparql.Var
+}
+
 // evalGroup runs the full Lusail pipeline for one group graph pattern
 // and returns its solution rows and their header variables.
 func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, needed []sparql.Var, m *Metrics, sqCache *SubqueryCache) ([]sparql.Binding, []sparql.Var, error) {
+	p, err := l.planGroup(ctx, g, needed, m, sqCache)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.empty {
+		return nil, p.emptyVars, nil
+	}
+	// ---- Phase: execution (SAPE) ---------------------------------
+	t := time.Now()
+	result, stats, err := l.executor.RunCached(ctx, p.all, p.extra, p.globalFilters, p.optFilters, sqCache)
+	if err != nil {
+		return nil, nil, err
+	}
+	addExecStats(m, stats)
+	m.Execution += time.Since(t)
+	return result.Rows, result.Vars, nil
+}
+
+// evalGroupStreamed is evalGroup with the SAPE execution phase
+// replaced by the pipelined streaming executor: final rows flow to
+// sink in chunks as they are produced instead of materializing.
+func (l *Lusail) evalGroupStreamed(ctx context.Context, g *sparql.GroupGraphPattern, needed []sparql.Var, m *Metrics, sink StreamSink) error {
+	p, err := l.planGroup(ctx, g, needed, m, nil)
+	if err != nil {
+		return err
+	}
+	if p.empty {
+		return nil
+	}
+	t := time.Now()
+	stats, err := l.executor.RunStreamed(ctx, p.all, p.extra, p.globalFilters, p.optFilters, sink)
+	if stats != nil {
+		addExecStats(m, stats)
+	}
+	m.Execution += time.Since(t)
+	return err
+}
+
+func addExecStats(m *Metrics, stats *ExecStats) {
+	m.Phase1Requests += stats.Phase1Requests
+	m.Phase2Requests += stats.Phase2Requests
+	m.RefineRequests += stats.RefineRequests
+	m.BoundBlocks += stats.BoundBlocks
+	m.ChunkSplits += stats.ChunkSplits
+}
+
+// planGroup runs the compile-time pipeline for one group graph
+// pattern — source selection, GJV detection, decomposition, filter
+// pushing, OPTIONAL analysis, projection computation, cardinality
+// estimation, and delay marking — and materializes the extra relations
+// (UNION alternatives, VALUES blocks, nested OPTIONAL groups) the
+// executor joins alongside the subqueries.
+func (l *Lusail) planGroup(ctx context.Context, g *sparql.GroupGraphPattern, needed []sparql.Var, m *Metrics, sqCache *SubqueryCache) (*groupPlan, error) {
 	// ---- Phase: source selection --------------------------------
 	t := time.Now()
 	selCtx, selSpan, selFC := startPhase(ctx, "source-selection")
 	sel, err := l.selector.SelectPatterns(selCtx, g.Patterns)
 	if err != nil {
 		endPhase(selSpan, selFC)
-		return nil, nil, err
+		return nil, err
 	}
 	selSpan.Set("asks", int64(sel.AskRequests))
 	endPhase(selSpan, selFC)
@@ -450,11 +697,11 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 	for i := range g.Patterns {
 		if len(sel.Sources[i]) == 0 {
 			if dg.Policy() == endpoint.DegradeSkipEndpoint && dg.DropCount() > 0 {
-				return nil, nil, fmt.Errorf(
+				return nil, fmt.Errorf(
 					"lusail: pattern %d lost all relevant sources under skip-endpoint degradation (%s)",
 					i, dg.Completeness())
 			}
-			return nil, g.AllVars(), nil
+			return &groupPlan{empty: true, emptyVars: g.AllVars()}, nil
 		}
 	}
 
@@ -465,7 +712,7 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 	rep, err := l.decomposer.DetectGJVs(gjvCtx, g.Patterns, sel.Sources, typeOf)
 	if err != nil {
 		endPhase(gjvSpan, gjvFC)
-		return nil, nil, err
+		return nil, err
 	}
 	gjvSpan.Set("checks", int64(rep.CheckQueries))
 	gjvSpan.Set("gjvs", int64(len(rep.GJVs)))
@@ -477,7 +724,7 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 	globalFilters := PushFilters(required, g.Filters)
 	for _, f := range globalFilters {
 		if _, isExists := f.(*sparql.ExistsExpr); isExists {
-			return nil, nil, fmt.Errorf("lusail: FILTER EXISTS spanning multiple subqueries is not supported")
+			return nil, fmt.Errorf("lusail: FILTER EXISTS spanning multiple subqueries is not supported")
 		}
 	}
 
@@ -524,7 +771,7 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 			rows, vars, err := l.evalGroup(ogCtx, inner, inner.AllVars(), m, sqCache)
 			endPhase(ogSpan, ogFC)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			ogSpan.Set("rows", int64(len(rows)))
 			optFilters[ogID] = residual
@@ -537,7 +784,7 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 		tOpt := time.Now()
 		oSel, err := l.selector.SelectPatterns(ctx, og.Patterns)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		m.AskRequests += oSel.AskRequests
 		m.SourceSelection += time.Since(tOpt)
@@ -553,7 +800,7 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 		}
 		oRep, err := l.decomposer.DetectGJVs(ctx, og.Patterns, oSel.Sources, TypeConstraints(og.Patterns))
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		m.CheckQueries += oRep.CheckQueries
 		m.GJVs += len(oRep.GJVs)
@@ -561,7 +808,7 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 		residual := PushFilters(oSqs, og.Filters)
 		for _, f := range residual {
 			if _, isExists := f.(*sparql.ExistsExpr); isExists {
-				return nil, nil, fmt.Errorf("lusail: FILTER EXISTS in OPTIONAL is not supported")
+				return nil, fmt.Errorf("lusail: FILTER EXISTS in OPTIONAL is not supported")
 			}
 		}
 		optFilters[ogID] = residual
@@ -601,7 +848,7 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 	nCount, err := l.cost.EstimateCards(cntCtx, all)
 	if err != nil {
 		endPhase(cntSpan, cntFC)
-		return nil, nil, err
+		return nil, err
 	}
 	cntSpan.Set("counts", int64(nCount))
 	endPhase(cntSpan, cntFC)
@@ -624,7 +871,7 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 			altRows, altVars, err := l.evalGroup(altCtx, alt, alt.AllVars(), m, sqCache)
 			endPhase(altSpan, altFC)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			altSpan.Set("rows", int64(len(altRows)))
 			rel.Vars = mergeVarsUnique(rel.Vars, altVars)
@@ -646,20 +893,13 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 		extra = append(extra, rel)
 	}
 
-	// ---- Phase: execution (SAPE) ---------------------------------
 	extra = append(extra, optionalRels...)
-	t = time.Now()
-	result, stats, err := l.executor.RunCached(ctx, all, extra, globalFilters, optFilters, sqCache)
-	if err != nil {
-		return nil, nil, err
-	}
-	m.Phase1Requests += stats.Phase1Requests
-	m.Phase2Requests += stats.Phase2Requests
-	m.RefineRequests += stats.RefineRequests
-	m.BoundBlocks += stats.BoundBlocks
-	m.ChunkSplits += stats.ChunkSplits
-	m.Execution += time.Since(t)
-	return result.Rows, result.Vars, nil
+	return &groupPlan{
+		all:           all,
+		extra:         extra,
+		globalFilters: globalFilters,
+		optFilters:    optFilters,
+	}, nil
 }
 
 // decompose picks the configured decomposition algorithm.

@@ -306,6 +306,14 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 		durs := map[*Subquery]time.Duration{}
 		failedBySq := map[*Subquery]int{}
 		for i, tr := range results {
+			// Latency attribution counts failed attempts too: a subquery
+			// whose tasks all fail (or are all absorbed into drops) still
+			// spent its slowest attempt's wall clock, and zeroing it would
+			// make ExplainAnalyze and the slow-query log under-report
+			// exactly the degraded queries worth investigating.
+			if tr.Duration > durs[taskSq[i]] {
+				durs[taskSq[i]] = tr.Duration
+			}
 			if tr.Err != nil {
 				if dg.Absorb(tr.Err) {
 					dg.Drop(tr.Task.EP.Name(), sqLabel(taskSq[i]), "phase1", tr.Err)
@@ -315,9 +323,6 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 				return nil, fmt.Errorf("sape phase 1: %w", tr.Err)
 			}
 			rels[taskSq[i]].Rows = append(rels[taskSq[i]].Rows, tr.Res.Rows...)
-			if tr.Duration > durs[taskSq[i]] {
-				durs[taskSq[i]] = tr.Duration
-			}
 		}
 		for _, sq := range phase1 {
 			// SkipEndpoint promises every required subquery keeps at
@@ -327,6 +332,11 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 				dg.Policy() == endpoint.DegradeSkipEndpoint {
 				return nil, fmt.Errorf("sape phase 1: subquery %s lost all %d sources under skip-endpoint degradation", sqLabel(sq), n)
 			}
+			// A dropped endpoint contributed no partition: stamp the
+			// partitions that actually produced rows (floored at one), or
+			// JoinCost divides by phantom partitions and the parallel-join
+			// fan-out looks cheaper than it is for degraded queries.
+			rels[sq].Partitions = survivingPartitions(len(sq.Sources), failedBySq[sq])
 			dedupFullProjection(sq, rels[sq])
 			recordSubquerySpan(sp, sq, rels[sq], durs[sq], len(sq.Sources))
 		}
@@ -472,8 +482,21 @@ func (ex *Executor) evalSubqueryUnbound(ctx context.Context, sq *Subquery) (*Rel
 		dg.Policy() == endpoint.DegradeSkipEndpoint {
 		return nil, fmt.Errorf("subquery %s lost all %d sources under skip-endpoint degradation", sqLabel(sq), failed)
 	}
+	rel.Partitions = survivingPartitions(len(sq.Sources), failed)
 	dedupFullProjection(sq, rel)
 	return rel, nil
+}
+
+// survivingPartitions is the partition count of a relation after
+// degradation dropped some of its sources' contributions: only the
+// endpoints that actually produced rows count for the join cost model,
+// floored at one so empty relations stay valid cost inputs.
+func survivingPartitions(sources, dropped int) int {
+	n := sources - dropped
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 func emptyRequired(rels []*Relation) bool {
@@ -645,10 +668,7 @@ func (ex *Executor) runBound(ctx context.Context, sq *Subquery, fb *foundBinding
 		return nil, fmt.Errorf("sape phase 2 (%s): all %d sources failed under skip-endpoint degradation", sq, failed)
 	}
 	dedupFullProjection(sq, rel)
-	rel.Partitions = len(sources)
-	if rel.Partitions < 1 {
-		rel.Partitions = 1
-	}
+	rel.Partitions = survivingPartitions(len(sources), failed)
 	sp := recordSubquerySpan(trace.SpanFrom(ctx), sq, rel, time.Since(start), requests)
 	if sp != nil {
 		if bindN < 0 {

@@ -17,6 +17,7 @@ import (
 	"lusail/internal/core"
 	"lusail/internal/endpoint"
 	"lusail/internal/obs"
+	"lusail/internal/sparql"
 )
 
 // observedConfig wires opts.Metrics (when set) into a core.Config: a
@@ -40,18 +41,24 @@ func observedConfig(opts Options, f *Federation) core.Config {
 }
 
 // QueryBench is one query's latency distribution over repeated runs.
+// Total latency is measured over the streamed execution path;
+// first-row latency is the delay until the first chunk reaches the
+// sink (equal to total for queries that fall back to materialized
+// execution or return nothing).
 type QueryBench struct {
-	Query    string  `json:"query"`
-	Runs     int     `json:"runs"`
-	Rows     int     `json:"rows"`
-	Requests int64   `json:"requests"`
-	MinMs    float64 `json:"min_ms"`
-	MeanMs   float64 `json:"mean_ms"`
-	P50Ms    float64 `json:"p50_ms"`
-	P95Ms    float64 `json:"p95_ms"`
-	P99Ms    float64 `json:"p99_ms"`
-	MaxMs    float64 `json:"max_ms"`
-	Err      string  `json:"error,omitempty"`
+	Query         string  `json:"query"`
+	Runs          int     `json:"runs"`
+	Rows          int     `json:"rows"`
+	Requests      int64   `json:"requests"`
+	MinMs         float64 `json:"min_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	FirstRowMinMs float64 `json:"first_row_min_ms"`
+	FirstRowP50Ms float64 `json:"first_row_p50_ms"`
+	Err           string  `json:"error,omitempty"`
 }
 
 // BenchReport is the JSON document -bench-json writes.
@@ -101,42 +108,56 @@ func Bench(opts Options) BenchReport {
 	for _, name := range names {
 		qb := QueryBench{Query: name, Runs: opts.runs()}
 		query := lubm.Queries[name]
-		run := func() (time.Duration, error) {
+		run := func() (total, first time.Duration, err error) {
 			ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
 			defer cancel()
 			start := time.Now()
-			res, err := l.Execute(ctx, query)
+			res, _, err := l.ExecuteStream(ctx, query,
+				func(vars []sparql.Var, rows []sparql.Binding) error {
+					if first == 0 {
+						first = time.Since(start)
+					}
+					return nil
+				})
 			if err != nil {
-				return 0, err
+				return 0, 0, err
 			}
 			qb.Rows = res.Len()
-			return time.Since(start), nil
+			total = time.Since(start)
+			if first == 0 {
+				first = total // no chunk ever arrived (empty result)
+			}
+			return total, first, nil
 		}
-		if _, err := run(); err != nil { // warm-up
+		if _, _, err := run(); err != nil { // warm-up
 			qb.Err = err.Error()
 			report.Queries = append(report.Queries, qb)
 			continue
 		}
 		endpoint.ResetAll(f.Endpoints)
-		var durs []time.Duration
+		var durs, firsts []time.Duration
 		var total time.Duration
 		for i := 0; i < opts.runs(); i++ {
-			d, err := run()
+			d, fd, err := run()
 			if err != nil {
 				qb.Err = err.Error()
 				break
 			}
 			durs = append(durs, d)
+			firsts = append(firsts, fd)
 			total += d
 		}
 		if len(durs) > 0 {
 			sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+			sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
 			qb.MinMs = ms(durs[0])
 			qb.MaxMs = ms(durs[len(durs)-1])
 			qb.MeanMs = ms(total / time.Duration(len(durs)))
 			qb.P50Ms = ms(durQuantile(durs, 0.50))
 			qb.P95Ms = ms(durQuantile(durs, 0.95))
 			qb.P99Ms = ms(durQuantile(durs, 0.99))
+			qb.FirstRowMinMs = ms(firsts[0])
+			qb.FirstRowP50Ms = ms(durQuantile(firsts, 0.50))
 			qb.Requests = endpoint.TotalStats(f.Endpoints).Requests
 		}
 		report.Queries = append(report.Queries, qb)

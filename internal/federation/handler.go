@@ -83,10 +83,6 @@ func (h *Handler) run(ctx context.Context, tasks []Task, failFast bool) ([]TaskR
 	if len(tasks) == 0 {
 		return out, nil
 	}
-	per := h.PerEndpoint
-	if per <= 0 {
-		per = 1
-	}
 	runCtx := ctx
 	var cancel context.CancelFunc
 	var errOnce sync.Once
@@ -95,15 +91,64 @@ func (h *Handler) run(ctx context.Context, tasks []Task, failFast bool) ([]TaskR
 		runCtx, cancel = context.WithCancel(ctx)
 		defer cancel()
 	}
-	fail := func(err error) {
-		// The winner of this race is necessarily a real failure (or
-		// the caller's own cancellation): sibling context.Canceled
-		// errors can only occur after some first error already won
-		// and triggered the cancel.
-		errOnce.Do(func() {
-			firstErr = err
-			cancel()
+	h.dispatch(runCtx, tasks, func(i int, tr TaskResult, dispatched bool) {
+		out[i] = tr
+		// Only dispatched failures trigger fail-fast: short-circuited
+		// tasks carry the cancellation error some first failure already
+		// caused. The winner of this race is necessarily a real failure
+		// (or the caller's own cancellation): sibling context.Canceled
+		// errors can only occur after some first error already won and
+		// triggered the cancel.
+		if failFast && dispatched && tr.Err != nil {
+			errOnce.Do(func() {
+				firstErr = tr.Err
+				cancel()
+			})
+		}
+	})
+	return out, firstErr
+}
+
+// StreamedResult is one completed task delivered by RunStream, tagged
+// with its index in the submitted batch.
+type StreamedResult struct {
+	Index int
+	TaskResult
+}
+
+// RunStream executes all tasks like Run, but delivers each result on
+// the returned channel the moment its endpoint answers instead of
+// waiting for the whole batch — the streaming executor starts joining
+// (and shipping) a subquery's early partitions while its slow sources
+// are still on the wire. The channel is buffered for the full batch
+// (a slow consumer never blocks an endpoint worker) and is closed
+// after the last task. Cancelling ctx short-circuits not-yet-
+// dispatched tasks with ctx.Err(), so callers implement fail-fast by
+// cancelling their own derived context.
+func (h *Handler) RunStream(ctx context.Context, tasks []Task) <-chan StreamedResult {
+	ch := make(chan StreamedResult, len(tasks))
+	if len(tasks) == 0 {
+		close(ch)
+		return ch
+	}
+	go func() {
+		defer close(ch)
+		h.dispatch(ctx, tasks, func(i int, tr TaskResult, _ bool) {
+			ch <- StreamedResult{Index: i, TaskResult: tr}
 		})
+	}()
+	return ch
+}
+
+// dispatch fans the tasks out with one worker per endpoint and the
+// per-endpoint/global concurrency caps, calling emit exactly once per
+// task (possibly from concurrent goroutines) and returning when every
+// task has been emitted. dispatched is false for tasks short-circuited
+// by context cancellation before reaching their endpoint.
+func (h *Handler) dispatch(ctx context.Context, tasks []Task, emit func(i int, tr TaskResult, dispatched bool)) {
+	per := h.PerEndpoint
+	if per <= 0 {
+		per = 1
 	}
 	var globalSem chan struct{}
 	if h.MaxConcurrent > 0 {
@@ -129,17 +174,17 @@ func (h *Handler) run(ctx context.Context, tasks []Task, failFast bool) ([]TaskR
 			for _, i := range idxs {
 				// Short-circuit queued tasks once cancelled: no
 				// goroutine is spawned and no request dispatched.
-				if err := runCtx.Err(); err != nil {
-					out[i] = TaskResult{Task: tasks[i], Err: err}
+				if err := ctx.Err(); err != nil {
+					emit(i, TaskResult{Task: tasks[i], Err: err}, false)
 					continue
 				}
-				if !acquire(runCtx, sem) {
-					out[i] = TaskResult{Task: tasks[i], Err: runCtx.Err()}
+				if !acquire(ctx, sem) {
+					emit(i, TaskResult{Task: tasks[i], Err: ctx.Err()}, false)
 					continue
 				}
-				if !acquire(runCtx, globalSem) {
+				if !acquire(ctx, globalSem) {
 					release(sem)
-					out[i] = TaskResult{Task: tasks[i], Err: runCtx.Err()}
+					emit(i, TaskResult{Task: tasks[i], Err: ctx.Err()}, false)
 					continue
 				}
 				inner.Add(1)
@@ -150,19 +195,15 @@ func (h *Handler) run(ctx context.Context, tasks []Task, failFast bool) ([]TaskR
 					start := time.Now()
 					h.dispatched.Add(1)
 					h.inflight.Add(1)
-					res, err := tasks[i].EP.Query(runCtx, tasks[i].Query)
+					res, err := tasks[i].EP.Query(ctx, tasks[i].Query)
 					h.inflight.Add(-1)
-					out[i] = TaskResult{Task: tasks[i], Res: res, Err: err, Duration: time.Since(start)}
-					if failFast && err != nil {
-						fail(err)
-					}
+					emit(i, TaskResult{Task: tasks[i], Res: res, Err: err, Duration: time.Since(start)}, true)
 				}(i)
 			}
 			inner.Wait()
 		}(idxs)
 	}
 	wg.Wait()
-	return out, firstErr
 }
 
 // acquire takes a slot from sem (nil = unbounded) unless ctx is done.

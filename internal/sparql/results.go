@@ -24,13 +24,23 @@ type Results struct {
 	// or which endpoint/subquery contributions a degraded execution
 	// dropped. Results from healthy executions leave it nil.
 	Completeness *Completeness `json:"-"`
+	// Streamed counts rows that were delivered through a streaming
+	// sink instead of materialized into Rows. A streamed execution's
+	// summary result has empty Rows and non-zero Streamed.
+	Streamed int `json:"-"`
 }
 
 // NewAskResult builds an ASK result.
 func NewAskResult(v bool) *Results { return &Results{AskForm: true, Ask: v} }
 
-// Len returns the number of solution rows.
-func (r *Results) Len() int { return len(r.Rows) }
+// Len returns the number of solution rows (for streamed executions,
+// the number of rows delivered through the sink).
+func (r *Results) Len() int {
+	if r.Rows == nil && r.Streamed > 0 {
+		return r.Streamed
+	}
+	return len(r.Rows)
+}
 
 // Sort orders rows deterministically by the rendered values of Vars;
 // used by tests and stable output. Each row's sort key is rendered

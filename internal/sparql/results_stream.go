@@ -1,0 +1,100 @@
+package sparql
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONRowEncoder writes the SPARQL 1.1 Query Results JSON Format
+// incrementally: the head and the opening of the bindings array go out
+// with the first rows, each subsequent chunk appends serialized
+// bindings, and Close writes the closing brackets. It produces the
+// same document EncodeJSON does, just without holding the full result —
+// the server's chunked-transfer streaming path pairs one Rows call
+// with one flush so clients see solutions while the query still runs.
+type JSONRowEncoder struct {
+	w       io.Writer
+	started bool
+	first   bool
+	err     error
+}
+
+// NewJSONRowEncoder builds an encoder writing to w.
+func NewJSONRowEncoder(w io.Writer) *JSONRowEncoder {
+	return &JSONRowEncoder{w: w, first: true}
+}
+
+// Head writes the document prefix up to the opening of the bindings
+// array. Calling it explicitly is optional — Rows writes it on first
+// use — but lets a server emit a valid (eventually-empty) document
+// before the first chunk arrives.
+func (e *JSONRowEncoder) Head(vars []Var) error {
+	if e.err != nil || e.started {
+		return e.err
+	}
+	e.started = true
+	names := make([]string, len(vars))
+	for i, v := range vars {
+		names[i] = string(v)
+	}
+	head, err := json.Marshal(jsonHead{Vars: names})
+	if err != nil {
+		e.err = err
+		return err
+	}
+	_, e.err = io.WriteString(e.w, `{"head":`+string(head)+`,"results":{"bindings":[`)
+	return e.err
+}
+
+// Rows appends one chunk of solutions (writing the head first if
+// needed).
+func (e *JSONRowEncoder) Rows(vars []Var, rows []Binding) error {
+	if e.err != nil {
+		return e.err
+	}
+	if !e.started {
+		if err := e.Head(vars); err != nil {
+			return err
+		}
+	}
+	for _, row := range rows {
+		m := make(map[string]jsonTerm, len(row))
+		for v, t := range row {
+			m[string(v)] = termToJSON(t)
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			e.err = err
+			return err
+		}
+		if !e.first {
+			if _, e.err = io.WriteString(e.w, ","); e.err != nil {
+				return e.err
+			}
+		}
+		e.first = false
+		if _, e.err = e.w.Write(b); e.err != nil {
+			return e.err
+		}
+	}
+	return nil
+}
+
+// Close terminates the document. vars is used to emit a valid empty
+// document when no chunk ever arrived.
+func (e *JSONRowEncoder) Close(vars []Var) error {
+	if e.err != nil {
+		return e.err
+	}
+	if !e.started {
+		if err := e.Head(vars); err != nil {
+			return err
+		}
+	}
+	_, e.err = io.WriteString(e.w, "]}}\n")
+	return e.err
+}
+
+// Started reports whether any bytes have been written; a server uses
+// it to decide between a clean HTTP error and an in-band trailer.
+func (e *JSONRowEncoder) Started() bool { return e.started }

@@ -1,0 +1,83 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"lusail/internal/rdf"
+)
+
+// The incremental encoder must produce a document the streaming
+// decoder round-trips exactly, chunk boundaries notwithstanding.
+func TestJSONRowEncoderRoundTrip(t *testing.T) {
+	vars := []Var{"s", "o"}
+	chunks := [][]Binding{
+		{
+			{"s": rdf.IRI("http://ex/a"), "o": rdf.Literal("plain")},
+			{"s": rdf.IRI("http://ex/b"), "o": rdf.LangLiteral("hi", "en")},
+		},
+		{
+			{"s": rdf.Blank("b0"), "o": rdf.TypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer")},
+		},
+		{
+			// A row with an unbound variable: o absent.
+			{"s": rdf.IRI("http://ex/c")},
+		},
+	}
+	var sb strings.Builder
+	enc := NewJSONRowEncoder(&sb)
+	for _, c := range chunks {
+		if err := enc.Rows(vars, c); err != nil {
+			t.Fatalf("Rows: %v", err)
+		}
+	}
+	if err := enc.Close(vars); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	dec, err := DecodeJSONStream(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("DecodeJSONStream: %v\ndoc: %s", err, sb.String())
+	}
+	if len(dec.Vars) != 2 || dec.Vars[0] != "s" || dec.Vars[1] != "o" {
+		t.Errorf("vars = %v, want [s o]", dec.Vars)
+	}
+	var want []Binding
+	for _, c := range chunks {
+		want = append(want, c...)
+	}
+	if len(dec.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(dec.Rows), len(want))
+	}
+	for i, row := range want {
+		got := dec.Rows[i]
+		if len(got) != len(row) {
+			t.Errorf("row %d = %v, want %v", i, got, row)
+			continue
+		}
+		for v, tm := range row {
+			if got[v] != tm {
+				t.Errorf("row %d var %s = %v, want %v", i, v, got[v], tm)
+			}
+		}
+	}
+}
+
+// An encoder that saw no rows still closes into a valid empty document.
+func TestJSONRowEncoderEmpty(t *testing.T) {
+	var sb strings.Builder
+	enc := NewJSONRowEncoder(&sb)
+	if enc.Started() {
+		t.Error("Started before any write")
+	}
+	if err := enc.Close([]Var{"x"}); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	dec, err := DecodeJSONStream(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("DecodeJSONStream: %v\ndoc: %s", err, sb.String())
+	}
+	if len(dec.Rows) != 0 || len(dec.Vars) != 1 || dec.Vars[0] != "x" {
+		t.Errorf("decoded = %+v, want empty rows, vars [x]", dec)
+	}
+}

@@ -278,6 +278,28 @@ func (f *Federation) QueryTraced(ctx context.Context, query string) (*Results, M
 	return f.engine.ExecuteTraced(ctx, query)
 }
 
+// QueryStream runs a SELECT query with pipelined streaming execution:
+// result rows are delivered through onChunk in bounded chunks as they
+// are produced — the first rows typically arrive while slower
+// endpoints are still answering — instead of materializing the whole
+// result first. onChunk receives the projected header (identical on
+// every call) and a chunk of rows; returning an error aborts the
+// query. The returned Results summary carries the header and the
+// delivered row count (Len()), with empty Rows.
+//
+// Queries whose solution modifiers need the whole result before the
+// first row (DISTINCT, COUNT, ORDER BY) and ASK queries transparently
+// fall back to materialized execution and deliver SELECT rows as a
+// single chunk.
+func (f *Federation) QueryStream(ctx context.Context, query string, onChunk func(vars []Var, rows []Binding) error) (*Results, Metrics, error) {
+	return f.engine.ExecuteStream(ctx, query, onChunk)
+}
+
+// QueryStreamTraced is QueryStream recording a full execution trace.
+func (f *Federation) QueryStreamTraced(ctx context.Context, query string, onChunk func(vars []Var, rows []Binding) error) (*Results, Metrics, *Trace, error) {
+	return f.engine.ExecuteStreamTraced(ctx, query, onChunk)
+}
+
 // EndpointStat names one endpoint's cumulative traffic statistics.
 type EndpointStat = endpoint.EndpointStat
 
