@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-all bench-compare bench-baseline trace-smoke server-smoke degrade-smoke stream-smoke
+.PHONY: all build vet test race verify bench bench-all bench-compare bench-baseline trace-smoke server-smoke degrade-smoke stream-smoke workload-smoke
 
 # Packages with microbenchmarks, gated by bench-compare.
 BENCH_PKGS = ./internal/core/ ./internal/sparql/ ./internal/engine/ ./internal/store/
@@ -69,6 +69,17 @@ degrade-smoke:
 	echo "$$out" | grep -qE "best-effort +ok" && \
 	echo "$$out" | grep -q "scenario B" && \
 	echo "degrade smoke OK"
+
+# Cross-query reuse smoke test: replay the Zipf workload with the
+# subquery cache off and on; the cached pass must report a non-zero
+# hit rate and zero plan-time endpoint requests on repeats.
+workload-smoke:
+	@out=$$($(GO) run ./cmd/lusail-bench -exp workload); \
+	echo "$$out" | grep -qE "^on .* [1-9][0-9]*%$$" || \
+	  { echo "workload smoke FAILED: no cache hits"; echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -E "^(off|on) " | awk '$$6 != 0 { bad=1 } END { exit bad }' || \
+	  { echo "workload smoke FAILED: plan-time requests on repeats"; echo "$$out"; exit 1; }; \
+	echo "workload smoke OK"
 
 # End-to-end daemon smoke test: boot lusail-server over two local
 # N-Triples endpoints, wait for /readyz, run one federated query over

@@ -10,6 +10,7 @@
 //	                sustained admission saturation; -strict-ready restores the historical
 //	                any-open-breaker rule)
 //	/debug/queries  recent + slow queries (slow ones with rendered span trees), JSON
+//	/debug/invalidate  POST drops the engine caches (endpoint=<name> scopes to one endpoint)
 //	/debug/pprof/   net/http/pprof (with -pprof)
 //
 // Endpoints are given as repeated -endpoint flags, each either an
@@ -66,6 +67,10 @@ func main() {
 		degrade       = flag.String("degrade", "fail", "degradation policy: fail | skip-endpoint | best-effort")
 		queryBudget   = flag.Duration("query-budget", 0, "per-query wall-clock budget (0 = none; best-effort returns partial results)")
 		hedge         = flag.Bool("hedge", false, "hedge slow phase-1 subqueries with one backup request")
+
+		sqCache      = flag.Int("subquery-cache", 0, "persistent cross-query subquery-result cache entries (0 disables)")
+		sqCacheTTL   = flag.Duration("subquery-cache-ttl", time.Minute, "TTL of cached subquery results (0 = no expiry)")
+		singleflight = flag.Bool("singleflight", true, "collapse concurrent identical queries into one execution")
 	)
 	flag.Var(&endpoints, "endpoint", "endpoint URL or N-Triples file (repeatable)")
 	flag.Parse()
@@ -107,6 +112,10 @@ func main() {
 		Degradation:     policy,
 		QueryBudget:     *queryBudget,
 		Hedge:           *hedge,
+
+		SubqueryCacheSize: *sqCache,
+		SubqueryCacheTTL:  *sqCacheTTL,
+		Singleflight:      *singleflight,
 	}
 	if *resilience {
 		rc := lusail.DefaultResilience()

@@ -63,6 +63,16 @@ type serverConfig struct {
 	QueryBudget time.Duration
 	// Hedge enables hedged backup requests for phase-1 subqueries.
 	Hedge bool
+
+	// SubqueryCacheSize enables the persistent cross-query subquery
+	// result cache with at most this many entries (0 disables it).
+	SubqueryCacheSize int
+	// SubqueryCacheTTL bounds cached subquery staleness (0 = forever).
+	// Only meaningful with SubqueryCacheSize > 0.
+	SubqueryCacheTTL time.Duration
+	// Singleflight collapses concurrent identical queries into one
+	// engine execution, replaying the result to every caller.
+	Singleflight bool
 }
 
 // server is the lusail-server daemon: a federation plus its
@@ -77,7 +87,11 @@ type server struct {
 
 	mux    *http.ServeMux
 	adm    *admission
-	probed atomic.Bool // initial source probing complete
+	sf     *singleflight // nil when collapsing is disabled
+	// policyKey folds the server's execution policy into singleflight
+	// keys, so deployments proxying multiple policy tiers never share.
+	policyKey string
+	probed    atomic.Bool // initial source probing complete
 }
 
 // newServer wires the observability stack around a federation over
@@ -107,6 +121,9 @@ func newServer(eps []lusail.Endpoint, cfg serverConfig) *server {
 	if cfg.Hedge {
 		opts = append(opts, lusail.WithHedging(lusail.DefaultHedge()))
 	}
+	if cfg.SubqueryCacheSize > 0 {
+		opts = append(opts, lusail.WithSubqueryCache(cfg.SubqueryCacheSize, cfg.SubqueryCacheTTL))
+	}
 	fed := lusail.New(eps, opts...)
 	fed.RegisterMetrics(reg)
 
@@ -122,12 +139,19 @@ func newServer(eps []lusail.Endpoint, cfg serverConfig) *server {
 	adm.register(reg)
 
 	s := &server{fed: fed, reg: reg, qlog: qlog, logger: logger, cfg: cfg, adm: adm}
+	if cfg.Singleflight {
+		s.sf = newSingleflight()
+		s.sf.register(reg)
+	}
+	s.policyKey = fmt.Sprintf("degrade=%d;budget=%s;timeout=%s",
+		cfg.Degradation, cfg.QueryBudget, cfg.QueryTimeout)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/sparql", s.handleQuery)
 	s.mux.Handle("/metrics", reg.Handler())
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.Handle("/debug/queries", qlog.DebugHandler())
+	s.mux.HandleFunc("/debug/invalidate", s.handleInvalidate)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -282,8 +306,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// A syntactically invalid query is the client's fault: reject it
 	// with 400 before it reaches the engine (mirroring the SPARQL
-	// protocol's MalformedQuery distinction).
-	if _, perr := sparql.Parse(query); perr != nil {
+	// protocol's MalformedQuery distinction). The parsed form doubles
+	// as the singleflight canonicalization below.
+	q, perr := sparql.Parse(query)
+	if perr != nil {
 		http.Error(w, perr.Error(), http.StatusBadRequest)
 		return
 	}
@@ -314,24 +340,79 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// result anyway, and XML's head carries no row-independent state
 	// worth splitting).
 	accept := r.Header.Get("Accept")
-	if !strings.Contains(accept, "application/sparql-results+xml") &&
-		!strings.Contains(accept, "text/csv") &&
-		!strings.Contains(accept, "text/tab-separated-values") {
-		s.streamQuery(w, ctx, query)
+	buffered := strings.Contains(accept, "application/sparql-results+xml") ||
+		strings.Contains(accept, "text/csv") ||
+		strings.Contains(accept, "text/tab-separated-values")
+
+	if s.sf == nil {
+		s.runQuery(w, ctx, query, accept, buffered, nil)
 		return
 	}
 
+	// Singleflight: collapse identical concurrent queries onto one
+	// engine execution. The key is the canonicalized query text (two
+	// spellings of one query collapse) plus the policy context.
+	key := q.String() + "\x00" + s.policyKey
+	f, follower := s.sf.join(key)
+	if follower {
+		select {
+		case <-ctx.Done():
+			return
+		case <-f.done:
+		}
+		if f.err == nil {
+			s.writeResult(w, f.res, accept)
+			return
+		}
+		// The leader's failure (possibly its own client hanging up and
+		// cancelling its context) is not this request's failure: run
+		// the query independently.
+		s.runQuery(w, ctx, query, accept, buffered, nil)
+		return
+	}
+	// Leader: execute normally — streaming to this client as usual —
+	// while materializing the result for the followers.
+	s.runQuery(w, ctx, query, accept, buffered, func(res *lusail.Results, err error) {
+		s.sf.finish(key, f, res, err)
+	})
+}
+
+// runQuery executes one query and writes the response. publish, when
+// non-nil, receives the materialized result (or the terminal error)
+// exactly once, for singleflight replay to collapsed followers.
+func (s *server) runQuery(w http.ResponseWriter, ctx context.Context, query, accept string, buffered bool, publish func(*lusail.Results, error)) {
+	if !buffered {
+		res, err := s.streamQuery(w, ctx, query, publish != nil)
+		if publish != nil {
+			publish(res, err)
+		}
+		return
+	}
 	// Traced execution so slow queries carry their span tree into the
 	// query log's ring buffer.
 	res, _, _, err := s.fed.QueryTraced(ctx, query)
 	if err != nil {
+		if publish != nil {
+			publish(nil, err)
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	if publish != nil {
+		publish(res, nil)
+	}
+	s.writeResult(w, res, accept)
+}
+
+// writeResult encodes a materialized result per the Accept header —
+// the buffered formats' response path, and the replay path for
+// singleflight followers (each follower re-encodes for its own
+// Accept).
+func (s *server) writeResult(w http.ResponseWriter, res *lusail.Results, accept string) {
 	if c := res.Completeness; c != nil && !c.Complete {
 		w.Header().Set("X-Lusail-Partial-Results", "true")
 	}
-
+	var err error
 	switch {
 	case strings.Contains(accept, "application/sparql-results+xml"):
 		w.Header().Set("Content-Type", "application/sparql-results+xml")
@@ -339,13 +420,57 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case strings.Contains(accept, "text/csv"):
 		w.Header().Set("Content-Type", "text/csv")
 		err = res.EncodeCSV(w)
-	default:
+	case strings.Contains(accept, "text/tab-separated-values"):
 		w.Header().Set("Content-Type", "text/tab-separated-values")
 		err = res.EncodeTSV(w)
+	default:
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		err = res.EncodeJSON(w)
 	}
 	if err != nil {
 		s.logger.Debug("result encoding failed mid-stream", "err", err)
 	}
+}
+
+// handleInvalidate is the admin cache-invalidation hook: POST with an
+// optional form/query parameter endpoint=<name> drops the cached
+// planning decisions and subquery results depending on that endpoint;
+// without it, every engine cache is cleared. In-flight computations
+// complete for their waiters but are not re-stored.
+func (s *server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	target := r.Form.Get("endpoint")
+	scope := "all"
+	if target == "" {
+		s.fed.InvalidateCaches()
+	} else {
+		found := false
+		for _, ep := range s.fed.Endpoints() {
+			if ep.Name() == target {
+				found = true
+				break
+			}
+		}
+		if !found {
+			http.Error(w, fmt.Sprintf("unknown endpoint %q", target), http.StatusNotFound)
+			return
+		}
+		s.fed.InvalidateEndpointCaches(target)
+		scope = target
+	}
+	s.logger.Info("caches invalidated", "scope", scope)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Invalidated string `json:"invalidated"`
+	}{Invalidated: scope})
 }
 
 // streamQuery serves the SPARQL JSON path with chunked transfer: each
@@ -355,15 +480,24 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // end-of-stream conditions travel as HTTP trailers: X-Lusail-Partial-
 // Results marks degraded completeness, X-Lusail-Error carries a
 // mid-stream failure on a truncated document.
-func (s *server) streamQuery(w http.ResponseWriter, ctx context.Context, query string) {
+//
+// With materialize set (singleflight leaders), the streamed rows are
+// additionally buffered and the returned Results carries them, so
+// collapsed followers can replay the full result; otherwise the
+// returned Results is the engine's summary (row count only).
+func (s *server) streamQuery(w http.ResponseWriter, ctx context.Context, query string, materialize bool) (*lusail.Results, error) {
 	// Trailers must be declared before the first byte of the body.
 	w.Header().Set("Trailer", "X-Lusail-Partial-Results, X-Lusail-Error")
 	w.Header().Set("Content-Type", "application/sparql-results+json")
 
 	flusher, canFlush := w.(http.Flusher)
 	enc := sparql.NewJSONRowEncoder(w)
+	var kept []lusail.Binding
 	res, _, _, err := s.fed.QueryStreamTraced(ctx, query,
 		func(vars []lusail.Var, rows []lusail.Binding) error {
+			if materialize {
+				kept = append(kept, rows...)
+			}
 			if err := enc.Rows(vars, rows); err != nil {
 				return err
 			}
@@ -378,27 +512,35 @@ func (s *server) streamQuery(w http.ResponseWriter, ctx context.Context, query s
 			w.Header().Del("Trailer")
 			w.Header().Del("Content-Type")
 			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
+			return nil, err
 		}
 		w.Header().Set("X-Lusail-Error", err.Error())
 		s.logger.Debug("stream failed mid-response", "err", err)
-		return
+		return nil, err
 	}
 	if res.AskForm {
 		// ASK never streams; the boolean document goes out whole.
 		w.Header().Del("Trailer")
 		_ = res.EncodeJSON(w)
-		return
+		return res, nil
 	}
 	// Close writes a valid empty document when no chunk ever arrived.
 	if err := enc.Close(res.Vars); err != nil {
 		s.logger.Debug("stream close failed", "err", err)
-		return
+		// The result itself is complete; only this client's connection
+		// failed. Followers can still replay it.
 	}
 	// Trailer values are picked up from the header map after the body.
 	if c := res.Completeness; c != nil && !c.Complete {
 		w.Header().Set("X-Lusail-Partial-Results", "true")
 	}
+	if materialize {
+		full := *res
+		full.Rows = kept
+		full.Streamed = 0
+		return &full, nil
+	}
+	return res, nil
 }
 
 var errMethod = errors.New("method not allowed")

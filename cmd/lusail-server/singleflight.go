@@ -1,0 +1,86 @@
+package main
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lusail"
+	"lusail/internal/obs"
+)
+
+// queryFlight is one in-flight query execution. The leader executes
+// the query (streaming to its own client as usual) and publishes the
+// materialized result here; followers block on done and replay it,
+// each encoding per its own Accept header.
+type queryFlight struct {
+	done chan struct{}
+	res  *lusail.Results
+	err  error
+}
+
+// singleflight collapses concurrent identical queries into one engine
+// execution. Keys are the canonicalized (parsed and re-rendered) query
+// text plus the server's policy context, so two spellings of the same
+// query collapse while different execution policies never share.
+//
+// Attribution stays per-request: only the leader reaches the engine,
+// so the query log, trace, and engine metrics record exactly one
+// execution, and the collapsed counter below accounts for the
+// follower requests served from it.
+type singleflight struct {
+	mu sync.Mutex
+	m  map[string]*queryFlight
+
+	leaders   atomic.Int64
+	collapsed atomic.Int64
+}
+
+func newSingleflight() *singleflight {
+	return &singleflight{m: map[string]*queryFlight{}}
+}
+
+// join returns the flight for key. follower is true when an identical
+// query is already executing — the caller waits on flight.done and
+// replays flight.res. Otherwise the caller is the leader: it must
+// execute the query and call finish exactly once.
+func (sf *singleflight) join(key string) (f *queryFlight, follower bool) {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if f, ok := sf.m[key]; ok {
+		sf.collapsed.Add(1)
+		return f, true
+	}
+	f = &queryFlight{done: make(chan struct{})}
+	sf.m[key] = f
+	sf.leaders.Add(1)
+	return f, false
+}
+
+// finish publishes the leader's outcome and wakes the followers. The
+// flight is deregistered first, so a request arriving after a failure
+// leads its own fresh execution instead of replaying the error.
+func (sf *singleflight) finish(key string, f *queryFlight, res *lusail.Results, err error) {
+	sf.mu.Lock()
+	if sf.m[key] == f {
+		delete(sf.m, key)
+	}
+	sf.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+}
+
+// register exposes the collapse counters: leaders are engine
+// executions, collapsed are requests served from another request's
+// execution.
+func (sf *singleflight) register(reg *obs.Registry) {
+	reg.RegisterCollector(func() []obs.Family {
+		return []obs.Family{
+			{Name: "lusail_server_singleflight_leaders_total",
+				Help: "Queries that executed as singleflight leaders.", Kind: "counter",
+				Samples: []obs.Sample{{Value: float64(sf.leaders.Load())}}},
+			{Name: "lusail_server_singleflight_collapsed_total",
+				Help: "Requests collapsed onto an identical in-flight query.", Kind: "counter",
+				Samples: []obs.Sample{{Value: float64(sf.collapsed.Load())}}},
+		}
+	})
+}

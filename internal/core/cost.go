@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"lusail/internal/endpoint"
 	"lusail/internal/federation"
@@ -55,10 +57,14 @@ func (p DelayPolicy) String() string {
 }
 
 // CountCache caches per-endpoint triple-pattern cardinalities across
-// queries, mirroring the statistics RDF engines keep (§V-A).
+// queries, mirroring the statistics RDF engines keep (§V-A). Keys are
+// "<endpoint name>\x00<count query text>".
 type CountCache struct {
 	mu sync.RWMutex
 	m  map[string]float64
+
+	// Counters are atomics so Get can stay on the read lock.
+	hits, misses int64
 }
 
 // NewCountCache returns an empty cache.
@@ -72,6 +78,11 @@ func (c *CountCache) Get(key string) (float64, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	v, ok := c.m[key]
+	if ok {
+		atomic.AddInt64(&c.hits, 1)
+	} else {
+		atomic.AddInt64(&c.misses, 1)
+	}
 	return v, ok
 }
 
@@ -83,6 +94,46 @@ func (c *CountCache) Put(key string, v float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m[key] = v
+}
+
+// Clear removes all entries.
+func (c *CountCache) Clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = map[string]float64{}
+}
+
+// InvalidateEndpoint drops every cached cardinality for the named
+// endpoint — the hook for callers that know its data changed.
+func (c *CountCache) InvalidateEndpoint(name string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prefix := name + "\x00"
+	for k := range c.m {
+		if strings.HasPrefix(k, prefix) {
+			delete(c.m, k)
+		}
+	}
+}
+
+// Stats snapshots the cache's counters.
+func (c *CountCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CacheStats{
+		Hits:    atomic.LoadInt64(&c.hits),
+		Misses:  atomic.LoadInt64(&c.misses),
+		Entries: len(c.m),
+	}
 }
 
 // CostModel estimates subquery cardinalities from lightweight COUNT

@@ -70,6 +70,18 @@ type Config struct {
 	// BindBlockSize row cap (0 = 64 KiB). Oversized or rejected blocks
 	// are recursively bisected and retried.
 	BoundBlockBytes int
+	// SubqueryCacheSize, when > 0, retains phase-1 subquery results in
+	// a persistent cross-query cache of at most this many entries (LRU
+	// eviction past the bound), keyed on (canonicalized subquery text,
+	// stable endpoint names). Every execution path — Execute,
+	// ExecuteBatch, ExecuteStream — shares the one cache, so repeat
+	// traffic reuses earlier queries' subquery results. 0 (the default)
+	// keeps subquery reuse batch-scoped as before.
+	SubqueryCacheSize int
+	// SubqueryCacheTTL bounds the staleness of a persistent cached
+	// subquery result (0 = no expiry). Only meaningful with
+	// SubqueryCacheSize > 0.
+	SubqueryCacheTTL time.Duration
 	// QueryLog, when non-nil, receives a lifecycle event pair for
 	// every query execution (Execute, ExecuteMetrics, ExecuteTraced,
 	// and each ExecuteBatch member): QueryStarted assigns the query's
@@ -160,6 +172,7 @@ type Lusail struct {
 	askCache   *federation.AskCache
 	checkCache *federation.AskCache
 	countCache *CountCache
+	sqCache    *SubqueryCache // nil unless Config.SubqueryCacheSize > 0
 
 	selector   *federation.Selector
 	decomposer *Decomposer
@@ -197,6 +210,9 @@ func New(eps []endpoint.Endpoint, cfg Config) *Lusail {
 		checkCache: federation.NewAskCache(),
 		countCache: NewCountCache(),
 	}
+	if cfg.SubqueryCacheSize > 0 {
+		l.sqCache = NewBoundedSubqueryCache(cfg.SubqueryCacheSize, cfg.SubqueryCacheTTL)
+	}
 	l.selector = federation.NewSelector(eps, l.askCache)
 	l.decomposer = NewDecomposer(eps, l.checkCache)
 	l.decomposer.AssumeAllGlobal = cfg.AssumeAllGlobal
@@ -211,14 +227,52 @@ func New(eps []endpoint.Endpoint, cfg Config) *Lusail {
 // Name implements federation.Engine.
 func (l *Lusail) Name() string { return "lusail" }
 
-// ClearCaches drops the ASK, check-query, and COUNT caches (used by
-// the cache-effect experiment, Fig. 10).
+// ClearCaches drops the ASK, check-query, COUNT, and subquery-result
+// caches (used by the cache-effect experiment, Fig. 10, and the
+// DisableCache ablation).
 func (l *Lusail) ClearCaches() {
 	l.askCache.Clear()
 	l.checkCache.Clear()
-	l.countCache.mu.Lock()
-	l.countCache.m = map[string]float64{}
-	l.countCache.mu.Unlock()
+	l.countCache.Clear()
+	l.sqCache.Clear()
+}
+
+// InvalidateCaches is the explicit cross-query invalidation hook:
+// callers that know federation data changed drop every retained
+// planning decision (source selection, LADE locality, COUNT
+// statistics) and subquery result. In-flight computations complete for
+// their waiters but are not re-stored.
+func (l *Lusail) InvalidateCaches() {
+	l.ClearCaches()
+}
+
+// InvalidateEndpointCaches drops the cached state that depends on one
+// endpoint (by name): its ASK selections, locality checks, COUNT
+// statistics, and every cached subquery result whose source set
+// includes it. Entries for other endpoints survive.
+func (l *Lusail) InvalidateEndpointCaches(name string) {
+	l.askCache.InvalidateEndpoint(name)
+	l.checkCache.InvalidateEndpoint(name)
+	l.countCache.InvalidateEndpoint(name)
+	l.sqCache.InvalidateEndpoint(name)
+}
+
+// CacheStatEntry names one engine cache alongside its counters.
+type CacheStatEntry struct {
+	Name  string
+	Stats CacheStats
+}
+
+// CacheStats snapshots every engine cache's hit/miss/evict/expire
+// counters and current size, for metrics export and the workload
+// experiment.
+func (l *Lusail) CacheStats() []CacheStatEntry {
+	return []CacheStatEntry{
+		{Name: "ask", Stats: l.askCache.Stats()},
+		{Name: "check", Stats: l.checkCache.Stats()},
+		{Name: "count", Stats: l.countCache.Stats()},
+		{Name: "subquery", Stats: l.sqCache.Stats()},
+	}
 }
 
 // LastMetrics returns the metrics of the most recent Execute call.
@@ -483,6 +537,12 @@ func (l *Lusail) executeStream(ctx context.Context, q *sparql.Query, query strin
 // call's own; the LastMetrics slot is additionally updated for
 // sequential callers.
 func (l *Lusail) executeCached(ctx context.Context, query string, sqCache *SubqueryCache) (res *sparql.Results, m Metrics, err error) {
+	if sqCache == nil {
+		// The persistent cross-query cache (Config.SubqueryCacheSize)
+		// backs every standalone execution; nil without it, which
+		// disables subquery reuse outside ExecuteBatch.
+		sqCache = l.sqCache
+	}
 	if l.cfg.QueryLog != nil {
 		id := l.cfg.QueryLog.QueryStarted(query)
 		root := trace.SpanFrom(ctx)
@@ -645,7 +705,7 @@ func (l *Lusail) evalGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 // replaced by the pipelined streaming executor: final rows flow to
 // sink in chunks as they are produced instead of materializing.
 func (l *Lusail) evalGroupStreamed(ctx context.Context, g *sparql.GroupGraphPattern, needed []sparql.Var, m *Metrics, sink StreamSink) error {
-	p, err := l.planGroup(ctx, g, needed, m, nil)
+	p, err := l.planGroup(ctx, g, needed, m, l.sqCache)
 	if err != nil {
 		return err
 	}
@@ -653,7 +713,7 @@ func (l *Lusail) evalGroupStreamed(ctx context.Context, g *sparql.GroupGraphPatt
 		return nil
 	}
 	t := time.Now()
-	stats, err := l.executor.RunStreamed(ctx, p.all, p.extra, p.globalFilters, p.optFilters, sink)
+	stats, err := l.executor.RunStreamed(ctx, p.all, p.extra, p.globalFilters, p.optFilters, l.sqCache, sink)
 	if stats != nil {
 		addExecStats(m, stats)
 	}

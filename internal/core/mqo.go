@@ -1,86 +1,351 @@
 package core
 
 import (
-	"context"
-	"fmt"
+	"container/list"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"lusail/internal/endpoint"
+	"lusail/internal/federation"
 	"lusail/internal/sparql"
+
+	"context"
 )
 
-// SubqueryCache shares materialized subquery results across the
-// queries of one batch — the multi-query optimization the paper lists
-// among Lusail's supported features (§V). Two queries that decompose
-// to the same subquery over the same sources execute it once; the
-// cache is single-flight, so concurrent batch queries wait for an
-// in-flight execution instead of duplicating it.
+// SubqueryCache shares materialized subquery results across queries —
+// the multi-query optimization the paper lists among Lusail's
+// supported features (§V), extended from batch-only sharing to a
+// persistent cross-query tier. Two queries that decompose to the same
+// subquery over the same sources execute it once; the cache is
+// single-flight, so concurrent callers wait for an in-flight execution
+// instead of duplicating it, and completed results are retained (with
+// optional TTL expiry and LRU eviction bounds) for later queries.
+//
+// Correctness contract:
+//
+//   - Keys are stable: endpoint identity is the endpoint name, not its
+//     position in a particular engine's endpoint list (SubqueryKey).
+//   - Reads are copies: every hit returns a Relation whose Vars, Rows,
+//     and Dropped slices are private to the caller (the Binding maps
+//     are shared — they are never mutated after creation), so
+//     concurrent consumers can sort, re-slice, and re-stamp their copy
+//     without racing each other.
+//   - Degradation-aware: a partial relation (non-empty Dropped,
+//     computed under an absorbing policy) is only served to callers
+//     that declare they can absorb it by merging the drop records into
+//     their own completeness report. A strict caller (DegradeFail, no
+//     policy) recomputes instead, and a complete recomputation
+//     replaces the partial entry.
+//   - Errors are not cached and waiters retry: a caller that was
+//     blocked on a computation that failed re-enters the compute loop
+//     (bounded) instead of receiving the stale error, and only
+//     successful reuse counts as a hit.
 type SubqueryCache struct {
-	mu   sync.Mutex
-	m    map[string]*cacheEntry
-	hits int
+	mu       sync.Mutex
+	inflight map[string]*sqCall
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	maxEntries int
+	ttl        time.Duration
+	now        func() time.Time
+	// gen invalidates in-flight computations: a result whose compute
+	// began before the last Clear/Invalidate call is not stored.
+	gen uint64
+
+	hits, misses, evictions, expirations int64
 }
 
-type cacheEntry struct {
+// sqCall is one in-flight computation; waiters block on ready.
+type sqCall struct {
 	ready chan struct{}
 	rel   *Relation
 	err   error
+	gen   uint64
 }
 
-// NewSubqueryCache returns an empty cache.
+// sqEntry is one completed, retained result.
+type sqEntry struct {
+	key     string
+	rel     *Relation
+	expires time.Time // zero = never
+}
+
+// CacheStats snapshots one cache's counters. Hits count successful
+// reuse only (error deliveries and policy-bypassed partials are not
+// hits); Expirations count TTL-stale entries dropped on access. The
+// struct is shared with the planning caches (federation.AskCache,
+// CountCache), so every engine cache reports through one shape.
+type CacheStats = federation.CacheStats
+
+// NewSubqueryCache returns an unbounded cache with no expiry — the
+// batch-scoped configuration ExecuteBatch uses.
 func NewSubqueryCache() *SubqueryCache {
-	return &SubqueryCache{m: map[string]*cacheEntry{}}
+	return NewBoundedSubqueryCache(0, 0)
 }
 
-// Key identifies a subquery execution: its SPARQL text plus the
-// relevant source set.
-func (c *SubqueryCache) Key(sq *Subquery) string {
-	srcs := make([]string, len(sq.Sources))
-	for i, s := range sq.Sources {
-		srcs[i] = fmt.Sprint(s)
+// NewBoundedSubqueryCache returns a cache holding at most maxEntries
+// completed results (0 = unbounded), each valid for ttl (0 = forever).
+// Least-recently-used entries are evicted past the bound.
+func NewBoundedSubqueryCache(maxEntries int, ttl time.Duration) *SubqueryCache {
+	return &SubqueryCache{
+		inflight:   map[string]*sqCall{},
+		entries:    map[string]*list.Element{},
+		lru:        list.New(),
+		maxEntries: maxEntries,
+		ttl:        ttl,
+		now:        time.Now,
 	}
-	sort.Strings(srcs)
-	return sq.Query().String() + "@" + strings.Join(srcs, ",")
 }
 
-// Do returns the cached relation for key, or runs compute exactly once
-// while concurrent callers for the same key wait. Failed computations
-// are not cached, so a later caller retries.
-func (c *SubqueryCache) Do(key string, compute func() (*Relation, error)) (*Relation, error) {
-	c.mu.Lock()
-	if e, ok := c.m[key]; ok {
-		c.hits++
-		c.mu.Unlock()
-		<-e.ready
-		return e.rel, e.err
-	}
-	e := &cacheEntry{ready: make(chan struct{})}
-	c.m[key] = e
-	c.mu.Unlock()
+// keySep separates the endpoint names inside a cache key; keyAt
+// separates the query text from the source list.
+const (
+	keySep = "\x1f"
+	keyAt  = "\x00@"
+)
 
-	e.rel, e.err = compute()
-	close(e.ready)
-	if e.err != nil {
+// SubqueryKey identifies a subquery execution across engines,
+// processes, and endpoint orderings: the canonicalized subquery text
+// plus the sorted stable identities (names) of its source endpoints.
+// Positional indexes are NOT a stable identity — index 0 of one
+// federation is a different endpoint than index 0 of another, so a
+// cache that outlives one engine's endpoint list must key on names.
+func SubqueryKey(sq *Subquery, eps []endpoint.Endpoint) string {
+	names := make([]string, len(sq.Sources))
+	for i, ei := range sq.Sources {
+		names[i] = eps[ei].Name()
+	}
+	sort.Strings(names)
+	return sq.Query().String() + keyAt + strings.Join(names, keySep)
+}
+
+// snapshotRelation returns a defensive copy of rel: fresh Vars, Rows,
+// and Dropped slices over the shared (immutable) Binding maps. Callers
+// may sort, truncate, or re-stamp the copy freely.
+func snapshotRelation(rel *Relation) *Relation {
+	return &Relation{
+		Vars:       append([]sparql.Var(nil), rel.Vars...),
+		Rows:       append([]sparql.Binding(nil), rel.Rows...),
+		Partitions: rel.Partitions,
+		Dropped:    append([]sparql.Dropped(nil), rel.Dropped...),
+	}
+}
+
+// maxWaiterRetries bounds how many failed computations a single Do
+// call will wait out before surfacing the last error. Retries are only
+// taken for computations that failed while we were blocked on them; a
+// computation we led returns its error directly.
+const maxWaiterRetries = 4
+
+// Do returns the cached relation for key, or runs compute while
+// concurrent callers for the same key wait. canPartial declares
+// whether THIS caller can absorb a partial (degraded) cached relation
+// by merging its Dropped records into its own completeness state; a
+// caller that cannot never sees an incomplete entry — it recomputes,
+// and a complete recomputation replaces the partial entry.
+//
+// The returned relation is a private copy on reuse and the computed
+// value itself when this call led the computation; shared reports
+// which. Failed computations are not cached: waiters re-enter the
+// compute loop (bounded by maxWaiterRetries) instead of receiving the
+// stale error, and only successful reuse counts as a hit.
+func (c *SubqueryCache) Do(key string, canPartial bool, compute func() (*Relation, error)) (rel *Relation, shared bool, err error) {
+	for attempt := 0; ; attempt++ {
 		c.mu.Lock()
-		delete(c.m, key)
+		if rel, ok := c.lookupLocked(key, canPartial); ok {
+			c.hits++
+			c.mu.Unlock()
+			return snapshotRelation(rel), true, nil
+		}
+		if call, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			<-call.ready
+			if call.err != nil {
+				// The computation we waited on failed — possibly a sibling
+				// query's fail-fast cancelling the shared execution. Its
+				// failure is not necessarily ours: re-enter the loop and
+				// (re)compute under our own conditions.
+				if attempt >= maxWaiterRetries {
+					return nil, false, call.err
+				}
+				continue
+			}
+			if len(call.rel.Dropped) == 0 || canPartial {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+				return snapshotRelation(call.rel), true, nil
+			}
+			// Partial result this caller cannot absorb: re-enter the
+			// loop and compute fresh under the lock (lookupLocked
+			// refuses the stored partial entry to strict callers too).
+			continue
+		}
+		c.misses++
+		call := &sqCall{ready: make(chan struct{}), gen: c.gen}
+		c.inflight[key] = call
 		c.mu.Unlock()
+
+		call.rel, call.err = compute()
+		c.mu.Lock()
+		if c.inflight[key] == call {
+			delete(c.inflight, key)
+		}
+		if call.err == nil && call.gen == c.gen {
+			c.storeLocked(key, snapshotRelation(call.rel))
+		}
+		c.mu.Unlock()
+		close(call.ready)
+		return call.rel, false, call.err
 	}
-	return e.rel, e.err
 }
 
-// Hits reports how many subquery executions the cache saved.
+// Lookup is the non-blocking read used by the streaming executor: it
+// returns a private copy of the entry for key, honoring TTL expiry and
+// the canPartial policy check, without joining or starting a
+// computation.
+func (c *SubqueryCache) Lookup(key string, canPartial bool) (*Relation, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rel, ok := c.lookupLocked(key, canPartial); ok {
+		c.hits++
+		return snapshotRelation(rel), true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Store retains a completed relation for key (a private snapshot is
+// taken, so the caller keeps ownership of rel). The streaming executor
+// stores each phase-1 relation as it finalizes.
+func (c *SubqueryCache) Store(key string, rel *Relation) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.storeLocked(key, snapshotRelation(rel))
+}
+
+// lookupLocked finds a live entry for key, dropping it if expired and
+// refusing partial entries to strict callers. Caller holds c.mu.
+func (c *SubqueryCache) lookupLocked(key string, canPartial bool) (*Relation, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*sqEntry)
+	if !e.expires.IsZero() && !c.now().Before(e.expires) {
+		c.removeLocked(el)
+		c.expirations++
+		return nil, false
+	}
+	if len(e.rel.Dropped) > 0 && !canPartial {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return e.rel, true
+}
+
+// storeLocked inserts (or replaces) the entry for key and evicts past
+// the LRU bound. Caller holds c.mu.
+func (c *SubqueryCache) storeLocked(key string, rel *Relation) {
+	if el, ok := c.entries[key]; ok {
+		c.lru.Remove(el)
+		delete(c.entries, key)
+	}
+	e := &sqEntry{key: key, rel: rel}
+	if c.ttl > 0 {
+		e.expires = c.now().Add(c.ttl)
+	}
+	c.entries[key] = c.lru.PushFront(e)
+	for c.maxEntries > 0 && c.lru.Len() > c.maxEntries {
+		c.removeLocked(c.lru.Back())
+		c.evictions++
+	}
+}
+
+// removeLocked drops one entry. Caller holds c.mu.
+func (c *SubqueryCache) removeLocked(el *list.Element) {
+	e := el.Value.(*sqEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+}
+
+// Clear drops every retained entry. In-flight computations complete
+// for their waiters but are not stored (they may have read
+// pre-invalidation data).
+func (c *SubqueryCache) Clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*list.Element{}
+	c.lru = list.New()
+	c.gen++
+}
+
+// InvalidateEndpoint drops every entry whose source set contains the
+// named endpoint — the hook for callers that know one endpoint's data
+// changed. In-flight computations are not stored afterward (they may
+// span the invalidated endpoint).
+func (c *SubqueryCache) InvalidateEndpoint(name string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var el, next *list.Element
+	for el = c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*sqEntry)
+		_, srcs, ok := strings.Cut(e.key, keyAt)
+		if !ok {
+			continue
+		}
+		for _, n := range strings.Split(srcs, keySep) {
+			if n == name {
+				c.removeLocked(el)
+				break
+			}
+		}
+	}
+	c.gen++
+}
+
+// Hits reports how many subquery executions the cache saved
+// (successful reuse only).
 func (c *SubqueryCache) Hits() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits
+	return int(c.hits)
 }
 
-// Len reports the number of cached subquery results.
+// Len reports the number of retained subquery results.
 func (c *SubqueryCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.m)
+	return len(c.entries)
+}
+
+// Stats snapshots the cache's counters.
+func (c *SubqueryCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses,
+		Evictions: c.evictions, Expirations: c.expirations,
+		Entries: len(c.entries),
+	}
 }
 
 // BatchResult pairs one batch query with its outcome.
@@ -97,9 +362,16 @@ type BatchResult struct {
 // ExecuteBatch runs a workload of queries with multi-query
 // optimization: all queries share the ASK/check/COUNT caches and a
 // subquery-result cache, and run concurrently up to the federation's
-// parallelism. Results are returned in input order.
+// parallelism. Results are returned in input order. With a persistent
+// subquery cache configured (Config.SubqueryCacheSize), the batch
+// shares it — results carry over to later batches and queries;
+// otherwise the cache is scoped to this call.
 func (l *Lusail) ExecuteBatch(ctx context.Context, queries []string) []BatchResult {
-	cache := NewSubqueryCache()
+	cache := l.sqCache
+	if cache == nil {
+		cache = NewSubqueryCache()
+	}
+	hitsBefore := cache.Hits()
 	out := make([]BatchResult, len(queries))
 	sem := make(chan struct{}, len(l.eps)+2)
 	var wg sync.WaitGroup
@@ -115,7 +387,7 @@ func (l *Lusail) ExecuteBatch(ctx context.Context, queries []string) []BatchResu
 	}
 	wg.Wait()
 	l.mu.Lock()
-	l.last.SharedSubqueries = cache.Hits()
+	l.last.SharedSubqueries = cache.Hits() - hitsBefore
 	l.mu.Unlock()
 	return out
 }

@@ -2,13 +2,26 @@ package core
 
 import (
 	"context"
+	"errors"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"lusail/internal/endpoint"
 	"lusail/internal/sparql"
+	"lusail/internal/store"
 	"lusail/internal/testfed"
 )
+
+// keyEPs builds named in-process endpoints for key-construction tests.
+func keyEPs(names ...string) []endpoint.Endpoint {
+	eps := make([]endpoint.Endpoint, len(names))
+	for i, n := range names {
+		eps[i] = endpoint.NewLocal(n, store.New())
+	}
+	return eps
+}
 
 func TestSubqueryCacheSingleFlight(t *testing.T) {
 	c := NewSubqueryCache()
@@ -17,17 +30,23 @@ func TestSubqueryCacheSingleFlight(t *testing.T) {
 		Sources:  []int{1, 0},
 		ProjVars: []sparql.Var{"o", "s"},
 	}
-	key := c.Key(sq)
+	key := SubqueryKey(sq, keyEPs("a", "b"))
 	computes := 0
 	rel := relOf([]sparql.Var{"s", "o"}, b("s", "1", "o", "2"))
 	compute := func() (*Relation, error) { computes++; return rel, nil }
-	got, err := c.Do(key, compute)
-	if err != nil || len(got.Rows) != 1 {
-		t.Fatalf("first Do = %v %v", got, err)
+	got, shared, err := c.Do(key, false, compute)
+	if err != nil || len(got.Rows) != 1 || shared {
+		t.Fatalf("first Do = %v shared=%v err=%v", got, shared, err)
 	}
-	got, err = c.Do(key, compute)
-	if err != nil || got != rel {
-		t.Fatalf("second Do = %v %v", got, err)
+	got, shared, err = c.Do(key, false, compute)
+	if err != nil || !shared {
+		t.Fatalf("second Do = %v shared=%v err=%v", got, shared, err)
+	}
+	if got == rel {
+		t.Error("cache hit returned the stored relation itself, want a private copy")
+	}
+	if len(got.Rows) != 1 || !reflect.DeepEqual(got.Rows[0], rel.Rows[0]) {
+		t.Errorf("hit rows = %v, want %v", got.Rows, rel.Rows)
 	}
 	if computes != 1 {
 		t.Errorf("computes = %d, want 1", computes)
@@ -41,25 +60,391 @@ func TestSubqueryCacheErrorNotCached(t *testing.T) {
 	c := NewSubqueryCache()
 	calls := 0
 	fail := func() (*Relation, error) { calls++; return nil, context.Canceled }
-	if _, err := c.Do("k", fail); err == nil {
+	if _, _, err := c.Do("k", false, fail); err == nil {
 		t.Fatal("error swallowed")
 	}
-	if _, err := c.Do("k", fail); err == nil {
+	if _, _, err := c.Do("k", false, fail); err == nil {
 		t.Fatal("error swallowed on retry")
 	}
 	if calls != 2 {
 		t.Errorf("failed computation cached: calls = %d", calls)
 	}
+	if c.Hits() != 0 {
+		t.Errorf("hits = %d, want 0 (errors are not reuse)", c.Hits())
+	}
 }
 
-func TestSubqueryCacheKeyDistinguishesSources(t *testing.T) {
-	c := NewSubqueryCache()
+// Regression (unstable keys): the key must be derived from stable
+// endpoint identities, not from positional indexes — index 0 of one
+// federation is a different endpoint than index 0 of another.
+func TestSubqueryKeyStableEndpointIdentity(t *testing.T) {
 	patterns := sparql.MustParse(`SELECT * WHERE { ?s <http://ex/p> ?o }`).Where.Patterns
-	a := &Subquery{Patterns: patterns, Sources: []int{0}, ProjVars: []sparql.Var{"s"}}
-	bq := &Subquery{Patterns: patterns, Sources: []int{0, 1}, ProjVars: []sparql.Var{"s"}}
-	if c.Key(a) == c.Key(bq) {
+
+	// Same subquery over the same two endpoints, listed in opposite
+	// orders by two federations: one cache key.
+	a := &Subquery{Patterns: patterns, Sources: []int{0, 1}, ProjVars: []sparql.Var{"s"}}
+	rev := &Subquery{Patterns: patterns, Sources: []int{1, 0}, ProjVars: []sparql.Var{"s"}}
+	if SubqueryKey(a, keyEPs("x", "y")) != SubqueryKey(rev, keyEPs("y", "x")) {
+		t.Error("same endpoints in different federation orders must share a key")
+	}
+
+	// Distinct endpoints at the same indexes must NOT collide, even
+	// though their positional source lists are identical.
+	b1 := &Subquery{Patterns: patterns, Sources: []int{0}, ProjVars: []sparql.Var{"s"}}
+	if SubqueryKey(b1, keyEPs("x", "y")) == SubqueryKey(b1, keyEPs("z", "y")) {
+		t.Error("different endpoints with identical source indexes must not collide")
+	}
+
+	// Different source sets over one federation stay distinct.
+	one := &Subquery{Patterns: patterns, Sources: []int{0}, ProjVars: []sparql.Var{"s"}}
+	two := &Subquery{Patterns: patterns, Sources: []int{0, 1}, ProjVars: []sparql.Var{"s"}}
+	if SubqueryKey(one, keyEPs("x", "y")) == SubqueryKey(two, keyEPs("x", "y")) {
 		t.Error("different source sets must not share cache keys")
 	}
+}
+
+// Regression (shared-relation aliasing): every hit must return a
+// relation whose slices are private to the caller, so concurrent
+// consumers can sort and truncate without racing (run with -race).
+func TestSubqueryCacheCopyOnRead(t *testing.T) {
+	c := NewSubqueryCache()
+	rel := relOf([]sparql.Var{"s"}, b("s", "1"), b("s", "2"), b("s", "3"))
+	if _, _, err := c.Do("k", false, func() (*Relation, error) { return rel, nil }); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got, _, err := c.Do("k", false, func() (*Relation, error) {
+				t.Error("unexpected recompute")
+				return rel, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Downstream join/dedup paths reorder and truncate in place.
+			for i, j := 0, len(got.Rows)-1; i < j; i, j = i+1, j-1 {
+				got.Rows[i], got.Rows[j] = got.Rows[j], got.Rows[i]
+			}
+			got.Rows = got.Rows[:1+g%2]
+			got.Vars = append(got.Vars, sparql.Var("extra"))
+		}(g)
+	}
+	wg.Wait()
+	got, _, err := c.Do("k", false, func() (*Relation, error) { return rel, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 3 || len(got.Vars) != 1 {
+		t.Errorf("cached entry corrupted by consumers: %d rows %v", len(got.Rows), got.Vars)
+	}
+	if !reflect.DeepEqual(got.Rows[0], b("s", "1")) {
+		t.Errorf("cached row order corrupted: %v", got.Rows)
+	}
+}
+
+// Regression (completeness leakage): a partial relation computed under
+// an absorbing policy must never be served to a caller that cannot
+// absorb it, and a complete recomputation replaces the partial entry.
+func TestSubqueryCachePartialEntryGating(t *testing.T) {
+	c := NewSubqueryCache()
+	partial := relOf([]sparql.Var{"s"}, b("s", "1"))
+	partial.Dropped = []sparql.Dropped{{Endpoint: "down", Phase: "phase1", Reason: "unreachable"}}
+	complete := relOf([]sparql.Var{"s"}, b("s", "1"), b("s", "2"))
+
+	// An absorbing caller computes and stores the partial result.
+	if _, _, err := c.Do("k", true, func() (*Relation, error) { return partial, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Another absorbing caller reuses it, drop records intact.
+	got, shared, err := c.Do("k", true, func() (*Relation, error) {
+		t.Fatal("absorbing caller must reuse the partial entry")
+		return nil, nil
+	})
+	if err != nil || !shared {
+		t.Fatalf("absorbing hit: shared=%v err=%v", shared, err)
+	}
+	if len(got.Dropped) != 1 {
+		t.Errorf("partial hit lost its drop records: %v", got.Dropped)
+	}
+
+	// A strict caller must NOT see the partial entry: it recomputes.
+	computes := 0
+	got, shared, err = c.Do("k", false, func() (*Relation, error) {
+		computes++
+		return complete, nil
+	})
+	if err != nil || shared || computes != 1 {
+		t.Fatalf("strict caller served a partial entry: shared=%v computes=%d err=%v", shared, computes, err)
+	}
+	if len(got.Dropped) != 0 || len(got.Rows) != 2 {
+		t.Errorf("strict recompute returned %v", got)
+	}
+
+	// The complete recomputation replaced the partial entry: strict
+	// callers now hit.
+	_, shared, err = c.Do("k", false, func() (*Relation, error) {
+		t.Fatal("complete entry must be reused")
+		return nil, nil
+	})
+	if err != nil || !shared {
+		t.Fatalf("strict hit after replacement: shared=%v err=%v", shared, err)
+	}
+}
+
+// Regression (stale errors for waiters): a caller blocked on a
+// computation that failed must re-enter the compute loop instead of
+// surfacing the leader's error, and error deliveries must not count as
+// hits.
+func TestSubqueryCacheWaiterRetriesAfterFailure(t *testing.T) {
+	c := NewSubqueryCache()
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do("k", false, func() (*Relation, error) {
+			close(leaderStarted)
+			<-release
+			return nil, errors.New("endpoint down")
+		})
+		leaderDone <- err
+	}()
+	<-leaderStarted
+
+	waiterDone := make(chan error, 1)
+	recomputed := 0
+	go func() {
+		_, _, err := c.Do("k", false, func() (*Relation, error) {
+			recomputed++
+			return relOf([]sparql.Var{"s"}, b("s", "1")), nil
+		})
+		waiterDone <- err
+	}()
+	// Give the waiter time to join the in-flight call, then fail it.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	if err := <-leaderDone; err == nil {
+		t.Error("leader must surface its own error")
+	}
+	if err := <-waiterDone; err != nil {
+		t.Errorf("waiter surfaced the leader's stale error: %v", err)
+	}
+	if recomputed != 1 {
+		t.Errorf("waiter recomputed %d times, want 1", recomputed)
+	}
+	if c.Hits() != 0 {
+		t.Errorf("hits = %d, want 0 (an error delivery is not reuse)", c.Hits())
+	}
+}
+
+func TestSubqueryCacheTTLExpiry(t *testing.T) {
+	c := NewBoundedSubqueryCache(0, time.Minute)
+	now := time.Unix(0, 0)
+	c.now = func() time.Time { return now }
+	c.Store("k", relOf([]sparql.Var{"s"}, b("s", "1")))
+
+	if _, ok := c.Lookup("k", false); !ok {
+		t.Fatal("fresh entry must hit")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Lookup("k", false); ok {
+		t.Fatal("expired entry served")
+	}
+	st := c.Stats()
+	if st.Expirations != 1 || st.Entries != 0 {
+		t.Errorf("stats after expiry = %+v", st)
+	}
+}
+
+func TestSubqueryCacheLRUBound(t *testing.T) {
+	c := NewBoundedSubqueryCache(2, 0)
+	rel := relOf([]sparql.Var{"s"}, b("s", "1"))
+	c.Store("a", rel)
+	c.Store("b", rel)
+	// Touch "a" so "b" is the least recently used.
+	if _, ok := c.Lookup("a", false); !ok {
+		t.Fatal("lookup a")
+	}
+	c.Store("c", rel)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Lookup("b", false); ok {
+		t.Error("LRU entry b survived past the bound")
+	}
+	if _, ok := c.Lookup("a", false); !ok {
+		t.Error("recently-used entry a evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestSubqueryCacheInvalidateEndpoint(t *testing.T) {
+	c := NewSubqueryCache()
+	eps := keyEPs("a", "b", "c")
+	patterns := sparql.MustParse(`SELECT * WHERE { ?s <http://ex/p> ?o }`).Where.Patterns
+	ab := SubqueryKey(&Subquery{Patterns: patterns, Sources: []int{0, 1}}, eps)
+	cOnly := SubqueryKey(&Subquery{Patterns: patterns, Sources: []int{2}}, eps)
+	rel := relOf([]sparql.Var{"s"}, b("s", "1"))
+	c.Store(ab, rel)
+	c.Store(cOnly, rel)
+
+	c.InvalidateEndpoint("a")
+	if _, ok := c.Lookup(ab, false); ok {
+		t.Error("entry sourced from invalidated endpoint survived")
+	}
+	if _, ok := c.Lookup(cOnly, false); !ok {
+		t.Error("entry not sourced from invalidated endpoint dropped")
+	}
+}
+
+// A Clear (or invalidation) between compute start and completion must
+// prevent the stale result from being stored.
+func TestSubqueryCacheClearDropsInflightStore(t *testing.T) {
+	c := NewSubqueryCache()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = c.Do("k", false, func() (*Relation, error) {
+			close(started)
+			<-release
+			return relOf([]sparql.Var{"s"}, b("s", "stale")), nil
+		})
+	}()
+	<-started
+	c.Clear()
+	close(release)
+	<-done
+	if c.Len() != 0 {
+		t.Error("computation begun before Clear was stored after it")
+	}
+}
+
+func TestPersistentCacheCrossQueryReuse(t *testing.T) {
+	ep1, ep2 := testfed.Universities()
+	eps := []endpoint.Endpoint{ep1, ep2}
+	l := New(eps, Config{SubqueryCacheSize: 64})
+
+	res1, m1, err := l.ExecuteMetrics(context.Background(), testfed.QaChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endpoint.ResetAll(eps)
+
+	res2, m2, err := l.ExecuteMetrics(context.Background(), testfed.QaChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(testfed.Canon(res1), testfed.Canon(res2)) {
+		t.Error("cached repeat returned different results")
+	}
+	// Planning caches persist: the repeat sends no ASK/check/COUNT.
+	if m2.AskRequests != 0 || m2.CheckQueries != 0 || m2.CountQueries != 0 {
+		t.Errorf("repeat plan-time requests = %d/%d/%d, want 0/0/0",
+			m2.AskRequests, m2.CheckQueries, m2.CountQueries)
+	}
+	// Phase-1 subqueries come from the cross-query cache.
+	if m2.Phase1Requests != 0 {
+		t.Errorf("repeat Phase1Requests = %d, want 0 (served from cache)", m2.Phase1Requests)
+	}
+	if m1.Phase1Requests == 0 {
+		t.Error("first run sent no phase-1 requests — test fixture broken")
+	}
+	if hits := subqueryCacheHits(l); hits == 0 {
+		t.Error("no subquery cache hits on repeat execution")
+	}
+
+	// InvalidateCaches drops the reuse: the next run re-executes.
+	l.InvalidateCaches()
+	_, m3, err := l.ExecuteMetrics(context.Background(), testfed.QaChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Phase1Requests == 0 {
+		t.Error("invalidated cache still served phase-1 results")
+	}
+}
+
+func TestPersistentCacheStreamedReuse(t *testing.T) {
+	ep1, ep2 := testfed.Universities()
+	eps := []endpoint.Endpoint{ep1, ep2}
+	l := New(eps, Config{SubqueryCacheSize: 64})
+
+	collect := func() ([]sparql.Binding, Metrics, error) {
+		var rows []sparql.Binding
+		_, m, err := l.ExecuteStream(context.Background(), testfed.QaChain,
+			func(vars []sparql.Var, chunk []sparql.Binding) error {
+				rows = append(rows, chunk...)
+				return nil
+			})
+		return rows, m, err
+	}
+	rows1, _, err := collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	endpoint.ResetAll(eps)
+	rows2, m2, err := collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows1) == 0 || len(rows1) != len(rows2) {
+		t.Fatalf("streamed repeat rows = %d, first run = %d", len(rows2), len(rows1))
+	}
+	if m2.Phase1Requests != 0 {
+		t.Errorf("streamed repeat Phase1Requests = %d, want 0", m2.Phase1Requests)
+	}
+	if hits := subqueryCacheHits(l); hits == 0 {
+		t.Error("no subquery cache hits on streamed repeat")
+	}
+	if reqs := endpoint.TotalStats(eps).Requests; reqs != 0 {
+		// Phase 2 may still run bound subqueries; QaChain's plan keeps
+		// one delayed subquery, so allow its traffic but nothing else.
+		if m2.Phase2Requests == 0 {
+			t.Errorf("streamed repeat sent %d endpoint requests with no phase-2 work", reqs)
+		}
+	}
+}
+
+func TestInvalidateEndpointCachesScoped(t *testing.T) {
+	ep1, ep2 := testfed.Universities()
+	eps := []endpoint.Endpoint{ep1, ep2}
+	l := New(eps, Config{SubqueryCacheSize: 64})
+	if _, err := l.Execute(context.Background(), testfed.QaChain); err != nil {
+		t.Fatal(err)
+	}
+	stats := l.CacheStats()
+	for _, e := range stats {
+		if e.Name == "subquery" && e.Stats.Entries == 0 {
+			t.Fatal("no subquery entries cached")
+		}
+	}
+	l.InvalidateEndpointCaches(ep1.Name())
+	// Repeat: entries sourced from ep1 are gone, so phase-1 work returns.
+	endpoint.ResetAll(eps)
+	_, m, err := l.ExecuteMetrics(context.Background(), testfed.QaChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Phase1Requests == 0 {
+		t.Error("endpoint-scoped invalidation left all phase-1 entries live")
+	}
+}
+
+func subqueryCacheHits(l *Lusail) int64 {
+	for _, e := range l.CacheStats() {
+		if e.Name == "subquery" {
+			return e.Stats.Hits
+		}
+	}
+	return 0
 }
 
 func TestExecuteBatchSharesSubqueries(t *testing.T) {

@@ -347,45 +347,47 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 	// cancels the sibling evaluations of THIS query.
 	groupCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	dg := endpoint.DegradeFrom(ctx)
 	type outcome struct {
-		sq       *Subquery
-		rel      *Relation
-		n        int
-		dur      time.Duration
-		computed bool
-		err      error
+		sq     *Subquery
+		rel    *Relation
+		n      int
+		dur    time.Duration
+		shared bool
+		err    error
 	}
 	ch := make(chan outcome, len(phase1))
 	for _, sq := range phase1 {
 		go func(sq *Subquery) {
 			start := time.Now()
-			computed := false
-			run := func() (*Relation, error) {
-				return sqCache.Do(sqCache.Key(sq), func() (*Relation, error) {
-					computed = true
+			// A caller under an absorbing degradation policy can reuse a
+			// partial cached relation: the drop records it carries are
+			// merged into this query's own completeness report below. A
+			// strict caller (DegradeFail) never sees partial entries.
+			run := func() (*Relation, bool, error) {
+				return sqCache.Do(SubqueryKey(sq, ex.Endpoints), dg.Active(), func() (*Relation, error) {
 					return ex.evalSubqueryUnbound(groupCtx, sq)
 				})
 			}
-			rel, err := run()
-			// A sibling batch query's fail-fast can cancel the shared
+			rel, shared, err := run()
+			// A sibling query's fail-fast can cancel the shared
 			// computation we were waiting on; its failure is not ours.
-			// Failed entries are evicted, so retry under our own
+			// Failed entries are not cached, so retry under our own
 			// (still-live) context until the result settles — a single
 			// retry can itself be cancelled by yet another sibling. The
 			// bound is a livelock backstop; once our own context is
 			// cancelled the loop exits via groupCtx.Err().
 			for tries := 0; err != nil && errors.Is(err, context.Canceled) &&
 				groupCtx.Err() == nil && tries < 64; tries++ {
-				rel, err = run()
+				rel, shared, err = run()
 			}
 			n := 0
-			if err == nil && computed {
+			if err == nil && !shared {
 				n = len(sq.Sources)
 			}
-			ch <- outcome{sq: sq, rel: rel, n: n, dur: time.Since(start), computed: computed, err: err}
+			ch <- outcome{sq: sq, rel: rel, n: n, dur: time.Since(start), shared: shared, err: err}
 		}(sq)
 	}
-	dg := endpoint.DegradeFrom(ctx)
 	var firstErr error
 	for range phase1 {
 		o := <-ch
@@ -396,16 +398,17 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 			}
 			continue
 		}
-		// Shallow-copy: concurrent queries share cached rows, but the
-		// per-query Optional marking must not leak across. Drops stamped
-		// on a degraded cached relation are merged into THIS query's
-		// state, so a batch member reusing a partial shared result still
-		// reports it in its own Completeness.
-		rels[o.sq] = &Relation{Vars: o.rel.Vars, Rows: o.rel.Rows, Partitions: o.rel.Partitions, Dropped: o.rel.Dropped}
+		// The relation is private to this query (the cache snapshots on
+		// both store and read), so the per-query Optional marking cannot
+		// leak across consumers. Drops stamped on a degraded cached
+		// relation are merged into THIS query's state, so a query reusing
+		// a partial shared result still reports it in its own
+		// Completeness.
+		rels[o.sq] = o.rel
 		dg.Merge(o.rel.Dropped)
 		stats.Phase1Requests += o.n
 		sqSpan := recordSubquerySpan(sp, o.sq, rels[o.sq], o.dur, o.n)
-		if !o.computed {
+		if o.shared {
 			sqSpan.Set("shared", true)
 		}
 	}

@@ -106,7 +106,7 @@ func (q *chunkQueue) pop() ([]sparql.Binding, bool) {
 // there is no required phase-1 subquery at all) fall back to the
 // materialized path and emit its result as a single chunk, so callers
 // need no special-casing.
-func (ex *Executor) RunStreamed(ctx context.Context, sqs []*Subquery, extra []*Relation, globalFilters []sparql.Expr, optFilters map[int][]sparql.Expr, sink StreamSink) (*ExecStats, error) {
+func (ex *Executor) RunStreamed(ctx context.Context, sqs []*Subquery, extra []*Relation, globalFilters []sparql.Expr, optFilters map[int][]sparql.Expr, sqCache *SubqueryCache, sink StreamSink) (*ExecStats, error) {
 	var phase1, delayed []*Subquery
 	for _, sq := range sqs {
 		if sq.Delayed {
@@ -117,7 +117,7 @@ func (ex *Executor) RunStreamed(ctx context.Context, sqs []*Subquery, extra []*R
 	}
 	tail := pickStreamTail(phase1, delayed)
 	if tail == nil {
-		rel, stats, err := ex.RunCached(ctx, sqs, extra, globalFilters, optFilters, nil)
+		rel, stats, err := ex.RunCached(ctx, sqs, extra, globalFilters, optFilters, sqCache)
 		if err != nil {
 			return stats, err
 		}
@@ -128,7 +128,7 @@ func (ex *Executor) RunStreamed(ctx context.Context, sqs []*Subquery, extra []*R
 		}
 		return stats, nil
 	}
-	return ex.runStreamed(ctx, phase1, delayed, tail, extra, globalFilters, optFilters, sink)
+	return ex.runStreamed(ctx, phase1, delayed, tail, extra, globalFilters, optFilters, sqCache, sink)
 }
 
 // pickStreamTail elects the phase-1 relation that will stream through
@@ -183,7 +183,7 @@ type sqStreamDone struct {
 	rel *Relation
 }
 
-func (ex *Executor) runStreamed(ctx context.Context, phase1, delayed []*Subquery, tail *Subquery, extra []*Relation, globalFilters []sparql.Expr, optFilters map[int][]sparql.Expr, sink StreamSink) (stats *ExecStats, err error) {
+func (ex *Executor) runStreamed(ctx context.Context, phase1, delayed []*Subquery, tail *Subquery, extra []*Relation, globalFilters []sparql.Expr, optFilters map[int][]sparql.Expr, sqCache *SubqueryCache, sink StreamSink) (stats *ExecStats, err error) {
 	stats = &ExecStats{}
 	fc := endpoint.NewFaultCounters(endpoint.FaultCountersFrom(ctx))
 	ctx = endpoint.WithFaultCounters(ctx, fc)
@@ -245,10 +245,26 @@ func (ex *Executor) runStreamed(ctx context.Context, phase1, delayed []*Subquery
 		}
 	}
 	defer endP1()
+	// Cache probe: a phase-1 subquery whose result is retained from an
+	// earlier query skips the wire entirely. Partial entries are served
+	// only under an absorbing degradation policy; their drop records are
+	// merged into this query's own completeness report.
+	cachedRels := map[*Subquery]*Relation{}
+	if sqCache != nil {
+		for _, sq := range phase1 {
+			if rel, ok := sqCache.Lookup(SubqueryKey(sq, ex.Endpoints), dg.Active()); ok {
+				cachedRels[sq] = rel
+				dg.Merge(rel.Dropped)
+			}
+		}
+	}
 	var tasks []federation.Task
 	var taskSq []*Subquery
 	states := map[*Subquery]*sqStreamState{}
 	for _, sq := range phase1 {
+		if _, ok := cachedRels[sq]; ok {
+			continue
+		}
 		text := sq.Query().String()
 		states[sq] = &sqStreamState{remaining: len(sq.Sources)}
 		for _, ei := range sq.Sources {
@@ -260,6 +276,16 @@ func (ex *Executor) runStreamed(ctx context.Context, phase1, delayed []*Subquery
 	results := ex.Handler.RunStream(p1Ctx, tasks)
 
 	queue := newChunkQueue()
+	// A cached tail feeds the stream up front: its retained rows become
+	// the chunks, and no tail task is on the wire.
+	if rel, ok := cachedRels[tail]; ok {
+		rows := rel.Rows
+		for len(rows) > streamChunkRows {
+			queue.push(rows[:streamChunkRows])
+			rows = rows[streamChunkRows:]
+		}
+		queue.push(rows)
+	}
 	doneCh := make(chan sqStreamDone, len(phase1))
 	errCh := make(chan error, 1)
 	fail := func(e error) {
@@ -328,6 +354,14 @@ func (ex *Executor) runStreamed(ctx context.Context, phase1, delayed []*Subquery
 			}
 			recordSubquerySpan(sp, sq, rel, st.dur, len(sq.Sources))
 			if sq != tail {
+				// Retain only complete relations: streamed drops are
+				// charged to the degradation context, not stamped on the
+				// relation, so a partial one carries no record a later
+				// consumer could merge. The tail is never materialized
+				// here and is never stored.
+				if st.failed == 0 {
+					sqCache.Store(SubqueryKey(sq, ex.Endpoints), rel)
+				}
 				doneCh <- sqStreamDone{sq: sq, rel: rel}
 			}
 		}
@@ -357,6 +391,13 @@ func (ex *Executor) runStreamed(ctx context.Context, phase1, delayed []*Subquery
 	p2Ctx := runCtx
 	endP2 := func() { endPhase(p2Span, p2FC); p2Span, p2FC = nil, nil }
 	pendingP1 := len(phase1) - 1 // the tail completes on its own clock
+	for _, sq := range phase1 {
+		if rel, ok := cachedRels[sq]; ok && sq != tail {
+			addRel(sq, rel)
+			completed[sq] = true
+			pendingP1--
+		}
+	}
 	pendingDelayed := append([]*Subquery(nil), delayed...)
 	shortCircuit := false
 	for pendingP1 > 0 || len(pendingDelayed) > 0 {

@@ -244,7 +244,7 @@ func TestRunStreamedBudgetExpiredDropsDelayed(t *testing.T) {
 	ctx := endpoint.WithDegrade(context.Background(), dg)
 
 	delivered := 0
-	stats, err := ex.RunStreamed(ctx, []*Subquery{tail, delayed}, nil, nil, nil,
+	stats, err := ex.RunStreamed(ctx, []*Subquery{tail, delayed}, nil, nil, nil, nil,
 		func(vars []sparql.Var, rows []sparql.Binding) error {
 			delivered += len(rows)
 			return nil

@@ -474,9 +474,10 @@ var Registry = map[string]func(io.Writer, Options) error{
 	"absape":  AblationSAPE,
 	"mqo":     MQO,
 	"scale":   Scale,
-	"faults":  FaultSweep,
-	"degrade": DegradeSweep,
-	"all":     All,
+	"faults":   FaultSweep,
+	"degrade":  DegradeSweep,
+	"workload": WorkloadReplay,
+	"all":      All,
 }
 
 // RegistryNames returns the sorted experiment ids.

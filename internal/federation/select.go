@@ -3,11 +3,24 @@ package federation
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"lusail/internal/endpoint"
 	"lusail/internal/sparql"
 )
+
+// CacheStats snapshots one cache's counters. Hits count successful
+// reuse only; Expirations count TTL-stale entries dropped on access
+// (always zero for caches without expiry). Every engine cache — the
+// planning caches here and the subquery-result cache in core —
+// reports through this one shape so metrics bridges and debug
+// endpoints can treat them uniformly.
+type CacheStats struct {
+	Hits, Misses, Evictions, Expirations int64
+	Entries                              int
+}
 
 // PatternSig is the cache key for a triple pattern's source-selection
 // result: constants verbatim, variables normalized, so that two
@@ -28,6 +41,9 @@ func PatternSig(tp sparql.TriplePattern) string {
 type AskCache struct {
 	mu sync.RWMutex
 	m  map[string]bool
+
+	// Counters are atomics so Get can stay on the read lock.
+	hits, misses int64
 }
 
 // NewAskCache returns an empty cache.
@@ -43,6 +59,11 @@ func (c *AskCache) Get(ep, sig string) (val, ok bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	val, ok = c.m[c.key(ep, sig)]
+	if ok {
+		atomic.AddInt64(&c.hits, 1)
+	} else {
+		atomic.AddInt64(&c.misses, 1)
+	}
 	return val, ok
 }
 
@@ -65,9 +86,42 @@ func (c *AskCache) Len() int {
 
 // Clear removes all entries.
 func (c *AskCache) Clear() {
+	if c == nil {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m = make(map[string]bool)
+}
+
+// InvalidateEndpoint drops every cached ASK verdict for the named
+// endpoint — the hook for callers that know its data changed.
+func (c *AskCache) InvalidateEndpoint(name string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prefix := name + "\x00"
+	for k := range c.m {
+		if strings.HasPrefix(k, prefix) {
+			delete(c.m, k)
+		}
+	}
+}
+
+// Stats snapshots the cache's counters.
+func (c *AskCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CacheStats{
+		Hits:    atomic.LoadInt64(&c.hits),
+		Misses:  atomic.LoadInt64(&c.misses),
+		Entries: len(c.m),
+	}
 }
 
 // AskQueryFor builds the ASK query that tests whether tp has any

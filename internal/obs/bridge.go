@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"lusail/internal/core"
 	"lusail/internal/endpoint"
 )
 
@@ -96,6 +97,46 @@ func RegisterBreakers(r *Registry, snapshot func() []endpoint.BreakerStatus) {
 			open.Samples = append(open.Samples, Sample{Labels: labels, Value: v})
 		}
 		return []Family{state, open}
+	})
+}
+
+// RegisterCaches exposes the engine's cache counters — the ASK
+// source-selection, LADE check, COUNT statistics, and subquery-result
+// caches — as one set of families labeled by cache name. Hits count
+// successful reuse only; staleness (TTL expiry on access) and LRU
+// evictions are non-zero only for the bounded subquery cache.
+func RegisterCaches(r *Registry, snapshot func() []core.CacheStatEntry) {
+	r.RegisterCollector(func() []Family {
+		entries := snapshot()
+		counter := func(name, help string, value func(core.CacheStats) float64) Family {
+			f := Family{Name: name, Help: help, Kind: "counter"}
+			for _, e := range entries {
+				f.Samples = append(f.Samples, Sample{
+					Labels: []Label{L("cache", e.Name)},
+					Value:  value(e.Stats),
+				})
+			}
+			return f
+		}
+		fams := []Family{
+			counter("lusail_cache_hits_total", "Cache lookups served from a retained entry (successful reuse only).",
+				func(s core.CacheStats) float64 { return float64(s.Hits) }),
+			counter("lusail_cache_misses_total", "Cache lookups that required remote work.",
+				func(s core.CacheStats) float64 { return float64(s.Misses) }),
+			counter("lusail_cache_evictions_total", "Entries evicted past the LRU bound.",
+				func(s core.CacheStats) float64 { return float64(s.Evictions) }),
+			counter("lusail_cache_stale_total", "Entries dropped on access because their TTL expired.",
+				func(s core.CacheStats) float64 { return float64(s.Expirations) }),
+		}
+		gauge := Family{Name: "lusail_cache_entries",
+			Help: "Entries currently retained per cache.", Kind: "gauge"}
+		for _, e := range entries {
+			gauge.Samples = append(gauge.Samples, Sample{
+				Labels: []Label{L("cache", e.Name)},
+				Value:  float64(e.Stats.Entries),
+			})
+		}
+		return append(fams, gauge)
 	})
 }
 

@@ -103,6 +103,22 @@ func WithoutCache() Option {
 	return func(c *core.Config) { c.DisableCache = true }
 }
 
+// WithSubqueryCache retains phase-1 subquery results in a persistent
+// cross-query cache of at most entries results (LRU eviction past the
+// bound), each valid for ttl (0 = no expiry). Every execution path —
+// Query, QueryBatch, QueryStream — shares the one cache, so repeat
+// traffic reuses earlier queries' subquery results without re-asking
+// the endpoints. Results are keyed on the canonicalized subquery text
+// plus the stable names of its source endpoints; use InvalidateCaches
+// or InvalidateEndpointCaches when federation data changes faster than
+// the TTL.
+func WithSubqueryCache(entries int, ttl time.Duration) Option {
+	return func(c *core.Config) {
+		c.SubqueryCacheSize = entries
+		c.SubqueryCacheTTL = ttl
+	}
+}
+
 // WithInstrumentation wraps every endpoint in a latency-histogram
 // decorator so EndpointStats reports per-endpoint request counts,
 // error counts, and latency quantiles.
@@ -331,6 +347,34 @@ func (f *Federation) BreakerStates() []BreakerStatus { return f.engine.BreakerSt
 // wire — the federation's live pool depth.
 func (f *Federation) InFlight() int64 { return f.engine.InFlight() }
 
+// CacheStats snapshots one cache's hit/miss/evict/staleness counters
+// and current size.
+type CacheStats = core.CacheStats
+
+// CacheStatEntry names one engine cache ("ask", "check", "count",
+// "subquery") alongside its counters.
+type CacheStatEntry = core.CacheStatEntry
+
+// CacheStats reports every engine cache's counters: the ASK
+// source-selection cache, the LADE check-query cache, the COUNT
+// statistics cache, and the cross-query subquery-result cache.
+func (f *Federation) CacheStats() []CacheStatEntry { return f.engine.CacheStats() }
+
+// InvalidateCaches drops every retained planning decision (source
+// selection, locality checks, COUNT statistics) and cached subquery
+// result — the hook for callers that know federation data changed.
+// In-flight computations complete for their waiters but are not
+// re-stored.
+func (f *Federation) InvalidateCaches() { f.engine.InvalidateCaches() }
+
+// InvalidateEndpointCaches drops the cached state that depends on one
+// endpoint (by name): its ASK selections, locality checks, COUNT
+// statistics, and every cached subquery result sourced from it.
+// Entries for other endpoints survive.
+func (f *Federation) InvalidateEndpointCaches(name string) {
+	f.engine.InvalidateEndpointCaches(name)
+}
+
 // RegisterMetrics bridges the federation's live state into reg:
 // per-endpoint request/error/latency families, circuit-breaker state
 // gauges, and the in-flight pool-depth gauge. Values are read at
@@ -339,6 +383,7 @@ func (f *Federation) RegisterMetrics(reg *MetricsRegistry) {
 	obs.RegisterEndpointStats(reg, f.EndpointStats)
 	obs.RegisterBreakers(reg, f.BreakerStates)
 	obs.RegisterInFlight(reg, f.InFlight)
+	obs.RegisterCaches(reg, f.CacheStats)
 }
 
 // Plan describes how the federation would execute a query: global
