@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-all bench-compare bench-baseline trace-smoke server-smoke degrade-smoke stream-smoke workload-smoke
+.PHONY: all build vet test race verify lint fmt-check bench bench-all bench-compare bench-baseline trace-smoke server-smoke degrade-smoke stream-smoke workload-smoke
 
 # Packages with microbenchmarks, gated by bench-compare.
 BENCH_PKGS = ./internal/core/ ./internal/sparql/ ./internal/engine/ ./internal/store/
@@ -24,6 +24,29 @@ race:
 	$(GO) test -race ./internal/federation/... ./internal/core/... ./internal/endpoint/... ./internal/obs/... ./cmd/lusail-server/...
 
 verify: build vet test race
+
+# Formatting gate: fail when any file needs gofmt.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+	  echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi; \
+	echo "gofmt OK"
+
+# Static analysis beyond go vet. staticcheck and govulncheck are
+# optional locally (skipped with a notice when not installed); CI
+# installs and runs both unconditionally.
+lint: vet fmt-check
+	@if command -v staticcheck >/dev/null 2>&1; then \
+	  staticcheck ./...; \
+	else \
+	  echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+	  govulncheck ./...; \
+	else \
+	  echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # Per-query latency percentiles on the LUBM federation, as JSON.
 bench:

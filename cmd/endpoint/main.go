@@ -34,6 +34,7 @@ func main() {
 		metrics = flag.Bool("metrics", false, "expose Prometheus metrics at /metrics")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		maxReq  = flag.Int64("max-request-bytes", 0, "cap on POST request bodies; oversized requests get 413 (0 = default 4MiB, negative = unlimited)")
+		otlp    = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL for server-side span export (empty disables)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -67,10 +68,24 @@ func main() {
 			"HTTP request latency as served by this endpoint process.", nil)
 		mux.Handle("/metrics", reg.Handler())
 	}
-	mux.Handle("/", accessLog(logger, reqDur, endpoint.HandlerWithConfig(ep, endpoint.HandlerConfig{
+	// With -otlp-endpoint, every served query records a server-kind span
+	// joined to the federator's trace (inbound traceparent), so the
+	// collector stitches one distributed trace per federated query.
+	var exporter *obs.SpanExporter
+	hcfg := endpoint.HandlerConfig{
 		Logger:          logger,
 		MaxRequestBytes: *maxReq,
-	})))
+		ServiceName:     *name,
+	}
+	if *otlp != "" {
+		exporter = obs.NewSpanExporter(obs.ExporterConfig{
+			Endpoint: *otlp,
+			Service:  *name,
+			Logger:   logger,
+		})
+		hcfg.TraceSink = exporter
+	}
+	mux.Handle("/", accessLog(logger, reqDur, endpoint.HandlerWithConfig(ep, hcfg)))
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -101,6 +116,11 @@ func main() {
 	if err := srv.Shutdown(dctx); err != nil {
 		logger.Warn("drain incomplete, closing", "err", err)
 		os.Exit(1)
+	}
+	if exporter != nil {
+		if err := exporter.Shutdown(dctx); err != nil {
+			logger.Warn("trace exporter drain incomplete", "err", err)
+		}
 	}
 	logger.Info("shutdown complete")
 }

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -44,6 +45,7 @@ func main() {
 		benchJSON = flag.String("bench-json", "", "write per-query latency percentiles (LUBM) to this JSON file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) while running")
 		metricsTo = flag.String("metrics-dump", "", `write the Prometheus metrics page here after -trace/-bench-json runs ("-" = stdout)`)
+		otlp      = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL to ship -trace span trees to (empty disables)")
 	)
 	flag.Parse()
 
@@ -53,6 +55,14 @@ func main() {
 	}
 	if *metricsTo != "" {
 		opts.Metrics = obs.NewRegistry()
+	}
+	var exporter *obs.SpanExporter
+	if *otlp != "" {
+		exporter = obs.NewSpanExporter(obs.ExporterConfig{
+			Endpoint: *otlp,
+			Service:  "lusail-bench",
+		})
+		opts.TraceSink = exporter
 	}
 
 	if *pprofAddr != "" {
@@ -98,6 +108,13 @@ func main() {
 	if opts.Metrics != nil {
 		if err := dumpMetrics(*metricsTo, opts.Metrics); err != nil {
 			log.Fatal(err)
+		}
+	}
+	if exporter != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := exporter.Shutdown(ctx); err != nil {
+			log.Printf("trace exporter drain incomplete: %v", err)
 		}
 	}
 }

@@ -9,9 +9,17 @@
 //	/readyz         readiness (503 while probing, while ALL breakers are open, or under
 //	                sustained admission saturation; -strict-ready restores the historical
 //	                any-open-breaker rule)
-//	/debug/queries  recent + slow queries (slow ones with rendered span trees), JSON
+//	/debug/queries  recent + slow queries (slow ones with rendered span trees and trace IDs), JSON
+//	/debug/slo      SLO burn-rate snapshot (availability + latency objectives, fast/slow windows), JSON
 //	/debug/invalidate  POST drops the engine caches (endpoint=<name> scopes to one endpoint)
 //	/debug/pprof/   net/http/pprof (with -pprof)
+//
+// With -otlp-endpoint, every query records a W3C-identified span tree:
+// inbound traceparent headers are joined (one stitched trace across a
+// federation of lusail processes), outgoing endpoint requests propagate
+// the context, and completed traces are tail-sampled (slow, errored,
+// and degraded traces always kept) and shipped to the collector in
+// batches.
 //
 // Endpoints are given as repeated -endpoint flags, each either an
 // http(s):// SPARQL endpoint URL or a path to a local N-Triples file
@@ -71,6 +79,19 @@ func main() {
 		sqCache      = flag.Int("subquery-cache", 0, "persistent cross-query subquery-result cache entries (0 disables)")
 		sqCacheTTL   = flag.Duration("subquery-cache-ttl", time.Minute, "TTL of cached subquery results (0 = no expiry)")
 		singleflight = flag.Bool("singleflight", true, "collapse concurrent identical queries into one execution")
+
+		otlpEndpoint = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL for trace export (empty disables)")
+		serviceName  = flag.String("service-name", "lusail-server", "service.name stamped on exported spans")
+		traceSample  = flag.Float64("trace-sample", 1, "head-sampling ratio for locally-rooted traces (0..1; slow/errored/degraded traces are always kept)")
+		traceSlow    = flag.Duration("trace-slow", 0, "tail sampler's always-keep latency threshold (0 = use -slow)")
+
+		sloAvail        = flag.Float64("slo-availability", 0.99, "availability objective: fraction of queries that must succeed")
+		sloLatTarget    = flag.Float64("slo-latency-target", 0.99, "latency objective: fraction of queries that must finish under -slo-latency-threshold")
+		sloLatThreshold = flag.Duration("slo-latency-threshold", time.Second, "latency objective's cut-off")
+		sloFastWindow   = flag.Duration("slo-fast-window", 5*time.Minute, "fast burn-rate evaluation window")
+		sloSlowWindow   = flag.Duration("slo-slow-window", time.Hour, "slow burn-rate evaluation window")
+		sloBurn         = flag.Float64("slo-burn-threshold", 1, "burn rate at which an objective counts as burning (both windows must exceed it)")
+		sloReady        = flag.Bool("slo-ready", false, "report /readyz 503 while any SLO objective burns past the threshold in both windows")
 	)
 	flag.Var(&endpoints, "endpoint", "endpoint URL or N-Triples file (repeatable)")
 	flag.Parse()
@@ -116,6 +137,22 @@ func main() {
 		SubqueryCacheSize: *sqCache,
 		SubqueryCacheTTL:  *sqCacheTTL,
 		Singleflight:      *singleflight,
+
+		OTLPEndpoint:       *otlpEndpoint,
+		ServiceName:        *serviceName,
+		TraceSlowThreshold: *traceSlow,
+		SLO: lusail.SLOConfig{
+			AvailabilityTarget: *sloAvail,
+			LatencyTarget:      *sloLatTarget,
+			LatencyThreshold:   *sloLatThreshold,
+			FastWindow:         *sloFastWindow,
+			SlowWindow:         *sloSlowWindow,
+			DegradeThreshold:   *sloBurn,
+		},
+		SLOReady: *sloReady,
+	}
+	if *traceSample < 1 {
+		cfg.TraceSample = traceSample
 	}
 	if *resilience {
 		rc := lusail.DefaultResilience()

@@ -73,6 +73,32 @@ type serverConfig struct {
 	// Singleflight collapses concurrent identical queries into one
 	// engine execution, replaying the result to every caller.
 	Singleflight bool
+
+	// OTLPEndpoint, when non-empty, enables distributed trace export:
+	// every query records a W3C-identified span tree, tail-sampled
+	// (slow/errored/degraded always kept) and shipped to this OTLP/HTTP
+	// collector base URL in batches.
+	OTLPEndpoint string
+	// ServiceName is the resource service.name stamped on exported
+	// spans (default "lusail-server").
+	ServiceName string
+	// TraceSample, when non-nil, is the head-sampling ratio for
+	// locally-rooted traces (nil = sample all; 0 leaves retention to
+	// the tail rules). Inbound traceparent requests keep the caller's
+	// sampled flag.
+	TraceSample *float64
+	// TraceSlowThreshold marks traces at or above this duration as
+	// always-kept by the tail sampler (0 = fall back to SlowThreshold).
+	TraceSlowThreshold time.Duration
+
+	// SLO tunes the in-process SLO engine (zero values select the
+	// defaults: 99% availability, 99% of queries under 1s, 5m/1h
+	// windows, burn threshold 1).
+	SLO lusail.SLOConfig
+	// SLOReady degrades /readyz to 503 while any SLO objective burns
+	// past the threshold in both windows, so load balancers shed
+	// traffic from an instance that is eating its error budget.
+	SLOReady bool
 }
 
 // server is the lusail-server daemon: a federation plus its
@@ -85,9 +111,13 @@ type server struct {
 	logger *slog.Logger
 	cfg    serverConfig
 
-	mux    *http.ServeMux
-	adm    *admission
-	sf     *singleflight // nil when collapsing is disabled
+	slo      *lusail.SLO
+	exporter *lusail.SpanExporter // nil without -otlp-endpoint
+	sink     lusail.TraceSink     // tail sampler → exporter; nil without export
+
+	mux *http.ServeMux
+	adm *admission
+	sf  *singleflight // nil when collapsing is disabled
 	// policyKey folds the server's execution policy into singleflight
 	// keys, so deployments proxying multiple policy tiers never share.
 	policyKey string
@@ -124,6 +154,9 @@ func newServer(eps []lusail.Endpoint, cfg serverConfig) *server {
 	if cfg.SubqueryCacheSize > 0 {
 		opts = append(opts, lusail.WithSubqueryCache(cfg.SubqueryCacheSize, cfg.SubqueryCacheTTL))
 	}
+	if cfg.TraceSample != nil {
+		opts = append(opts, lusail.WithTraceSampling(*cfg.TraceSample))
+	}
 	fed := lusail.New(eps, opts...)
 	fed.RegisterMetrics(reg)
 
@@ -139,6 +172,40 @@ func newServer(eps []lusail.Endpoint, cfg serverConfig) *server {
 	adm.register(reg)
 
 	s := &server{fed: fed, reg: reg, qlog: qlog, logger: logger, cfg: cfg, adm: adm}
+
+	// SLO engine: always on (a mutex and two adds per query); the
+	// /debug/slo route and lusail_slo_* families read it at scrape time.
+	s.slo = lusail.NewSLO(cfg.SLO)
+	s.slo.Register(reg)
+
+	// Trace export chain: tail sampler in front of the OTLP exporter.
+	// Slow, errored, and degraded traces are always kept; head-sampled
+	// traces (WithTraceSampling) flow through as usual.
+	if cfg.OTLPEndpoint != "" {
+		service := cfg.ServiceName
+		if service == "" {
+			service = "lusail-server"
+		}
+		s.exporter = lusail.NewSpanExporter(lusail.ExporterConfig{
+			Endpoint: cfg.OTLPEndpoint,
+			Service:  service,
+			Logger:   logger,
+		})
+		s.exporter.Register(reg)
+		slowTrace := cfg.TraceSlowThreshold
+		if slowTrace <= 0 {
+			slowTrace = cfg.SlowThreshold
+		}
+		sampler := lusail.NewTraceSampler(lusail.SamplerConfig{
+			SlowThreshold: slowTrace,
+			KeepErrors:    true,
+			KeepDegraded:  true,
+			Next:          s.exporter,
+		})
+		sampler.Register(reg)
+		s.sink = sampler
+	}
+
 	if cfg.Singleflight {
 		s.sf = newSingleflight()
 		s.sf.register(reg)
@@ -151,6 +218,7 @@ func newServer(eps []lusail.Endpoint, cfg serverConfig) *server {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.Handle("/debug/queries", qlog.DebugHandler())
+	s.mux.Handle("/debug/slo", s.slo.Handler())
 	s.mux.HandleFunc("/debug/invalidate", s.handleInvalidate)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -249,6 +317,13 @@ func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "not ready: admission queue saturated", http.StatusServiceUnavailable)
 		return
 	}
+	if s.cfg.SLOReady && s.slo.Degraded() {
+		// Multiwindow burn: an objective is over its burn threshold in
+		// BOTH the fast and slow windows — a sustained incident, not a
+		// blip. Shed traffic so the balancer routes around this instance.
+		http.Error(w, "not ready: SLO error budget burning", http.StatusServiceUnavailable)
+		return
+	}
 	states := s.fed.BreakerStates()
 	open := 0
 	firstOpen := ""
@@ -328,7 +403,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// r.Context() so a client disconnect cancels the federated query:
 	// the engine's streaming executor aborts its in-flight subqueries
 	// and the admission slot frees as soon as the handler returns.
-	ctx := r.Context()
+	// An inbound W3C traceparent joins the caller's distributed trace:
+	// this query's spans carry the caller's trace ID and the federation
+	// produces one stitched trace across processes.
+	ctx := lusail.ExtractTraceContext(r.Context(), r.Header)
 	if s.cfg.QueryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
@@ -377,6 +455,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// finishQuery closes out one traced execution: the terminal error is
+// stamped on the root span (the tail sampler's always-keep rule for
+// errored traces reads it), the outcome feeds the SLO engine's rolling
+// windows, and the trace is handed to the export chain.
+func (s *server) finishQuery(tr *lusail.Trace, dur time.Duration, err error) {
+	if err != nil && tr != nil {
+		tr.Root.Set("error", err.Error())
+	}
+	s.slo.Record(dur, err != nil)
+	if s.sink != nil && tr != nil {
+		s.sink.ExportTrace(tr)
+	}
+}
+
 // runQuery executes one query and writes the response. publish, when
 // non-nil, receives the materialized result (or the terminal error)
 // exactly once, for singleflight replay to collapsed followers.
@@ -389,8 +481,10 @@ func (s *server) runQuery(w http.ResponseWriter, ctx context.Context, query, acc
 		return
 	}
 	// Traced execution so slow queries carry their span tree into the
-	// query log's ring buffer.
-	res, _, _, err := s.fed.QueryTraced(ctx, query)
+	// query log's ring buffer and the export chain ships it.
+	start := time.Now()
+	res, _, tr, err := s.fed.QueryTraced(ctx, query)
+	s.finishQuery(tr, time.Since(start), err)
 	if err != nil {
 		if publish != nil {
 			publish(nil, err)
@@ -400,6 +494,9 @@ func (s *server) runQuery(w http.ResponseWriter, ctx context.Context, query, acc
 	}
 	if publish != nil {
 		publish(res, nil)
+	}
+	if tr != nil {
+		w.Header().Set("X-Lusail-Trace-Id", tr.ID().String())
 	}
 	s.writeResult(w, res, accept)
 }
@@ -486,14 +583,17 @@ func (s *server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 // collapsed followers can replay the full result; otherwise the
 // returned Results is the engine's summary (row count only).
 func (s *server) streamQuery(w http.ResponseWriter, ctx context.Context, query string, materialize bool) (*lusail.Results, error) {
-	// Trailers must be declared before the first byte of the body.
-	w.Header().Set("Trailer", "X-Lusail-Partial-Results, X-Lusail-Error")
+	// Trailers must be declared before the first byte of the body. The
+	// trace ID travels as a trailer too: it is minted inside the traced
+	// execution, after the status line is gone.
+	w.Header().Set("Trailer", "X-Lusail-Partial-Results, X-Lusail-Error, X-Lusail-Trace-Id")
 	w.Header().Set("Content-Type", "application/sparql-results+json")
 
 	flusher, canFlush := w.(http.Flusher)
 	enc := sparql.NewJSONRowEncoder(w)
 	var kept []lusail.Binding
-	res, _, _, err := s.fed.QueryStreamTraced(ctx, query,
+	start := time.Now()
+	res, _, tr, err := s.fed.QueryStreamTraced(ctx, query,
 		func(vars []lusail.Var, rows []lusail.Binding) error {
 			if materialize {
 				kept = append(kept, rows...)
@@ -506,6 +606,10 @@ func (s *server) streamQuery(w http.ResponseWriter, ctx context.Context, query s
 			}
 			return nil
 		})
+	s.finishQuery(tr, time.Since(start), err)
+	if tr != nil {
+		w.Header().Set("X-Lusail-Trace-Id", tr.ID().String())
+	}
 	if err != nil {
 		if !enc.Started() {
 			// Nothing written yet: a clean HTTP error is still possible.
@@ -610,6 +714,14 @@ func (s *server) serve(ctx context.Context, ln net.Listener, drain time.Duration
 	if err := srv.Shutdown(dctx); err != nil {
 		s.logger.Warn("drain incomplete, closing", "err", err)
 		return err
+	}
+	if s.exporter != nil {
+		// Ship whatever the trace queue still holds inside the remaining
+		// drain budget; dropped batches are already accounted in the
+		// lusail_trace_export_* counters.
+		if err := s.exporter.Shutdown(dctx); err != nil {
+			s.logger.Warn("trace exporter drain incomplete", "err", err)
+		}
 	}
 	s.logger.Info("shutdown complete")
 	return nil

@@ -90,6 +90,15 @@ type Config struct {
 	// correlation ID is also threaded into the trace as the root
 	// span's "qid" attribute.
 	QueryLog QueryLogger
+	// TraceSampling, when non-nil, is the head-sampling ratio applied to
+	// locally-rooted traces (deterministic on the trace ID, so one
+	// query's spans are kept or dropped as a unit across processes).
+	// nil samples everything; 0.0 marks every locally-rooted trace
+	// unsampled, leaving retention entirely to tail rules (slow,
+	// errored, degraded). Traces joined from a remote parent honor the
+	// caller's sampled flag instead — the head decision belongs to the
+	// trace's root.
+	TraceSampling *float64
 }
 
 // QueryLogger receives query lifecycle events. Implementations must be
@@ -257,21 +266,29 @@ func (l *Lusail) InvalidateEndpointCaches(name string) {
 	l.sqCache.InvalidateEndpoint(name)
 }
 
-// CacheStatEntry names one engine cache alongside its counters.
+// CacheStatEntry names one engine cache alongside its counters and —
+// for caches probed on the traced query path — the most recent traced
+// hit and miss, so metric exposition can attach exemplars.
 type CacheStatEntry struct {
 	Name  string
 	Stats CacheStats
+	// HitExemplar/MissExemplar are the latest sampled traced queries
+	// that hit or missed this cache (nil where untracked or none yet).
+	HitExemplar  *CacheExemplar
+	MissExemplar *CacheExemplar
 }
 
 // CacheStats snapshots every engine cache's hit/miss/evict/expire
 // counters and current size, for metrics export and the workload
 // experiment.
 func (l *Lusail) CacheStats() []CacheStatEntry {
+	sqHit, sqMiss := l.sqCache.Exemplars()
 	return []CacheStatEntry{
 		{Name: "ask", Stats: l.askCache.Stats()},
 		{Name: "check", Stats: l.checkCache.Stats()},
 		{Name: "count", Stats: l.countCache.Stats()},
-		{Name: "subquery", Stats: l.sqCache.Stats()},
+		{Name: "subquery", Stats: l.sqCache.Stats(),
+			HitExemplar: sqHit, MissExemplar: sqMiss},
 	}
 }
 
@@ -332,7 +349,7 @@ func (l *Lusail) ExecuteMetrics(ctx context.Context, query string) (*sparql.Resu
 // to the call. The trace is returned (partially filled) even when the
 // query errors out, so failures can be diagnosed from it.
 func (l *Lusail) ExecuteTraced(ctx context.Context, query string) (*sparql.Results, Metrics, *trace.Trace, error) {
-	tr := trace.New("query")
+	tr := l.newQueryTrace(ctx)
 	ctx = trace.WithSpan(ctx, tr.Root)
 	res, m, err := l.executeCached(ctx, query, nil)
 	tr.Root.End()
@@ -354,6 +371,19 @@ func (l *Lusail) ExecuteTraced(ctx context.Context, query string) (*sparql.Resul
 		tr.Root.Set("completeness", m.Completeness.String())
 	}
 	return res, m, tr, err
+}
+
+// newQueryTrace starts the query's trace: joined to an inbound remote
+// parent when ctx carries one (W3C trace context extracted upstream),
+// fresh otherwise. Head sampling (Config.TraceSampling) applies only to
+// locally-rooted traces — a joined trace keeps the caller's sampled
+// flag so the federation-wide trace is retained or dropped as a unit.
+func (l *Lusail) newQueryTrace(ctx context.Context) *trace.Trace {
+	tr := trace.NewFromContext(ctx, "query")
+	if _, remote := trace.RemoteParentFrom(ctx); !remote && l.cfg.TraceSampling != nil {
+		tr.Root.SetSampled(trace.SampleRatio(tr.ID(), *l.cfg.TraceSampling))
+	}
+	return tr
 }
 
 // errStreamStop is the sentinel a streaming row sink returns once the
@@ -406,7 +436,7 @@ func (l *Lusail) ExecuteStream(ctx context.Context, query string, onChunk Stream
 // ExecuteStreamTraced is ExecuteStream recording a span tree, so
 // streamed executions are as diagnosable as materialized ones.
 func (l *Lusail) ExecuteStreamTraced(ctx context.Context, query string, onChunk StreamSink) (*sparql.Results, Metrics, *trace.Trace, error) {
-	tr := trace.New("query")
+	tr := l.newQueryTrace(ctx)
 	ctx = trace.WithSpan(ctx, tr.Root)
 	res, m, err := l.ExecuteStream(ctx, query, onChunk)
 	tr.Root.End()

@@ -10,6 +10,7 @@ import (
 	"lusail/internal/endpoint"
 	"lusail/internal/federation"
 	"lusail/internal/sparql"
+	"lusail/internal/trace"
 
 	"context"
 )
@@ -43,18 +44,43 @@ import (
 //     (bounded) instead of receiving the stale error, and only
 //     successful reuse counts as a hit.
 type SubqueryCache struct {
-	mu       sync.Mutex
-	inflight map[string]*sqCall
-	entries  map[string]*list.Element
-	lru      *list.List // front = most recently used
+	mu         sync.Mutex
+	inflight   map[string]*sqCall
+	entries    map[string]*list.Element
+	lru        *list.List // front = most recently used
 	maxEntries int
 	ttl        time.Duration
 	now        func() time.Time
+	// onWait, when non-nil, runs just before a Do call blocks on an
+	// in-flight computation — a deterministic join signal for tests that
+	// would otherwise sleep and hope the waiter arrived.
+	onWait func(key string)
 	// gen invalidates in-flight computations: a result whose compute
 	// began before the last Clear/Invalidate call is not stored.
 	gen uint64
 
 	hits, misses, evictions, expirations int64
+	// hitEx/missEx link the counters to the most recent sampled traced
+	// query that hit or missed, for OpenMetrics exemplar exposition.
+	hitEx, missEx *CacheExemplar
+}
+
+// CacheExemplar links a cache counter to a recent traced query — the
+// trace to inspect when a hit or miss rate moves.
+type CacheExemplar struct {
+	TraceID string
+	At      time.Time
+}
+
+// cacheExemplarFrom extracts the exemplar identity of the span riding
+// ctx; nil for untraced or unsampled executions (their spans never
+// reach a collector, so linking to them would dangle).
+func cacheExemplarFrom(ctx context.Context) *CacheExemplar {
+	sp := trace.SpanFrom(ctx)
+	if sp == nil || !sp.Sampled() || sp.TraceID().IsZero() {
+		return nil
+	}
+	return &CacheExemplar{TraceID: sp.TraceID().String(), At: time.Now()}
 }
 
 // sqCall is one in-flight computation; waiters block on ready.
@@ -151,16 +177,23 @@ const maxWaiterRetries = 4
 // which. Failed computations are not cached: waiters re-enter the
 // compute loop (bounded by maxWaiterRetries) instead of receiving the
 // stale error, and only successful reuse counts as a hit.
-func (c *SubqueryCache) Do(key string, canPartial bool, compute func() (*Relation, error)) (rel *Relation, shared bool, err error) {
+func (c *SubqueryCache) Do(ctx context.Context, key string, canPartial bool, compute func() (*Relation, error)) (rel *Relation, shared bool, err error) {
+	ex := cacheExemplarFrom(ctx)
 	for attempt := 0; ; attempt++ {
 		c.mu.Lock()
 		if rel, ok := c.lookupLocked(key, canPartial); ok {
 			c.hits++
+			if ex != nil {
+				c.hitEx = ex
+			}
 			c.mu.Unlock()
 			return snapshotRelation(rel), true, nil
 		}
 		if call, ok := c.inflight[key]; ok {
 			c.mu.Unlock()
+			if c.onWait != nil {
+				c.onWait(key)
+			}
 			<-call.ready
 			if call.err != nil {
 				// The computation we waited on failed — possibly a sibling
@@ -175,6 +208,9 @@ func (c *SubqueryCache) Do(key string, canPartial bool, compute func() (*Relatio
 			if len(call.rel.Dropped) == 0 || canPartial {
 				c.mu.Lock()
 				c.hits++
+				if ex != nil {
+					c.hitEx = ex
+				}
 				c.mu.Unlock()
 				return snapshotRelation(call.rel), true, nil
 			}
@@ -184,6 +220,9 @@ func (c *SubqueryCache) Do(key string, canPartial bool, compute func() (*Relatio
 			continue
 		}
 		c.misses++
+		if ex != nil {
+			c.missEx = ex
+		}
 		call := &sqCall{ready: make(chan struct{}), gen: c.gen}
 		c.inflight[key] = call
 		c.mu.Unlock()
@@ -206,17 +245,24 @@ func (c *SubqueryCache) Do(key string, canPartial bool, compute func() (*Relatio
 // returns a private copy of the entry for key, honoring TTL expiry and
 // the canPartial policy check, without joining or starting a
 // computation.
-func (c *SubqueryCache) Lookup(key string, canPartial bool) (*Relation, bool) {
+func (c *SubqueryCache) Lookup(ctx context.Context, key string, canPartial bool) (*Relation, bool) {
 	if c == nil {
 		return nil, false
 	}
+	ex := cacheExemplarFrom(ctx)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if rel, ok := c.lookupLocked(key, canPartial); ok {
 		c.hits++
+		if ex != nil {
+			c.hitEx = ex
+		}
 		return snapshotRelation(rel), true
 	}
 	c.misses++
+	if ex != nil {
+		c.missEx = ex
+	}
 	return nil, false
 }
 
@@ -346,6 +392,17 @@ func (c *SubqueryCache) Stats() CacheStats {
 		Evictions: c.evictions, Expirations: c.expirations,
 		Entries: len(c.entries),
 	}
+}
+
+// Exemplars snapshots the cache's hit and miss exemplars: the most
+// recent sampled traced query on each path, nil where none yet.
+func (c *SubqueryCache) Exemplars() (hit, miss *CacheExemplar) {
+	if c == nil {
+		return nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hitEx, c.missEx
 }
 
 // BatchResult pairs one batch query with its outcome.

@@ -34,11 +34,11 @@ func TestSubqueryCacheSingleFlight(t *testing.T) {
 	computes := 0
 	rel := relOf([]sparql.Var{"s", "o"}, b("s", "1", "o", "2"))
 	compute := func() (*Relation, error) { computes++; return rel, nil }
-	got, shared, err := c.Do(key, false, compute)
+	got, shared, err := c.Do(context.Background(), key, false, compute)
 	if err != nil || len(got.Rows) != 1 || shared {
 		t.Fatalf("first Do = %v shared=%v err=%v", got, shared, err)
 	}
-	got, shared, err = c.Do(key, false, compute)
+	got, shared, err = c.Do(context.Background(), key, false, compute)
 	if err != nil || !shared {
 		t.Fatalf("second Do = %v shared=%v err=%v", got, shared, err)
 	}
@@ -60,10 +60,10 @@ func TestSubqueryCacheErrorNotCached(t *testing.T) {
 	c := NewSubqueryCache()
 	calls := 0
 	fail := func() (*Relation, error) { calls++; return nil, context.Canceled }
-	if _, _, err := c.Do("k", false, fail); err == nil {
+	if _, _, err := c.Do(context.Background(), "k", false, fail); err == nil {
 		t.Fatal("error swallowed")
 	}
-	if _, _, err := c.Do("k", false, fail); err == nil {
+	if _, _, err := c.Do(context.Background(), "k", false, fail); err == nil {
 		t.Fatal("error swallowed on retry")
 	}
 	if calls != 2 {
@@ -109,7 +109,7 @@ func TestSubqueryKeyStableEndpointIdentity(t *testing.T) {
 func TestSubqueryCacheCopyOnRead(t *testing.T) {
 	c := NewSubqueryCache()
 	rel := relOf([]sparql.Var{"s"}, b("s", "1"), b("s", "2"), b("s", "3"))
-	if _, _, err := c.Do("k", false, func() (*Relation, error) { return rel, nil }); err != nil {
+	if _, _, err := c.Do(context.Background(), "k", false, func() (*Relation, error) { return rel, nil }); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -117,7 +117,7 @@ func TestSubqueryCacheCopyOnRead(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			got, _, err := c.Do("k", false, func() (*Relation, error) {
+			got, _, err := c.Do(context.Background(), "k", false, func() (*Relation, error) {
 				t.Error("unexpected recompute")
 				return rel, nil
 			})
@@ -134,7 +134,7 @@ func TestSubqueryCacheCopyOnRead(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	got, _, err := c.Do("k", false, func() (*Relation, error) { return rel, nil })
+	got, _, err := c.Do(context.Background(), "k", false, func() (*Relation, error) { return rel, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,11 +156,11 @@ func TestSubqueryCachePartialEntryGating(t *testing.T) {
 	complete := relOf([]sparql.Var{"s"}, b("s", "1"), b("s", "2"))
 
 	// An absorbing caller computes and stores the partial result.
-	if _, _, err := c.Do("k", true, func() (*Relation, error) { return partial, nil }); err != nil {
+	if _, _, err := c.Do(context.Background(), "k", true, func() (*Relation, error) { return partial, nil }); err != nil {
 		t.Fatal(err)
 	}
 	// Another absorbing caller reuses it, drop records intact.
-	got, shared, err := c.Do("k", true, func() (*Relation, error) {
+	got, shared, err := c.Do(context.Background(), "k", true, func() (*Relation, error) {
 		t.Fatal("absorbing caller must reuse the partial entry")
 		return nil, nil
 	})
@@ -173,7 +173,7 @@ func TestSubqueryCachePartialEntryGating(t *testing.T) {
 
 	// A strict caller must NOT see the partial entry: it recomputes.
 	computes := 0
-	got, shared, err = c.Do("k", false, func() (*Relation, error) {
+	got, shared, err = c.Do(context.Background(), "k", false, func() (*Relation, error) {
 		computes++
 		return complete, nil
 	})
@@ -186,7 +186,7 @@ func TestSubqueryCachePartialEntryGating(t *testing.T) {
 
 	// The complete recomputation replaced the partial entry: strict
 	// callers now hit.
-	_, shared, err = c.Do("k", false, func() (*Relation, error) {
+	_, shared, err = c.Do(context.Background(), "k", false, func() (*Relation, error) {
 		t.Fatal("complete entry must be reused")
 		return nil, nil
 	})
@@ -201,11 +201,14 @@ func TestSubqueryCachePartialEntryGating(t *testing.T) {
 // hits.
 func TestSubqueryCacheWaiterRetriesAfterFailure(t *testing.T) {
 	c := NewSubqueryCache()
+	joined := make(chan struct{})
+	var joinOnce sync.Once
+	c.onWait = func(string) { joinOnce.Do(func() { close(joined) }) }
 	leaderStarted := make(chan struct{})
 	release := make(chan struct{})
 	leaderDone := make(chan error, 1)
 	go func() {
-		_, _, err := c.Do("k", false, func() (*Relation, error) {
+		_, _, err := c.Do(context.Background(), "k", false, func() (*Relation, error) {
 			close(leaderStarted)
 			<-release
 			return nil, errors.New("endpoint down")
@@ -217,14 +220,15 @@ func TestSubqueryCacheWaiterRetriesAfterFailure(t *testing.T) {
 	waiterDone := make(chan error, 1)
 	recomputed := 0
 	go func() {
-		_, _, err := c.Do("k", false, func() (*Relation, error) {
+		_, _, err := c.Do(context.Background(), "k", false, func() (*Relation, error) {
 			recomputed++
 			return relOf([]sparql.Var{"s"}, b("s", "1")), nil
 		})
 		waiterDone <- err
 	}()
-	// Give the waiter time to join the in-flight call, then fail it.
-	time.Sleep(10 * time.Millisecond)
+	// Deterministic join: the cache's onWait hook fires once the waiter
+	// has found the in-flight call; only then does the leader fail.
+	<-joined
 	close(release)
 
 	if err := <-leaderDone; err == nil {
@@ -247,11 +251,11 @@ func TestSubqueryCacheTTLExpiry(t *testing.T) {
 	c.now = func() time.Time { return now }
 	c.Store("k", relOf([]sparql.Var{"s"}, b("s", "1")))
 
-	if _, ok := c.Lookup("k", false); !ok {
+	if _, ok := c.Lookup(context.Background(), "k", false); !ok {
 		t.Fatal("fresh entry must hit")
 	}
 	now = now.Add(2 * time.Minute)
-	if _, ok := c.Lookup("k", false); ok {
+	if _, ok := c.Lookup(context.Background(), "k", false); ok {
 		t.Fatal("expired entry served")
 	}
 	st := c.Stats()
@@ -266,17 +270,17 @@ func TestSubqueryCacheLRUBound(t *testing.T) {
 	c.Store("a", rel)
 	c.Store("b", rel)
 	// Touch "a" so "b" is the least recently used.
-	if _, ok := c.Lookup("a", false); !ok {
+	if _, ok := c.Lookup(context.Background(), "a", false); !ok {
 		t.Fatal("lookup a")
 	}
 	c.Store("c", rel)
 	if c.Len() != 2 {
 		t.Fatalf("len = %d, want 2", c.Len())
 	}
-	if _, ok := c.Lookup("b", false); ok {
+	if _, ok := c.Lookup(context.Background(), "b", false); ok {
 		t.Error("LRU entry b survived past the bound")
 	}
-	if _, ok := c.Lookup("a", false); !ok {
+	if _, ok := c.Lookup(context.Background(), "a", false); !ok {
 		t.Error("recently-used entry a evicted")
 	}
 	if st := c.Stats(); st.Evictions != 1 {
@@ -295,10 +299,10 @@ func TestSubqueryCacheInvalidateEndpoint(t *testing.T) {
 	c.Store(cOnly, rel)
 
 	c.InvalidateEndpoint("a")
-	if _, ok := c.Lookup(ab, false); ok {
+	if _, ok := c.Lookup(context.Background(), ab, false); ok {
 		t.Error("entry sourced from invalidated endpoint survived")
 	}
-	if _, ok := c.Lookup(cOnly, false); !ok {
+	if _, ok := c.Lookup(context.Background(), cOnly, false); !ok {
 		t.Error("entry not sourced from invalidated endpoint dropped")
 	}
 }
@@ -312,7 +316,7 @@ func TestSubqueryCacheClearDropsInflightStore(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_, _, _ = c.Do("k", false, func() (*Relation, error) {
+		_, _, _ = c.Do(context.Background(), "k", false, func() (*Relation, error) {
 			close(started)
 			<-release
 			return relOf([]sparql.Var{"s"}, b("s", "stale")), nil

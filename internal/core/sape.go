@@ -365,7 +365,7 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 			// merged into this query's own completeness report below. A
 			// strict caller (DegradeFail) never sees partial entries.
 			run := func() (*Relation, bool, error) {
-				return sqCache.Do(SubqueryKey(sq, ex.Endpoints), dg.Active(), func() (*Relation, error) {
+				return sqCache.Do(groupCtx, SubqueryKey(sq, ex.Endpoints), dg.Active(), func() (*Relation, error) {
 					return ex.evalSubqueryUnbound(groupCtx, sq)
 				})
 			}

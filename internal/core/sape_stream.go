@@ -252,7 +252,7 @@ func (ex *Executor) runStreamed(ctx context.Context, phase1, delayed []*Subquery
 	cachedRels := map[*Subquery]*Relation{}
 	if sqCache != nil {
 		for _, sq := range phase1 {
-			if rel, ok := sqCache.Lookup(SubqueryKey(sq, ex.Endpoints), dg.Active()); ok {
+			if rel, ok := sqCache.Lookup(ctx, SubqueryKey(sq, ex.Endpoints), dg.Active()); ok {
 				cachedRels[sq] = rel
 				dg.Merge(rel.Dropped)
 			}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"lusail/internal/sparql"
+	"lusail/internal/trace"
 )
 
 // DefaultMaxRequestBytes caps SPARQL protocol request bodies: large
@@ -39,6 +40,15 @@ type HandlerConfig struct {
 	// which the federator's adaptive VALUES chunking treats as a
 	// signal to bisect.
 	MaxRequestBytes int64
+	// TraceSink, when non-nil, receives a server-side trace per
+	// request. The handler extracts the caller's traceparent header,
+	// so a federator's query and every endpoint's server-side spans
+	// share one trace ID — a single stitched trace per federated
+	// query. Requests without a traceparent get their own trace.
+	TraceSink trace.Sink
+	// ServiceName labels the server-side spans (default: the local
+	// endpoint's name).
+	ServiceName string
 }
 
 func (c HandlerConfig) maxBytes() int64 {
@@ -99,8 +109,31 @@ func HandlerWithConfig(l *Local, cfg HandlerConfig) http.Handler {
 			http.Error(w, err.Error(), status)
 			return
 		}
-		res, err := l.Query(r.Context(), query)
+		ctx := r.Context()
+		var root *trace.Span // nil without a sink; Span methods are nil-safe
+		if cfg.TraceSink != nil {
+			// Join the caller's trace (traceparent) or start a fresh
+			// one: the endpoint's server-side span carries the
+			// federator's trace ID, so the exported federation renders
+			// as one stitched tree.
+			ctx = trace.Extract(ctx, r.Header)
+			service := cfg.ServiceName
+			if service == "" {
+				service = l.Name()
+			}
+			tr := trace.NewFromContext(ctx, "endpoint-query")
+			root = tr.Root
+			root.SetKind(trace.KindServer)
+			root.Set("endpoint", service)
+			ctx = trace.WithSpan(ctx, root)
+			defer func() {
+				root.End()
+				cfg.TraceSink.ExportTrace(tr)
+			}()
+		}
+		res, err := l.Query(ctx, query)
 		if err != nil {
+			root.Set("error", err.Error())
 			// The SPARQL protocol distinguishes client faults from
 			// server faults: only a malformed query is the client's
 			// fault (400); evaluation and internal errors are 500 so
@@ -113,6 +146,7 @@ func HandlerWithConfig(l *Local, cfg HandlerConfig) http.Handler {
 			}
 			return
 		}
+		root.Set("rows", int64(res.Len()))
 		// Content negotiation between the two standard result formats;
 		// JSON is the default.
 		if strings.Contains(r.Header.Get("Accept"), "application/sparql-results+xml") {
@@ -330,6 +364,9 @@ func (h *HTTPEndpoint) Query(ctx context.Context, query string) (*sparql.Results
 	if encoding != "" {
 		req.Header.Set("Content-Encoding", encoding)
 	}
+	// Propagate the issuing span's identity (W3C traceparent) so a
+	// lusail-served endpoint joins this query's trace.
+	trace.Inject(ctx, req.Header)
 	resp, err := h.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {

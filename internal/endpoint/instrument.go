@@ -9,13 +9,16 @@ import (
 	"time"
 
 	"lusail/internal/sparql"
+	"lusail/internal/trace"
 )
 
 // latencyBuckets are the fixed histogram bucket upper bounds. The
 // range covers everything the simulator and real WAN deployments
-// produce: sub-millisecond in-process calls up to multi-second bound
-// subqueries. The last bucket is the +Inf overflow.
+// produce: 50µs cache-hit paths (the warm subquery-cache workload runs
+// at ~260µs p50, so sub-millisecond resolution matters) up to
+// multi-second bound subqueries. The last bucket is the +Inf overflow.
 var latencyBuckets = [...]time.Duration{
+	50 * time.Microsecond,
 	100 * time.Microsecond,
 	250 * time.Microsecond,
 	500 * time.Microsecond,
@@ -142,19 +145,30 @@ func (h LatencyHistogram) String() string {
 	return strings.Join(parts, " ")
 }
 
+// LatencyExemplar links one latency bucket to a recent traced call,
+// for OpenMetrics exemplar exposition: the trace to look at when a
+// bucket's count spikes.
+type LatencyExemplar struct {
+	TraceID string
+	Value   time.Duration
+	At      time.Time
+}
+
 // Instrumented decorates an endpoint with client-side observability:
 // a fixed-bucket latency histogram over the full call (including any
 // resilient decorator's retries and backoff underneath) plus request
-// and error counters. It implements Endpoint and StatsSource; its
-// Stats merge the decorator's histogram and error count into the
-// inner endpoint's traffic counters.
+// and error counters, and a per-bucket exemplar linking the bucket to
+// the most recent traced call that landed in it. It implements
+// Endpoint and StatsSource; its Stats merge the decorator's histogram
+// and error count into the inner endpoint's traffic counters.
 type Instrumented struct {
 	inner Endpoint
 
-	requests atomic.Int64
-	errors   atomic.Int64
-	buckets  [numBuckets]atomic.Int64
-	sumNanos atomic.Int64
+	requests  atomic.Int64
+	errors    atomic.Int64
+	buckets   [numBuckets]atomic.Int64
+	sumNanos  atomic.Int64
+	exemplars [numBuckets]atomic.Pointer[LatencyExemplar]
 }
 
 // NewInstrumented wraps inner with latency/error instrumentation.
@@ -184,12 +198,31 @@ func (in *Instrumented) Query(ctx context.Context, query string) (*sparql.Result
 	res, err := in.inner.Query(ctx, query)
 	d := time.Since(start)
 	in.requests.Add(1)
-	in.buckets[bucketOf(d)].Add(1)
+	bucket := bucketOf(d)
+	in.buckets[bucket].Add(1)
 	in.sumNanos.Add(int64(d))
 	if err != nil {
 		in.errors.Add(1)
 	}
+	// Pin the issuing trace to the bucket (last-write-wins) so the
+	// scrape can link the bucket to an exported trace. Unsampled traces
+	// are skipped: their spans never reach the collector.
+	if sp := trace.SpanFrom(ctx); sp != nil && sp.Sampled() && !sp.TraceID().IsZero() {
+		in.exemplars[bucket].Store(&LatencyExemplar{
+			TraceID: sp.TraceID().String(), Value: d, At: start,
+		})
+	}
 	return res, err
+}
+
+// LatencyExemplars snapshots the per-bucket exemplars: one entry per
+// histogram bucket (+Inf last), nil where no traced call landed yet.
+func (in *Instrumented) LatencyExemplars() []*LatencyExemplar {
+	out := make([]*LatencyExemplar, numBuckets)
+	for i := range in.exemplars {
+		out[i] = in.exemplars[i].Load()
+	}
+	return out
 }
 
 // Errors reports the number of failed calls observed.
@@ -235,6 +268,16 @@ func (in *Instrumented) ResetStats() {
 type EndpointStat struct {
 	Name  string
 	Stats Stats
+	// Exemplars aligns with LatencyBucketBounds (+Inf appended): the
+	// latest traced call per latency bucket, nil where untraced.
+	// Populated only for instrumented endpoints.
+	Exemplars []*LatencyExemplar
+}
+
+// exemplarSource is implemented by decorators exposing per-bucket
+// latency exemplars (Instrumented).
+type exemplarSource interface {
+	LatencyExemplars() []*LatencyExemplar
 }
 
 // PerEndpointStats snapshots the stats of every endpoint exposing
@@ -242,9 +285,15 @@ type EndpointStat struct {
 func PerEndpointStats(eps []Endpoint) []EndpointStat {
 	var out []EndpointStat
 	for _, ep := range eps {
-		if ss, ok := ep.(StatsSource); ok {
-			out = append(out, EndpointStat{Name: ep.Name(), Stats: ss.Stats()})
+		ss, ok := ep.(StatsSource)
+		if !ok {
+			continue
 		}
+		st := EndpointStat{Name: ep.Name(), Stats: ss.Stats()}
+		if es, ok := ep.(exemplarSource); ok {
+			st.Exemplars = es.LatencyExemplars()
+		}
+		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -24,6 +24,7 @@ import (
 	"lusail/internal/obs"
 	"lusail/internal/rdf"
 	"lusail/internal/store"
+	"lusail/internal/trace"
 )
 
 // Options tunes all experiments.
@@ -45,6 +46,10 @@ type Options struct {
 	// from the experiments that support it (Bench, TraceDump), so a
 	// run can be compared against a scraped /metrics page.
 	Metrics *obs.Registry
+	// TraceSink, when non-nil, receives every recorded query trace
+	// from TraceDump, so a bench run's span trees can be shipped to an
+	// OTLP collector alongside the rendered dump.
+	TraceSink trace.Sink
 }
 
 // DefaultOptions returns quick settings.

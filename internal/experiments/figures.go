@@ -459,21 +459,21 @@ func All(w io.Writer, opts Options) error {
 
 // Registry maps experiment ids to runners for the CLI.
 var Registry = map[string]func(io.Writer, Options) error{
-	"table1":  Table1,
-	"prep":    Preprocessing,
-	"fig3":    Fig3,
-	"fig9":    Fig9,
-	"fig10a":  Fig10a,
-	"fig10bc": func(w io.Writer, o Options) error { return Fig10bc(w, o, []int{2, 4, 8, 16, 32}) },
-	"fig11":   Fig11,
-	"fig12":   Fig12,
-	"fig13":   Fig13,
-	"fig14":   Fig14,
-	"bio":     BioExperiment,
-	"ablade":  AblationLADE,
-	"absape":  AblationSAPE,
-	"mqo":     MQO,
-	"scale":   Scale,
+	"table1":   Table1,
+	"prep":     Preprocessing,
+	"fig3":     Fig3,
+	"fig9":     Fig9,
+	"fig10a":   Fig10a,
+	"fig10bc":  func(w io.Writer, o Options) error { return Fig10bc(w, o, []int{2, 4, 8, 16, 32}) },
+	"fig11":    Fig11,
+	"fig12":    Fig12,
+	"fig13":    Fig13,
+	"fig14":    Fig14,
+	"bio":      BioExperiment,
+	"ablade":   AblationLADE,
+	"absape":   AblationSAPE,
+	"mqo":      MQO,
+	"scale":    Scale,
 	"faults":   FaultSweep,
 	"degrade":  DegradeSweep,
 	"workload": WorkloadReplay,

@@ -194,6 +194,9 @@ func TraceDump(w io.Writer, opts Options) error {
 		if err != nil {
 			return fmt.Errorf("trace %s: %w", name, err)
 		}
+		if opts.TraceSink != nil {
+			opts.TraceSink.ExportTrace(an.Trace)
+		}
 		fmt.Fprintf(w, "== %s ==\n%s\n%s\n", name, an.Trace.Root.String(), an)
 	}
 	return nil

@@ -60,14 +60,28 @@ func RegisterEndpointStats(r *Registry, snapshot func() []endpoint.EndpointStat)
 			if h.Count() == 0 {
 				continue
 			}
+			// Instrumented endpoints pin the latest traced call per bucket;
+			// project each onto its bucket's exemplar slot (+Inf last).
+			bucketEx := func(i int) *Exemplar {
+				if i >= len(st.Exemplars) || st.Exemplars[i] == nil {
+					return nil
+				}
+				le := st.Exemplars[i]
+				ex := TraceExemplar(le.TraceID, le.Value.Seconds())
+				ex.Ts = le.At
+				return &ex
+			}
 			sample := Sample{Labels: []Label{L("endpoint", st.Name)}}
 			var cum uint64
 			for i, b := range bounds {
 				cum += uint64(h.Counts[i])
-				sample.Buckets = append(sample.Buckets, BucketCount{Le: b.Seconds(), Count: cum})
+				sample.Buckets = append(sample.Buckets, BucketCount{
+					Le: b.Seconds(), Count: cum, Exemplar: bucketEx(i),
+				})
 			}
 			sample.Count = cum + uint64(h.Counts[len(bounds)])
 			sample.Sum = h.Sum.Seconds()
+			sample.InfExemplar = bucketEx(len(bounds))
 			hist.Samples = append(hist.Samples, sample)
 		}
 		// An empty family is still exposed (TYPE line only) so scrapers
@@ -108,25 +122,42 @@ func RegisterBreakers(r *Registry, snapshot func() []endpoint.BreakerStatus) {
 func RegisterCaches(r *Registry, snapshot func() []core.CacheStatEntry) {
 	r.RegisterCollector(func() []Family {
 		entries := snapshot()
-		counter := func(name, help string, value func(core.CacheStats) float64) Family {
+		// cacheEx projects a core exemplar (the latest sampled traced
+		// query that hit or missed) onto the counter sample.
+		cacheEx := func(ce *core.CacheExemplar, v float64) *Exemplar {
+			if ce == nil {
+				return nil
+			}
+			ex := TraceExemplar(ce.TraceID, v)
+			ex.Ts = ce.At
+			return &ex
+		}
+		counter := func(name, help string, value func(core.CacheStats) float64,
+			exOf func(core.CacheStatEntry) *core.CacheExemplar) Family {
 			f := Family{Name: name, Help: help, Kind: "counter"}
 			for _, e := range entries {
-				f.Samples = append(f.Samples, Sample{
+				s := Sample{
 					Labels: []Label{L("cache", e.Name)},
 					Value:  value(e.Stats),
-				})
+				}
+				if exOf != nil {
+					s.Exemplar = cacheEx(exOf(e), s.Value)
+				}
+				f.Samples = append(f.Samples, s)
 			}
 			return f
 		}
 		fams := []Family{
 			counter("lusail_cache_hits_total", "Cache lookups served from a retained entry (successful reuse only).",
-				func(s core.CacheStats) float64 { return float64(s.Hits) }),
+				func(s core.CacheStats) float64 { return float64(s.Hits) },
+				func(e core.CacheStatEntry) *core.CacheExemplar { return e.HitExemplar }),
 			counter("lusail_cache_misses_total", "Cache lookups that required remote work.",
-				func(s core.CacheStats) float64 { return float64(s.Misses) }),
+				func(s core.CacheStats) float64 { return float64(s.Misses) },
+				func(e core.CacheStatEntry) *core.CacheExemplar { return e.MissExemplar }),
 			counter("lusail_cache_evictions_total", "Entries evicted past the LRU bound.",
-				func(s core.CacheStats) float64 { return float64(s.Evictions) }),
+				func(s core.CacheStats) float64 { return float64(s.Evictions) }, nil),
 			counter("lusail_cache_stale_total", "Entries dropped on access because their TTL expired.",
-				func(s core.CacheStats) float64 { return float64(s.Expirations) }),
+				func(s core.CacheStats) float64 { return float64(s.Expirations) }, nil),
 		}
 		gauge := Family{Name: "lusail_cache_entries",
 			Help: "Entries currently retained per cache.", Kind: "gauge"}

@@ -1,0 +1,384 @@
+// OTLP/HTTP JSON trace export: a bounded async queue feeding batched
+// POSTs of OTLP ExportTraceServiceRequest JSON to a collector's
+// /v1/traces route, with retry-then-drop accounting and graceful
+// flush. Stdlib-only — the OTLP JSON shape is written by hand (int64
+// timestamps as decimal strings, IDs as hex, per the OTLP/JSON
+// encoding rules), which keeps the wire format compatible with any
+// OpenTelemetry collector without the SDK dependency.
+
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lusail/internal/trace"
+)
+
+// ExporterConfig configures a SpanExporter.
+type ExporterConfig struct {
+	// Endpoint is the collector base URL (e.g. http://otel:4318); the
+	// exporter POSTs to Endpoint + "/v1/traces". An endpoint already
+	// ending in /v1/traces is used as-is.
+	Endpoint string
+	// Service is the resource service.name (default "lusail").
+	Service string
+	// Client is the HTTP client (default: 5s-timeout client).
+	Client *http.Client
+	// QueueSize bounds the async span queue; traces arriving when the
+	// queue is full are dropped and counted (default 2048 traces).
+	QueueSize int
+	// BatchSize is the max spans per POST (default 512).
+	BatchSize int
+	// FlushInterval bounds how long a partial batch waits (default 2s).
+	FlushInterval time.Duration
+	// MaxRetries is how many times a failed POST is retried before the
+	// batch is dropped (default 2).
+	MaxRetries int
+	// RetryBackoff is the pause between retries (default 100ms).
+	RetryBackoff time.Duration
+	// Logger receives drop/error diagnostics (default slog.Default).
+	Logger *slog.Logger
+}
+
+// ExporterStats counts exporter outcomes.
+type ExporterStats struct {
+	Enqueued int64 // traces accepted into the queue
+	Dropped  int64 // traces dropped: queue full
+	Exported int64 // spans delivered to the collector
+	Failed   int64 // spans dropped after exhausting retries
+	Batches  int64 // successful POSTs
+	Retries  int64 // retried POSTs
+}
+
+// SpanExporter is an async OTLP/HTTP JSON trace exporter implementing
+// trace.Sink. ExportTrace never blocks the query path: it enqueues and
+// returns, dropping (with accounting) when the queue is full.
+type SpanExporter struct {
+	cfg   ExporterConfig
+	url   string
+	queue chan *trace.Trace
+
+	enqueued atomic.Int64
+	dropped  atomic.Int64
+	exported atomic.Int64
+	failed   atomic.Int64
+	batches  atomic.Int64
+	retries  atomic.Int64
+
+	flushReq chan chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	stopped  atomic.Bool
+}
+
+// NewSpanExporter starts the exporter's background sender goroutine.
+// Call Shutdown (or Flush at drain) before process exit so queued
+// spans are delivered.
+func NewSpanExporter(cfg ExporterConfig) *SpanExporter {
+	if cfg.Service == "" {
+		cfg.Service = "lusail"
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 2048
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 512
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 2 * time.Second
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	} else if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	url := strings.TrimRight(cfg.Endpoint, "/")
+	if !strings.HasSuffix(url, "/v1/traces") {
+		url += "/v1/traces"
+	}
+	e := &SpanExporter{
+		cfg:      cfg,
+		url:      url,
+		queue:    make(chan *trace.Trace, cfg.QueueSize),
+		flushReq: make(chan chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go e.run()
+	return e
+}
+
+// ExportTrace implements trace.Sink: enqueue without blocking.
+func (e *SpanExporter) ExportTrace(t *trace.Trace) {
+	if e == nil || t == nil || t.Root == nil || e.stopped.Load() {
+		return
+	}
+	select {
+	case e.queue <- t:
+		e.enqueued.Add(1)
+	default:
+		e.dropped.Add(1)
+	}
+}
+
+// Flush blocks until every trace enqueued before the call has been
+// sent (or dropped after retries), or ctx expires.
+func (e *SpanExporter) Flush(ctx context.Context) error {
+	ack := make(chan struct{})
+	select {
+	case e.flushReq <- ack:
+	case <-e.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-ack:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Shutdown flushes and stops the sender. Subsequent ExportTrace calls
+// are no-ops.
+func (e *SpanExporter) Shutdown(ctx context.Context) error {
+	e.stopped.Store(true)
+	err := e.Flush(ctx)
+	e.stopOnce.Do(func() { close(e.queue) })
+	select {
+	case <-e.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return err
+}
+
+// Stats snapshots the exporter's outcome counters.
+func (e *SpanExporter) Stats() ExporterStats {
+	return ExporterStats{
+		Enqueued: e.enqueued.Load(),
+		Dropped:  e.dropped.Load(),
+		Exported: e.exported.Load(),
+		Failed:   e.failed.Load(),
+		Batches:  e.batches.Load(),
+		Retries:  e.retries.Load(),
+	}
+}
+
+// Register exposes the exporter's counters as lusail_trace_* families.
+func (e *SpanExporter) Register(r *Registry) {
+	r.RegisterCollector(func() []Family {
+		st := e.Stats()
+		counter := func(name, help string, v int64) Family {
+			return Family{Name: name, Help: help, Kind: "counter",
+				Samples: []Sample{{Value: float64(v)}}}
+		}
+		return []Family{
+			counter("lusail_trace_export_traces_total", "Traces accepted into the export queue.", st.Enqueued),
+			counter("lusail_trace_export_dropped_total", "Traces dropped because the export queue was full.", st.Dropped),
+			counter("lusail_trace_export_spans_total", "Spans delivered to the OTLP collector.", st.Exported),
+			counter("lusail_trace_export_failed_spans_total", "Spans dropped after exhausting POST retries.", st.Failed),
+			counter("lusail_trace_export_batches_total", "Successful OTLP POST batches.", st.Batches),
+			counter("lusail_trace_export_retries_total", "Retried OTLP POSTs.", st.Retries),
+		}
+	})
+}
+
+// run is the sender loop: drain the queue into span batches, POST when
+// a batch fills or the flush interval lapses.
+func (e *SpanExporter) run() {
+	defer close(e.done)
+	ticker := time.NewTicker(e.cfg.FlushInterval)
+	defer ticker.Stop()
+	var batch []trace.SpanData
+	for {
+		select {
+		case t, ok := <-e.queue:
+			if !ok {
+				e.send(batch)
+				return
+			}
+			batch = append(batch, t.Spans()...)
+			if len(batch) >= e.cfg.BatchSize {
+				e.send(batch)
+				batch = nil
+			}
+		case <-ticker.C:
+			if len(batch) > 0 {
+				e.send(batch)
+				batch = nil
+			}
+		case ack := <-e.flushReq:
+			// Drain whatever is already queued, then send.
+			for {
+				select {
+				case t, ok := <-e.queue:
+					if !ok {
+						e.send(batch)
+						close(ack)
+						return
+					}
+					batch = append(batch, t.Spans()...)
+					continue
+				default:
+				}
+				break
+			}
+			e.send(batch)
+			batch = nil
+			close(ack)
+		}
+	}
+}
+
+// send POSTs one batch, retrying transient failures, then dropping.
+func (e *SpanExporter) send(batch []trace.SpanData) {
+	if len(batch) == 0 {
+		return
+	}
+	body := encodeOTLP(e.cfg.Service, batch)
+	var lastErr error
+	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			e.retries.Add(1)
+			time.Sleep(e.cfg.RetryBackoff)
+		}
+		lastErr = e.post(body)
+		if lastErr == nil {
+			e.batches.Add(1)
+			e.exported.Add(int64(len(batch)))
+			return
+		}
+	}
+	e.failed.Add(int64(len(batch)))
+	e.cfg.Logger.Warn("otlp export failed, dropping batch",
+		"spans", len(batch), "err", lastErr)
+}
+
+func (e *SpanExporter) post(body []byte) error {
+	req, err := http.NewRequest(http.MethodPost, e.url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := e.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("collector returned %s", resp.Status)
+	}
+	return nil
+}
+
+// otlpKind maps trace.SpanKind onto the OTLP SpanKind enum.
+func otlpKind(k trace.SpanKind) int {
+	switch k {
+	case trace.KindServer:
+		return 2
+	case trace.KindClient:
+		return 3
+	default:
+		return 1 // SPAN_KIND_INTERNAL
+	}
+}
+
+// encodeOTLP renders one ExportTraceServiceRequest. All spans share
+// the process's resource, grouped under a single scope.
+func encodeOTLP(service string, batch []trace.SpanData) []byte {
+	type anyValue struct {
+		StringValue *string `json:"stringValue,omitempty"`
+		IntValue    *string `json:"intValue,omitempty"`
+	}
+	type keyValue struct {
+		Key   string   `json:"key"`
+		Value anyValue `json:"value"`
+	}
+	type status struct {
+		Code    int    `json:"code,omitempty"`
+		Message string `json:"message,omitempty"`
+	}
+	type span struct {
+		TraceID      string     `json:"traceId"`
+		SpanID       string     `json:"spanId"`
+		ParentSpanID string     `json:"parentSpanId,omitempty"`
+		Name         string     `json:"name"`
+		Kind         int        `json:"kind"`
+		Start        string     `json:"startTimeUnixNano"`
+		End          string     `json:"endTimeUnixNano"`
+		Attributes   []keyValue `json:"attributes,omitempty"`
+		Status       *status    `json:"status,omitempty"`
+	}
+
+	attr := func(k string, v any) keyValue {
+		kv := keyValue{Key: k}
+		switch x := v.(type) {
+		case int64:
+			s := strconv.FormatInt(x, 10)
+			kv.Value.IntValue = &s
+		case int:
+			s := strconv.Itoa(x)
+			kv.Value.IntValue = &s
+		default:
+			s := fmt.Sprint(v)
+			kv.Value.StringValue = &s
+		}
+		return kv
+	}
+
+	spans := make([]span, 0, len(batch))
+	for _, sd := range batch {
+		s := span{
+			TraceID: sd.TraceID.String(),
+			SpanID:  sd.SpanID.String(),
+			Name:    sd.Name,
+			Kind:    otlpKind(sd.Kind),
+			Start:   strconv.FormatInt(sd.Start.UnixNano(), 10),
+			End:     strconv.FormatInt(sd.End.UnixNano(), 10),
+		}
+		if !sd.ParentID.IsZero() {
+			s.ParentSpanID = sd.ParentID.String()
+		}
+		for _, a := range sd.Attrs {
+			s.Attributes = append(s.Attributes, attr(a.Key, a.Val))
+		}
+		if sd.Err != "" {
+			s.Status = &status{Code: 2, Message: sd.Err} // STATUS_CODE_ERROR
+		}
+		spans = append(spans, s)
+	}
+
+	req := map[string]any{
+		"resourceSpans": []map[string]any{{
+			"resource": map[string]any{
+				"attributes": []keyValue{attr("service.name", service)},
+			},
+			"scopeSpans": []map[string]any{{
+				"scope": map[string]string{"name": "lusail"},
+				"spans": spans,
+			}},
+		}},
+	}
+	out, _ := json.Marshal(req)
+	return out
+}

@@ -64,6 +64,11 @@ type QueryRecord struct {
 	// SpanTree is the rendered execution trace, captured only for
 	// slow queries of traced executions.
 	SpanTree string `json:"span_tree,omitempty"`
+	// TraceID and RootSpanID identify the query's distributed trace
+	// (empty for untraced executions), so a /debug/queries or slow-ring
+	// entry can be joined against the OTLP collector's view.
+	TraceID    string `json:"trace_id,omitempty"`
+	RootSpanID string `json:"root_span_id,omitempty"`
 }
 
 // QueryLog is the standard core.QueryLogger: it assigns correlation
@@ -180,6 +185,10 @@ func (q *QueryLog) QueryFinished(id, query string, m core.Metrics, rows int, err
 	if err != nil {
 		rec.Error = err.Error()
 	}
+	if !root.TraceID().IsZero() {
+		rec.TraceID = root.TraceID().String()
+		rec.RootSpanID = root.ID().String()
+	}
 	slow := q.slow > 0 && dur >= q.slow
 	rec.Slow = slow
 
@@ -192,6 +201,9 @@ func (q *QueryLog) QueryFinished(id, query string, m core.Metrics, rows int, err
 		slog.Duration("source_selection", m.SourceSelection),
 		slog.Duration("analysis", m.Analysis),
 		slog.Duration("execution", m.Execution),
+	}
+	if rec.TraceID != "" {
+		attrs = append(attrs, slog.String("trace_id", rec.TraceID))
 	}
 	if rec.Degraded {
 		attrs = append(attrs,
@@ -225,14 +237,23 @@ func (q *QueryLog) QueryFinished(id, query string, m core.Metrics, rows int, err
 	q.mu.Unlock()
 
 	if q.reg != nil {
-		q.updateMetrics(m, dur, cls, slow)
+		// Exemplars link metric buckets to exported traces; unsampled
+		// traces never reach the collector, so linking to them would
+		// dangle.
+		exTrace := ""
+		if root.Sampled() {
+			exTrace = rec.TraceID
+		}
+		q.updateMetrics(m, dur, cls, slow, exTrace)
 	}
 }
 
 // updateMetrics projects one finished query into the registry's
 // query-level families, including the core.Metrics phase timings and
-// per-kind remote request counts.
-func (q *QueryLog) updateMetrics(m core.Metrics, dur time.Duration, cls string, slow bool) {
+// per-kind remote request counts. exTrace, when non-empty, is the
+// sampled trace ID attached as the exemplar of the latency histogram
+// bucket and phase counters this query lands in.
+func (q *QueryLog) updateMetrics(m core.Metrics, dur time.Duration, cls string, slow bool, exTrace string) {
 	q.reg.Counter("lusail_queries_total", "Federated queries executed.").Inc()
 	if cls != "" {
 		q.reg.Counter("lusail_query_errors_total", "Failed federated queries by error class.",
@@ -253,11 +274,21 @@ func (q *QueryLog) updateMetrics(m core.Metrics, dur time.Duration, cls string, 
 	if m.Hedges > 0 {
 		q.reg.Counter("lusail_hedges_total", "Backup (hedged) requests launched for slow phase-1 subqueries.").Add(float64(m.Hedges))
 	}
-	q.reg.Histogram("lusail_query_duration_seconds", "Federated query latency.", nil).ObserveDuration(dur)
+	h := q.reg.Histogram("lusail_query_duration_seconds", "Federated query latency.", nil)
+	if exTrace != "" {
+		h.ObserveWithExemplar(dur.Seconds(), TraceExemplar(exTrace, dur.Seconds()))
+	} else {
+		h.ObserveDuration(dur)
+	}
 
 	phase := func(name string, d time.Duration) {
-		q.reg.Counter("lusail_query_phase_seconds_total",
-			"Cumulative time spent per query-pipeline phase.", L("phase", name)).Add(d.Seconds())
+		c := q.reg.Counter("lusail_query_phase_seconds_total",
+			"Cumulative time spent per query-pipeline phase.", L("phase", name))
+		if exTrace != "" {
+			c.AddWithExemplar(d.Seconds(), TraceExemplar(exTrace, d.Seconds()))
+		} else {
+			c.Add(d.Seconds())
+		}
 	}
 	phase("source_selection", m.SourceSelection)
 	phase("analysis", m.Analysis)

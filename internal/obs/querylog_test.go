@@ -87,6 +87,64 @@ func TestQueryLogSlowCapture(t *testing.T) {
 	}
 }
 
+// Traced executions stamp their trace identity on the ring records
+// (and slow entries), so /debug/queries joins against the collector's
+// trace view; untraced executions leave the fields empty. The sampled
+// trace also lands as the latency histogram's exemplar.
+func TestQueryLogTraceIdentity(t *testing.T) {
+	reg := NewRegistry()
+	q := NewQueryLog(QueryLogConfig{Logger: discardLogger(), Registry: reg, SlowThreshold: time.Nanosecond})
+
+	tr := trace.New("query")
+	tr.Root.End()
+	id := q.QueryStarted("SELECT * WHERE { ?s ?p ?o }")
+	q.QueryFinished(id, "SELECT * WHERE { ?s ?p ?o }", core.Metrics{}, 1, nil, tr.Root)
+
+	rec := q.Recent()[0]
+	if rec.TraceID != tr.ID().String() {
+		t.Errorf("record trace_id = %q, want %q", rec.TraceID, tr.ID())
+	}
+	if rec.RootSpanID != tr.Root.ID().String() {
+		t.Errorf("record root_span_id = %q, want %q", rec.RootSpanID, tr.Root.ID())
+	}
+	if slow := q.Slow(); len(slow) != 1 || slow[0].TraceID != tr.ID().String() {
+		t.Errorf("slow ring must carry the trace ID: %+v", slow)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `trace_id="`+tr.ID().String()+`"`) {
+		t.Errorf("latency histogram missing the trace exemplar:\n%s", b.String())
+	}
+
+	// Untraced: no identity, and no exemplar churn.
+	id2 := q.QueryStarted("SELECT * WHERE { ?s ?p ?o }")
+	q.QueryFinished(id2, "SELECT * WHERE { ?s ?p ?o }", core.Metrics{}, 1, nil, nil)
+	if rec := q.Recent()[0]; rec.TraceID != "" || rec.RootSpanID != "" {
+		t.Errorf("untraced record must have empty trace identity: %+v", rec)
+	}
+
+	// Unsampled trace: identity recorded (useful for debugging), but no
+	// exemplar (its spans never reach the collector).
+	tr2 := trace.New("query")
+	tr2.Root.SetSampled(false)
+	tr2.Root.End()
+	id3 := q.QueryStarted("SELECT * WHERE { ?s ?p ?o }")
+	q.QueryFinished(id3, "SELECT * WHERE { ?s ?p ?o }", core.Metrics{}, 1, nil, tr2.Root)
+	if rec := q.Recent()[0]; rec.TraceID != tr2.ID().String() {
+		t.Errorf("unsampled record keeps its trace identity: %+v", rec)
+	}
+	b.Reset()
+	if err := reg.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), tr2.ID().String()) {
+		t.Error("unsampled trace must not become an exemplar")
+	}
+}
+
 func TestQueryLogErrorRecord(t *testing.T) {
 	reg := NewRegistry()
 	q := NewQueryLog(QueryLogConfig{Logger: discardLogger(), Registry: reg})

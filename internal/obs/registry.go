@@ -52,17 +52,42 @@ type Sample struct {
 	Labels []Label
 	Value  float64
 
+	// Exemplar, when non-nil on a counter sample, is rendered in the
+	// OpenMetrics exposition (ignored in the 0.0.4 text format).
+	Exemplar *Exemplar
+
 	// Histogram-only fields. Buckets hold cumulative counts of
 	// observations <= Le; the implicit +Inf bucket equals Count.
 	Buckets []BucketCount
 	Sum     float64
 	Count   uint64
+	// InfExemplar is the exemplar of the implicit +Inf bucket.
+	InfExemplar *Exemplar
 }
 
 // BucketCount is one cumulative histogram bucket.
 type BucketCount struct {
 	Le    float64
 	Count uint64
+	// Exemplar, when non-nil, links this bucket to a recent
+	// observation — typically carrying a trace_id label so an operator
+	// can jump from a latency bucket to the exported trace.
+	Exemplar *Exemplar
+}
+
+// Exemplar is one observed value annotated with trace identity, per
+// the OpenMetrics exemplar model: a label set (conventionally
+// trace_id, and optionally span_id), the observed value, and the
+// observation time.
+type Exemplar struct {
+	Labels []Label
+	Value  float64
+	Ts     time.Time
+}
+
+// TraceExemplar builds the conventional trace-linked exemplar.
+func TraceExemplar(traceID string, value float64) Exemplar {
+	return Exemplar{Labels: []Label{{Name: "trace_id", Value: traceID}}, Value: value, Ts: time.Now()}
 }
 
 // Registry holds owned metrics (created via Counter/Gauge/Histogram)
@@ -84,15 +109,17 @@ type family struct {
 
 type series struct {
 	labels []Label
-	val    atomicFloat // counter / gauge value
-	hist   *histData   // histogram state (nil otherwise)
+	val    atomicFloat              // counter / gauge value
+	ex     atomic.Pointer[Exemplar] // latest counter exemplar
+	hist   *histData                // histogram state (nil otherwise)
 }
 
 type histData struct {
-	bounds []float64
-	counts []atomic.Uint64 // len(bounds)+1; last is +Inf overflow
-	sum    atomicFloat
-	count  atomic.Uint64
+	bounds    []float64
+	counts    []atomic.Uint64 // len(bounds)+1; last is +Inf overflow
+	exemplars []atomic.Pointer[Exemplar]
+	sum       atomicFloat
+	count     atomic.Uint64
 }
 
 // atomicFloat is a float64 with atomic add/set via bit-casting.
@@ -160,6 +187,14 @@ func (c *Counter) Add(v float64) { c.s.val.add(v) }
 // Value returns the current count.
 func (c *Counter) Value() float64 { return c.s.val.load() }
 
+// AddWithExemplar adds v and records ex as the series' latest
+// exemplar (last-write-wins, like client_golang's counters).
+func (c *Counter) AddWithExemplar(v float64, ex Exemplar) {
+	c.s.val.add(v)
+	e := ex
+	c.s.ex.Store(&e)
+}
+
 // Counter returns (creating on first use) the counter for name and the
 // exact label set. Repeated calls with the same name+labels return the
 // same underlying series, so call sites may re-resolve cheaply.
@@ -199,9 +234,23 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
-// DefBuckets are the default histogram buckets, spanning sub-ms
-// in-process calls through multi-second federated queries.
-var DefBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30}
+// ObserveWithExemplar records one sample and pins ex to the bucket the
+// value lands in (last-write-wins per bucket).
+func (h *Histogram) ObserveWithExemplar(v float64, ex Exemplar) {
+	d := h.s.hist
+	i := sort.SearchFloat64s(d.bounds, v)
+	d.counts[i].Add(1)
+	d.sum.add(v)
+	d.count.Add(1)
+	e := ex
+	d.exemplars[i].Store(&e)
+}
+
+// DefBuckets are the default histogram buckets, spanning 50µs
+// cache-hit paths through multi-second federated queries. The 50µs–1ms
+// range is deliberately fine: the warm (subquery-cache-hit) query path
+// runs at ~260µs p50 and would otherwise collapse into one bucket.
+var DefBuckets = []float64{.00005, .0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30}
 
 // Histogram returns (creating on first use) the histogram for name and
 // labels. buckets are upper bounds in increasing order (the +Inf
@@ -217,8 +266,9 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 	f.mu.Lock()
 	if s.hist == nil {
 		s.hist = &histData{
-			bounds: append([]float64(nil), buckets...),
-			counts: make([]atomic.Uint64, len(buckets)+1),
+			bounds:    append([]float64(nil), buckets...),
+			counts:    make([]atomic.Uint64, len(buckets)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(buckets)+1),
 		}
 	}
 	f.mu.Unlock()
@@ -289,12 +339,14 @@ func (f *family) snapshot() Family {
 			var cum uint64
 			for i, b := range s.hist.bounds {
 				cum += s.hist.counts[i].Load()
-				sample.Buckets = append(sample.Buckets, BucketCount{Le: b, Count: cum})
+				sample.Buckets = append(sample.Buckets, BucketCount{Le: b, Count: cum, Exemplar: s.hist.exemplars[i].Load()})
 			}
 			sample.Count = cum + s.hist.counts[len(s.hist.bounds)].Load()
 			sample.Sum = s.hist.sum.load()
+			sample.InfExemplar = s.hist.exemplars[len(s.hist.bounds)].Load()
 		} else {
 			sample.Value = s.val.load()
+			sample.Exemplar = s.ex.Load()
 		}
 		out.Samples = append(out.Samples, sample)
 	}
@@ -344,16 +396,104 @@ func writeSample(w io.Writer, fam Family, s Sample) error {
 	return err
 }
 
+// WriteOpenMetrics renders every family in the OpenMetrics 1.0 text
+// format, including exemplars on counter samples and histogram
+// buckets. Differences from the 0.0.4 format: counter family names
+// drop the _total suffix in TYPE/HELP lines (samples keep it), and the
+// document ends with # EOF.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	for _, fam := range r.Gather() {
+		base := fam.Name
+		if fam.Kind == "counter" {
+			base = strings.TrimSuffix(base, "_total")
+		}
+		if fam.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, escapeHelp(fam.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, fam.Kind); err != nil {
+			return err
+		}
+		for _, s := range fam.Samples {
+			if err := writeSampleOpenMetrics(w, fam.Kind, base, s); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func writeSampleOpenMetrics(w io.Writer, kind, base string, s Sample) error {
+	switch kind {
+	case "counter":
+		// OpenMetrics requires counter sample names to end in _total.
+		_, err := fmt.Fprintf(w, "%s_total%s %s%s\n",
+			base, renderLabels(s.Labels), fmtFloat(s.Value), renderExemplar(s.Exemplar))
+		return err
+	case "histogram":
+		for _, b := range s.Buckets {
+			le := append(append([]Label(nil), s.Labels...), Label{Name: "le", Value: fmtFloat(b.Le)})
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+				base, renderLabels(le), b.Count, renderExemplar(b.Exemplar)); err != nil {
+				return err
+			}
+		}
+		inf := append(append([]Label(nil), s.Labels...), Label{Name: "le", Value: "+Inf"})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			base, renderLabels(inf), s.Count, renderExemplar(s.InfExemplar)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, renderLabels(s.Labels), fmtFloat(s.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, renderLabels(s.Labels), s.Count)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", base, renderLabels(s.Labels), fmtFloat(s.Value))
+		return err
+	}
+}
+
+// renderExemplar renders the " # {labels} value ts" suffix OpenMetrics
+// attaches to counter and bucket samples; empty for a nil exemplar.
+func renderExemplar(ex *Exemplar) string {
+	if ex == nil {
+		return ""
+	}
+	labels := renderLabels(ex.Labels)
+	if labels == "" {
+		labels = "{}"
+	}
+	out := " # " + labels + " " + fmtFloat(ex.Value)
+	if !ex.Ts.IsZero() {
+		out += " " + strconv.FormatFloat(float64(ex.Ts.UnixNano())/1e9, 'f', 3, 64)
+	}
+	return out
+}
+
 // ContentType is the Prometheus text exposition content type.
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// OpenMetricsContentType is the OpenMetrics 1.0 content type, served
+// when the scraper's Accept header asks for it.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // Handler returns an http.Handler serving the registry as a /metrics
-// scrape target.
+// scrape target. Scrapers that accept application/openmetrics-text
+// (Prometheus does when exemplar scraping is on) get the OpenMetrics
+// exposition with exemplars; everyone else gets 0.0.4 text.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
 			w.Header().Set("Allow", "GET, HEAD")
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			_ = r.WriteOpenMetrics(w)
 			return
 		}
 		w.Header().Set("Content-Type", ContentType)

@@ -56,10 +56,10 @@ func TestCounterSameSeriesShared(t *testing.T) {
 func TestHistogramExposition(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
-	h.Observe(0.05)  // bucket 0.1
-	h.Observe(0.5)   // bucket 1
-	h.Observe(0.5)   // bucket 1
-	h.Observe(100)   // +Inf overflow
+	h.Observe(0.05) // bucket 0.1
+	h.Observe(0.5)  // bucket 1
+	h.Observe(0.5)  // bucket 1
+	h.Observe(100)  // +Inf overflow
 	h.ObserveDuration(5 * time.Second)
 
 	out := expo(t, r)

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"lusail/internal/trace"
+)
+
+// SamplerConfig tunes the tail-sampling stage in front of an exporter.
+type SamplerConfig struct {
+	// SlowThreshold keeps any trace whose root span ran at least this
+	// long, regardless of the head-sampling decision (0 disables the
+	// slow rule).
+	SlowThreshold time.Duration
+	// KeepErrors keeps traces whose root span carries an "error"
+	// attribute.
+	KeepErrors bool
+	// KeepDegraded keeps traces of degraded executions (root span
+	// carries a "dropped" attribute: endpoints were dropped under a
+	// degradation policy).
+	KeepDegraded bool
+	// Next receives the kept traces (typically a *SpanExporter).
+	Next trace.Sink
+}
+
+// SamplerStats counts sampling outcomes by rule.
+type SamplerStats struct {
+	KeptHead     int64 // kept: head-sampling decision
+	KeptSlow     int64 // kept: over SlowThreshold (head said drop)
+	KeptError    int64 // kept: errored (head said drop)
+	KeptDegraded int64 // kept: degraded (head said drop)
+	Dropped      int64
+}
+
+// TraceSampler is a trace.Sink that makes the final keep/drop call per
+// trace: head-sampled traces pass through, and traces the head decided
+// to drop are still kept when they are slow, errored, or degraded —
+// the traces an operator actually goes looking for.
+type TraceSampler struct {
+	cfg SamplerConfig
+
+	keptHead     atomic.Int64
+	keptSlow     atomic.Int64
+	keptError    atomic.Int64
+	keptDegraded atomic.Int64
+	dropped      atomic.Int64
+}
+
+// NewTraceSampler builds the sampler; cfg.Next must be non-nil.
+func NewTraceSampler(cfg SamplerConfig) *TraceSampler {
+	return &TraceSampler{cfg: cfg}
+}
+
+// ExportTrace implements trace.Sink.
+func (s *TraceSampler) ExportTrace(t *trace.Trace) {
+	if s == nil || t == nil || t.Root == nil {
+		return
+	}
+	switch {
+	case t.Root.Sampled():
+		s.keptHead.Add(1)
+	case s.cfg.SlowThreshold > 0 && t.Root.Duration() >= s.cfg.SlowThreshold:
+		s.keptSlow.Add(1)
+	case s.cfg.KeepErrors && t.Root.Get("error") != nil:
+		s.keptError.Add(1)
+	case s.cfg.KeepDegraded && t.Root.Get("dropped") != nil:
+		s.keptDegraded.Add(1)
+	default:
+		s.dropped.Add(1)
+		return
+	}
+	if s.cfg.Next != nil {
+		s.cfg.Next.ExportTrace(t)
+	}
+}
+
+// Stats snapshots the sampling counters.
+func (s *TraceSampler) Stats() SamplerStats {
+	return SamplerStats{
+		KeptHead:     s.keptHead.Load(),
+		KeptSlow:     s.keptSlow.Load(),
+		KeptError:    s.keptError.Load(),
+		KeptDegraded: s.keptDegraded.Load(),
+		Dropped:      s.dropped.Load(),
+	}
+}
+
+// Register exposes the sampler's decisions as a labelled counter
+// family.
+func (s *TraceSampler) Register(r *Registry) {
+	r.RegisterCollector(func() []Family {
+		st := s.Stats()
+		sample := func(decision string, v int64) Sample {
+			return Sample{Labels: []Label{{Name: "decision", Value: decision}}, Value: float64(v)}
+		}
+		return []Family{{
+			Name: "lusail_trace_sampled_total",
+			Help: "Tail-sampling decisions by rule.",
+			Kind: "counter",
+			Samples: []Sample{
+				sample("kept_head", st.KeptHead),
+				sample("kept_slow", st.KeptSlow),
+				sample("kept_error", st.KeptError),
+				sample("kept_degraded", st.KeptDegraded),
+				sample("dropped", st.Dropped),
+			},
+		}}
+	})
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand/v2"
+)
+
+// TraceID is a W3C Trace Context trace identifier: 16 bytes, rendered
+// as 32 lowercase hex digits. A trace ID ties every span of one
+// federated query together across processes — the federator's phase
+// spans and each endpoint's server-side spans share it, so an exported
+// trace renders as one stitched tree.
+type TraceID [16]byte
+
+// SpanID is a W3C Trace Context span identifier: 8 bytes, rendered as
+// 16 lowercase hex digits.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value (the W3C
+// spec forbids all-zero trace and parent IDs).
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the trace ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the span ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// NewTraceID returns a random non-zero trace ID. math/rand/v2's global
+// generator is concurrency-safe and seeded per process; trace IDs need
+// uniqueness, not unpredictability.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		binary.BigEndian.PutUint64(t[:8], rand.Uint64())
+		binary.BigEndian.PutUint64(t[8:], rand.Uint64())
+	}
+	return t
+}
+
+// NewSpanID returns a random non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		binary.BigEndian.PutUint64(s[:], rand.Uint64())
+	}
+	return s
+}
+
+// parseHex decodes exactly len(dst) bytes of lowercase hex into dst.
+func parseHex(dst, src []byte) bool {
+	if len(src) != 2*len(dst) {
+		return false
+	}
+	for _, c := range src {
+		// The W3C grammar allows lowercase hex only.
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	_, err := hex.Decode(dst, src)
+	return err == nil
+}
+
+// SampleRatio makes the deterministic head-sampling decision for a
+// trace ID at the given ratio (0 = never, 1 = always): the ID's low 8
+// bytes, taken as an unsigned integer, fall under ratio's share of the
+// space. Deterministic-on-ID means every process holding the same
+// trace ID reaches the same decision without coordination.
+func SampleRatio(id TraceID, ratio float64) bool {
+	if ratio >= 1 {
+		return true
+	}
+	if ratio <= 0 {
+		return false
+	}
+	v := binary.BigEndian.Uint64(id[8:])
+	return float64(v) < ratio*float64(^uint64(0))
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"context"
+	"net/http"
+	"strings"
+)
+
+// SpanContext is the wire-propagated identity of a span: the W3C Trace
+// Context triple carried in a traceparent header. It is what crosses
+// process boundaries — the receiving side opens its own spans under
+// the same trace ID with the sender's span as parent, producing one
+// stitched trace across a federation of processes.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	// Sampled is the propagated head-sampling decision (the 01 bit of
+	// the traceparent flags). Downstream processes honour it so a trace
+	// is kept or dropped consistently end to end.
+	Sampled bool
+}
+
+// Valid reports whether the context identifies a real span (non-zero
+// trace and span IDs, as the W3C spec requires).
+func (sc SpanContext) Valid() bool {
+	return !sc.TraceID.IsZero() && !sc.SpanID.IsZero()
+}
+
+// TraceparentHeader is the W3C Trace Context request header name.
+const TraceparentHeader = "traceparent"
+
+// Traceparent renders the context as a version-00 traceparent value:
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+func (sc SpanContext) Traceparent() string {
+	var b strings.Builder
+	b.Grow(55)
+	b.WriteString("00-")
+	b.WriteString(sc.TraceID.String())
+	b.WriteByte('-')
+	b.WriteString(sc.SpanID.String())
+	if sc.Sampled {
+		b.WriteString("-01")
+	} else {
+		b.WriteString("-00")
+	}
+	return b.String()
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// version whose first four fields follow the version-00 layout (per
+// the spec's forward-compatibility rule: unknown future versions with
+// the same prefix shape must still be propagated), and rejects
+// malformed values, the all-zero IDs, and the reserved version ff.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	var sc SpanContext
+	if len(h) < 55 {
+		return sc, false
+	}
+	if len(h) > 55 && (len(h) < 56 || h[55] != '-') {
+		// A longer value is only valid when a future version appends
+		// "-"-separated fields.
+		return sc, false
+	}
+	if h[0:2] == "ff" || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return sc, false
+	}
+	if !parseHex(sc.TraceID[:], []byte(h[3:35])) {
+		return sc, false
+	}
+	if !parseHex(sc.SpanID[:], []byte(h[36:52])) {
+		return sc, false
+	}
+	var flags [1]byte
+	if !parseHex(flags[:], []byte(h[53:55])) {
+		return sc, false
+	}
+	sc.Sampled = flags[0]&0x01 != 0
+	if !sc.Valid() {
+		return sc, false
+	}
+	return sc, true
+}
+
+// Inject sets the traceparent header for the current span attached to
+// ctx, if any. It is the outgoing half of context propagation: every
+// remote request the federator issues under a traced execution carries
+// the identity of the span that issued it.
+func Inject(ctx context.Context, h http.Header) {
+	if sc, ok := SpanContextFrom(ctx); ok {
+		h.Set(TraceparentHeader, sc.Traceparent())
+	}
+}
+
+// Extract parses the traceparent header of an inbound request into a
+// remote-parent context: tracing started under the returned context
+// (NewFromContext) joins the caller's trace. Without a valid header
+// the context is returned unchanged, and tracing starts a fresh trace.
+func Extract(ctx context.Context, h http.Header) context.Context {
+	sc, ok := ParseTraceparent(h.Get(TraceparentHeader))
+	if !ok {
+		return ctx
+	}
+	return WithRemoteParent(ctx, sc)
+}
+
+// SpanContextFrom returns the wire identity of the span attached to
+// ctx (the current span's trace ID, span ID, and sampling decision),
+// or ok=false when ctx carries no identified span.
+func SpanContextFrom(ctx context.Context) (SpanContext, bool) {
+	sp := SpanFrom(ctx)
+	if sp == nil {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{TraceID: sp.TraceID(), SpanID: sp.ID(), Sampled: sp.Sampled()}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+type remoteParentKey struct{}
+
+// WithRemoteParent attaches an inbound span context to ctx as the
+// remote parent for traces started under it.
+func WithRemoteParent(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteParentKey{}, sc)
+}
+
+// RemoteParentFrom returns the remote parent attached to ctx, if any.
+func RemoteParentFrom(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(remoteParentKey{}).(SpanContext)
+	return sc, ok
+}

@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestIDsNonZeroAndHex(t *testing.T) {
+	tid := NewTraceID()
+	sid := NewSpanID()
+	if tid.IsZero() || sid.IsZero() {
+		t.Fatal("new IDs must be non-zero")
+	}
+	if len(tid.String()) != 32 || len(sid.String()) != 16 {
+		t.Fatalf("hex lengths: trace=%d span=%d", len(tid.String()), len(sid.String()))
+	}
+	if tid.String() != strings.ToLower(tid.String()) {
+		t.Fatal("trace ID hex must be lowercase")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	h := sc.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent render: %q", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != sc {
+		t.Fatalf("round trip: got %+v ok=%v want %+v", got, ok, sc)
+	}
+
+	sc.Sampled = false
+	got, ok = ParseTraceparent(sc.Traceparent())
+	if !ok || got.Sampled {
+		t.Fatalf("unsampled round trip: %+v ok=%v", got, ok)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}.Traceparent()
+	bad := []string{
+		"",
+		"00",
+		valid[:54],             // truncated
+		"ff" + valid[2:],       // reserved version
+		strings.ToUpper(valid), // uppercase hex
+		"00-" + strings.Repeat("0", 32) + valid[35:],      // zero trace ID
+		valid[:36] + strings.Repeat("0", 16) + valid[52:], // zero span ID
+		valid + "x",        // junk suffix without separator
+		valid[:52] + "_01", // wrong separator
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed value", h)
+		}
+	}
+	// Future versions with appended fields are accepted.
+	if _, ok := ParseTraceparent("01" + valid[2:] + "-extrafield"); !ok {
+		t.Error("future-version traceparent with extra field rejected")
+	}
+}
+
+func TestSpanIdentityInheritance(t *testing.T) {
+	tr := New("query")
+	root := tr.Root
+	if root.TraceID().IsZero() || root.ID().IsZero() {
+		t.Fatal("root span must have IDs")
+	}
+	if !root.Sampled() {
+		t.Fatal("fresh traces default to sampled")
+	}
+	child := root.StartChild("phase1")
+	if child.TraceID() != root.TraceID() {
+		t.Fatal("child must inherit trace ID")
+	}
+	if child.ParentID() != root.ID() {
+		t.Fatal("child parent must be root's span ID")
+	}
+	if child.ID() == root.ID() {
+		t.Fatal("child must get its own span ID")
+	}
+	if !child.Sampled() {
+		t.Fatal("child must inherit sampled flag")
+	}
+
+	root2 := New("other").Root
+	root2.SetSampled(false)
+	if c := root2.StartChild("x"); c.Sampled() {
+		t.Fatal("child created after SetSampled(false) must be unsampled")
+	}
+}
+
+func TestNewFromContextJoinsRemoteParent(t *testing.T) {
+	parent := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	ctx := WithRemoteParent(context.Background(), parent)
+	tr := NewFromContext(ctx, "endpoint-query")
+	if tr.ID() != parent.TraceID {
+		t.Fatal("joined trace must share the remote trace ID")
+	}
+	if tr.Root.ParentID() != parent.SpanID {
+		t.Fatal("joined root must parent the remote span")
+	}
+	if !tr.Root.Sampled() {
+		t.Fatal("joined root must honour the remote sampling decision")
+	}
+
+	// Without a remote parent, a fresh trace is started.
+	tr2 := NewFromContext(context.Background(), "standalone")
+	if tr2.ID().IsZero() || tr2.ID() == parent.TraceID {
+		t.Fatal("standalone trace must get a fresh ID")
+	}
+	if !tr2.Root.ParentID().IsZero() {
+		t.Fatal("standalone root must have no parent")
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	tr := New("query")
+	ctx := WithSpan(context.Background(), tr.Root)
+	h := make(http.Header)
+	Inject(ctx, h)
+	got := h.Get(TraceparentHeader)
+	if got == "" {
+		t.Fatal("Inject must set traceparent for a traced context")
+	}
+
+	inbound := Extract(context.Background(), h)
+	sc, ok := RemoteParentFrom(inbound)
+	if !ok || sc.TraceID != tr.ID() || sc.SpanID != tr.Root.ID() || !sc.Sampled {
+		t.Fatalf("Extract: got %+v ok=%v", sc, ok)
+	}
+
+	// No span attached → no header.
+	h2 := make(http.Header)
+	Inject(context.Background(), h2)
+	if h2.Get(TraceparentHeader) != "" {
+		t.Fatal("Inject without a span must not set a header")
+	}
+
+	// Malformed header → context unchanged.
+	h3 := make(http.Header)
+	h3.Set(TraceparentHeader, "garbage")
+	if _, ok := RemoteParentFrom(Extract(context.Background(), h3)); ok {
+		t.Fatal("Extract must ignore malformed traceparent")
+	}
+}
+
+func TestSampleRatioDeterministicAndBounded(t *testing.T) {
+	id := NewTraceID()
+	if !SampleRatio(id, 1) {
+		t.Fatal("ratio 1 must always sample")
+	}
+	if SampleRatio(id, 0) {
+		t.Fatal("ratio 0 must never sample")
+	}
+	want := SampleRatio(id, 0.5)
+	for i := 0; i < 10; i++ {
+		if SampleRatio(id, 0.5) != want {
+			t.Fatal("decision must be deterministic per ID")
+		}
+	}
+	// Roughly half of random IDs fall under ratio 0.5.
+	kept := 0
+	for i := 0; i < 2000; i++ {
+		if SampleRatio(NewTraceID(), 0.5) {
+			kept++
+		}
+	}
+	if kept < 700 || kept > 1300 {
+		t.Fatalf("ratio 0.5 kept %d/2000 — far from half", kept)
+	}
+}
+
+func TestSpansFlatten(t *testing.T) {
+	tr := New("query")
+	tr.Root.Set("endpoints", int64(3))
+	c1 := tr.Root.StartChild("phase1")
+	c1.Set("error", "boom")
+	c1.End()
+	c2 := tr.Root.StartChild("phase2")
+	c2.End()
+	tr.Root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("Spans() = %d records, want 3", len(spans))
+	}
+	root := spans[0]
+	if root.Name != "query" || root.SpanID != tr.Root.ID() || !root.ParentID.IsZero() {
+		t.Fatalf("root record: %+v", root)
+	}
+	if root.End.Before(root.Start) {
+		t.Fatal("root End must not precede Start")
+	}
+	for _, sd := range spans {
+		if sd.TraceID != tr.ID() {
+			t.Fatal("all records must share the trace ID")
+		}
+	}
+	if spans[1].Name != "phase1" || spans[1].ParentID != tr.Root.ID() {
+		t.Fatalf("child record: %+v", spans[1])
+	}
+	if spans[1].Err != "boom" {
+		t.Fatalf("error attr not lifted into Err: %+v", spans[1])
+	}
+
+	if got := (*Trace)(nil).Spans(); got != nil {
+		t.Fatal("nil trace must flatten to nil")
+	}
+}
+
+func TestNilSpanIdentitySafe(t *testing.T) {
+	var s *Span
+	if !s.TraceID().IsZero() || !s.ID().IsZero() || !s.ParentID().IsZero() {
+		t.Fatal("nil span IDs must be zero")
+	}
+	if s.Sampled() || s.Kind() != KindInternal {
+		t.Fatal("nil span flags must be zero values")
+	}
+	s.SetSampled(true)
+	s.SetKind(KindServer)
+	if _, ok := SpanContextFrom(context.Background()); ok {
+		t.Fatal("empty context must have no span context")
+	}
+}

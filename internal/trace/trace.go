@@ -12,6 +12,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -26,14 +27,37 @@ type Attr struct {
 	Val any
 }
 
+// SpanKind mirrors the OpenTelemetry span-kind enum for the three
+// roles Lusail spans play: internal pipeline stages, the server side
+// of an inbound SPARQL protocol request, and the client side of an
+// outgoing endpoint call.
+type SpanKind int
+
+const (
+	KindInternal SpanKind = iota
+	KindServer
+	KindClient
+)
+
 // Span is one timed stage of a query execution. Child spans may be
 // appended concurrently (e.g. phase-1 subqueries evaluated in
 // parallel); readers must not inspect a span tree until the execution
 // that produces it has returned.
+//
+// Every span carries a W3C-compatible identity: a 16-byte trace ID
+// shared by the whole tree (and, via traceparent propagation, by the
+// server-side spans of every endpoint the query touched) plus its own
+// 8-byte span ID and its parent's.
 type Span struct {
 	Name string
 
+	traceID TraceID
+	id      SpanID
+
 	mu       sync.Mutex
+	parent   SpanID
+	kind     SpanKind
+	sampled  bool
 	start    time.Time
 	dur      time.Duration
 	ended    bool
@@ -46,24 +70,127 @@ type Trace struct {
 	Root *Span
 }
 
-// New starts a trace whose root span is named name.
+// New starts a trace whose root span is named name, under a fresh
+// trace ID, head-sampled by default. Use NewFromContext to join an
+// inbound caller's trace instead.
 func New(name string) *Trace {
-	return &Trace{Root: newSpan(name)}
+	root := newSpan(name)
+	root.traceID = NewTraceID()
+	root.sampled = true
+	return &Trace{Root: root}
+}
+
+// NewFromContext starts a trace whose root span joins the remote
+// parent attached to ctx (an inbound traceparent extracted by
+// trace.Extract): the new tree shares the caller's trace ID, its root
+// parents the caller's span, and the caller's sampling decision is
+// honoured. Without a remote parent it is exactly New.
+func NewFromContext(ctx context.Context, name string) *Trace {
+	sc, ok := RemoteParentFrom(ctx)
+	if !ok {
+		return New(name)
+	}
+	root := newSpan(name)
+	root.traceID = sc.TraceID
+	root.parent = sc.SpanID
+	root.sampled = sc.Sampled
+	return &Trace{Root: root}
 }
 
 func newSpan(name string) *Span {
-	return &Span{Name: name, start: time.Now()}
+	return &Span{Name: name, id: NewSpanID(), start: time.Now()}
+}
+
+// ID returns the trace's ID (zero for a nil trace).
+func (t *Trace) ID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.Root.TraceID()
+}
+
+// TraceID returns the ID of the trace the span belongs to.
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.traceID
+}
+
+// ID returns the span's own ID.
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// ParentID returns the parent span's ID (zero for a local root).
+func (s *Span) ParentID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parent
+}
+
+// Kind returns the span's kind (KindInternal unless SetKind was
+// called).
+func (s *Span) Kind() SpanKind {
+	if s == nil {
+		return KindInternal
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kind
+}
+
+// SetKind marks the span's role (server side of an inbound request,
+// client side of an outgoing call).
+func (s *Span) SetKind(k SpanKind) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.kind = k
+	s.mu.Unlock()
+}
+
+// Sampled reports the span's head-sampling decision.
+func (s *Span) Sampled() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sampled
+}
+
+// SetSampled overrides the head-sampling decision. Call it on a root
+// span before opening children: children copy the flag at creation.
+func (s *Span) SetSampled(v bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sampled = v
+	s.mu.Unlock()
 }
 
 // StartChild opens a child span under s. It is nil-safe: on a nil
 // receiver it returns nil, and every Span method on the nil result is
-// a no-op, so call sites need no recorder checks.
+// a no-op, so call sites need no recorder checks. The child inherits
+// the trace ID and sampling decision, with s as its parent.
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	c := newSpan(name)
+	c.traceID = s.traceID
+	c.parent = s.id
 	s.mu.Lock()
+	c.sampled = s.sampled
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c

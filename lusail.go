@@ -386,6 +386,71 @@ func (f *Federation) RegisterMetrics(reg *MetricsRegistry) {
 	obs.RegisterCaches(reg, f.CacheStats)
 }
 
+// TraceSink receives completed query traces for export. The obs layer
+// provides two composable implementations: NewTraceSampler (tail
+// sampling) and NewSpanExporter (OTLP/HTTP shipping).
+type TraceSink = trace.Sink
+
+// SpanExporter ships completed traces to an OTLP/HTTP collector from a
+// bounded asynchronous queue with batching and bounded retry.
+type SpanExporter = obs.SpanExporter
+
+// ExporterConfig tunes a SpanExporter.
+type ExporterConfig = obs.ExporterConfig
+
+// NewSpanExporter starts an OTLP/HTTP span exporter. Call Shutdown on
+// process exit to flush the queue.
+func NewSpanExporter(cfg ExporterConfig) *SpanExporter { return obs.NewSpanExporter(cfg) }
+
+// TraceSampler is the tail-sampling stage of a trace export chain: it
+// forwards head-sampled traces and always retains slow, errored, and
+// degraded ones regardless of the head decision.
+type TraceSampler = obs.TraceSampler
+
+// SamplerConfig tunes a TraceSampler.
+type SamplerConfig = obs.SamplerConfig
+
+// NewTraceSampler builds the tail-sampling sink stage.
+func NewTraceSampler(cfg SamplerConfig) *TraceSampler { return obs.NewTraceSampler(cfg) }
+
+// WithTraceSampling sets the head-sampling ratio for locally-rooted
+// traces (deterministic on the trace ID). 1 keeps everything (the
+// default), 0 marks every trace unsampled so only tail rules (slow,
+// errored, degraded) retain traces. Queries joined to a remote parent
+// via W3C trace context keep the caller's sampled flag instead.
+func WithTraceSampling(ratio float64) Option {
+	return func(c *core.Config) { c.TraceSampling = &ratio }
+}
+
+// TraceparentHeader is the W3C Trace Context request header
+// ("traceparent"); the federation's endpoint clients inject it on
+// every outgoing request, and servers extract it to join the caller's
+// trace.
+const TraceparentHeader = trace.TraceparentHeader
+
+// ExtractTraceContext reads an inbound W3C traceparent header into
+// ctx; queries run under the returned context join the caller's
+// distributed trace (same trace ID, parented spans, propagated
+// sampling decision).
+func ExtractTraceContext(ctx context.Context, h http.Header) context.Context {
+	return trace.Extract(ctx, h)
+}
+
+// SLO is the in-process SLO engine: multi-window rolling counters
+// evaluating availability and latency objectives with fast/slow
+// burn-rate computation.
+type SLO = obs.SLO
+
+// SLOConfig declares the SLO objectives and evaluation windows.
+type SLOConfig = obs.SLOConfig
+
+// SLOStatus is the SLO engine's full snapshot (the /debug/slo body).
+type SLOStatus = obs.SLOStatus
+
+// NewSLO builds an SLO engine; feed it query outcomes with Record and
+// expose it via Register (metrics) and Handler (/debug/slo).
+func NewSLO(cfg SLOConfig) *SLO { return obs.NewSLO(cfg) }
+
 // Plan describes how the federation would execute a query: global
 // join variables, decomposed subqueries with sources, cardinality
 // estimates, and delay decisions.
