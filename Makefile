@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify lint fmt-check bench bench-all bench-compare bench-baseline trace-smoke server-smoke degrade-smoke stream-smoke workload-smoke
+.PHONY: all build vet test race verify lint fmt-check bench bench-all bench-compare bench-baseline trace-smoke server-smoke degrade-smoke stream-smoke workload-smoke chaos-smoke fuzz-short
 
 # Packages with microbenchmarks, gated by bench-compare.
 BENCH_PKGS = ./internal/core/ ./internal/sparql/ ./internal/engine/ ./internal/store/
@@ -103,6 +103,26 @@ workload-smoke:
 	echo "$$out" | grep -E "^(off|on) " | awk '$$6 != 0 { bad=1 } END { exit bad }' || \
 	  { echo "workload smoke FAILED: plan-time requests on repeats"; echo "$$out"; exit 1; }; \
 	echo "workload smoke OK"
+
+# Chaos soak: a seeded 200-query schedule of data churn composed with
+# fault injection, run under the race detector. The enforcing pass
+# must serve zero stale rows against a fresh no-cache oracle at the
+# same data version; the observe-only control pass must detect
+# staleness with the same check (proving the oracle has teeth).
+chaos-smoke:
+	@out=$$($(GO) run -race ./cmd/lusail-bench -exp chaos) || \
+	  { echo "chaos smoke FAILED"; echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q "chaos enforce verdict: PASS — stale rows: 0" || \
+	  { echo "chaos smoke FAILED: enforce verdict missing"; echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q "chaos observe verdict: PASS" || \
+	  { echo "chaos smoke FAILED: observe control missing"; echo "$$out"; exit 1; }; \
+	echo "chaos smoke OK"
+
+# Short native-fuzz pass over the SPARQL parser (seed corpus plus a
+# few seconds of mutation); CI runs this on every push.
+fuzz-short:
+	$(GO) test ./internal/sparql -run FuzzParse -fuzz FuzzParse -fuzztime 10s
+	@echo "fuzz short OK"
 
 # End-to-end daemon smoke test: boot lusail-server over two local
 # N-Triples endpoints, wait for /readyz, run one federated query over

@@ -80,6 +80,9 @@ func main() {
 		sqCacheTTL   = flag.Duration("subquery-cache-ttl", time.Minute, "TTL of cached subquery results (0 = no expiry)")
 		singleflight = flag.Bool("singleflight", true, "collapse concurrent identical queries into one execution")
 
+		coherenceWindow = flag.Duration("coherence-window", 0, "how long a data-version probe stays trusted (0 = probe every query)")
+		coherenceMode   = flag.String("coherence", "enforce", "cache-coherence fence mode: enforce | observe | off")
+
 		otlpEndpoint = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL for trace export (empty disables)")
 		serviceName  = flag.String("service-name", "lusail-server", "service.name stamped on exported spans")
 		traceSample  = flag.Float64("trace-sample", 1, "head-sampling ratio for locally-rooted traces (0..1; slow/errored/degraded traces are always kept)")
@@ -118,6 +121,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	switch *coherenceMode {
+	case "enforce", "observe", "off":
+	default:
+		fmt.Fprintf(os.Stderr, "invalid -coherence mode %q (want enforce | observe | off)\n", *coherenceMode)
+		os.Exit(2)
+	}
 
 	cfg := serverConfig{
 		Logger:          logger,
@@ -137,6 +146,10 @@ func main() {
 		SubqueryCacheSize: *sqCache,
 		SubqueryCacheTTL:  *sqCacheTTL,
 		Singleflight:      *singleflight,
+
+		CoherenceWindow:  *coherenceWindow,
+		CoherenceObserve: *coherenceMode == "observe",
+		CoherenceOff:     *coherenceMode == "off",
 
 		OTLPEndpoint:       *otlpEndpoint,
 		ServiceName:        *serviceName,

@@ -74,6 +74,15 @@ type serverConfig struct {
 	// engine execution, replaying the result to every caller.
 	Singleflight bool
 
+	// CoherenceWindow is how long a data-version probe stays trusted
+	// (0 = every query re-probes its endpoints).
+	CoherenceWindow time.Duration
+	// CoherenceObserve switches the coherence fence to observe-only
+	// mode: stale entries are served and counted, not invalidated.
+	CoherenceObserve bool
+	// CoherenceOff disables data-version probing entirely.
+	CoherenceOff bool
+
 	// OTLPEndpoint, when non-empty, enables distributed trace export:
 	// every query records a W3C-identified span tree, tail-sampled
 	// (slow/errored/degraded always kept) and shipped to this OTLP/HTTP
@@ -153,6 +162,15 @@ func newServer(eps []lusail.Endpoint, cfg serverConfig) *server {
 	}
 	if cfg.SubqueryCacheSize > 0 {
 		opts = append(opts, lusail.WithSubqueryCache(cfg.SubqueryCacheSize, cfg.SubqueryCacheTTL))
+	}
+	if cfg.CoherenceWindow > 0 {
+		opts = append(opts, lusail.WithCoherenceWindow(cfg.CoherenceWindow))
+	}
+	if cfg.CoherenceObserve {
+		opts = append(opts, lusail.WithCoherenceObserve())
+	}
+	if cfg.CoherenceOff {
+		opts = append(opts, lusail.WithoutCoherence())
 	}
 	if cfg.TraceSample != nil {
 		opts = append(opts, lusail.WithTraceSampling(*cfg.TraceSample))

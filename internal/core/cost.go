@@ -62,6 +62,9 @@ func (p DelayPolicy) String() string {
 type CountCache struct {
 	mu sync.RWMutex
 	m  map[string]float64
+	// gen fences in-flight stores, like AskCache.gen: counts probed
+	// before a Clear/InvalidateEndpoint are not stored after it.
+	gen uint64
 
 	// Counters are atomics so Get can stay on the read lock.
 	hits, misses int64
@@ -96,6 +99,31 @@ func (c *CountCache) Put(key string, v float64) {
 	c.m[key] = v
 }
 
+// Gen returns the cache's invalidation generation, captured before the
+// COUNT probes whose values will be stored through PutAt.
+func (c *CountCache) Gen() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen
+}
+
+// PutAt stores a count unless the cache was cleared or invalidated
+// since the caller captured gen.
+func (c *CountCache) PutAt(gen uint64, key string, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
+	c.m[key] = v
+}
+
 // Clear removes all entries.
 func (c *CountCache) Clear() {
 	if c == nil {
@@ -104,6 +132,7 @@ func (c *CountCache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m = map[string]float64{}
+	c.gen++
 }
 
 // InvalidateEndpoint drops every cached cardinality for the named
@@ -120,6 +149,7 @@ func (c *CountCache) InvalidateEndpoint(name string) {
 			delete(c.m, k)
 		}
 	}
+	c.gen++
 }
 
 // Stats snapshots the cache's counters.
@@ -187,6 +217,9 @@ func (cm *CostModel) EstimateCards(ctx context.Context, sqs []*Subquery) (int, e
 		ep    int
 	}
 	counts := map[probeKey]float64{}
+	// Captured before the probes launch so an invalidation racing the
+	// estimation fences the stores below.
+	cacheGen := cm.Cache.Gen()
 	var tasks []federation.Task
 	var order []probeKey
 	for _, sq := range sqs {
@@ -247,7 +280,7 @@ func (cm *CostModel) EstimateCards(ctx context.Context, sqs []*Subquery) (int, e
 			return sent, err
 		}
 		counts[order[i]] = v
-		cm.Cache.Put(cm.Endpoints[order[i].ep].Name()+"\x00"+order[i].query, v)
+		cm.Cache.PutAt(cacheGen, cm.Endpoints[order[i].ep].Name()+"\x00"+order[i].query, v)
 	}
 
 	for _, sq := range sqs {

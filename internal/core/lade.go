@@ -155,6 +155,9 @@ func (d *Decomposer) DetectGJVs(ctx context.Context, patterns []sparql.TriplePat
 		chk check
 		ep  endpoint.Endpoint
 	}
+	// Captured before the probes launch so an invalidation racing the
+	// GJV detection fences the stores below.
+	cacheGen := d.CheckCache.Gen()
 	var tasks []federation.Task
 	var probes []probe
 	flagged := map[sparql.Var]bool{}
@@ -201,7 +204,7 @@ func (d *Decomposer) DetectGJVs(ctx context.Context, patterns []sparql.TriplePat
 			return nil, fmt.Errorf("lade check query at %s: %w", probes[i].ep.Name(), tr.Err)
 		}
 		nonEmpty := tr.Res.Len() > 0
-		d.CheckCache.Put(probes[i].ep.Name(), probes[i].chk.query, nonEmpty)
+		d.CheckCache.PutAt(cacheGen, probes[i].ep.Name(), probes[i].chk.query, nonEmpty)
 		if nonEmpty {
 			flagged[probes[i].chk.v] = true
 		}

@@ -82,6 +82,25 @@ type Config struct {
 	// subquery result (0 = no expiry). Only meaningful with
 	// SubqueryCacheSize > 0.
 	SubqueryCacheTTL time.Duration
+	// CoherenceWindow amortizes the cache-coherence fence's data-version
+	// probes: an endpoint's version is re-probed at most once per window
+	// per query start, so a cached entry can be served at most one
+	// window past a data change. 0 (the default) probes at every query
+	// start — the strictest setting; probes are free on local endpoints
+	// and one HEAD request on HTTP ones.
+	CoherenceWindow time.Duration
+	// DisableCoherence turns the fence off entirely: no version probes,
+	// no stamp verification, no change-driven invalidation — the
+	// pre-coherence behavior, where churned endpoints can silently serve
+	// stale cached results. Queries then report the "unfenced" verdict.
+	DisableCoherence bool
+	// CoherenceObserveOnly keeps the fence probing and stamping but
+	// never invalidating or rejecting: stale entries are served, counted
+	// (CoherenceStats.StaleServed), and re-charged to the query's
+	// Completeness. Used by the chaos harness to prove its oracle
+	// catches incoherence, and as a diagnostic for measuring staleness
+	// exposure.
+	CoherenceObserveOnly bool
 	// QueryLog, when non-nil, receives a lifecycle event pair for
 	// every query execution (Execute, ExecuteMetrics, ExecuteTraced,
 	// and each ExecuteBatch member): QueryStarted assigns the query's
@@ -158,6 +177,10 @@ type Metrics struct {
 	// tracked per call, so concurrent executions do not cross-attribute.
 	DroppedEndpoints int
 	Completeness     *sparql.Completeness
+	// Staleness is the query's coherence verdict: what guarantee its
+	// cached reuse carried ("fresh", "bounded", "unverified",
+	// "unfenced"). See the Staleness* constants.
+	Staleness string
 }
 
 // Total returns the total response time.
@@ -182,6 +205,7 @@ type Lusail struct {
 	checkCache *federation.AskCache
 	countCache *CountCache
 	sqCache    *SubqueryCache // nil unless Config.SubqueryCacheSize > 0
+	coherence  *Coherence     // nil when Config.DisableCoherence
 
 	selector   *federation.Selector
 	decomposer *Decomposer
@@ -221,6 +245,17 @@ func New(eps []endpoint.Endpoint, cfg Config) *Lusail {
 	}
 	if cfg.SubqueryCacheSize > 0 {
 		l.sqCache = NewBoundedSubqueryCache(cfg.SubqueryCacheSize, cfg.SubqueryCacheTTL)
+	}
+	if !cfg.DisableCoherence {
+		mode := CoherenceEnforce
+		if cfg.CoherenceObserveOnly {
+			mode = CoherenceObserve
+		}
+		// onChange fences a bumped endpoint: per-endpoint invalidation
+		// advances every cache's generation, so stores by queries already
+		// in flight (which may have read pre-change data) are refused.
+		l.coherence = NewCoherence(eps, cfg.CoherenceWindow, mode, l.InvalidateEndpointCaches)
+		l.sqCache.SetFence(l.coherence)
 	}
 	l.selector = federation.NewSelector(eps, l.askCache)
 	l.decomposer = NewDecomposer(eps, l.checkCache)
@@ -290,6 +325,17 @@ func (l *Lusail) CacheStats() []CacheStatEntry {
 		{Name: "subquery", Stats: l.sqCache.Stats(),
 			HitExemplar: sqHit, MissExemplar: sqMiss},
 	}
+}
+
+// Coherence exposes the engine's cache-coherence fence (nil when
+// Config.DisableCoherence).
+func (l *Lusail) Coherence() *Coherence { return l.coherence }
+
+// CoherenceStats snapshots the fence: per-endpoint tracked data
+// versions plus probe/change/stale counters (zero value when the fence
+// is disabled).
+func (l *Lusail) CoherenceStats() CoherenceStats {
+	return l.coherence.Stats()
 }
 
 // LastMetrics returns the metrics of the most recent Execute call.
@@ -506,6 +552,13 @@ func (l *Lusail) executeStream(ctx context.Context, q *sparql.Query, query strin
 	}()
 	if l.cfg.DisableCache {
 		l.ClearCaches()
+		m.Staleness = StalenessFresh // nothing cached survives to be reused
+	} else {
+		// Fence before planning: version changes detected here
+		// invalidate the changed endpoints' cached state, so this
+		// query's reuse is coherent up to the configured window.
+		l.coherence.Refresh(ctx)
+		m.Staleness = l.coherence.Verdict()
 	}
 
 	proj := q.ProjectedVars()
@@ -632,6 +685,10 @@ func (l *Lusail) executeCached(ctx context.Context, query string, sqCache *Subqu
 	}()
 	if l.cfg.DisableCache {
 		l.ClearCaches()
+		m.Staleness = StalenessFresh // nothing cached survives to be reused
+	} else {
+		l.coherence.Refresh(ctx)
+		m.Staleness = l.coherence.Verdict()
 	}
 
 	needed := q.ProjectedVars()

@@ -56,8 +56,14 @@ type SubqueryCache struct {
 	// would otherwise sleep and hope the waiter arrived.
 	onWait func(key string)
 	// gen invalidates in-flight computations: a result whose compute
-	// began before the last Clear/Invalidate call is not stored.
+	// began before the last Clear/Invalidate call is not stored. The
+	// streaming executor captures Gen() before launching its phase-1
+	// tasks and stores through StoreAt, so an invalidation racing an
+	// in-flight streamed query fences those stores too.
 	gen uint64
+	// fence, when set, verifies each entry's data-version stamps at
+	// lookup (SetFence; nil = unfenced, the pre-coherence behavior).
+	fence *Coherence
 
 	hits, misses, evictions, expirations int64
 	// hitEx/missEx link the counters to the most recent sampled traced
@@ -96,6 +102,14 @@ type sqEntry struct {
 	key     string
 	rel     *Relation
 	expires time.Time // zero = never
+	// srcs are the entry's source endpoint names (parsed from the key
+	// once at store time) and versions the data versions the fence
+	// tracked when the entry was stored — the stamps lookups verify.
+	// A version that advances between compute start and store makes
+	// the stamp conservative (the entry is fenced although its data
+	// may be current), never permissive.
+	srcs     []string
+	versions map[string]uint64
 }
 
 // CacheStats snapshots one cache's counters. Hits count successful
@@ -181,13 +195,13 @@ func (c *SubqueryCache) Do(ctx context.Context, key string, canPartial bool, com
 	ex := cacheExemplarFrom(ctx)
 	for attempt := 0; ; attempt++ {
 		c.mu.Lock()
-		if rel, ok := c.lookupLocked(key, canPartial); ok {
+		if rel, stale, ok := c.lookupLocked(key, canPartial); ok {
 			c.hits++
 			if ex != nil {
 				c.hitEx = ex
 			}
 			c.mu.Unlock()
-			return snapshotRelation(rel), true, nil
+			return staleCharged(snapshotRelation(rel), stale), true, nil
 		}
 		if call, ok := c.inflight[key]; ok {
 			c.mu.Unlock()
@@ -252,12 +266,12 @@ func (c *SubqueryCache) Lookup(ctx context.Context, key string, canPartial bool)
 	ex := cacheExemplarFrom(ctx)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if rel, ok := c.lookupLocked(key, canPartial); ok {
+	if rel, stale, ok := c.lookupLocked(key, canPartial); ok {
 		c.hits++
 		if ex != nil {
 			c.hitEx = ex
 		}
-		return snapshotRelation(rel), true
+		return staleCharged(snapshotRelation(rel), stale), true
 	}
 	c.misses++
 	if ex != nil {
@@ -266,9 +280,42 @@ func (c *SubqueryCache) Lookup(ctx context.Context, key string, canPartial bool)
 	return nil, false
 }
 
-// Store retains a completed relation for key (a private snapshot is
-// taken, so the caller keeps ownership of rel). The streaming executor
-// stores each phase-1 relation as it finalizes.
+// Gen returns the cache's current invalidation generation. Callers
+// that compute a result outside Do (the streaming executor) capture it
+// before launching the computation and pass it to StoreAt, so a
+// Clear/InvalidateEndpoint racing the computation fences the store.
+func (c *SubqueryCache) Gen() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// StoreAt retains a completed relation for key (a private snapshot is
+// taken, so the caller keeps ownership of rel) — unless the cache was
+// cleared or invalidated since the caller captured gen, in which case
+// the store is refused: the relation may have been computed against
+// pre-invalidation data, and retaining it would let a later query
+// replay stale rows.
+func (c *SubqueryCache) StoreAt(gen uint64, key string, rel *Relation) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
+	c.storeLocked(key, snapshotRelation(rel))
+}
+
+// Store retains a completed relation for key unconditionally, at the
+// cache's current generation. Only safe when no invalidation can race
+// the computation that produced rel (tests, synchronous callers); a
+// caller whose compute overlaps query traffic must capture Gen()
+// before computing and store through StoreAt.
 func (c *SubqueryCache) Store(key string, rel *Relation) {
 	if c == nil {
 		return
@@ -278,34 +325,91 @@ func (c *SubqueryCache) Store(key string, rel *Relation) {
 	c.storeLocked(key, snapshotRelation(rel))
 }
 
-// lookupLocked finds a live entry for key, dropping it if expired and
-// refusing partial entries to strict callers. Caller holds c.mu.
-func (c *SubqueryCache) lookupLocked(key string, canPartial bool) (*Relation, bool) {
+// staleCharged re-charges a stale-but-served entry (observe-only
+// fence) to the consuming query's completeness report: one drop record
+// per stale source endpoint, appended to the caller's private copy so
+// the stored entry is untouched. No-op for coherent reuse.
+func staleCharged(rel *Relation, staleEps []string) *Relation {
+	for _, name := range staleEps {
+		rel.Dropped = append(rel.Dropped, sparql.Dropped{
+			Endpoint: name,
+			Phase:    "cache",
+			Reason:   "stale cached result served (data version changed, fence observing)",
+		})
+	}
+	return rel
+}
+
+// SetFence attaches the coherence fence: stores stamp entries with the
+// fence's tracked data versions and lookups verify them. Called once
+// at engine construction, before the cache serves traffic.
+func (c *SubqueryCache) SetFence(f *Coherence) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fence = f
+}
+
+// lookupLocked finds a live entry for key, dropping it if expired,
+// refusing partial entries to strict callers, and verifying its
+// data-version stamps against the fence: an enforcing fence rejects
+// (and removes) a stale entry; an observing fence serves it and
+// returns the stale source names so the caller can count and re-charge
+// the serve. Caller holds c.mu.
+func (c *SubqueryCache) lookupLocked(key string, canPartial bool) (*Relation, []string, bool) {
 	el, ok := c.entries[key]
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	e := el.Value.(*sqEntry)
 	if !e.expires.IsZero() && !c.now().Before(e.expires) {
 		c.removeLocked(el)
 		c.expirations++
-		return nil, false
+		return nil, nil, false
 	}
 	if len(e.rel.Dropped) > 0 && !canPartial {
-		return nil, false
+		return nil, nil, false
+	}
+	var stale []string
+	if c.fence != nil {
+		stale = c.fence.StaleSources(e.srcs, e.versions)
+		if len(stale) > 0 {
+			if c.fence.Enforcing() {
+				c.removeLocked(el)
+				c.fence.NoteFenced(1)
+				return nil, nil, false
+			}
+			c.fence.NoteStale(1)
+		}
 	}
 	c.lru.MoveToFront(el)
-	return e.rel, true
+	return e.rel, stale, true
 }
 
-// storeLocked inserts (or replaces) the entry for key and evicts past
-// the LRU bound. Caller holds c.mu.
+// keySources parses the source endpoint names out of a SubqueryKey.
+func keySources(key string) []string {
+	_, srcs, ok := strings.Cut(key, keyAt)
+	if !ok || srcs == "" {
+		return nil
+	}
+	return strings.Split(srcs, keySep)
+}
+
+// storeLocked inserts (or replaces) the entry for key, stamping it
+// with the fence's tracked data versions, and evicts past the LRU
+// bound. Caller holds c.mu.
 func (c *SubqueryCache) storeLocked(key string, rel *Relation) {
 	if el, ok := c.entries[key]; ok {
 		c.lru.Remove(el)
 		delete(c.entries, key)
 	}
 	e := &sqEntry{key: key, rel: rel}
+	if c.fence != nil {
+		e.srcs = keySources(key)
+		e.versions = c.fence.Versions(e.srcs)
+	}
 	if c.ttl > 0 {
 		e.expires = c.now().Add(c.ttl)
 	}

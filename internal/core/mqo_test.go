@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lusail/internal/endpoint"
+	"lusail/internal/rdf"
 	"lusail/internal/sparql"
 	"lusail/internal/store"
 	"lusail/internal/testfed"
@@ -533,5 +534,104 @@ func TestExecuteBatchPropagatesErrors(t *testing.T) {
 	}
 	if batch[1].Err == nil {
 		t.Error("invalid query succeeded")
+	}
+}
+
+// TTL boundary: an entry is expired AT its expires instant, not one
+// tick after. The lookup predicate is !now.Before(expires) — serving
+// a result at the exact moment its validity window closes would make
+// the window [store, store+ttl] instead of the documented
+// [store, store+ttl).
+func TestSubqueryCacheTTLBoundaryExact(t *testing.T) {
+	c := NewBoundedSubqueryCache(0, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.Store("k", relOf([]sparql.Var{"s"}, b("s", "1")))
+
+	// One nanosecond before the boundary: still valid.
+	now = time.Unix(1000, 0).Add(time.Minute - time.Nanosecond)
+	if _, ok := c.Lookup(context.Background(), "k", false); !ok {
+		t.Fatal("entry expired one tick before its boundary")
+	}
+	// Exactly at the boundary: expired.
+	now = time.Unix(1000, 0).Add(time.Minute)
+	if _, ok := c.Lookup(context.Background(), "k", false); ok {
+		t.Fatal("entry served at its exact expiry instant")
+	}
+	if st := c.Stats(); st.Expirations != 1 || st.Entries != 0 {
+		t.Errorf("stats after boundary expiry = %+v", st)
+	}
+}
+
+// TTL expiry during a waiter retry: a waiter that re-enters the
+// compute loop after its leader failed must not trust an entry that
+// expired while it was blocked. The retry's lookup runs at wake-up
+// time, so an entry stored during the wait but already past its TTL
+// is dropped and recomputed, not served.
+func TestSubqueryCacheTTLExpiresDuringWaiterRetry(t *testing.T) {
+	c := NewBoundedSubqueryCache(0, time.Minute)
+	base := time.Unix(2000, 0)
+	now := base
+	var nowMu sync.Mutex
+	c.now = func() time.Time { nowMu.Lock(); defer nowMu.Unlock(); return now }
+	setNow := func(t time.Time) { nowMu.Lock(); now = t; nowMu.Unlock() }
+
+	joined := make(chan struct{})
+	var joinOnce sync.Once
+	c.onWait = func(string) { joinOnce.Do(func() { close(joined) }) }
+
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", false, func() (*Relation, error) {
+			close(leaderStarted)
+			<-release
+			return nil, errors.New("endpoint down")
+		})
+		leaderDone <- err
+	}()
+	<-leaderStarted
+
+	type waiterResult struct {
+		rel *Relation
+		err error
+	}
+	waiterDone := make(chan waiterResult, 1)
+	recomputed := 0
+	go func() {
+		rel, _, err := c.Do(context.Background(), "k", false, func() (*Relation, error) {
+			recomputed++
+			return relOf([]sparql.Var{"s"}, b("s", "fresh")), nil
+		})
+		waiterDone <- waiterResult{rel, err}
+	}()
+	<-joined
+
+	// While the waiter is blocked: a side channel stores an entry for
+	// the same key, and the clock jumps past that entry's expiry before
+	// the leader fails.
+	c.Store("k", relOf([]sparql.Var{"s"}, b("s", "stale")))
+	setNow(base.Add(2 * time.Minute))
+	close(release)
+
+	if err := <-leaderDone; err == nil {
+		t.Error("leader must surface its own error")
+	}
+	w := <-waiterDone
+	if w.err != nil {
+		t.Fatalf("waiter failed: %v", w.err)
+	}
+	if recomputed != 1 {
+		t.Errorf("waiter recomputed %d times, want 1", recomputed)
+	}
+	if len(w.rel.Rows) != 1 {
+		t.Fatalf("waiter rows = %d, want 1", len(w.rel.Rows))
+	}
+	if got := w.rel.Rows[0]["s"]; got != rdf.IRI("http://ex/fresh") {
+		t.Errorf("waiter served %v, want the fresh recompute (stale entry expired mid-wait)", got)
+	}
+	if st := c.Stats(); st.Expirations != 1 {
+		t.Errorf("expirations = %d, want 1 (the mid-wait entry)", st.Expirations)
 	}
 }

@@ -250,6 +250,12 @@ func (ex *Executor) runStreamed(ctx context.Context, phase1, delayed []*Subquery
 	// only under an absorbing degradation policy; their drop records are
 	// merged into this query's own completeness report.
 	cachedRels := map[*Subquery]*Relation{}
+	// Capture the cache generation before any subquery launches: an
+	// invalidation (version change, /debug/invalidate) that lands while
+	// this query is in flight advances the generation, and StoreAt then
+	// refuses our stores — rows computed before the fence must not be
+	// retained for later queries to replay.
+	cacheGen := sqCache.Gen()
 	if sqCache != nil {
 		for _, sq := range phase1 {
 			if rel, ok := sqCache.Lookup(ctx, SubqueryKey(sq, ex.Endpoints), dg.Active()); ok {
@@ -360,7 +366,7 @@ func (ex *Executor) runStreamed(ctx context.Context, phase1, delayed []*Subquery
 				// consumer could merge. The tail is never materialized
 				// here and is never stored.
 				if st.failed == 0 {
-					sqCache.Store(SubqueryKey(sq, ex.Endpoints), rel)
+					sqCache.StoreAt(cacheGen, SubqueryKey(sq, ex.Endpoints), rel)
 				}
 				doneCh <- sqStreamDone{sq: sq, rel: rel}
 			}

@@ -12,10 +12,12 @@ package endpoint
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"lusail/internal/engine"
+	"lusail/internal/rdf"
 	"lusail/internal/sparql"
 	"lusail/internal/store"
 )
@@ -128,12 +130,26 @@ type Local struct {
 	rows      atomic.Int64
 	bytes     atomic.Int64
 	queryTime atomic.Int64 // nanoseconds
+
+	// dataVersion is the monotonic data version: 1 at creation, bumped
+	// on every applied churn mutation (ApplyChurn) or explicit
+	// BumpDataVersion. The coherence layer fences cached results
+	// against it.
+	dataVersion atomic.Uint64
+	// churnMu serializes mutation batches so concurrent churn keeps
+	// each batch's delete-then-insert atomic relative to other batches
+	// (queries still interleave at store granularity, which is why the
+	// version bumps *after* the whole batch lands: a reader that saw
+	// mid-batch state observes the new version on its next probe).
+	churnMu sync.Mutex
 }
 
 // NewLocal creates an endpoint named name over st with a perfect
 // network link.
 func NewLocal(name string, st *store.Store) *Local {
-	return &Local{name: name, eng: engine.New(st)}
+	l := &Local{name: name, eng: engine.New(st)}
+	l.dataVersion.Store(1)
+	return l
 }
 
 // WithNetwork sets the simulated network profile and returns the
@@ -148,6 +164,40 @@ func (l *Local) Name() string { return l.name }
 
 // Store exposes the underlying store (data loading, tests).
 func (l *Local) Store() *store.Store { return l.eng.Store() }
+
+// DataVersion reports the endpoint's current data version (a probe is
+// free on a local endpoint). Implements DataVersioner.
+func (l *Local) DataVersion(ctx context.Context) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return l.dataVersion.Load(), nil
+}
+
+// BumpDataVersion advances the data version without mutating the
+// store. Used when the store is mutated directly (data loading after
+// serving started, tests).
+func (l *Local) BumpDataVersion() uint64 {
+	return l.dataVersion.Add(1)
+}
+
+// ApplyChurn applies one mutation batch — remove first, then insert —
+// and bumps the data version exactly once. Implements ChurnTarget.
+func (l *Local) ApplyChurn(insert, remove rdf.Graph) {
+	if len(insert) == 0 && len(remove) == 0 {
+		return
+	}
+	l.churnMu.Lock()
+	defer l.churnMu.Unlock()
+	st := l.eng.Store()
+	if len(remove) > 0 {
+		st.RemoveGraph(remove)
+	}
+	if len(insert) > 0 {
+		st.AddGraph(insert)
+	}
+	l.dataVersion.Add(1)
+}
 
 // Query parses and evaluates the query, charging the simulated network
 // cost for the request and its response size. Error responses still

@@ -9,8 +9,26 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lusail/internal/rdf"
 	"lusail/internal/sparql"
 )
+
+// Mutation is one scheduled churn batch: at a trigger point the
+// wrapper deletes Delete from and inserts Insert into the inner
+// endpoint's store (a swap sets both), bumping its data version. A
+// mutation fires when the wrapper has seen AtRequest requests
+// (AtRequest > 0), or when virtual time reaches AtTick (AtTick > 0,
+// advanced by Tick) — whichever is configured; a mutation with both
+// zero never fires. Request-count triggers exercise mid-query churn
+// (a multi-subquery execution mutates under its own feet);
+// tick triggers give the chaos harness churn at deterministic
+// between-query points so an oracle can replay the exact version.
+type Mutation struct {
+	AtRequest int64
+	AtTick    int64
+	Insert    rdf.Graph
+	Delete    rdf.Graph
+}
 
 // FaultConfig configures a Faulty wrapper. All modes compose; the zero
 // value injects nothing and delegates every request.
@@ -52,6 +70,16 @@ type FaultConfig struct {
 	// succeed, and so on — modelling a flapping endpoint.
 	FlapDownFor int
 	FlapUpFor   int
+	// HangRate in [0,1] hangs each request until its context is
+	// cancelled with this probability, drawn from the same seeded rng
+	// as ErrorRate. Unlike Hang, a retried request re-rolls, so a
+	// per-attempt timeout plus retries recovers — the chaos harness
+	// uses this to exercise hang recovery without wedging forever.
+	HangRate float64
+	// Mutations are churn batches applied to the inner endpoint's data
+	// (via ChurnTarget) at their trigger points. Applied at most once
+	// each, in slice order when several come due together.
+	Mutations []Mutation
 }
 
 // Faulty is a first-class fault-injection endpoint wrapper: it
@@ -63,20 +91,28 @@ type Faulty struct {
 	Inner Endpoint
 	cfg   FaultConfig
 
-	mu   sync.Mutex
-	rng  *rand.Rand
-	seen int64
+	// mu guards every mutable injection decision: the rng (all rolls),
+	// the request counter (also the flap position, derived from it),
+	// virtual time, and the mutation cursor. Counters that are only
+	// ever read as totals (injected/completed/churned) are atomics.
+	mu         sync.Mutex
+	rng        *rand.Rand
+	seen       int64
+	tick       int64
+	mutApplied []bool
 
 	injected  atomic.Int64
 	completed atomic.Int64
+	churned   atomic.Int64
 }
 
 // NewFaulty wraps inner with deterministic fault injection.
 func NewFaulty(inner Endpoint, cfg FaultConfig) *Faulty {
 	return &Faulty{
-		Inner: inner,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		Inner:      inner,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		mutApplied: make([]bool, len(cfg.Mutations)),
 	}
 }
 
@@ -99,15 +135,59 @@ func (f *Faulty) Injected() int64 { return f.injected.Load() }
 // fault.
 func (f *Faulty) Completed() int64 { return f.completed.Load() }
 
+// Churned reports how many scheduled mutations have been applied.
+func (f *Faulty) Churned() int64 { return f.churned.Load() }
+
+// Tick advances the wrapper's virtual time to t (monotonic; earlier
+// values are ignored) and applies any tick-triggered mutations that
+// came due. The chaos harness calls this between queries.
+func (f *Faulty) Tick(t int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if t > f.tick {
+		f.tick = t
+	}
+	f.applyDueLocked()
+}
+
+// applyDueLocked applies, in order, every not-yet-applied mutation
+// whose request-count or tick trigger has been reached. Caller holds
+// f.mu. Churn lands on the first ChurnTarget down the decorator
+// chain; when none exists the mutation is consumed without effect.
+func (f *Faulty) applyDueLocked() {
+	for i, m := range f.cfg.Mutations {
+		if f.mutApplied[i] {
+			continue
+		}
+		due := (m.AtRequest > 0 && f.seen >= m.AtRequest) ||
+			(m.AtTick > 0 && f.tick >= m.AtTick)
+		if !due {
+			continue
+		}
+		f.mutApplied[i] = true
+		if ct := churnTargetOf(f.Inner); ct != nil {
+			ct.ApplyChurn(m.Insert, m.Delete)
+		}
+		f.churned.Add(1)
+	}
+}
+
 // Query injects faults per the configuration, delegating otherwise.
 func (f *Faulty) Query(ctx context.Context, query string) (*sparql.Results, error) {
 	f.mu.Lock()
 	f.seen++
 	n := f.seen
-	roll := 0.0
+	roll, hangRoll := 0.0, 0.0
 	if f.cfg.ErrorRate > 0 {
 		roll = f.rng.Float64()
 	}
+	if f.cfg.HangRate > 0 {
+		hangRoll = f.rng.Float64()
+	}
+	// Request-count churn fires before the request is served: the
+	// n-th request already sees the mutated data (and the bumped
+	// version), like a write that landed just ahead of it.
+	f.applyDueLocked()
 	f.mu.Unlock()
 
 	if f.cfg.Down {
@@ -129,7 +209,8 @@ func (f *Faulty) Query(ctx context.Context, query string) (*sparql.Results, erro
 		return nil, &HTTPError{Endpoint: f.Name(), Status: status, Body: fmt.Sprintf(
 			"request of %d bytes exceeds limit %d", len(query), f.cfg.MaxRequestBytes)}
 	}
-	if f.cfg.Hang || (f.cfg.HangOn != "" && strings.Contains(query, f.cfg.HangOn)) {
+	if f.cfg.Hang || (f.cfg.HangOn != "" && strings.Contains(query, f.cfg.HangOn)) ||
+		(f.cfg.HangRate > 0 && hangRoll < f.cfg.HangRate) {
 		f.injected.Add(1)
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -171,6 +252,17 @@ func (f *Faulty) Stats() Stats {
 func (f *Faulty) ResetStats() {
 	if ss, ok := f.Inner.(StatsSource); ok {
 		ss.ResetStats()
+	}
+}
+
+// TickAll advances virtual time on every Faulty wrapper in eps (other
+// endpoints are skipped). The chaos harness calls it between queries
+// so tick-scheduled churn lands at deterministic points.
+func TickAll(eps []Endpoint, t int64) {
+	for _, ep := range eps {
+		if f, ok := ep.(*Faulty); ok {
+			f.Tick(t)
+		}
 	}
 }
 

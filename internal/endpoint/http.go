@@ -10,6 +10,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,19 @@ const DefaultMaxRequestBytes = 4 << 20
 // errBodyTooLarge reports a gzip request body that inflated past the
 // configured cap.
 var errBodyTooLarge = errors.New("request body too large")
+
+// DataVersionHeader is the ETag-style response header carrying the
+// endpoint's monotonic data version. The handler stamps it on every
+// query response (the version the results were computed against, read
+// before evaluation so a concurrent mutation can only make the stamp
+// conservative) and on HEAD responses, which serve as the cheap
+// version probe.
+const DataVersionHeader = "X-Lusail-Data-Version"
+
+// ErrNoDataVersion reports a reachable endpoint that does not expose
+// a data version (e.g. an HTTP endpoint not served by lusail). The
+// coherence layer treats it as "unverifiable", not as a probe failure.
+var ErrNoDataVersion = errors.New("endpoint exposes no data version")
 
 // HandlerConfig tunes the SPARQL protocol handler.
 type HandlerConfig struct {
@@ -83,10 +97,17 @@ func HandlerWithConfig(l *Local, cfg HandlerConfig) http.Handler {
 		if log == nil {
 			log = slog.Default()
 		}
+		if r.Method == http.MethodHead {
+			// The version probe: HEAD answers with just the data-version
+			// header, costing no query evaluation.
+			w.Header().Set(DataVersionHeader, strconv.FormatUint(l.dataVersion.Load(), 10))
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
 		if r.Method != http.MethodGet && r.Method != http.MethodPost {
 			// RFC 9110 requires Allow on 405 responses so clients can
 			// discover the supported methods.
-			w.Header().Set("Allow", "GET, POST")
+			w.Header().Set("Allow", "GET, POST, HEAD")
 			http.Error(w, fmt.Sprintf("method %s not allowed", r.Method), http.StatusMethodNotAllowed)
 			return
 		}
@@ -131,6 +152,10 @@ func HandlerWithConfig(l *Local, cfg HandlerConfig) http.Handler {
 				cfg.TraceSink.ExportTrace(tr)
 			}()
 		}
+		// Read the version before evaluating: if churn lands mid-query
+		// the stamp is older than the data some rows saw, which only
+		// makes the client-side fence more conservative, never less.
+		dataVersion := l.dataVersion.Load()
 		res, err := l.Query(ctx, query)
 		if err != nil {
 			root.Set("error", err.Error())
@@ -147,6 +172,7 @@ func HandlerWithConfig(l *Local, cfg HandlerConfig) http.Handler {
 			return
 		}
 		root.Set("rows", int64(res.Len()))
+		w.Header().Set(DataVersionHeader, strconv.FormatUint(dataVersion, 10))
 		// Content negotiation between the two standard result formats;
 		// JSON is the default.
 		if strings.Contains(r.Header.Get("Accept"), "application/sparql-results+xml") {
@@ -264,6 +290,11 @@ type HTTPEndpoint struct {
 	requests atomic.Int64
 	rows     atomic.Int64
 	bytes    atomic.Int64
+
+	// lastVersion caches the newest data version seen on any response
+	// header (piggybacked on query responses, refreshed by probes);
+	// zero means no version has been observed yet.
+	lastVersion atomic.Uint64
 }
 
 // HTTPOption customizes an HTTPEndpoint.
@@ -383,6 +414,7 @@ func (h *HTTPEndpoint) Query(ctx context.Context, query string) (*sparql.Results
 		// (server-side, retryable) vs 4xx (permanent).
 		return nil, &HTTPError{Endpoint: h.name, Status: resp.StatusCode, Body: strings.TrimSpace(string(body))}
 	}
+	h.noteVersion(resp.Header)
 	res, err := sparql.DecodeJSON(resp.Body)
 	if err != nil {
 		return nil, fmt.Errorf("endpoint %s: %w", h.name, err)
@@ -395,6 +427,67 @@ func (h *HTTPEndpoint) Query(ctx context.Context, query string) (*sparql.Results
 	h.rows.Add(int64(res.Len()))
 	h.bytes.Add(res.ApproxWireBytes())
 	return res, nil
+}
+
+// noteVersion records a data-version response header when present and
+// newer than the cached one (versions are monotonic, so max-merge is
+// safe under concurrent responses).
+func (h *HTTPEndpoint) noteVersion(hdr http.Header) {
+	raw := hdr.Get(DataVersionHeader)
+	if raw == "" {
+		return
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := h.lastVersion.Load()
+		if v <= cur || h.lastVersion.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// LastSeenDataVersion reports the newest data version piggybacked on
+// any response so far; ok is false before the first versioned
+// response.
+func (h *HTTPEndpoint) LastSeenDataVersion() (v uint64, ok bool) {
+	v = h.lastVersion.Load()
+	return v, v != 0
+}
+
+// DataVersion probes the endpoint's current data version with a HEAD
+// request (the server answers from an atomic counter — no query
+// evaluation). Implements DataVersioner. Returns ErrNoDataVersion when
+// the server answers but exposes no version header.
+func (h *HTTPEndpoint) DataVersion(ctx context.Context) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, h.url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		return 0, Transient(fmt.Errorf("endpoint %s: version probe: %w", h.name, err))
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return 0, &HTTPError{Endpoint: h.name, Status: resp.StatusCode, Body: "version probe"}
+	}
+	raw := resp.Header.Get(DataVersionHeader)
+	if raw == "" {
+		return 0, fmt.Errorf("endpoint %s: %w", h.name, ErrNoDataVersion)
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("endpoint %s: malformed data version %q: %v", h.name, raw, err)
+	}
+	h.noteVersion(resp.Header)
+	return v, nil
 }
 
 // Stats returns the client-side counters.

@@ -35,8 +35,8 @@ func TestHandlerMethodNotAllowed(t *testing.T) {
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Errorf("%s: status = %d, want 405", method, resp.StatusCode)
 		}
-		if allow := resp.Header.Get("Allow"); allow != "GET, POST" {
-			t.Errorf("%s: Allow = %q, want \"GET, POST\"", method, allow)
+		if allow := resp.Header.Get("Allow"); allow != "GET, POST, HEAD" {
+			t.Errorf("%s: Allow = %q, want \"GET, POST, HEAD\"", method, allow)
 		}
 	}
 }

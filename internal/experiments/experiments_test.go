@@ -83,7 +83,7 @@ func TestRunTimeout(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "prep", "fig3", "fig9", "fig10a", "fig10bc",
 		"fig11", "fig12", "fig13", "fig14", "bio", "ablade", "absape", "mqo", "scale",
-		"faults", "degrade", "workload", "all"}
+		"faults", "degrade", "workload", "chaos", "all"}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
 			t.Errorf("experiment %q missing from registry", id)

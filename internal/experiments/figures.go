@@ -475,6 +475,7 @@ var Registry = map[string]func(io.Writer, Options) error{
 	"mqo":      MQO,
 	"scale":    Scale,
 	"faults":   FaultSweep,
+	"chaos":    Chaos,
 	"degrade":  DegradeSweep,
 	"workload": WorkloadReplay,
 	"all":      All,

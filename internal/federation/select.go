@@ -41,6 +41,11 @@ func PatternSig(tp sparql.TriplePattern) string {
 type AskCache struct {
 	mu sync.RWMutex
 	m  map[string]bool
+	// gen fences in-flight stores: Clear and InvalidateEndpoint advance
+	// it, and PutAt refuses a verdict whose probe was launched (gen
+	// captured) before the invalidation — it may reflect
+	// pre-invalidation data.
+	gen uint64
 
 	// Counters are atomics so Get can stay on the read lock.
 	hits, misses int64
@@ -77,6 +82,33 @@ func (c *AskCache) Put(ep, sig string, val bool) {
 	c.m[c.key(ep, sig)] = val
 }
 
+// Gen returns the cache's invalidation generation. Callers capture it
+// before launching the probes whose verdicts they will store, and
+// store through PutAt.
+func (c *AskCache) Gen() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen
+}
+
+// PutAt stores an ASK result unless the cache was cleared or
+// invalidated since the caller captured gen: a verdict probed before
+// the invalidation may describe data that no longer exists.
+func (c *AskCache) PutAt(gen uint64, ep, sig string, val bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
+	c.m[c.key(ep, sig)] = val
+}
+
 // Len reports the number of cached entries.
 func (c *AskCache) Len() int {
 	c.mu.RLock()
@@ -92,6 +124,7 @@ func (c *AskCache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m = make(map[string]bool)
+	c.gen++
 }
 
 // InvalidateEndpoint drops every cached ASK verdict for the named
@@ -108,6 +141,7 @@ func (c *AskCache) InvalidateEndpoint(name string) {
 			delete(c.m, k)
 		}
 	}
+	c.gen++
 }
 
 // Stats snapshots the cache's counters.
@@ -220,6 +254,9 @@ func (s *Selector) SelectPatterns(ctx context.Context, patterns []sparql.TripleP
 		pattern int
 		ep      int
 	}
+	// Capture the cache generation before launching probes: an
+	// invalidation racing this selection fences the stores below.
+	cacheGen := s.Cache.Gen()
 	var tasks []Task
 	var probes []probe
 	for pi, tp := range patterns {
@@ -266,7 +303,7 @@ func (s *Selector) SelectPatterns(ctx context.Context, patterns []sparql.TripleP
 			return nil, fmt.Errorf("source selection at %s: %w", tr.Task.EP.Name(), tr.Err)
 		}
 		val := tr.Res.Ask
-		s.Cache.Put(s.Endpoints[pr.ep].Name(), PatternSig(patterns[pr.pattern]), val)
+		s.Cache.PutAt(cacheGen, s.Endpoints[pr.ep].Name(), PatternSig(patterns[pr.pattern]), val)
 		if val {
 			sel.Sources[pr.pattern] = append(sel.Sources[pr.pattern], pr.ep)
 		}

@@ -171,6 +171,46 @@ func RegisterCaches(r *Registry, snapshot func() []core.CacheStatEntry) {
 	})
 }
 
+// RegisterCoherence exposes the cache-coherence fence: each endpoint's
+// tracked monotonic data version (lusail_endpoint_data_version), the
+// probe/change counters, and the staleness counters — entries rejected
+// by the fence and entries served stale (non-zero only in observe-only
+// mode, where the fence counts instead of rejecting).
+func RegisterCoherence(r *Registry, snapshot func() core.CoherenceStats) {
+	r.RegisterCollector(func() []Family {
+		st := snapshot()
+		version := Family{Name: "lusail_endpoint_data_version",
+			Help: "Monotonic data version tracked per endpoint (0 until first probe; absent series for endpoints exposing no version).",
+			Kind: "gauge"}
+		for _, ep := range st.Endpoints {
+			if !ep.Versioned {
+				continue
+			}
+			version.Samples = append(version.Samples, Sample{
+				Labels: []Label{L("endpoint", ep.Name)},
+				Value:  float64(ep.Version),
+			})
+		}
+		single := func(name, help, kind string, v int64) Family {
+			return Family{Name: name, Help: help, Kind: kind,
+				Samples: []Sample{{Value: float64(v)}}}
+		}
+		return []Family{
+			version,
+			single("lusail_coherence_probes_total",
+				"Data-version probes issued by the coherence fence.", "counter", st.Probes),
+			single("lusail_coherence_probe_errors_total",
+				"Data-version probes that failed (endpoint unreachable).", "counter", st.ProbeErrors),
+			single("lusail_coherence_changes_total",
+				"Endpoint data-version changes detected by the fence.", "counter", st.Changes),
+			single("lusail_cache_stale_served_total",
+				"Cache entries served despite stale data-version stamps (observe-only fence).", "counter", st.StaleServed),
+			single("lusail_cache_fenced_total",
+				"Cache entries rejected at lookup by the data-version fence.", "counter", st.Fenced),
+		}
+	})
+}
+
 // RegisterInFlight exposes the federation's live pool depth: remote
 // requests currently on the wire across the engine's request handlers.
 func RegisterInFlight(r *Registry, depth func() int64) {

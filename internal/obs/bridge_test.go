@@ -235,3 +235,41 @@ func TestBridgesConcurrentScrape(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// The coherence bridge exposes the per-endpoint data-version gauge
+// (versioned endpoints only) and the fence's probe/staleness counters.
+func TestRegisterCoherenceProjection(t *testing.T) {
+	r := NewRegistry()
+	RegisterCoherence(r, func() core.CoherenceStats {
+		return core.CoherenceStats{
+			Endpoints: []core.EndpointVersion{
+				{Name: "EP1", Version: 7, Versioned: true},
+				{Name: "EP2", Version: 3, Versioned: true},
+				{Name: "opaque", Versioned: false}, // no series
+			},
+			Probes:      40,
+			ProbeErrors: 2,
+			Changes:     5,
+			StaleServed: 11,
+			Fenced:      4,
+		}
+	})
+
+	out := expo(t, r)
+	for _, want := range []string{
+		`lusail_endpoint_data_version{endpoint="EP1"} 7`,
+		`lusail_endpoint_data_version{endpoint="EP2"} 3`,
+		`lusail_coherence_probes_total 40`,
+		`lusail_coherence_probe_errors_total 2`,
+		`lusail_coherence_changes_total 5`,
+		`lusail_cache_stale_served_total 11`,
+		`lusail_cache_fenced_total 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `lusail_endpoint_data_version{endpoint="opaque"}`) {
+		t.Error("version-less endpoint must expose no data-version series")
+	}
+}

@@ -1,0 +1,73 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse drives the SPARQL parser with mutated inputs. The
+// invariants are crash-freedom plus a round-trip property: Parse must
+// never panic, and when it accepts an input, serializing the query
+// (String) must not panic and must re-parse to an equally serialized
+// query — the serialized form is a fixpoint.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Shapes from the paper's running examples and LUBM workload.
+		`SELECT ?s WHERE { ?s <http://ex/p> ?o }`,
+		`SELECT ?S ?P ?U ?A WHERE {
+			?S <http://ex/advisor> ?P .
+			?S <http://ex/takesCourse> ?C .
+			?P <http://ex/teacherOf> ?C .
+			?P <http://ex/PhDDegreeFrom> ?U .
+			?U <http://ex/address> ?A .
+		}`,
+		`SELECT DISTINCT ?x WHERE { ?x a <http://ex/GraduateStudent> } ORDER BY ?x LIMIT 10 OFFSET 2`,
+		`ASK { ?s ?p ?o }`,
+		`SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o }`,
+		`SELECT * WHERE { ?s ?p ?o . FILTER (?o > 3 && ?o != 7) }`,
+		`SELECT ?s WHERE { ?s ?p ?o . FILTER NOT EXISTS { ?s <http://ex/q> ?z } }`,
+		`SELECT ?s WHERE { VALUES ?s { <http://ex/a> <http://ex/b> } ?s ?p ?o }`,
+		`SELECT ?s WHERE { ?s ?p "lit with \" escape" }`,
+		`SELECT ?s WHERE { ?s ?p "typed"^^<http://www.w3.org/2001/XMLSchema#string> }`,
+		`SELECT ?s WHERE { ?s ?p "tagged"@en }`,
+		`PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:p ex:o }`,
+		// Degenerate and hostile shapes.
+		``,
+		`SELECT`,
+		`SELECT ?s WHERE {`,
+		`SELECT ?s WHERE { ?s ?p ?o `,
+		`SELECT ?s WHERE { ?s ?p ?o } LIMIT -1`,
+		`SELECT ?s WHERE { ?s ?p "unterminated }`,
+		`SELECT ?s WHERE { ?s <no-close ?o }`,
+		"SELECT ?s WHERE { ?s ?p \x00 }",
+		strings.Repeat("{", 50),
+		`SELECT ?s WHERE { ?s ?p ?o . FILTER (((((?o)))))`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if q == nil {
+			t.Fatalf("Parse(%q) returned nil query with nil error", input)
+		}
+		s1 := q.String()
+		if !utf8.ValidString(input) {
+			// A query that survived parsing with broken UTF-8 embedded in
+			// a literal may serialize to broken UTF-8 too; the fixpoint
+			// property below only holds for valid text.
+			return
+		}
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("serialized form does not re-parse:\ninput: %q\nserialized: %q\nerr: %v", input, s1, err)
+		}
+		if s2 := q2.String(); s2 != s1 {
+			t.Fatalf("serialization is not a fixpoint:\ninput: %q\nfirst: %q\nsecond: %q", input, s1, s2)
+		}
+	})
+}

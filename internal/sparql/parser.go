@@ -416,6 +416,9 @@ func (p *parser) resolvePName(pname string) (rdf.Term, error) {
 		return rdf.Term{}, fmt.Errorf("sparql: blank nodes in query patterns are not supported; use a variable")
 	}
 	i := strings.IndexByte(pname, ':')
+	if i < 0 {
+		return rdf.Term{}, fmt.Errorf("sparql: expected a prefixed name, found %q", pname)
+	}
 	prefix, local := pname[:i], pname[i+1:]
 	base, ok := p.prefixes[prefix]
 	if !ok {

@@ -24,7 +24,8 @@ type Store struct {
 	terms []rdf.Term
 
 	triples []encTriple
-	set     map[encTriple]struct{}
+	set     map[encTriple]int32 // triple -> position in triples
+	dead    map[int32]struct{}  // removed positions (slots stay, lists don't)
 
 	sIdx map[id][]int32 // subject -> triple positions
 	pIdx map[id][]int32 // predicate -> triple positions
@@ -49,7 +50,8 @@ type PredicateStats struct {
 func New() *Store {
 	return &Store{
 		dict: make(map[rdf.Term]id),
-		set:  make(map[encTriple]struct{}),
+		set:  make(map[encTriple]int32),
+		dead: make(map[int32]struct{}),
 		sIdx: make(map[id][]int32),
 		pIdx: make(map[id][]int32),
 		oIdx: make(map[id][]int32),
@@ -96,7 +98,7 @@ func (st *Store) addLocked(t rdf.Triple) {
 	}
 	pos := int32(len(st.triples))
 	st.triples = append(st.triples, et)
-	st.set[et] = struct{}{}
+	st.set[et] = pos
 	st.sIdx[et.s] = append(st.sIdx[et.s], pos)
 	st.pIdx[et.p] = append(st.pIdx[et.p], pos)
 	st.oIdx[et.o] = append(st.oIdx[et.o], pos)
@@ -105,11 +107,79 @@ func (st *Store) addLocked(t rdf.Triple) {
 	st.statsMu.Unlock()
 }
 
+// Remove deletes a triple; absent triples are ignored. The reverse of
+// Add, so endpoints whose data churns mid-run (insert/delete batches)
+// stay queryable without a rebuild. Reports whether the triple was
+// present.
+func (st *Store) Remove(t rdf.Triple) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.removeLocked(t)
+}
+
+// RemoveGraph deletes all triples of g, reporting how many were
+// present.
+func (st *Store) RemoveGraph(g rdf.Graph) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, t := range g {
+		if st.removeLocked(t) {
+			n++
+		}
+	}
+	return n
+}
+
+func (st *Store) removeLocked(t rdf.Triple) bool {
+	s, ok := st.dict[t.S]
+	if !ok {
+		return false
+	}
+	p, ok := st.dict[t.P]
+	if !ok {
+		return false
+	}
+	o, ok := st.dict[t.O]
+	if !ok {
+		return false
+	}
+	et := encTriple{s, p, o}
+	pos, ok := st.set[et]
+	if !ok {
+		return false
+	}
+	delete(st.set, et)
+	// The slot in triples stays (other positions would shift otherwise);
+	// the posting lists and the dead set are the source of truth.
+	st.dead[pos] = struct{}{}
+	st.sIdx[et.s] = removePos(st.sIdx[et.s], pos)
+	st.pIdx[et.p] = removePos(st.pIdx[et.p], pos)
+	st.oIdx[et.o] = removePos(st.oIdx[et.o], pos)
+	if len(st.pIdx[et.p]) == 0 {
+		delete(st.pIdx, et.p) // Predicates() must not list extinct predicates
+	}
+	st.statsMu.Lock()
+	st.stats = nil // invalidate cached statistics
+	st.statsMu.Unlock()
+	return true
+}
+
+// removePos drops one position from a posting list, preserving order.
+func removePos(list []int32, pos int32) []int32 {
+	for i, p := range list {
+		if p == pos {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
 // Len returns the number of distinct triples.
 func (st *Store) Len() int {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return len(st.triples)
+	return len(st.set)
 }
 
 // Contains reports membership of an exact triple.
@@ -186,7 +256,10 @@ func (st *Store) ForEachMatch(s, p, o rdf.Term, fn func(rdf.Triple) bool) {
 	case !pw:
 		list = st.pIdx[pi]
 	default:
-		for _, et := range st.triples {
+		for pos, et := range st.triples {
+			if _, gone := st.dead[int32(pos)]; gone {
+				continue
+			}
 			if !fn(st.decode(et)) {
 				return
 			}
@@ -226,7 +299,7 @@ func (st *Store) CountMatch(s, p, o rdf.Term) int {
 	}
 	switch {
 	case sw && pw && ow:
-		n := len(st.triples)
+		n := len(st.set)
 		st.mu.RUnlock()
 		return n
 	case sw && !pw && ow:
@@ -259,7 +332,7 @@ func (st *Store) EstimateMatch(s, p, o rdf.Term) int {
 	if !sok || !pok || !ook {
 		return 0
 	}
-	est := len(st.triples)
+	est := len(st.set)
 	if !sw && len(st.sIdx[si]) < est {
 		est = len(st.sIdx[si])
 	}
@@ -378,8 +451,11 @@ func (st *Store) Authorities(p rdf.Term, objects bool) map[string]struct{} {
 func (st *Store) Triples() rdf.Graph {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	g := make(rdf.Graph, 0, len(st.triples))
-	for _, et := range st.triples {
+	g := make(rdf.Graph, 0, len(st.set))
+	for pos, et := range st.triples {
+		if _, gone := st.dead[int32(pos)]; gone {
+			continue
+		}
 		g = append(g, st.decode(et))
 	}
 	return g

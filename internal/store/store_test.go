@@ -228,3 +228,90 @@ func TestQuickMatchAgainstNaive(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRemoveEdgeCases(t *testing.T) {
+	st := sampleStore()
+	var zero rdf.Term
+	n := st.Len()
+	present := rdf.T(iri("s1"), iri("p1"), iri("o1"))
+
+	// Removing an absent triple (all terms known but combination never
+	// added, or a term the store has never seen) is a no-op.
+	if st.Remove(rdf.T(iri("s2"), iri("p1"), iri("o2"))) {
+		t.Error("removed a never-added combination of known terms")
+	}
+	if st.Remove(rdf.T(iri("ghost"), iri("p1"), iri("o1"))) {
+		t.Error("removed a triple with an unknown subject")
+	}
+	if st.Len() != n {
+		t.Fatalf("no-op removes changed Len: %d -> %d", n, st.Len())
+	}
+
+	if !st.Remove(present) {
+		t.Fatal("failed to remove a present triple")
+	}
+	if st.Contains(present) || st.Len() != n-1 {
+		t.Fatalf("triple still visible after remove: contains=%v len=%d", st.Contains(present), st.Len())
+	}
+	// Double remove reports absence.
+	if st.Remove(present) {
+		t.Error("second remove of the same triple reported success")
+	}
+	// Every access path agrees the triple is gone.
+	if c := st.CountMatch(present.S, present.P, present.O); c != 0 {
+		t.Errorf("CountMatch on removed triple = %d", c)
+	}
+	if got := st.Match(iri("s1"), iri("p1"), zero); len(got) != 1 {
+		t.Errorf("s1/p1 rows after remove = %d, want 1", len(got))
+	}
+
+	// Re-adding after removal fully restores visibility.
+	st.Add(present)
+	if !st.Contains(present) || st.Len() != n {
+		t.Fatalf("re-add after remove: contains=%v len=%d want %d", st.Contains(present), st.Len(), n)
+	}
+	if c := st.CountMatch(present.S, present.P, zero); c != 2 {
+		t.Errorf("CountMatch after re-add = %d, want 2", c)
+	}
+}
+
+func TestRemoveGraphCountsPresentOnly(t *testing.T) {
+	st := sampleStore()
+	n := st.Len()
+	g := rdf.Graph{
+		rdf.T(iri("s1"), iri("p1"), iri("o1")),
+		rdf.T(iri("s1"), iri("p1"), iri("o1")), // duplicate: counted once
+		rdf.T(iri("nope"), iri("p1"), iri("o1")),
+		rdf.T(iri("s2"), iri("p2"), rdf.Literal("v")),
+	}
+	if got := st.RemoveGraph(g); got != 2 {
+		t.Errorf("RemoveGraph = %d, want 2 (one duplicate, one absent)", got)
+	}
+	if st.Len() != n-2 {
+		t.Errorf("Len after RemoveGraph = %d, want %d", st.Len(), n-2)
+	}
+}
+
+// Removing a predicate's last triple must retire the predicate from
+// Predicates() and its stats, and removal must invalidate the cached
+// statistics that planners consume.
+func TestRemoveRetiresPredicate(t *testing.T) {
+	st := sampleStore()
+	var zero rdf.Term
+	if st.CountMatch(zero, iri("p2"), zero) != 2 {
+		t.Fatal("fixture changed")
+	}
+	st.Remove(rdf.T(iri("s1"), iri("p2"), iri("o1")))
+	st.Remove(rdf.T(iri("s2"), iri("p2"), rdf.Literal("v")))
+	for _, p := range st.Predicates() {
+		if p == iri("p2") {
+			t.Error("extinct predicate still listed")
+		}
+	}
+	if ps := st.PredicateStats(iri("p2")); ps != nil && ps.Triples != 0 {
+		t.Errorf("extinct predicate stats = %+v", ps)
+	}
+	if c := st.EstimateMatch(zero, iri("p2"), zero); c != 0 {
+		t.Errorf("EstimateMatch on extinct predicate = %d", c)
+	}
+}

@@ -119,6 +119,35 @@ func WithSubqueryCache(entries int, ttl time.Duration) Option {
 	}
 }
 
+// WithCoherenceWindow sets how long a coherence probe result stays
+// trusted (default 0: every query re-probes). The coherence fence
+// tracks each endpoint's monotonic data version and drops cached state
+// — subquery results, ASK / check / COUNT probe outcomes — sourced
+// from an endpoint whose data changed; a larger window amortizes the
+// probe cost over more queries at the price of bounded staleness (at
+// most window old).
+func WithCoherenceWindow(d time.Duration) Option {
+	return func(c *core.Config) { c.CoherenceWindow = d }
+}
+
+// WithCoherenceObserve switches the coherence fence to observe-only
+// mode: stale cache entries are served (and counted in
+// lusail_cache_stale_served_total, with the stale sources re-charged
+// to the query's Completeness report) instead of being invalidated.
+// Useful for measuring how much staleness a workload would see before
+// turning enforcement on, and by the chaos harness to prove the
+// oracle detects stale rows.
+func WithCoherenceObserve() Option {
+	return func(c *core.Config) { c.CoherenceObserveOnly = true }
+}
+
+// WithoutCoherence disables data-version probing entirely: cached
+// entries are reused until TTL, LRU, or explicit invalidation removes
+// them, exactly the pre-coherence behavior.
+func WithoutCoherence() Option {
+	return func(c *core.Config) { c.DisableCoherence = true }
+}
+
 // WithInstrumentation wraps every endpoint in a latency-histogram
 // decorator so EndpointStats reports per-endpoint request counts,
 // error counts, and latency quantiles.
@@ -375,6 +404,37 @@ func (f *Federation) InvalidateEndpointCaches(name string) {
 	f.engine.InvalidateEndpointCaches(name)
 }
 
+// CoherenceStats snapshots the cache-coherence fence: per-endpoint
+// tracked data versions plus probe, change, fenced, and stale-served
+// counters. Zero-valued when the federation was built
+// WithoutCoherence.
+type CoherenceStats = core.CoherenceStats
+
+// EndpointVersion is one endpoint's tracked data version.
+type EndpointVersion = core.EndpointVersion
+
+// Staleness verdicts reported in Metrics.Staleness: how fresh the
+// cached state consulted by the query was guaranteed to be.
+const (
+	// StalenessFresh: no cached state was reusable (caches disabled or
+	// cleared), so every answer came from live endpoint data.
+	StalenessFresh = core.StalenessFresh
+	// StalenessBounded: the coherence fence enforced data-version
+	// stamps, so any reused entry matched an endpoint version at most
+	// one probe window old.
+	StalenessBounded = core.StalenessBounded
+	// StalenessUnverified: some endpoints expose no data version, so
+	// entries sourced from them cannot be fenced.
+	StalenessUnverified = core.StalenessUnverified
+	// StalenessUnfenced: the fence is observing only (or disabled);
+	// stale entries may have been served.
+	StalenessUnfenced = core.StalenessUnfenced
+)
+
+// CoherenceStats reports the coherence fence's per-endpoint tracked
+// data versions and cumulative probe/staleness counters.
+func (f *Federation) CoherenceStats() CoherenceStats { return f.engine.CoherenceStats() }
+
 // RegisterMetrics bridges the federation's live state into reg:
 // per-endpoint request/error/latency families, circuit-breaker state
 // gauges, and the in-flight pool-depth gauge. Values are read at
@@ -384,6 +444,7 @@ func (f *Federation) RegisterMetrics(reg *MetricsRegistry) {
 	obs.RegisterBreakers(reg, f.BreakerStates)
 	obs.RegisterInFlight(reg, f.InFlight)
 	obs.RegisterCaches(reg, f.CacheStats)
+	obs.RegisterCoherence(reg, f.CoherenceStats)
 }
 
 // TraceSink receives completed query traces for export. The obs layer
