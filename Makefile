@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify lint fmt-check bench bench-all bench-compare bench-baseline trace-smoke server-smoke degrade-smoke stream-smoke workload-smoke chaos-smoke fuzz-short
+.PHONY: all build vet test race verify lint fmt-check bench bench-all bench-compare bench-baseline trace-smoke server-smoke degrade-smoke stream-smoke workload-smoke chaos-smoke stats-smoke fuzz-short
 
 # Packages with microbenchmarks, gated by bench-compare.
 BENCH_PKGS = ./internal/core/ ./internal/sparql/ ./internal/engine/ ./internal/store/
@@ -21,7 +21,7 @@ test:
 # handler, the executor's fail-fast paths, the resilient decorator,
 # the metrics registry, and the server daemon.
 race:
-	$(GO) test -race ./internal/federation/... ./internal/core/... ./internal/endpoint/... ./internal/obs/... ./cmd/lusail-server/...
+	$(GO) test -race ./internal/federation/... ./internal/core/... ./internal/endpoint/... ./internal/obs/... ./internal/stats/... ./cmd/lusail-server/...
 
 verify: build vet test race
 
@@ -117,6 +117,19 @@ chaos-smoke:
 	echo "$$out" | grep -q "chaos observe verdict: PASS" || \
 	  { echo "chaos smoke FAILED: observe control missing"; echo "$$out"; exit 1; }; \
 	echo "chaos smoke OK"
+
+# Statistics smoke: run the offline-statistics replay under the race
+# detector. The warm pass with harvested summaries must plan with zero
+# endpoint probes, and calibration must strictly lower the median
+# estimate q-error over the raw summaries.
+stats-smoke:
+	@out=$$($(GO) run -race ./cmd/lusail-bench -exp stats) || \
+	  { echo "stats smoke FAILED"; echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q "stats verdict: PASS — warm-pass plan requests: 0" || \
+	  { echo "stats smoke FAILED: warm-pass verdict missing"; echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q "calibration verdict: PASS" || \
+	  { echo "stats smoke FAILED: calibration verdict missing"; echo "$$out"; exit 1; }; \
+	echo "stats smoke OK"
 
 # Short native-fuzz pass over the SPARQL parser (seed corpus plus a
 # few seconds of mutation); CI runs this on every push.

@@ -5,9 +5,9 @@
 //
 // Available experiments: table1, prep, fig3, fig9, fig10a, fig10bc,
 // fig11, fig12, fig13, fig14, bio, ablade, absape, mqo, scale,
-// faults, all. Each prints the rows/series the corresponding figure
-// or table reports; see EXPERIMENTS.md for the mapping and expected
-// shapes.
+// faults, degrade, workload, chaos, stats, all. Each prints the
+// rows/series the corresponding figure or table reports; see
+// EXPERIMENTS.md for the mapping and expected shapes.
 //
 // Observability modes (run instead of -exp when set):
 //

@@ -12,6 +12,7 @@
 //	/debug/queries  recent + slow queries (slow ones with rendered span trees and trace IDs), JSON
 //	/debug/slo      SLO burn-rate snapshot (availability + latency objectives, fast/slow windows), JSON
 //	/debug/invalidate  POST drops the engine caches (endpoint=<name> scopes to one endpoint)
+//	/debug/stats    statistics-service snapshot as JSON (POST re-harvests; with -stats)
 //	/debug/pprof/   net/http/pprof (with -pprof)
 //
 // With -otlp-endpoint, every query records a W3C-identified span tree:
@@ -83,6 +84,11 @@ func main() {
 		coherenceWindow = flag.Duration("coherence-window", 0, "how long a data-version probe stays trusted (0 = probe every query)")
 		coherenceMode   = flag.String("coherence", "enforce", "cache-coherence fence mode: enforce | observe | off")
 
+		statsOn        = flag.Bool("stats", false, "harvest per-endpoint statistics summaries so warmed queries plan without endpoint probes")
+		statsRefresh   = flag.Duration("stats-refresh", 15*time.Minute, "background statistics re-harvest interval (0 = harvest once at startup)")
+		statsCalibrate = flag.Bool("stats-calibrate", false, "self-tune cardinality estimates from estimated-vs-actual feedback (implies -stats)")
+		replanFactor   = flag.Float64("replan-overshoot", 0, "re-plan mid-query when a phase-1 result exceeds its estimate by this factor (0 disables)")
+
 		otlpEndpoint = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL for trace export (empty disables)")
 		serviceName  = flag.String("service-name", "lusail-server", "service.name stamped on exported spans")
 		traceSample  = flag.Float64("trace-sample", 1, "head-sampling ratio for locally-rooted traces (0..1; slow/errored/degraded traces are always kept)")
@@ -150,6 +156,11 @@ func main() {
 		CoherenceWindow:  *coherenceWindow,
 		CoherenceObserve: *coherenceMode == "observe",
 		CoherenceOff:     *coherenceMode == "off",
+
+		Statistics:      *statsOn || *statsCalibrate,
+		StatsRefresh:    *statsRefresh,
+		StatsCalibrate:  *statsCalibrate,
+		ReplanOvershoot: *replanFactor,
 
 		OTLPEndpoint:       *otlpEndpoint,
 		ServiceName:        *serviceName,

@@ -83,6 +83,20 @@ type serverConfig struct {
 	// CoherenceOff disables data-version probing entirely.
 	CoherenceOff bool
 
+	// Statistics enables the offline statistics service: summaries are
+	// harvested at startup (and every StatsRefresh thereafter) so
+	// warmed queries plan without endpoint probes.
+	Statistics bool
+	// StatsRefresh is the background re-harvest interval (0 = harvest
+	// once at startup only). Only meaningful with Statistics.
+	StatsRefresh time.Duration
+	// StatsCalibrate arms the self-tuning calibration loop feeding
+	// estimated-vs-actual cardinalities back into the cost model.
+	StatsCalibrate bool
+	// ReplanOvershoot arms mid-query re-planning at this overshoot
+	// factor (0 disables).
+	ReplanOvershoot float64
+
 	// OTLPEndpoint, when non-empty, enables distributed trace export:
 	// every query records a W3C-identified span tree, tail-sampled
 	// (slow/errored/degraded always kept) and shipped to this OTLP/HTTP
@@ -172,6 +186,16 @@ func newServer(eps []lusail.Endpoint, cfg serverConfig) *server {
 	if cfg.CoherenceOff {
 		opts = append(opts, lusail.WithoutCoherence())
 	}
+	if cfg.Statistics {
+		if cfg.StatsCalibrate {
+			opts = append(opts, lusail.WithCalibration(lusail.StatisticsConfig{}))
+		} else {
+			opts = append(opts, lusail.WithStatistics(lusail.StatisticsConfig{}))
+		}
+	}
+	if cfg.ReplanOvershoot > 0 {
+		opts = append(opts, lusail.WithReplanOvershoot(cfg.ReplanOvershoot))
+	}
 	if cfg.TraceSample != nil {
 		opts = append(opts, lusail.WithTraceSampling(*cfg.TraceSample))
 	}
@@ -238,6 +262,7 @@ func newServer(eps []lusail.Endpoint, cfg serverConfig) *server {
 	s.mux.Handle("/debug/queries", qlog.DebugHandler())
 	s.mux.Handle("/debug/slo", s.slo.Handler())
 	s.mux.HandleFunc("/debug/invalidate", s.handleInvalidate)
+	s.mux.HandleFunc("/debug/stats", s.handleStats)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -588,6 +613,70 @@ func (s *server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 	}{Invalidated: scope})
 }
 
+// handleStats is the statistics service's debug surface: GET returns
+// the counter snapshot as JSON; POST re-harvests every endpoint's
+// summary first (the admin hook after a known bulk load), then returns
+// the fresh snapshot.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodPost:
+		if !s.cfg.Statistics {
+			http.Error(w, "statistics service disabled (start with -stats)", http.StatusConflict)
+			return
+		}
+		if err := s.fed.RefreshStatistics(r.Context()); err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Enabled     bool                   `json:"enabled"`
+		Calibrating bool                   `json:"calibrating"`
+		Stats       lusail.StatisticsStats `json:"stats"`
+	}{Enabled: s.cfg.Statistics, Calibrating: s.cfg.StatsCalibrate, Stats: s.fed.StatisticsStats()})
+}
+
+// refreshStats runs the statistics service's background harvest loop:
+// one harvest at startup (so the first queries already plan from
+// summaries), then one every StatsRefresh until shutdown. Harvest
+// failures are logged and retried at the next tick — the engine just
+// keeps probing endpoints for whatever summaries are missing.
+func (s *server) refreshStats(ctx context.Context) {
+	harvest := func() {
+		hctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+		defer cancel()
+		if err := s.fed.RefreshStatistics(hctx); err != nil {
+			s.logger.Warn("statistics harvest failed", "err", err)
+			return
+		}
+		st := s.fed.StatisticsStats()
+		s.logger.Info("statistics harvested",
+			"summaries", st.Summaries, "harvest_queries", st.HarvestQueries)
+	}
+	harvest()
+	if s.cfg.StatsRefresh <= 0 {
+		return
+	}
+	t := time.NewTicker(s.cfg.StatsRefresh)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			harvest()
+		}
+	}
+}
+
 // streamQuery serves the SPARQL JSON path with chunked transfer: each
 // result chunk is encoded and flushed as the engine produces it, so
 // clients see first solutions while phase-2 subqueries are still in
@@ -715,6 +804,9 @@ func (s *server) serve(ctx context.Context, ln net.Listener, drain time.Duration
 		ErrorLog:          slog.NewLogLogger(s.logger.Handler(), slog.LevelWarn),
 	}
 	go s.probe(ctx)
+	if s.cfg.Statistics {
+		go s.refreshStats(ctx)
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()

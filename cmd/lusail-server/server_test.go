@@ -616,3 +616,73 @@ func TestServerRequestBodyCap(t *testing.T) {
 		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
 	}
 }
+
+// TestDebugStatsHarvestAndExposition drives the statistics surface:
+// POST /debug/stats harvests every endpoint, a warmed query then plans
+// without endpoint probes, and the snapshot plus the lusail_stats_*
+// metric families report the service's state.
+func TestDebugStatsHarvestAndExposition(t *testing.T) {
+	s := newServer(testEndpoints(t), serverConfig{Logger: quietLogger(), Statistics: true})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	s.probe(context.Background())
+	waitReady(t, ts)
+
+	resp, err := http.Post(ts.URL+"/debug/stats", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /debug/stats: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"Summaries": 2`) {
+		t.Fatalf("snapshot after harvest lacks 2 summaries: %s", body)
+	}
+
+	q := url.QueryEscape(`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }`)
+	if status, qb := get(t, ts.URL+"/sparql?query="+q); status != http.StatusOK {
+		t.Fatalf("query status %d: %s", status, qb)
+	}
+
+	status, page := get(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	if got := metricValue(t, page, "lusail_stats_summaries"); got != 2 {
+		t.Errorf("lusail_stats_summaries = %v, want 2", got)
+	}
+	if got := metricValue(t, page, "lusail_stats_lookup_hits_total"); got == 0 {
+		t.Error("no summary lookups served after a warmed query")
+	}
+	// The warmed query planned without a single ASK probe (the family
+	// is omitted entirely while its counter has never incremented).
+	for _, line := range strings.Split(page, "\n") {
+		if strings.HasPrefix(line, `lusail_remote_requests_total{kind="ask"}`) &&
+			!strings.HasSuffix(strings.TrimSpace(line), " 0") {
+			t.Errorf("ask requests after warm harvest: %s, want 0", line)
+		}
+	}
+}
+
+// TestDebugStatsDisabled: POST without -stats is refused; GET reports
+// the service off.
+func TestDebugStatsDisabled(t *testing.T) {
+	s := newServer(testEndpoints(t), serverConfig{Logger: quietLogger()})
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/debug/stats", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("POST with stats off: status %d, want 409", resp.StatusCode)
+	}
+	if status, body := get(t, ts.URL+"/debug/stats"); status != http.StatusOK ||
+		!strings.Contains(body, `"enabled": false`) {
+		t.Fatalf("GET with stats off: status %d body %s", status, body)
+	}
+}

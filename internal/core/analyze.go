@@ -146,6 +146,12 @@ func (a *Analysis) String() string {
 	if c := a.Metrics.Completeness; c != nil && !c.Complete {
 		fmt.Fprintf(&b, "completeness: %s\n", c)
 	}
+	if a.Metrics.SummaryHits > 0 {
+		fmt.Fprintf(&b, "plan questions answered from statistics summaries: %d\n", a.Metrics.SummaryHits)
+	}
+	if a.Metrics.Replans > 0 {
+		fmt.Fprintf(&b, "mid-query replans: %d\n", a.Metrics.Replans)
+	}
 
 	b.WriteString("global join variables: ")
 	if len(a.Plan.GJVs) == 0 {

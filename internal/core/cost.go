@@ -58,7 +58,10 @@ func (p DelayPolicy) String() string {
 
 // CountCache caches per-endpoint triple-pattern cardinalities across
 // queries, mirroring the statistics RDF engines keep (§V-A). Keys are
-// "<endpoint name>\x00<count query text>".
+// "<endpoint name>\x00<count query text>". Every store goes through the
+// generation-fenced PutAt — there is deliberately no unfenced store
+// path, so a probe that raced an invalidation can never resurrect a
+// cardinality for data that no longer exists.
 type CountCache struct {
 	mu sync.RWMutex
 	m  map[string]float64
@@ -87,16 +90,6 @@ func (c *CountCache) Get(key string) (float64, bool) {
 		atomic.AddInt64(&c.misses, 1)
 	}
 	return v, ok
-}
-
-// Put stores a count.
-func (c *CountCache) Put(key string, v float64) {
-	if c == nil {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.m[key] = v
 }
 
 // Gen returns the cache's invalidation generation, captured before the
@@ -167,11 +160,31 @@ func (c *CountCache) Stats() CacheStats {
 }
 
 // CostModel estimates subquery cardinalities from lightweight COUNT
-// statistics queries (§V-A).
+// statistics queries (§V-A). When the optional statistics hooks are
+// wired (internal/stats via core.Config.Statistics), precomputed
+// per-endpoint summaries answer pattern cardinalities without any
+// remote probe; COUNT queries remain the fallback for anything the
+// summary cannot answer (filtered patterns, missing or fenced
+// summaries).
 type CostModel struct {
 	Endpoints []endpoint.Endpoint
 	Handler   *federation.Handler
 	Cache     *CountCache
+
+	// PatternCard, when non-nil, answers the cardinality of an
+	// unfiltered triple pattern at endpoint ei from a precomputed
+	// statistics summary. ok=false falls back to a COUNT probe.
+	PatternCard func(ei int, tp sparql.TriplePattern) (float64, bool)
+	// PairCard, when non-nil, answers the number of distinct values of
+	// v joining patterns a and b at endpoint ei (a predicate-pair join
+	// summary lookup). It refines the per-endpoint min below what
+	// single-pattern counts can see.
+	PairCard func(ei int, v sparql.Var, a, b sparql.TriplePattern) (float64, bool)
+	// Calibration, when non-nil, returns the learned q-error
+	// correction factor for (endpoint ei, tp's predicate); 1 means
+	// uncalibrated. Factors from every (source, pattern) of a subquery
+	// are combined geometrically and rescale its estimate.
+	Calibration func(ei int, tp sparql.TriplePattern) float64
 }
 
 // NewCostModel builds a cost model over the endpoints.
@@ -179,12 +192,26 @@ func NewCostModel(eps []endpoint.Endpoint, cache *CountCache) *CostModel {
 	return &CostModel{Endpoints: eps, Handler: federation.NewHandler(len(eps)), Cache: cache}
 }
 
+// countVar is the projection variable every COUNT probe declares; the
+// result parser selects it explicitly rather than trusting column
+// order.
+const countVar sparql.Var = "c"
+
 // CountQuery renders the statistics query for one pattern, pushing any
 // filters that mention only the pattern's variables.
 func CountQuery(tp sparql.TriplePattern, filters []sparql.Expr) string {
+	cq, _ := countQueryFor(tp, filters)
+	return cq
+}
+
+// countQueryFor renders the COUNT probe for one pattern and reports
+// whether any filter was pushed into it — a filtered probe cannot be
+// answered from a statistics summary, which knows nothing about filter
+// selectivity.
+func countQueryFor(tp sparql.TriplePattern, filters []sparql.Expr) (string, bool) {
 	q := sparql.NewSelect()
 	q.Count = true
-	q.CountVar = "c"
+	q.CountVar = countVar
 	q.Where = &sparql.GroupGraphPattern{Patterns: []sparql.TriplePattern{tp}}
 	for _, f := range filters {
 		ok := true
@@ -200,7 +227,28 @@ func CountQuery(tp sparql.TriplePattern, filters []sparql.Expr) string {
 			}
 		}
 	}
-	return q.String()
+	return q.String(), len(q.Where.Filters) > 0
+}
+
+// countProbe identifies one (count query, endpoint) probe.
+type countProbe struct {
+	query string
+	ep    int
+}
+
+// pessimisticCard pushes an unprobeable pattern toward "delayed",
+// where bound execution naturally limits its cost.
+const pessimisticCard = 1e6
+
+// EstimateStats reports how an estimation pass resolved its
+// (pattern, endpoint) cardinalities.
+type EstimateStats struct {
+	// Probes is the number of COUNT requests sent to endpoints (cache
+	// misses the statistics summary could not answer).
+	Probes int
+	// SummaryHits is the number of cardinalities answered locally from
+	// a precomputed statistics summary.
+	SummaryHits int
 }
 
 // EstimateCards fills EstCard on every subquery:
@@ -209,24 +257,23 @@ func CountQuery(tp sparql.TriplePattern, filters []sparql.Expr) string {
 //	C(sq, v)     = sum over relevant ep of C(sq, v, ep)
 //	C(sq)        = max over projected v of C(sq, v)
 //
-// It returns the number of COUNT requests sent (cache misses).
-func (cm *CostModel) EstimateCards(ctx context.Context, sqs []*Subquery) (int, error) {
+// Cardinalities resolve, in order: count cache, statistics summary
+// (unfiltered patterns only), remote COUNT probe. It returns how the
+// pass resolved.
+func (cm *CostModel) EstimateCards(ctx context.Context, sqs []*Subquery) (EstimateStats, error) {
 	// Gather the distinct (pattern, endpoint) COUNT probes.
-	type probeKey struct {
-		query string
-		ep    int
-	}
-	counts := map[probeKey]float64{}
+	var est EstimateStats
+	counts := map[countProbe]float64{}
 	// Captured before the probes launch so an invalidation racing the
 	// estimation fences the stores below.
 	cacheGen := cm.Cache.Gen()
 	var tasks []federation.Task
-	var order []probeKey
+	var order []countProbe
 	for _, sq := range sqs {
 		for _, tp := range sq.Patterns {
-			cq := CountQuery(tp, sq.Filters)
+			cq, filtered := countQueryFor(tp, sq.Filters)
 			for _, ei := range sq.Sources {
-				key := probeKey{cq, ei}
+				key := countProbe{cq, ei}
 				if _, seen := counts[key]; seen {
 					continue
 				}
@@ -235,13 +282,24 @@ func (cm *CostModel) EstimateCards(ctx context.Context, sqs []*Subquery) (int, e
 					counts[key] = v
 					continue
 				}
+				// The summary knows nothing about filter selectivity,
+				// so filtered probes always go remote. Summary answers
+				// are not copied into the count cache: the statistics
+				// service fences them against data versions itself.
+				if !filtered && cm.PatternCard != nil {
+					if v, ok := cm.PatternCard(ei, tp); ok {
+						counts[key] = v
+						est.SummaryHits++
+						continue
+					}
+				}
 				counts[key] = -1 // placeholder: needs a remote probe
 				tasks = append(tasks, federation.Task{EP: cm.Endpoints[ei], Query: cq})
 				order = append(order, key)
 			}
 		}
 	}
-	sent := len(tasks)
+	est.Probes = len(tasks)
 	// Fail fast: one failed COUNT probe aborts estimation, so sibling
 	// probes are cancelled rather than run to completion. Under an
 	// active degradation policy a failed probe instead falls back to a
@@ -255,54 +313,99 @@ func (cm *CostModel) EstimateCards(ctx context.Context, sqs []*Subquery) (int, e
 		var ferr error
 		results, ferr = cm.Handler.RunFailFast(ctx, tasks)
 		if ferr != nil {
-			return sent, fmt.Errorf("count query: %w", ferr)
+			return est, fmt.Errorf("count query: %w", ferr)
 		}
 	}
-	// pessimisticCard pushes an unprobeable pattern toward "delayed",
-	// where bound execution naturally limits its cost.
-	const pessimisticCard = 1e6
+	if err := cm.applyCountResults(results, order, counts, dg, cacheGen); err != nil {
+		return est, err
+	}
+
+	for _, sq := range sqs {
+		sq.EstCard = cm.subqueryCard(sq, func(tp sparql.TriplePattern, ei int) float64 {
+			return counts[countProbe{CountQuery(tp, sq.Filters), ei}]
+		}) * cm.calibration(sq)
+	}
+	return est, nil
+}
+
+// applyCountResults copies probe results into counts, fencing cache
+// stores on cacheGen. The results/order alignment is guarded: a
+// handler that returns fewer results than tasks (a silently dropped
+// probe) must not leave the -1 placeholder behind as a real
+// cardinality, so every probe still unresolved afterwards is treated
+// like a failed one and becomes pessimistic.
+func (cm *CostModel) applyCountResults(results []federation.TaskResult, order []countProbe, counts map[countProbe]float64, dg *endpoint.Degrade, cacheGen uint64) error {
 	for i, tr := range results {
+		if i >= len(order) {
+			break
+		}
 		if tr.Err != nil {
 			if dg.Absorb(tr.Err) {
 				dg.Drop(tr.Task.EP.Name(), "", "count-estimation", tr.Err)
 				counts[order[i]] = pessimisticCard
 				continue
 			}
-			return sent, fmt.Errorf("count query: %w", tr.Err)
+			return fmt.Errorf("count query: %w", tr.Err)
 		}
-		v, err := countValue(tr.Res)
+		v, err := countValue(tr.Res, countVar)
 		if err != nil {
 			if dg.Absorb(err) {
 				dg.Drop(tr.Task.EP.Name(), "", "count-estimation", err)
 				counts[order[i]] = pessimisticCard
 				continue
 			}
-			return sent, err
+			return err
 		}
 		counts[order[i]] = v
 		cm.Cache.PutAt(cacheGen, cm.Endpoints[order[i].ep].Name()+"\x00"+order[i].query, v)
 	}
-
-	for _, sq := range sqs {
-		sq.EstCard = cm.subqueryCard(sq, func(tp sparql.TriplePattern, ei int) float64 {
-			return counts[probeKey{CountQuery(tp, sq.Filters), ei}]
-		})
+	for key, v := range counts {
+		if v < 0 {
+			counts[key] = pessimisticCard
+		}
 	}
-	return sent, nil
+	return nil
 }
 
-func countValue(res *sparql.Results) (float64, error) {
+// countValue extracts the declared count column from a probe result.
+// The row may carry extra columns (an endpoint echoing projected
+// variables alongside the aggregate), so the lookup is by name — never
+// by whichever column map iteration yields first.
+func countValue(res *sparql.Results, v sparql.Var) (float64, error) {
 	if res.Len() != 1 {
 		return 0, fmt.Errorf("count query returned %d rows", res.Len())
 	}
-	for _, t := range res.Rows[0] {
-		v, err := strconv.ParseFloat(t.Value, 64)
-		if err != nil {
-			return 0, fmt.Errorf("bad count literal %q", t.Value)
-		}
-		return v, nil
+	t, ok := res.Rows[0][v]
+	if !ok {
+		return 0, fmt.Errorf("count query result is missing the ?%s column", v)
 	}
-	return 0, fmt.Errorf("count query returned an empty row")
+	n, err := strconv.ParseFloat(t.Value, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad count literal %q", t.Value)
+	}
+	return n, nil
+}
+
+// calibration combines the learned per-(endpoint, predicate)
+// correction factors touched by sq into one geometric-mean rescale.
+func (cm *CostModel) calibration(sq *Subquery) float64 {
+	if cm.Calibration == nil {
+		return 1
+	}
+	var logSum float64
+	n := 0
+	for _, ei := range sq.Sources {
+		for _, tp := range sq.Patterns {
+			if f := cm.Calibration(ei, tp); f > 0 {
+				logSum += math.Log(f)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(logSum / float64(n))
 }
 
 func (cm *CostModel) subqueryCard(sq *Subquery, count func(sparql.TriplePattern, int) float64) float64 {
@@ -329,6 +432,9 @@ func (cm *CostModel) subqueryCard(sq *Subquery, count func(sparql.TriplePattern,
 				}
 			}
 			if saw {
+				if c, ok := cm.pairMin(sq, v, ei); ok && c < perEP {
+					perEP = c
+				}
 				total += perEP
 			}
 		}
@@ -337,6 +443,35 @@ func (cm *CostModel) subqueryCard(sq *Subquery, count func(sparql.TriplePattern,
 		}
 	}
 	return best
+}
+
+// pairMin tightens the per-endpoint cardinality of v below the
+// single-pattern minimum using predicate-pair join summaries: the
+// number of distinct v values satisfying two patterns jointly is never
+// larger than either pattern's count alone.
+func (cm *CostModel) pairMin(sq *Subquery, v sparql.Var, ei int) (float64, bool) {
+	if cm.PairCard == nil {
+		return 0, false
+	}
+	min := math.Inf(1)
+	found := false
+	for i, a := range sq.Patterns {
+		if !a.HasVar(v) {
+			continue
+		}
+		for _, b := range sq.Patterns[i+1:] {
+			if !b.HasVar(v) {
+				continue
+			}
+			if c, ok := cm.PairCard(ei, v, a, b); ok {
+				found = true
+				if c < min {
+					min = c
+				}
+			}
+		}
+	}
+	return min, found
 }
 
 // Chauvenet applies Chauvenet's criterion once: a point is rejected

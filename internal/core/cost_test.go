@@ -6,6 +6,9 @@ import (
 	"strings"
 	"testing"
 
+	"lusail/internal/endpoint"
+	"lusail/internal/federation"
+	"lusail/internal/rdf"
 	"lusail/internal/sparql"
 	"lusail/internal/testfed"
 )
@@ -76,11 +79,11 @@ func TestEstimateCards(t *testing.T) {
 	sq3 := &Subquery{Patterns: q.Where.Patterns[3:4], Sources: []int{0, 1}, OptionalGroup: -1}
 	sqs := []*Subquery{sq1, sq2, sq3}
 	ComputeProjections(sqs, []sparql.Var{"S", "A"})
-	sent, err := cm.EstimateCards(context.Background(), sqs)
+	est, err := cm.EstimateCards(context.Background(), sqs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sent == 0 {
+	if est.Probes == 0 {
 		t.Error("expected COUNT probes on a cold cache")
 	}
 	// advisor: EP1 has 2, EP2 has 2 => C(sq1,P) = 2+2 = 4 (min over
@@ -97,12 +100,12 @@ func TestEstimateCards(t *testing.T) {
 		t.Errorf("sq3 card = %v, want 2", sq3.EstCard)
 	}
 	// Second run: fully cached.
-	sent2, err := cm.EstimateCards(context.Background(), sqs)
+	est2, err := cm.EstimateCards(context.Background(), sqs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sent2 != 0 {
-		t.Errorf("cached run sent %d probes", sent2)
+	if est2.Probes != 0 {
+		t.Errorf("cached run sent %d probes", est2.Probes)
 	}
 }
 
@@ -228,6 +231,98 @@ func TestMarkDelayedSingleSubquery(t *testing.T) {
 	MarkDelayed(sqs, DelayMuSigma)
 	if sqs[0].Delayed {
 		t.Error("a single subquery must not be delayed")
+	}
+}
+
+func TestCountValueSelectsDeclaredColumn(t *testing.T) {
+	// Regression: countValue used to take whichever column Go's random
+	// map iteration yielded first, so a multi-column result row could
+	// silently deliver a non-count value as the cardinality.
+	res := &sparql.Results{
+		Vars: []sparql.Var{"x", "c"},
+		Rows: []sparql.Binding{{
+			"x": rdf.IRI("http://ex/entirely-not-a-number"),
+			"c": rdf.Integer(3),
+		}},
+	}
+	// Run repeatedly: with map-iteration-order parsing this flakes.
+	for i := 0; i < 64; i++ {
+		v, err := countValue(res, "c")
+		if err != nil {
+			t.Fatalf("countValue: %v", err)
+		}
+		if v != 3 {
+			t.Fatalf("countValue = %v, want 3", v)
+		}
+	}
+	// A result without the declared column is an error, not a guess.
+	bad := &sparql.Results{
+		Vars: []sparql.Var{"x"},
+		Rows: []sparql.Binding{{"x": rdf.Integer(7)}},
+	}
+	if _, err := countValue(bad, "c"); err == nil {
+		t.Error("missing ?c column accepted")
+	}
+}
+
+func TestCountCacheHasNoUnfencedStore(t *testing.T) {
+	// Regression: CountCache used to expose Put(key, v), which stored
+	// unconditionally — a caller holding a stale count could resurrect
+	// it right after InvalidateEndpoint dropped that endpoint's
+	// entries. All stores must go through the generation-fenced PutAt.
+	if _, leaky := interface{}(NewCountCache()).(interface{ Put(string, float64) }); leaky {
+		t.Fatal("CountCache exposes an unfenced Put; every store must check the invalidation generation")
+	}
+}
+
+func TestCountCachePutFencedByInvalidation(t *testing.T) {
+	c := NewCountCache()
+	gen := c.Gen()
+	// An invalidation lands between the probe and the store.
+	c.InvalidateEndpoint("ep1")
+	c.PutAt(gen, "ep1\x00q", 42)
+	if _, ok := c.Get("ep1\x00q"); ok {
+		t.Error("stale count stored across an invalidation")
+	}
+	// A store at the current generation goes through.
+	c.PutAt(c.Gen(), "ep1\x00q", 7)
+	if v, ok := c.Get("ep1\x00q"); !ok || v != 7 {
+		t.Errorf("fresh store missing: %v %v", v, ok)
+	}
+}
+
+func TestApplyCountResultsGuardsDroppedProbes(t *testing.T) {
+	// Regression: when the handler returned fewer results than probe
+	// tasks (a silently dropped probe), EstimateCards left the -1
+	// placeholder behind as a real cardinality — a "negative count"
+	// that made the dropped pattern look maximally selective.
+	eps := uniEndpoints()
+	cm := NewCostModel(eps, NewCountCache())
+	order := []countProbe{{"q0", 0}, {"q1", 1}}
+	counts := map[countProbe]float64{{"q0", 0}: -1, {"q1", 1}: -1}
+	one := &sparql.Results{
+		Vars: []sparql.Var{"c"},
+		Rows: []sparql.Binding{{"c": rdf.Integer(5)}},
+	}
+	results := []federation.TaskResult{
+		{Task: federation.Task{EP: eps[0], Query: "q0"}, Res: one},
+		// The second task's result never arrives.
+	}
+	dg := endpoint.DegradeFrom(context.Background())
+	if err := cm.applyCountResults(results, order, counts, dg, cm.Cache.Gen()); err != nil {
+		t.Fatal(err)
+	}
+	if got := counts[countProbe{"q0", 0}]; got != 5 {
+		t.Errorf("resolved probe = %v, want 5", got)
+	}
+	if got := counts[countProbe{"q1", 1}]; got != pessimisticCard {
+		t.Errorf("dropped probe = %v, want pessimistic %v", got, pessimisticCard)
+	}
+	// More results than tasks must not panic (alignment guard).
+	extra := append(results, federation.TaskResult{Task: federation.Task{EP: eps[1], Query: "q2"}, Res: one},
+		federation.TaskResult{Task: federation.Task{EP: eps[1], Query: "q3"}, Res: one})
+	if err := cm.applyCountResults(extra, order, counts, dg, cm.Cache.Gen()); err != nil {
+		t.Fatal(err)
 	}
 }
 

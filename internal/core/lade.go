@@ -32,6 +32,9 @@ type GJVReport struct {
 	// CheckQueries counts the SPARQL check queries sent to endpoints
 	// (cache misses only).
 	CheckQueries int
+	// SummaryAnswers counts checks answered from the offline
+	// statistics summaries instead of endpoint probes.
+	SummaryAnswers int
 }
 
 // IsGJV reports whether v was detected as a global join variable.
@@ -71,6 +74,14 @@ type Decomposer struct {
 	// AssumeAllGlobal disables check queries and treats every shared
 	// variable as a GJV; used by the LADE ablation experiment.
 	AssumeAllGlobal bool
+	// Oracle, when non-nil, answers a missing-instances check from
+	// precomputed statistics (see stats.Service.CheckNonEmpty): does
+	// any value of v matching tpFrom at the endpoint lack a local tpTo
+	// triple? ok=false falls back to the Fig. 6 probe. Consulted after
+	// the check cache, before any task is enqueued; oracle verdicts
+	// are not stored in the cache (the statistics service fences them
+	// against data versions itself).
+	Oracle func(epName string, v sparql.Var, tpFrom, tpTo sparql.TriplePattern, typ rdf.Term) (nonEmpty, ok bool)
 }
 
 // NewDecomposer builds a decomposer over the endpoints.
@@ -98,9 +109,10 @@ func (d *Decomposer) DetectGJVs(ctx context.Context, patterns []sparql.TriplePat
 	}
 
 	type check struct {
-		v     sparql.Var
-		pair  pairKey
-		query string
+		v            sparql.Var
+		pair         pairKey
+		tpFrom, tpTo sparql.TriplePattern
+		query        string
 	}
 	var checks []check
 
@@ -132,14 +144,14 @@ func (d *Decomposer) DetectGJVs(ctx context.Context, patterns []sparql.TriplePat
 				switch {
 				case ri&roleObject != 0 && rj&roleSubject != 0:
 					// v flows object(i) -> subject(j): one direction.
-					checks = append(checks, check{v, pair, CheckQuery(v, patterns[i], patterns[j], typeOf[v])})
+					checks = append(checks, check{v, pair, patterns[i], patterns[j], CheckQuery(v, patterns[i], patterns[j], typeOf[v])})
 				case ri&roleSubject != 0 && rj&roleObject != 0:
-					checks = append(checks, check{v, pair, CheckQuery(v, patterns[j], patterns[i], typeOf[v])})
+					checks = append(checks, check{v, pair, patterns[j], patterns[i], CheckQuery(v, patterns[j], patterns[i], typeOf[v])})
 				default:
 					// Same role (or predicate role): both directions
 					// must be empty (paper: Objects/Subjects Only).
-					checks = append(checks, check{v, pair, CheckQuery(v, patterns[i], patterns[j], typeOf[v])})
-					checks = append(checks, check{v, pair, CheckQuery(v, patterns[j], patterns[i], typeOf[v])})
+					checks = append(checks, check{v, pair, patterns[i], patterns[j], CheckQuery(v, patterns[i], patterns[j], typeOf[v])})
+					checks = append(checks, check{v, pair, patterns[j], patterns[i], CheckQuery(v, patterns[j], patterns[i], typeOf[v])})
 				}
 			}
 		}
@@ -172,6 +184,15 @@ func (d *Decomposer) DetectGJVs(ctx context.Context, patterns []sparql.TriplePat
 					flagged[c.v] = true
 				}
 				continue
+			}
+			if d.Oracle != nil {
+				if nonEmpty, ok := d.Oracle(ep.Name(), c.v, c.tpFrom, c.tpTo, typeOf[c.v]); ok {
+					rep.SummaryAnswers++
+					if nonEmpty {
+						flagged[c.v] = true
+					}
+					continue
+				}
 			}
 			tasks = append(tasks, federation.Task{EP: ep, Query: c.query})
 			probes = append(probes, probe{chk: c, ep: ep})

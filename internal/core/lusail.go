@@ -10,7 +10,9 @@ import (
 	"lusail/internal/endpoint"
 	"lusail/internal/engine"
 	"lusail/internal/federation"
+	"lusail/internal/rdf"
 	"lusail/internal/sparql"
+	"lusail/internal/stats"
 	"lusail/internal/trace"
 )
 
@@ -109,6 +111,21 @@ type Config struct {
 	// correlation ID is also threaded into the trace as the root
 	// span's "qid" attribute.
 	QueryLog QueryLogger
+	// Statistics, when non-nil, enables the offline statistics service:
+	// harvested per-endpoint summaries (predicate cardinalities, class
+	// counts, predicate-pair join summaries) answer plan-time ASK /
+	// locality-check / COUNT questions without contacting endpoints,
+	// falling back to probes on summary miss. Summaries are fenced
+	// against endpoint data versions like every other cache. Harvest
+	// via RefreshStats (or the server's background refresher).
+	Statistics *stats.Config
+	// ReplanOvershoot, when > 0, arms the mid-query re-planning hook:
+	// if a phase-1 subquery's actual row count exceeds its estimate by
+	// more than this factor, delay marks are recomputed with the
+	// observed cardinalities and formerly-delayed subqueries that are
+	// no longer outliers are promoted to concurrent execution. 0
+	// disables re-planning.
+	ReplanOvershoot float64
 	// TraceSampling, when non-nil, is the head-sampling ratio applied to
 	// locally-rooted traces (deterministic on the trace ID, so one
 	// query's spans are kept or dropped as a unit across processes).
@@ -150,6 +167,13 @@ type Metrics struct {
 	Phase2Requests int // bound (delayed) subquery evaluations
 	RefineRequests int
 	BoundBlocks    int
+	// SummaryHits counts plan-time questions (ASK relevance, LADE
+	// locality, COUNT cardinality) answered from the offline
+	// statistics summaries instead of endpoint probes.
+	SummaryHits int
+	// Replans counts mid-query re-planning rounds triggered by a
+	// phase-1 result overshooting its estimate (Config.ReplanOvershoot).
+	Replans int
 
 	Subqueries int
 	Delayed    int
@@ -206,6 +230,7 @@ type Lusail struct {
 	countCache *CountCache
 	sqCache    *SubqueryCache // nil unless Config.SubqueryCacheSize > 0
 	coherence  *Coherence     // nil when Config.DisableCoherence
+	stats      *stats.Service // nil unless Config.Statistics
 
 	selector   *federation.Selector
 	decomposer *Decomposer
@@ -265,7 +290,75 @@ func New(eps []endpoint.Endpoint, cfg Config) *Lusail {
 	l.executor.BindBlockSize = cfg.BindBlockSize
 	l.executor.BoundBlockBytes = cfg.BoundBlockBytes
 	l.executor.Workers = cfg.Workers
+	l.executor.DelayPolicy = cfg.DelayPolicy
+	l.executor.ReplanOvershoot = cfg.ReplanOvershoot
+	if cfg.Statistics != nil {
+		l.wireStats(*cfg.Statistics)
+	}
 	return l
+}
+
+// wireStats builds the statistics service over the (decorated)
+// endpoints and threads its summary oracles into the planner: source
+// selection, LADE locality checks, and cardinality estimation each
+// consult the summary first and probe only on miss. With calibration
+// enabled, the executor additionally feeds phase-1 actual row counts
+// back into the correction factors.
+func (l *Lusail) wireStats(cfg stats.Config) {
+	l.stats = stats.New(l.eps, cfg)
+	l.selector.Presence = func(epName string, tp sparql.TriplePattern) (bool, bool) {
+		cur, curOK := l.statsVersion(epName)
+		return l.stats.Relevant(epName, cur, curOK, tp)
+	}
+	l.decomposer.Oracle = func(epName string, v sparql.Var, tpFrom, tpTo sparql.TriplePattern, typ rdf.Term) (bool, bool) {
+		cur, curOK := l.statsVersion(epName)
+		return l.stats.CheckNonEmpty(epName, cur, curOK, v, tpFrom, tpTo, typ)
+	}
+	l.cost.PatternCard = func(ei int, tp sparql.TriplePattern) (float64, bool) {
+		name := l.eps[ei].Name()
+		cur, curOK := l.statsVersion(name)
+		return l.stats.PatternCard(name, cur, curOK, tp)
+	}
+	l.cost.PairCard = func(ei int, v sparql.Var, a, b sparql.TriplePattern) (float64, bool) {
+		name := l.eps[ei].Name()
+		cur, curOK := l.statsVersion(name)
+		return l.stats.PairCard(name, cur, curOK, v, a, b)
+	}
+	if cfg.Calibrate {
+		l.cost.Calibration = func(ei int, tp sparql.TriplePattern) float64 {
+			return l.stats.Factor(l.eps[ei].Name(), predKeyOf(tp))
+		}
+		l.executor.Observe = func(sq *Subquery, actual int) {
+			names := make([]string, 0, len(sq.Sources))
+			for _, ei := range sq.Sources {
+				names = append(names, l.eps[ei].Name())
+			}
+			preds := make([]string, 0, len(sq.Patterns))
+			for _, tp := range sq.Patterns {
+				preds = append(preds, predKeyOf(tp))
+			}
+			l.stats.Observe(names, preds, sq.EstCard, float64(actual))
+		}
+	}
+}
+
+// statsVersion reports the endpoint's current data version as tracked
+// by the coherence fence; ok=false when the fence is disabled or the
+// endpoint is unversioned (summaries are then served unverified, the
+// coherence layer's own policy for unverifiable endpoints).
+func (l *Lusail) statsVersion(name string) (uint64, bool) {
+	vs := l.coherence.Versions([]string{name})
+	v, ok := vs[name]
+	return v, ok
+}
+
+// predKeyOf is the calibration key of a pattern's predicate position;
+// variable predicates share the "?" bucket.
+func predKeyOf(tp sparql.TriplePattern) string {
+	if tp.P.IsVar() {
+		return "?"
+	}
+	return tp.P.Term.Value
 }
 
 // Name implements federation.Engine.
@@ -284,21 +377,23 @@ func (l *Lusail) ClearCaches() {
 // InvalidateCaches is the explicit cross-query invalidation hook:
 // callers that know federation data changed drop every retained
 // planning decision (source selection, LADE locality, COUNT
-// statistics) and subquery result. In-flight computations complete for
-// their waiters but are not re-stored.
+// statistics), subquery result, and statistics summary. In-flight
+// computations complete for their waiters but are not re-stored.
 func (l *Lusail) InvalidateCaches() {
 	l.ClearCaches()
+	l.stats.Clear()
 }
 
 // InvalidateEndpointCaches drops the cached state that depends on one
 // endpoint (by name): its ASK selections, locality checks, COUNT
-// statistics, and every cached subquery result whose source set
-// includes it. Entries for other endpoints survive.
+// statistics, statistics summary, and every cached subquery result
+// whose source set includes it. Entries for other endpoints survive.
 func (l *Lusail) InvalidateEndpointCaches(name string) {
 	l.askCache.InvalidateEndpoint(name)
 	l.checkCache.InvalidateEndpoint(name)
 	l.countCache.InvalidateEndpoint(name)
 	l.sqCache.InvalidateEndpoint(name)
+	l.stats.InvalidateEndpoint(name)
 }
 
 // CacheStatEntry names one engine cache alongside its counters and —
@@ -330,6 +425,22 @@ func (l *Lusail) CacheStats() []CacheStatEntry {
 // Coherence exposes the engine's cache-coherence fence (nil when
 // Config.DisableCoherence).
 func (l *Lusail) Coherence() *Coherence { return l.coherence }
+
+// StatsService exposes the offline statistics service (nil unless
+// Config.Statistics is set).
+func (l *Lusail) StatsService() *stats.Service { return l.stats }
+
+// RefreshStats harvests (or re-harvests) every endpoint's statistics
+// summary. A no-op without Config.Statistics.
+func (l *Lusail) RefreshStats(ctx context.Context) error {
+	return l.stats.Refresh(ctx)
+}
+
+// StatsSnapshot snapshots the statistics service's counters (zero
+// value when the service is disabled).
+func (l *Lusail) StatsSnapshot() stats.ServiceStats {
+	return l.stats.Stats()
+}
 
 // CoherenceStats snapshots the fence: per-endpoint tracked data
 // versions plus probe/change/stale counters (zero value when the fence
@@ -814,6 +925,7 @@ func addExecStats(m *Metrics, stats *ExecStats) {
 	m.RefineRequests += stats.RefineRequests
 	m.BoundBlocks += stats.BoundBlocks
 	m.ChunkSplits += stats.ChunkSplits
+	m.Replans += stats.Replans
 }
 
 // planGroup runs the compile-time pipeline for one group graph
@@ -832,8 +944,12 @@ func (l *Lusail) planGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 		return nil, err
 	}
 	selSpan.Set("asks", int64(sel.AskRequests))
+	if sel.SummaryAnswers > 0 {
+		selSpan.Set("summary_hits", int64(sel.SummaryAnswers))
+	}
 	endPhase(selSpan, selFC)
 	m.AskRequests += sel.AskRequests
+	m.SummaryHits += sel.SummaryAnswers
 	m.SourceSelection += time.Since(t)
 
 	// A required pattern with no relevant source empties the group.
@@ -863,8 +979,12 @@ func (l *Lusail) planGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 	}
 	gjvSpan.Set("checks", int64(rep.CheckQueries))
 	gjvSpan.Set("gjvs", int64(len(rep.GJVs)))
+	if rep.SummaryAnswers > 0 {
+		gjvSpan.Set("summary_hits", int64(rep.SummaryAnswers))
+	}
 	endPhase(gjvSpan, gjvFC)
 	m.CheckQueries += rep.CheckQueries
+	m.SummaryHits += rep.SummaryAnswers
 	m.GJVs += len(rep.GJVs)
 
 	required := l.decompose(g.Patterns, sel.Sources, rep)
@@ -934,6 +1054,7 @@ func (l *Lusail) planGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 			return nil, err
 		}
 		m.AskRequests += oSel.AskRequests
+		m.SummaryHits += oSel.SummaryAnswers
 		m.SourceSelection += time.Since(tOpt)
 		empty := false
 		for i := range og.Patterns {
@@ -950,6 +1071,7 @@ func (l *Lusail) planGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 			return nil, err
 		}
 		m.CheckQueries += oRep.CheckQueries
+		m.SummaryHits += oRep.SummaryAnswers
 		m.GJVs += len(oRep.GJVs)
 		oSqs := l.decompose(og.Patterns, oSel.Sources, oRep)
 		residual := PushFilters(oSqs, og.Filters)
@@ -992,14 +1114,18 @@ func (l *Lusail) planGroup(ctx context.Context, g *sparql.GroupGraphPattern, nee
 	ComputeProjections(all, downstream)
 
 	cntCtx, cntSpan, cntFC := startPhase(ctx, "count-estimation")
-	nCount, err := l.cost.EstimateCards(cntCtx, all)
+	cEst, err := l.cost.EstimateCards(cntCtx, all)
 	if err != nil {
 		endPhase(cntSpan, cntFC)
 		return nil, err
 	}
-	cntSpan.Set("counts", int64(nCount))
+	cntSpan.Set("counts", int64(cEst.Probes))
+	if cEst.SummaryHits > 0 {
+		cntSpan.Set("summary_hits", int64(cEst.SummaryHits))
+	}
 	endPhase(cntSpan, cntFC)
-	m.CountQueries += nCount
+	m.CountQueries += cEst.Probes
+	m.SummaryHits += cEst.SummaryHits
 	MarkDelayed(all, l.cfg.DelayPolicy)
 	m.Subqueries += len(all)
 	for _, sq := range all {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -95,6 +96,10 @@ type ExecStats struct {
 	// the context-attached Degrade state, so concurrent executions
 	// (ExecuteBatch) do not cross-attribute each other's drops.
 	Dropped int
+	// Replans counts mid-query re-plans: a phase-1 result overshot its
+	// estimate by the configured factor, so the delay partition was
+	// recomputed with the observed cardinality.
+	Replans int
 }
 
 // Executor runs SAPE (Algorithm 3): concurrent evaluation of
@@ -112,6 +117,20 @@ type Executor struct {
 	BoundBlockBytes int
 	// Workers bounds the parallel join workers.
 	Workers int
+	// DelayPolicy is the policy the plan's delay partition was computed
+	// with; the mid-query replan hook re-runs it over corrected
+	// cardinalities.
+	DelayPolicy DelayPolicy
+	// ReplanOvershoot, when > 0, enables mid-query re-planning: if a
+	// phase-1 result exceeds its estimated cardinality by this factor,
+	// subquery estimates are patched with the observed counts and the
+	// delay partition is recomputed, promoting formerly-delayed
+	// subqueries whose delay no longer looks justified.
+	ReplanOvershoot float64
+	// Observe, when non-nil, receives each phase-1 subquery's observed
+	// row count (with the estimate it was planned under still intact on
+	// sq.EstCard) — the calibration feedback loop.
+	Observe func(sq *Subquery, actualRows int)
 }
 
 // NewExecutor builds an executor over the endpoints.
@@ -203,6 +222,56 @@ func (ex *Executor) RunCached(ctx context.Context, sqs []*Subquery, extra []*Rel
 		addRel(sq, rels[sq])
 	}
 
+	// Feedback and mid-query replan. Observation runs first, against the
+	// estimate the subquery was planned under; a degraded execution
+	// (drops recorded since entry) skips it, because a partial row count
+	// would teach the calibrator that estimates overshoot when in fact
+	// an endpoint's contribution went missing.
+	overshoot := false
+	for _, sq := range phase1 {
+		actual := float64(len(rels[sq].Rows))
+		if ex.Observe != nil && !sq.Optional && dg.DropCount() == dropsBefore {
+			ex.Observe(sq, len(rels[sq].Rows))
+		}
+		if ex.ReplanOvershoot > 0 && actual > ex.ReplanOvershoot*math.Max(sq.EstCard, 1) {
+			// The observed cardinality replaces the estimate: phase-2
+			// selectivity ordering and the recomputed delay partition
+			// below both see the corrected number.
+			sq.EstCard = actual
+			overshoot = true
+		}
+	}
+	if overshoot && len(delayed) > 0 {
+		// An estimate was badly wrong, so the delay partition may be
+		// wrong too: recompute it over the corrected cardinalities and
+		// promote formerly-delayed subqueries that no longer qualify —
+		// running them unbound now beats binding them against an
+		// unexpectedly huge found-bindings set.
+		MarkDelayed(sqs, ex.DelayPolicy)
+		var promote, still []*Subquery
+		for _, sq := range delayed {
+			if sq.Delayed {
+				still = append(still, sq)
+			} else {
+				promote = append(promote, sq)
+			}
+		}
+		delayed = still
+		if len(promote) > 0 {
+			stats.Replans++
+			rpCtx, rpSpan, rpFC := startPhase(ctx, "replan")
+			rpCtx = endpoint.WithHedging(rpCtx)
+			prels, err := ex.runPhase1(rpCtx, promote, stats, sqCache)
+			endPhase(rpSpan, rpFC)
+			if err != nil {
+				return nil, stats, err
+			}
+			for _, sq := range promote {
+				addRel(sq, prels[sq])
+			}
+		}
+	}
+
 	// Short-circuit: an empty required relation empties the join. The
 	// empty result is still one valid partition for the cost model.
 	if emptyRequired(required) {
@@ -283,7 +352,7 @@ func (ex *Executor) runPhase1(ctx context.Context, phase1 []*Subquery, stats *Ex
 				taskSq = append(taskSq, sq)
 			}
 		}
-		stats.Phase1Requests = len(tasks)
+		stats.Phase1Requests += len(tasks)
 		// Fail fast: the first terminal subquery error cancels the
 		// sibling in-flight evaluations instead of letting them burn
 		// their full network budget. Under an active degradation policy

@@ -359,6 +359,11 @@ func (ex *Executor) runStreamed(ctx context.Context, phase1, delayed []*Subquery
 				dedupFullProjection(sq, rel)
 			}
 			recordSubquerySpan(sp, sq, rel, st.dur, len(sq.Sources))
+			if ex.Observe != nil && !sq.Optional && sq != tail && st.failed == 0 {
+				// Feed the calibrator exactly as RunCached does; a partial
+				// relation (failed sources) would teach it a wrong actual.
+				ex.Observe(sq, len(rel.Rows))
+			}
 			if sq != tail {
 				// Retain only complete relations: streamed drops are
 				// charged to the degradation context, not stamped on the
@@ -518,11 +523,13 @@ func (ex *Executor) runStreamed(ctx context.Context, phase1, delayed []*Subquery
 		}
 	}
 	emitted := 0
+	tailRows := 0
 	for {
 		chunk, ok := queue.pop()
 		if !ok {
 			break
 		}
+		tailRows += len(chunk)
 		rows := chunk
 		if sym != nil {
 			rows = sym.PushRight(chunk)
@@ -556,6 +563,12 @@ func (ex *Executor) runStreamed(ctx context.Context, phase1, delayed []*Subquery
 	case e := <-errCh:
 		return stats, e
 	default:
+	}
+	// The tail's full (deduped) cardinality is only known once its
+	// stream drained cleanly; feed the calibrator here, never from a
+	// truncated or degraded stream.
+	if ex.Observe != nil && dg.DropCount() == dropsBefore {
+		ex.Observe(tail, tailRows)
 	}
 	return stats, nil
 }

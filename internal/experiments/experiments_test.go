@@ -83,7 +83,7 @@ func TestRunTimeout(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "prep", "fig3", "fig9", "fig10a", "fig10bc",
 		"fig11", "fig12", "fig13", "fig14", "bio", "ablade", "absape", "mqo", "scale",
-		"faults", "degrade", "workload", "chaos", "all"}
+		"faults", "degrade", "workload", "chaos", "stats", "all"}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
 			t.Errorf("experiment %q missing from registry", id)
@@ -157,6 +157,20 @@ func TestSmokeMQO(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "batch(MQO)") || !strings.Contains(out, "sequential") {
 		t.Errorf("MQO output incomplete:\n%s", out)
+	}
+}
+
+func TestSmokeStatsReplay(t *testing.T) {
+	var buf bytes.Buffer
+	if err := StatsReplay(&buf, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "stats verdict: PASS — warm-pass plan requests: 0") {
+		t.Errorf("warm pass still paid plan-time probes:\n%s", out)
+	}
+	if !strings.Contains(out, "calibration verdict: PASS") {
+		t.Errorf("calibration did not lower the median q-error:\n%s", out)
 	}
 }
 

@@ -478,6 +478,7 @@ var Registry = map[string]func(io.Writer, Options) error{
 	"chaos":    Chaos,
 	"degrade":  DegradeSweep,
 	"workload": WorkloadReplay,
+	"stats":    StatsReplay,
 	"all":      All,
 }
 

@@ -196,6 +196,9 @@ type Selection struct {
 	Endpoints []endpoint.Endpoint
 	// AskRequests counts the ASK queries actually sent (cache misses).
 	AskRequests int
+	// SummaryAnswers counts relevance verdicts answered from offline
+	// statistics summaries instead of ASK probes.
+	SummaryAnswers int
 }
 
 // SourceSet returns the endpoint-index set for pattern i.
@@ -228,6 +231,12 @@ type Selector struct {
 	Endpoints []endpoint.Endpoint
 	Cache     *AskCache
 	Handler   *Handler
+	// Presence, when non-nil, answers pattern relevance from offline
+	// statistics summaries. ok=false falls back to an ASK probe.
+	// Consulted after the ASK cache; summary verdicts are not stored
+	// in the cache (the statistics service fences them against data
+	// versions itself) and do not count as AskRequests.
+	Presence func(epName string, tp sparql.TriplePattern) (relevant, ok bool)
 }
 
 // NewSelector builds a selector. cache may be nil to disable caching.
@@ -267,6 +276,15 @@ func (s *Selector) SelectPatterns(ctx context.Context, patterns []sparql.TripleP
 					sel.Sources[pi] = append(sel.Sources[pi], ei)
 				}
 				continue
+			}
+			if s.Presence != nil {
+				if relevant, ok := s.Presence(ep.Name(), tp); ok {
+					sel.SummaryAnswers++
+					if relevant {
+						sel.Sources[pi] = append(sel.Sources[pi], ei)
+					}
+					continue
+				}
 			}
 			tasks = append(tasks, Task{EP: ep, Query: AskQueryFor(tp)})
 			probes = append(probes, probe{pattern: pi, ep: ei})

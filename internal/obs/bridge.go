@@ -3,6 +3,7 @@ package obs
 import (
 	"lusail/internal/core"
 	"lusail/internal/endpoint"
+	"lusail/internal/stats"
 )
 
 // Bridges project the engine's existing in-process instrumentation
@@ -207,6 +208,52 @@ func RegisterCoherence(r *Registry, snapshot func() core.CoherenceStats) {
 				"Cache entries served despite stale data-version stamps (observe-only fence).", "counter", st.StaleServed),
 			single("lusail_cache_fenced_total",
 				"Cache entries rejected at lookup by the data-version fence.", "counter", st.Fenced),
+		}
+	})
+}
+
+// RegisterStats exposes the offline statistics service: held
+// summaries, lookup outcomes (hit / miss / fenced), harvest lifecycle
+// counters, the plan-time questions answered from summaries instead of
+// probes (labeled by kind), and the calibration loop's state.
+func RegisterStats(r *Registry, snapshot func() stats.ServiceStats) {
+	r.RegisterCollector(func() []Family {
+		st := snapshot()
+		single := func(name, help, kind string, v float64) Family {
+			return Family{Name: name, Help: help, Kind: kind,
+				Samples: []Sample{{Value: v}}}
+		}
+		answered := Family{Name: "lusail_stats_answers_total",
+			Help: "Plan-time questions answered from statistics summaries instead of endpoint probes, by question kind.",
+			Kind: "counter",
+			Samples: []Sample{
+				{Labels: []Label{L("kind", "cardinality")}, Value: float64(st.CardAnswers)},
+				{Labels: []Label{L("kind", "ask")}, Value: float64(st.AskAnswers)},
+				{Labels: []Label{L("kind", "check")}, Value: float64(st.CheckAnswers)},
+				{Labels: []Label{L("kind", "pair")}, Value: float64(st.PairAnswers)},
+			}}
+		return []Family{
+			single("lusail_stats_summaries",
+				"Endpoint statistics summaries currently held.", "gauge", float64(st.Summaries)),
+			single("lusail_stats_lookup_hits_total",
+				"Summary lookups served.", "counter", float64(st.Hits)),
+			single("lusail_stats_lookup_misses_total",
+				"Summary lookups with no summary held.", "counter", float64(st.Misses)),
+			single("lusail_stats_lookup_fenced_total",
+				"Summary lookups refused because the endpoint's data version moved.", "counter", float64(st.Fenced)),
+			single("lusail_stats_refreshes_total",
+				"Harvest attempts started.", "counter", float64(st.Refreshes)),
+			single("lusail_stats_refresh_errors_total",
+				"Harvest attempts that failed.", "counter", float64(st.RefreshErrors)),
+			single("lusail_stats_discards_total",
+				"Harvests discarded because the endpoint churned or was invalidated mid-harvest.", "counter", float64(st.Discards)),
+			single("lusail_stats_harvest_queries_total",
+				"Aggregation queries issued by harvests.", "counter", float64(st.HarvestQueries)),
+			answered,
+			single("lusail_stats_calibration_keys",
+				"Learned (endpoint, predicate) calibration factors.", "gauge", float64(st.CalibrationKeys)),
+			single("lusail_stats_calibration_observations_total",
+				"Estimated-vs-actual feedback samples applied to calibration.", "counter", float64(st.Observations)),
 		}
 	})
 }

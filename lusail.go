@@ -33,6 +33,7 @@ import (
 	"lusail/internal/obs"
 	"lusail/internal/rdf"
 	"lusail/internal/sparql"
+	"lusail/internal/stats"
 	"lusail/internal/store"
 	"lusail/internal/trace"
 )
@@ -154,6 +155,63 @@ func WithoutCoherence() Option {
 func WithInstrumentation() Option {
 	return func(c *core.Config) { c.Instrument = true }
 }
+
+// StatisticsConfig tunes the offline statistics service: harvest page
+// size, the predicate-pair summary cap, and the self-tuning
+// calibration loop. The zero value uses sensible defaults with
+// calibration off.
+type StatisticsConfig = stats.Config
+
+// StatisticsStats snapshots the statistics service's counters:
+// summaries held, lookup hit/miss/fenced counts, harvest lifecycle,
+// plan questions answered per kind, and calibration state.
+type StatisticsStats = stats.ServiceStats
+
+// WithStatistics enables the offline statistics service: per-endpoint
+// predicate and characteristic-set cardinalities plus predicate-pair
+// join summaries, harvested via paged aggregation queries and
+// versioned against each endpoint's data version. The cost model,
+// source selection, and LADE locality checks consult the summaries
+// first and fall back to live probes only on miss, so a warmed
+// federation plans queries without any endpoint round trips. Call
+// RefreshStatistics to harvest; data churn fences exactly the changed
+// endpoint's summary.
+func WithStatistics(cfg StatisticsConfig) Option {
+	return func(c *core.Config) { c.Statistics = &cfg }
+}
+
+// WithCalibration is WithStatistics with the self-tuning loop armed:
+// every execution's estimated-vs-actual subquery cardinalities feed
+// per-endpoint, per-predicate correction factors applied to future
+// estimates, so the cost model's q-error declines as the federation
+// serves traffic.
+func WithCalibration(cfg StatisticsConfig) Option {
+	return func(c *core.Config) {
+		cfg.Calibrate = true
+		c.Statistics = &cfg
+	}
+}
+
+// WithReplanOvershoot arms mid-query re-planning: when a phase-1
+// subquery's actual cardinality exceeds its estimate by more than
+// factor ×, the estimate is corrected in place and the delay partition
+// recomputed — subqueries the stale estimate had delayed behind the
+// overshooting one are promoted and run concurrently instead of bound.
+// factor <= 0 (the default) disables the hook.
+func WithReplanOvershoot(factor float64) Option {
+	return func(c *core.Config) { c.ReplanOvershoot = factor }
+}
+
+// RefreshStatistics harvests (or re-harvests) every endpoint's
+// statistics summary. A no-op unless the federation was built
+// WithStatistics or WithCalibration.
+func (f *Federation) RefreshStatistics(ctx context.Context) error {
+	return f.engine.RefreshStats(ctx)
+}
+
+// StatisticsStats snapshots the statistics service's counters
+// (zero-valued when the service is off).
+func (f *Federation) StatisticsStats() StatisticsStats { return f.engine.StatsSnapshot() }
 
 // DegradePolicy selects how a query responds to losing an endpoint
 // mid-execution (retries exhausted, circuit open, request rejected).
@@ -445,6 +503,7 @@ func (f *Federation) RegisterMetrics(reg *MetricsRegistry) {
 	obs.RegisterInFlight(reg, f.InFlight)
 	obs.RegisterCaches(reg, f.CacheStats)
 	obs.RegisterCoherence(reg, f.CoherenceStats)
+	obs.RegisterStats(reg, f.StatisticsStats)
 }
 
 // TraceSink receives completed query traces for export. The obs layer
